@@ -1,0 +1,79 @@
+"""Ablation — task grain vs speedup (paper Section 3's design choice).
+
+The paper chose the task grain "small enough so as to keep all
+processors busy ... yet not so small as to make the overheads large",
+and observed the 16-processor droop when grain was too coarse for the
+input sizes considered.
+
+This ablation sweeps the serialized task-queue acquisition cost
+(``queue_overhead``, the lock the Sequent implementation's dynamic
+queue needs) and the per-task bookkeeping cost (``overhead``) and
+reports the 16-way speedup: fine-grained decomposition is great with a
+cheap queue and collapses with an expensive one — quantifying the
+paper's grain argument.
+"""
+
+import pytest
+
+from repro.bench.report import format_series, save_result
+from repro.bench.runner import run_parallel
+from repro.bench.workloads import square_free_characteristic_input
+
+N = 25
+MU = 16
+QUEUE_COSTS = [0, 10**3, 10**4, 10**5, 10**6]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    inp = square_free_characteristic_input(N, 11)
+    out = []
+    for q in QUEUE_COSTS:
+        rec = run_parallel(inp, MU, processors=[1, 8, 16], queue_overhead=q)
+        out.append((q, rec))
+    return out
+
+
+def test_grain_ablation(sweep):
+    rows = [
+        [q, rec.speedup(8), rec.speedup(16), rec.makespans[16] / 1e9]
+        for q, rec in sweep
+    ]
+    text = format_series(
+        f"Ablation (reproduced): queue acquisition cost vs speedup, n={N}, mu={MU}",
+        "qcost", ["speedup@8", "speedup@16", "sim_s@16"], rows,
+    )
+    print("\n" + text)
+    save_result("ablation_grain", text)
+
+    sp16 = [r[2] for r in rows]
+    # speedup degrades monotonically (within noise) as the queue gets
+    # more expensive, and collapses at the extreme.
+    assert sp16[0] == max(sp16)
+    assert sp16[-1] < 0.6 * sp16[0]
+    # absolute simulated time strictly grows with queue cost
+    spans = [rec.makespans[16] for _q, rec in sweep]
+    assert spans == sorted(spans)
+
+
+def test_queue_contention_hurts_16_more_than_8(sweep):
+    """Contention scales with concurrency: the relative loss at p=16
+    exceeds the loss at p=8."""
+    q0, rec0 = sweep[0]
+    qh, rech = sweep[-2]  # 1e5 grain
+    loss8 = rec0.speedup(8) / max(rech.speedup(8), 1e-9)
+    loss16 = rec0.speedup(16) / max(rech.speedup(16), 1e-9)
+    assert loss16 >= loss8 - 0.05
+
+
+def test_benchmark_contended_simulation(benchmark):
+    from repro.core.scaling import digits_to_bits
+    from repro.core.tasks import build_task_graph
+    from repro.costmodel.counter import CostCounter
+    from repro.sched.simulator import simulate
+
+    inp = square_free_characteristic_input(15, 11)
+    c = CostCounter()
+    tg = build_task_graph(inp.poly, digits_to_bits(MU), c)
+    tg.graph.run_recorded(c)
+    benchmark(lambda: simulate(tg.graph, 16, queue_overhead=10**4))

@@ -1,0 +1,85 @@
+"""Ablation — quantifying the paper's dismissal of the NC-style method.
+
+"We have not, however, implemented the NC version, which, although
+theoretically efficient, is impractical due to the overheads associated
+with its fine-grained parallelism."  (Paper, Section 2.)
+
+The NC-flavoured way to produce the tree polynomials computes the
+cofactor prefixes ``A_i, B_i`` and evaluates every node directly via
+Eq. (5); the practical algorithm combines children's T-matrices
+(Eq. 9).  Both produce *identical* polynomials; this ablation measures
+the bit-cost ratio — the factor the practical version saves — and shows
+it grows with the degree (~linearly), exactly the kind of overhead the
+paper's remark is about.
+"""
+
+import pytest
+
+from repro.bench.report import format_series, save_result
+from repro.bench.workloads import square_free_characteristic_input
+from repro.core.prefix import tree_polys_via_cofactors
+from repro.core.remainder import compute_remainder_sequence
+from repro.core.tree import InterleavingTree
+from repro.costmodel.counter import CostCounter
+
+DEGREES = [10, 20, 30, 40, 55]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for n in DEGREES:
+        inp = square_free_characteristic_input(n, 11)
+        seq = compute_remainder_sequence(inp.poly)
+
+        c_tree = CostCounter()
+        tree = InterleavingTree(seq)
+        tree.compute_polynomials(c_tree)
+
+        c_prefix = CostCounter()
+        direct = tree_polys_via_cofactors(seq, counter=c_prefix)
+
+        # identical outputs (the whole point of comparing costs)
+        for node in tree.root:
+            if not node.is_empty:
+                assert direct[node.label] == node.poly
+
+        rows.append(
+            (n, c_tree.total_bit_cost, c_prefix.total_bit_cost)
+        )
+    return rows
+
+
+def test_prefix_ablation(sweep):
+    rows = [[n, t, p, p / t] for n, t, p in sweep]
+    text = format_series(
+        "Ablation (reproduced): tree combine (Eq 9) vs NC-style direct (Eq 5)",
+        "n", ["tree bitcost", "prefix bitcost", "prefix/tree"], rows,
+    )
+    print("\n" + text)
+    save_result("ablation_prefix", text)
+
+    ratios = [r[3] for r in rows]
+    # the practical method always wins...
+    assert all(r > 1.5 for r in ratios)
+    # ...by a factor that grows with the degree
+    assert ratios[-1] > 2 * ratios[0]
+    assert ratios == sorted(ratios)
+
+
+def test_benchmark_tree_combine(benchmark):
+    inp = square_free_characteristic_input(25, 11)
+    seq = compute_remainder_sequence(inp.poly)
+
+    def job():
+        tree = InterleavingTree(seq)
+        tree.compute_polynomials()
+        return tree
+
+    benchmark(job)
+
+
+def test_benchmark_prefix_direct(benchmark):
+    inp = square_free_characteristic_input(25, 11)
+    seq = compute_remainder_sequence(inp.poly)
+    benchmark(lambda: tree_polys_via_cofactors(seq))

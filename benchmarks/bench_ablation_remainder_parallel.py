@@ -1,0 +1,83 @@
+"""Ablation — parallel vs sequential remainder precomputation.
+
+Paper Section 3: "As a run-time option, the implementation allows this
+stage to be executed sequentially, if so desired", and Section 3.1
+justifies the very fine 5(n-i)-task grain of the parallel version.
+
+This ablation runs both modes through the simulator.  The remainder
+phase matters most at small mu (where it is a large share of total
+work), so the speedup gap is widest there.
+"""
+
+import pytest
+
+from repro.bench.report import format_series, save_result
+from repro.bench.workloads import square_free_characteristic_input
+from repro.core.scaling import digits_to_bits
+from repro.core.tasks import build_task_graph
+from repro.costmodel.counter import CostCounter
+from repro.sched.simulator import speedup_curve
+
+N = 25
+MUS = [4, 16, 32]
+
+
+def run(mu_digits: int, sequential: bool):
+    inp = square_free_characteristic_input(N, 11)
+    c = CostCounter()
+    tg = build_task_graph(
+        inp.poly, digits_to_bits(mu_digits), c,
+        sequential_remainder=sequential,
+    )
+    tg.graph.run_recorded(c)
+    curve = speedup_curve(tg.graph, [8, 16])
+    return {
+        p: curve[1].makespan / curve[p].makespan for p in (1, 8, 16)
+    }, tg.roots_scaled()
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for mu in MUS:
+        out[(mu, False)] = run(mu, False)
+        out[(mu, True)] = run(mu, True)
+    return out
+
+
+def test_remainder_parallelism_ablation(sweep):
+    rows = []
+    for mu in MUS:
+        par, _ = sweep[(mu, False)]
+        seq, _ = sweep[(mu, True)]
+        rows.append([mu, par[16], seq[16], par[16] / seq[16]])
+    text = format_series(
+        f"Ablation (reproduced): remainder-phase parallelism, n={N}, p=16",
+        "mu", ["parallel-rem", "sequential-rem", "gain"], rows,
+    )
+    print("\n" + text)
+    save_result("ablation_remainder_parallel", text)
+
+    # identical results either way
+    for mu in MUS:
+        assert sweep[(mu, False)][1] == sweep[(mu, True)][1]
+
+    # parallel remainder always at least as good, and clearly better at
+    # small mu where the phase dominates
+    for mu in MUS:
+        assert sweep[(mu, False)][0][16] >= sweep[(mu, True)][0][16] - 1e-9
+    gains = [r[3] for r in rows]
+    assert gains[0] > 1.3          # big win at mu=4
+    assert gains[0] >= gains[-1]   # shrinking with mu
+
+
+def test_benchmark_sequential_remainder_build(benchmark):
+    inp = square_free_characteristic_input(15, 11)
+
+    def job():
+        c = CostCounter()
+        tg = build_task_graph(inp.poly, 27, c, sequential_remainder=True)
+        tg.graph.run_recorded(c)
+        return tg
+
+    benchmark(job)

@@ -1,0 +1,99 @@
+"""Ablation — interval-solver strategy (paper Section 2.2's choice).
+
+The paper picks the sieve/bisection/Newton hybrid over plain bisection
+and plain Newton.  This ablation quantifies that choice: evaluations
+per solve as a function of mu for the three (all exact) strategies.
+
+Expected shapes: bisection is Theta(mu) per solve; the hybrid is
+O(log d + log mu); guarded Newton without the warm-up sits in between
+(no Renegar guarantee, so it pays extra guarded steps on bad brackets).
+"""
+
+import pytest
+
+from repro.bench.report import format_series, save_result
+from repro.bench.workloads import square_free_characteristic_input
+from repro.core.rootfinder import RealRootFinder
+from repro.core.scaling import digits_to_bits
+from repro.costmodel.counter import CostCounter
+
+N = 20
+MUS = [4, 8, 16, 32, 64]
+STRATEGIES = ("hybrid", "bisection", "newton")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    inp = square_free_characteristic_input(N, 11)
+    out = {}
+    for strat in STRATEGIES:
+        for mu in MUS:
+            bits = digits_to_bits(mu)
+            c = CostCounter()
+            res = RealRootFinder(
+                mu_bits=bits, counter=c, strategy=strat
+            ).find_roots(inp.poly)
+            out[(strat, mu)] = (
+                res.stats.evaluations / max(res.stats.solves, 1),
+                c.phase_stats("interval").mul_bit_cost,
+                res.scaled,
+            )
+    return out
+
+
+def test_strategy_ablation(sweep):
+    rows = []
+    for mu in MUS:
+        rows.append(
+            [mu] + [sweep[(s, mu)][0] for s in STRATEGIES]
+        )
+    text = format_series(
+        f"Ablation (reproduced): interval strategy, evals/solve, n={N}",
+        "mu", list(STRATEGIES), rows,
+    )
+    print("\n" + text)
+    save_result("ablation_strategy", text)
+
+    # All strategies produce identical exact answers.
+    for mu in MUS:
+        answers = {tuple(sweep[(s, mu)][2]) for s in STRATEGIES}
+        assert len(answers) == 1
+
+    # Bisection scales ~linearly in mu; the hybrid ~logarithmically.
+    bis_lo = sweep[("bisection", MUS[0])][0]
+    bis_hi = sweep[("bisection", MUS[-1])][0]
+    hyb_lo = sweep[("hybrid", MUS[0])][0]
+    hyb_hi = sweep[("hybrid", MUS[-1])][0]
+    mu_ratio = MUS[-1] / MUS[0]
+    assert bis_hi / bis_lo > 0.4 * mu_ratio       # near-linear growth
+    assert hyb_hi / hyb_lo < 0.25 * mu_ratio      # strongly sublinear
+
+    # At high precision the hybrid clearly wins on bit cost.
+    assert (
+        sweep[("hybrid", MUS[-1])][1] < 0.7 * sweep[("bisection", MUS[-1])][1]
+    )
+
+
+def test_newton_between_hybrid_and_bisection_at_high_mu(sweep):
+    mu = MUS[-1]
+    hyb = sweep[("hybrid", mu)][0]
+    new = sweep[("newton", mu)][0]
+    bis = sweep[("bisection", mu)][0]
+    assert hyb <= new + 1.0
+    assert new <= bis + 1.0
+
+
+def test_benchmark_hybrid(benchmark):
+    inp = square_free_characteristic_input(15, 11)
+    bits = digits_to_bits(32)
+    benchmark(lambda: RealRootFinder(mu_bits=bits).find_roots(inp.poly))
+
+
+def test_benchmark_bisection_strategy(benchmark):
+    inp = square_free_characteristic_input(15, 11)
+    bits = digits_to_bits(32)
+    benchmark(
+        lambda: RealRootFinder(
+            mu_bits=bits, strategy="bisection"
+        ).find_roots(inp.poly)
+    )

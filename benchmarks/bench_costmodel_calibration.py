@@ -1,0 +1,91 @@
+"""Cost-model calibration — justifying the simulated-time currency.
+
+The paper's machine model (Section 3.3): the ``mp`` package multiplies
+in quadratic time.  All our simulated times are quadratic bit costs
+``bits(a) * bits(b)``; this bench validates that model against the
+from-scratch schoolbook bignum (:class:`repro.mpint.MPInt`), which is
+the faithful ``mp`` stand-in:
+
+* measured MPInt multiply wall-time grows linearly in the product
+  ``bits(a) * bits(b)`` (fit exponent ~1 on a log-log scale);
+* Python's builtin int does *not* follow the quadratic model at large
+  sizes (subquadratic algorithms) — which is exactly why MPInt exists.
+"""
+
+import time
+from math import log
+
+from repro.bench.report import format_series, save_result
+from repro.mpint.mpint import MPInt
+
+SIZES = [256, 512, 1024, 2048, 4096, 8192]
+
+
+def time_mpint_mul(bits: int, reps: int = 8) -> float:
+    a = MPInt((1 << bits) - 12345)
+    b = MPInt((1 << bits) - 67)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        a * b
+    return (time.perf_counter() - t0) / reps
+
+
+def fitted_exponent(xs, ys):
+    lx = [log(x) for x in xs]
+    ly = [log(y) for y in ys]
+    n = len(xs)
+    mx, my = sum(lx) / n, sum(ly) / n
+    num = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    den = sum((a - mx) ** 2 for a in lx)
+    return num / den
+
+
+def test_quadratic_model_calibration():
+    rows = []
+    costs, times = [], []
+    for bits in SIZES:
+        t = time_mpint_mul(bits)
+        model = bits * bits
+        rows.append([bits, t * 1e6, model])
+        costs.append(model)
+        times.append(t)
+    text = format_series(
+        "Cost-model calibration: MPInt multiply wall time vs bits(a)*bits(b)",
+        "bits", ["us/mul", "model"], rows,
+    )
+    slope = fitted_exponent(costs, times)
+    text += f"\nlog-log slope of time against model: {slope:.3f} (ideal 1.0)"
+    print("\n" + text)
+    save_result("costmodel_calibration", text)
+    assert 0.8 <= slope <= 1.2, slope
+
+
+def test_equal_cost_multiplies_take_equal_time():
+    """bits(a)*bits(b) is the right 2-parameter model: a 4096x4096
+    multiply costs about the same as ... times a 16384x1024 one."""
+    square = time_mpint_mul(4096)
+    a = MPInt((1 << 16384) - 9)
+    b = MPInt((1 << 1024) - 5)
+    t0 = time.perf_counter()
+    for _ in range(8):
+        a * b
+    skew = (time.perf_counter() - t0) / 8
+    assert 0.4 <= skew / square <= 2.5
+
+
+def test_benchmark_mpint_mul_2048(benchmark):
+    a = MPInt((1 << 2048) - 3)
+    b = MPInt((1 << 2048) - 7)
+    benchmark(lambda: a * b)
+
+
+def test_benchmark_mpint_divmod_2048(benchmark):
+    a = MPInt((1 << 4096) - 3)
+    b = MPInt((1 << 2048) - 7)
+    benchmark(lambda: divmod(a, b))
+
+
+def test_benchmark_python_int_mul_2048(benchmark):
+    a = (1 << 2048) - 3
+    b = (1 << 2048) - 7
+    benchmark(lambda: a * b)

@@ -1,0 +1,80 @@
+"""Extension — scaling in the coefficient size m, independent of n.
+
+The paper's workload couples m to n (0-1 matrices give m(n) growing
+with the degree), so Table 2 cannot separate the two factors of the
+``n^4 (m + log n)^2`` law.  Using symmetric matrices with entries in
+``[-b, b]`` decouples them: at fixed degree, doubling the entry bound
+adds ~n log2(b) bits to m, and the deterministic phases' bit cost must
+grow quadratically in (m + log n).
+"""
+
+import pytest
+
+from repro.analysis.bounds import beta
+from repro.bench.report import format_series, save_result
+from repro.bench.runner import run_sequential
+from repro.charpoly.generator import characteristic_input
+from repro.poly.gcd import is_square_free
+
+N = 20
+BOUNDS = [1, 4, 16, 64, 256]
+
+
+def sf_input(bound: int):
+    seed = 11
+    for _ in range(40):
+        inp = characteristic_input(N, seed, entry_bound=bound)
+        if is_square_free(inp.poly):
+            return inp
+        seed += 1000
+    raise RuntimeError("no square-free instance")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = []
+    for b in BOUNDS:
+        inp = sf_input(b)
+        rec = run_sequential(inp, 16)
+        out.append((b, inp.coeff_bits, rec))
+    return out
+
+
+def test_m_scaling(sweep):
+    rows = []
+    for b, m_bits, rec in sweep:
+        det_cost = (
+            rec.phase("remainder").total_bit_cost
+            + rec.phase("tree").total_bit_cost
+        )
+        rows.append([b, m_bits, det_cost, beta(N, m_bits)])
+    text = format_series(
+        f"Extension: coefficient-size scaling at fixed degree n={N}",
+        "bound", ["m_bits", "det bitcost", "beta"], rows,
+    )
+    print("\n" + text)
+    save_result("m_scaling", text)
+
+    # bit cost of the deterministic phases grows ~ (m + log n)^2:
+    # regress cost against beta^2 — ratio drift must be bounded.
+    ratios = [r[2] / (r[3] ** 2) for r in rows]
+    assert max(ratios) / min(ratios) < 3.0, ratios
+
+    # m grows with the entry bound
+    ms = [r[1] for r in rows]
+    assert ms == sorted(ms) and ms[-1] > ms[0] + 3 * N
+
+
+def test_mul_count_insensitive_to_m(sweep):
+    """Arithmetic complexity is O(n^2) regardless of m — only the bit
+    cost grows (Table 1's two columns)."""
+    counts = [
+        rec.phase("remainder").mul_count + rec.phase("tree").mul_count
+        for _b, _m, rec in sweep
+    ]
+    assert max(counts) / min(counts) < 1.1
+
+
+def test_benchmark_big_coefficients(benchmark):
+    inp = sf_input(256)
+    benchmark(lambda: run_sequential(inp, 16))

@@ -1,0 +1,80 @@
+"""Extension — the coefficient-size study the paper's conclusion asks for.
+
+"It would be interesting to see if improved estimates on these
+quantities can be obtained."  This bench measures, per degree, the
+observed growth rate ``beta_hat`` of ``||F_i||`` against the analytic
+``beta = 2m + 3 log n + 2``, and the bound/observed slack across all
+intermediate polynomials — the data a tighter analysis would have to
+explain.
+"""
+
+import pytest
+
+from repro.analysis.sizes import measure_sizes
+from repro.bench.report import format_series, save_result
+from repro.bench.workloads import bench_degrees, square_free_characteristic_input
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    out = {}
+    for n in bench_degrees():
+        inp = square_free_characteristic_input(n, 11)
+        out[n] = measure_sizes(inp.poly)
+    return out
+
+
+def test_size_study(profiles):
+    rows = []
+    for n, prof in profiles.items():
+        rows.append(
+            [
+                n,
+                prof.beta_observed(),
+                prof.beta_bound,
+                prof.beta_bound / max(prof.beta_observed(), 1e-9),
+                prof.mean_slack_f(),
+            ]
+        )
+    text = format_series(
+        "Extension: observed vs analytic coefficient growth rates",
+        "n", ["beta_hat", "beta", "beta/beta_hat", "mean F slack"], rows,
+    )
+    print("\n" + text)
+    save_result("sizes_study", text)
+
+    for n, prof in profiles.items():
+        # bounds are never violated anywhere
+        assert all(s <= b for _i, s, b in prof.f_sizes)
+        assert all(s <= b for _i, s, b in prof.q_sizes)
+        assert all(s <= b for _l, s, b in prof.p_sizes)
+        # and observed growth is well below the analytic rate — the
+        # paper's "weak bounds" observation, quantified.
+        assert prof.beta_observed() < prof.beta_bound
+
+    slack_ratios = [r[3] for r in rows]
+    # the relative slack persists at every degree (>= ~1.3x)
+    assert all(r > 1.3 for r in slack_ratios)
+
+
+def test_observed_growth_is_linear_in_index(profiles):
+    """||F_i|| grows essentially linearly in i (as the theory's i*beta
+    shape says), just with a smaller slope — i.e. the *form* of the
+    bound is right, the constant is what's loose."""
+    prof = profiles[max(profiles)]
+    import statistics
+
+    sizes = [(i, s) for i, s, _b in prof.f_sizes if i >= 2]
+    slope = prof.beta_observed()
+    # residuals of the linear fit are small relative to the data range
+    intercept = statistics.mean(s for _i, s in sizes) - slope * statistics.mean(
+        i for i, _s in sizes
+    )
+    residuals = [abs(s - (slope * i + intercept)) for i, s in sizes]
+    data_range = max(s for _i, s in sizes) - min(s for _i, s in sizes)
+    assert max(residuals) < 0.15 * data_range
+
+
+def test_benchmark_size_measurement(benchmark):
+    inp = square_free_characteristic_input(20, 11)
+    benchmark(lambda: measure_sizes(inp.poly))

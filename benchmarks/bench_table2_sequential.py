@@ -1,0 +1,69 @@
+"""Table 2 — single-processor running times.
+
+Paper: degrees 10..70 step 5 (rows, with measured m(n)), precision mu in
+{4, 8, 16, 24, 32} decimal digits (columns), cells are seconds on one
+Sequent processor.  Reproduced cells are simulated seconds (total
+quadratic bit cost scaled by a nominal 10^9 bit-ops/s) plus, for
+reference, real wall seconds of this Python implementation.
+
+Shape assertions: cost grows steeply (superquadratically) in n, grows
+monotonically in mu, and the relative mu-sensitivity shrinks as n grows
+— all visible in the paper's Table 2.
+"""
+
+from repro.bench.report import format_table2, save_result
+from repro.bench.runner import run_sequential
+from repro.bench.workloads import bench_degrees, bench_mu_digits, paper_suite
+
+
+def test_table2_reproduction(sequential_records):
+    recs = list(sequential_records.values())
+    table_sim = format_table2(recs, value="sim_seconds")
+    table_wall = format_table2(recs, value="wall_seconds")
+    text = (
+        "Table 2 (reproduced): simulated single-processor seconds\n"
+        "(total quadratic bit cost / 1e9)\n\n" + table_sim +
+        "\n\nSame grid, wall-clock seconds of this implementation:\n\n"
+        + table_wall
+    )
+    print("\n" + text)
+    save_result("table2_sequential", text)
+
+    degrees = bench_degrees()
+    mus = bench_mu_digits()
+    lo_n, hi_n = degrees[0], degrees[-1]
+    lo_mu, hi_mu = mus[0], mus[-1]
+
+    # growth in n is superquadratic at fixed mu
+    ratio_n = (
+        sequential_records[(hi_n, lo_mu)].total_bit_cost
+        / sequential_records[(lo_n, lo_mu)].total_bit_cost
+    )
+    assert ratio_n > (hi_n / lo_n) ** 2
+
+    # monotone in mu at fixed n
+    for n in degrees:
+        costs = [sequential_records[(n, mu)].total_bit_cost for mu in mus]
+        assert costs == sorted(costs)
+
+    # mu-sensitivity (mu_max / mu_min cost ratio) decreases with n
+    sens_lo = (
+        sequential_records[(lo_n, hi_mu)].total_bit_cost
+        / sequential_records[(lo_n, lo_mu)].total_bit_cost
+    )
+    sens_hi = (
+        sequential_records[(hi_n, hi_mu)].total_bit_cost
+        / sequential_records[(hi_n, lo_mu)].total_bit_cost
+    )
+    assert sens_hi < sens_lo
+
+
+def test_benchmark_single_run_n20(benchmark):
+    """Wall-time of one full sequential solve (n=20, mu=16 digits)."""
+    inp = paper_suite([20], (11,))[0]
+    benchmark(lambda: run_sequential(inp, 16))
+
+
+def test_benchmark_single_run_n35(benchmark):
+    inp = paper_suite([35], (11,))[0]
+    benchmark.pedantic(lambda: run_sequential(inp, 16), rounds=3, iterations=1)

@@ -1,0 +1,58 @@
+"""Appendix B, Tables 8-12 — complete running-time grids.
+
+Paper: for each mu in {4, 8, 16, 24, 32} digits, the full degree x
+processor-count grid of running times.  Reproduced as simulated seconds
+over the bench grid (full grid under REPRO_BENCH_FULL=1).
+"""
+
+from repro.bench.report import format_runtime_grid, save_result
+from repro.bench.runner import PAPER_PROCESSORS, run_parallel
+from repro.bench.workloads import (
+    bench_degrees,
+    bench_mu_digits,
+    square_free_characteristic_input,
+)
+import pytest
+
+
+@pytest.fixture(scope="module")
+def full_grid(parallel_records):
+    """Extend the shared records with the small degrees Appendix B has."""
+    grid = dict(parallel_records)
+    small = [n for n in bench_degrees() if (n, bench_mu_digits()[0]) not in grid]
+    for n in small:
+        inp = square_free_characteristic_input(n, 11)
+        for mu in bench_mu_digits():
+            grid[(n, mu)] = run_parallel(inp, mu)
+    return grid
+
+
+def test_table8_12_reproduction(full_grid):
+    chunks = []
+    degrees = sorted({n for (n, _mu) in full_grid})
+    for mu in bench_mu_digits():
+        recs = [full_grid[(n, mu)] for n in degrees]
+        chunks.append(
+            f"Tables 8-12 (reproduced): simulated running times, mu={mu} digits\n"
+            + format_runtime_grid(recs)
+        )
+    text = "\n\n".join(chunks)
+    print("\n" + text)
+    save_result("table8_12_runtime_grids", text)
+
+    # Appendix B shape: at small degrees, high processor counts give
+    # little or no benefit (grain starvation); at the largest degree,
+    # p=16 helps substantially.
+    mus = bench_mu_digits()
+    small_rec = full_grid[(degrees[0], mus[0])]
+    big_rec = full_grid[(degrees[-1], mus[0])]
+    assert small_rec.speedup(16) < big_rec.speedup(16)
+
+    for (_n, _mu), rec in full_grid.items():
+        spans = [rec.makespans[p] for p in PAPER_PROCESSORS]
+        assert spans == sorted(spans, reverse=True)
+
+
+def test_benchmark_grid_row(benchmark):
+    inp = square_free_characteristic_input(15, 11)
+    benchmark(lambda: run_parallel(inp, 8))

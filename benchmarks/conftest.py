@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Sequential and parallel records are computed once per session and
+shared across bench files; the grids default to a fast subset and honor
+``REPRO_BENCH_FULL=1`` for the paper's complete 10..70 x {4..32-digit}
+sweep (several tens of minutes of pure Python).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_parallel, run_sequential
+from repro.bench.workloads import (
+    bench_degrees,
+    bench_mu_digits,
+    square_free_characteristic_input,
+)
+
+
+@pytest.fixture(scope="session")
+def sequential_records():
+    """{(n, mu_digits): SequentialRecord} over the bench grid."""
+    out = {}
+    for n in bench_degrees():
+        inp = square_free_characteristic_input(n, 11)
+        for mu in bench_mu_digits():
+            out[(n, mu)] = run_sequential(inp, mu)
+    return out
+
+
+@pytest.fixture(scope="session")
+def parallel_records():
+    """{(n, mu_digits): ParallelRecord} over the speedup-study grid.
+
+    The paper's speedup tables start at degree 35; with the fast grid we
+    keep the largest degrees available.
+    """
+    degrees = [n for n in bench_degrees() if n >= 20]
+    out = {}
+    for n in degrees:
+        inp = square_free_characteristic_input(n, 11)
+        for mu in bench_mu_digits():
+            out[(n, mu)] = run_parallel(inp, mu)
+    return out

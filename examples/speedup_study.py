@@ -1,0 +1,64 @@
+"""A miniature of the paper's Section 5.2 speedup study.
+
+Decomposes one root-finding run into the paper's task structure
+(Section 3), records every task's cost in the quadratic bit model, and
+replays the DAG on a simulated shared-queue multiprocessor for
+p = 1, 2, 4, 8, 16 — printing the same kind of speedup rows as the
+paper's Tables 3-7.
+
+Run:  python examples/speedup_study.py
+"""
+
+from repro.bench.workloads import square_free_characteristic_input
+from repro.core.scaling import digits_to_bits
+from repro.core.tasks import build_task_graph
+from repro.costmodel.counter import CostCounter
+from repro.sched.simulator import speedup_curve
+
+DEGREES = [20, 30, 40]
+MU_DIGITS = 16
+PROCESSORS = [1, 2, 4, 8, 16]
+
+
+def main() -> None:
+    mu = digits_to_bits(MU_DIGITS)
+    print(
+        f"speedup study: mu = {MU_DIGITS} digits, processors = {PROCESSORS}\n"
+    )
+    header = f"{'n':>4s} {'tasks':>7s} {'T1/Tinf':>8s} | " + " ".join(
+        f"p={p:<4d}" for p in PROCESSORS
+    )
+    print(header)
+    print("-" * len(header))
+
+    for n in DEGREES:
+        inp = square_free_characteristic_input(n, 11)
+        counter = CostCounter()
+        tg = build_task_graph(inp.poly, mu, counter)
+        tg.graph.run_recorded(counter)  # this *is* the computation
+        stats = tg.graph.stats()
+        curve = speedup_curve(tg.graph, PROCESSORS)
+        t1 = curve[1].makespan
+        cells = " ".join(f"{t1 / curve[p].makespan:6.2f}" for p in PROCESSORS)
+        print(
+            f"{n:>4d} {stats.n_tasks:>7d} "
+            f"{stats.total_work / stats.critical_path:8.1f} | {cells}"
+        )
+
+    print(
+        "\n(T1/Tinf is the DAG's inherent parallelism; speedups are vs the"
+        "\n 1-processor run of the same parallel program, as in the paper.)"
+    )
+
+    # Show where the time goes, per task kind, for the largest run.
+    print("\nwork by task kind (largest run):")
+    for kind, (count, work) in sorted(
+        stats.by_kind.items(), key=lambda kv: -kv[1][1]
+    ):
+        share = work / stats.total_work
+        if share >= 0.005:
+            print(f"  {kind:14s} {count:6d} tasks  {share:6.1%} of work")
+
+
+if __name__ == "__main__":
+    main()

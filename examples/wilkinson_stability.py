@@ -1,0 +1,60 @@
+"""Stability demo: Wilkinson's polynomial, exact vs floating point.
+
+The paper's conclusion claims the implementation "does not suffer from
+problems of stability that characterize many other implementations".
+Wilkinson's polynomial prod (x - k), k = 1..20 is the canonical
+stability torture test: its coefficients are so ill-conditioned that
+any double-precision method (companion-matrix eigenvalues, fixed
+precision Aberth) produces garbage or fails outright, while the exact
+algorithm recovers every root to any requested precision.
+
+Run:  python examples/wilkinson_stability.py
+"""
+
+import numpy as np
+
+from repro import RealRootFinder, digits_to_bits
+from repro.baselines.aberth import AberthFailure, AberthFinder
+from repro.bench.workloads import close_roots, wilkinson
+
+
+def main() -> None:
+    n = 20
+    p = wilkinson(n)
+    print(f"Wilkinson W_{n}: degree {n}, largest coefficient "
+          f"{p.max_coefficient_bits()} bits (~{p.height():.3e})")
+
+    # 1. The exact algorithm: perfect at any precision.
+    res = RealRootFinder(mu_bits=digits_to_bits(30)).find_roots(p)
+    exact_ok = res.as_floats() == [float(k) for k in range(1, n + 1)]
+    print(f"\nexact algorithm (mu = 30 digits): roots = 1..{n}: {exact_ok}")
+
+    # 2. numpy.roots (companion-matrix eigenvalues in float64).
+    np_roots = np.sort(np.roots(list(reversed(p.coeffs))))
+    max_imag = float(np.max(np.abs(np_roots.imag)))
+    err = float(np.max(np.abs(np.sort(np_roots.real) - np.arange(1, n + 1))))
+    print(f"numpy.roots: max error {err:.3f}, "
+          f"max spurious imaginary part {max_imag:.3f}")
+
+    # 3. Aberth-Ehrlich in double precision.
+    try:
+        AberthFinder().find_roots(p)
+        print("Aberth (float64): converged (unexpectedly)")
+    except AberthFailure as e:
+        print(f"Aberth (float64): FAILED — {e}")
+
+    # 4. Close-root separation: pairs of roots 2^-64 apart, resolved
+    #    exactly at mu = 80 bits while float64 cannot even represent
+    #    the difference.
+    q = close_roots(6, 64)
+    r = RealRootFinder(mu_bits=80).find_roots(q)
+    fr = r.as_fractions()
+    gap = float(fr[1] - fr[0])
+    print(f"\nclose-root family (pairs 2^-64 apart): resolved "
+          f"{len(r)} distinct roots; measured gap = {gap:.3e} "
+          f"(= 2^{np.log2(gap):.0f})")
+    print("float64 eps at that magnitude:", np.finfo(float).eps)
+
+
+if __name__ == "__main__":
+    main()

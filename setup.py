@@ -1,0 +1,8 @@
+"""Legacy setup shim: the build host has no `wheel` package, so the
+PEP-517 editable path (which requires bdist_wheel) is unavailable.
+Keeping a setup.py lets `pip install -e .` use the classic develop-mode
+install. Metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro: reproduction of Narendran & Tiwari (1992), "Polynomial
+Root-Finding: Analysis and Computational Investigation of a Parallel
+Algorithm".
+
+Public API quickstart::
+
+    from repro import RealRootFinder, IntPoly
+
+    p = IntPoly.from_roots([-3, 0, 2])          # or any all-real-roots poly
+    result = RealRootFinder(mu_bits=32).find_roots(p)
+    result.as_floats()                           # [-3.0, 0.0, 2.0]
+
+Subpackages:
+
+- :mod:`repro.core` — the algorithm (remainder sequence, interleaving
+  tree, interval problems, task decomposition);
+- :mod:`repro.poly` — exact integer polynomial arithmetic;
+- :mod:`repro.mpint` — schoolbook bignum (UNIX ``mp`` stand-in);
+- :mod:`repro.costmodel` — multiplication counting / quadratic bit costs;
+- :mod:`repro.sched` — task DAG, multiprocessor simulator, real
+  multiprocessing executor;
+- :mod:`repro.analysis` — the paper's Section 4 bounds and predictions;
+- :mod:`repro.charpoly` — workload generation (Berkowitz char polys);
+- :mod:`repro.baselines` — Sturm/bisection and Aberth comparators;
+- :mod:`repro.bench` — experiment drivers for every table and figure.
+"""
+
+from repro.poly.dense import IntPoly
+from repro.core.rootfinder import RealRootFinder, RootResult
+from repro.core.certify import certify_roots, CertificationError
+from repro.core.scaling import digits_to_bits
+from repro.costmodel.counter import CostCounter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IntPoly",
+    "RealRootFinder",
+    "RootResult",
+    "certify_roots",
+    "CertificationError",
+    "digits_to_bits",
+    "CostCounter",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Analytical predictions (paper Section 4): size bounds, operation
+counts, and bit-cost models."""
+
+from repro.analysis.bounds import (
+    beta,
+    bound_F,
+    bound_Q,
+    bound_A,
+    bound_B,
+    bound_P,
+    bound_T,
+    eval_bit_cost_bound,
+    horner_partial_bound,
+)
+from repro.analysis.fit import linear_fit, loglog_slope, power_law_exponent
+from repro.analysis.sizes import SizeProfile, measure_sizes, fitted_beta
+from repro.analysis.levels import LevelCell, LevelProfile, measure_interval_levels
+from repro.analysis.predict import (
+    PhasePrediction,
+    predict_remainder,
+    predict_tree,
+    predict_intervals,
+    predict_all,
+    iterations_worst_case,
+    iterations_average_case,
+    asymptotic_table1,
+)
+
+__all__ = [
+    "beta", "bound_F", "bound_Q", "bound_A", "bound_B", "bound_P", "bound_T",
+    "eval_bit_cost_bound", "horner_partial_bound",
+    "PhasePrediction", "predict_remainder", "predict_tree",
+    "predict_intervals", "predict_all",
+    "iterations_worst_case", "iterations_average_case", "asymptotic_table1",
+    "linear_fit", "loglog_slope", "power_law_exponent",
+    "SizeProfile", "measure_sizes", "fitted_beta",
+    "LevelCell", "LevelProfile", "measure_interval_levels",
+]

@@ -1,0 +1,97 @@
+"""Coefficient-size bounds (paper Section 4, Eqs. 21-31).
+
+These are the Collins-determinant bounds the paper uses to predict bit
+complexity.  The paper's own conclusion — worth keeping in mind when
+reading Figure 7 — is that they are *weak upper bounds* in practice:
+"the main bottleneck in attempting to predict the actual execution
+times is the lack of good analytical estimates on the sizes of
+intermediate quantities".  The test suite asserts they are never
+violated; the fig7 bench shows how loose they are.
+
+All sizes are in bits (``||x||`` notation).  ``log n`` terms use
+``log2``; the bounds remain valid upper bounds with any rounding up.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+__all__ = [
+    "beta",
+    "bound_F",
+    "bound_Q",
+    "bound_A",
+    "bound_B",
+    "bound_P",
+    "bound_T",
+    "horner_partial_bound",
+    "eval_bit_cost_bound",
+]
+
+
+def beta(n: int, m: int) -> int:
+    """``beta = 2m + 3 log n + 2`` — the per-index growth rate (Sec. 4)."""
+    if n < 1:
+        raise ValueError("degree must be >= 1")
+    return 2 * m + 3 * ceil(log2(max(n, 2))) + 2
+
+
+def bound_F(i: int, n: int, m: int) -> int:
+    """``||F_i|| <= i * beta`` (Eq. 25); exact small cases (Eq. 21)."""
+    if i == 0:
+        return m
+    if i == 1:
+        return m + ceil(log2(max(n, 2)))
+    return i * beta(n, m)
+
+
+def bound_Q(i: int, n: int, m: int) -> int:
+    """``||Q_i|| <= 2 i beta`` (Eq. 26)."""
+    if i == 1:
+        return 2 * m + ceil(log2(max(n, 2)))
+    return 2 * i * beta(n, m)
+
+
+def bound_A(i: int, n: int, m: int) -> int:
+    """``||A_i|| <= (i-1) beta + log n`` (Eq. 27)."""
+    return max(0, (i - 1)) * beta(n, m) + ceil(log2(max(n, 2)))
+
+
+def bound_B(i: int, n: int, m: int) -> int:
+    """``||B_i|| <= (i-1) beta`` (Eq. 28)."""
+    return max(1, (i - 1) * beta(n, m))
+
+
+def bound_P(i: int, j: int, n: int, m: int) -> int:
+    """``||P_{i,j}||`` per Eqs. (29)-(30).
+
+    For ``j < n``: with ``k = j - i + 1``, ``||P|| <= (2i + k - 2) beta``.
+    For ``j == n``: ``||P_{i,n}|| = ||F_{i-1}|| <= (i-1) beta``.
+    """
+    if j == n:
+        return bound_F(i - 1, n, m) if i > 1 else m
+    k = j - i + 1
+    return (2 * i + k - 2) * beta(n, m)
+
+
+def bound_T(i: int, j: int, n: int, m: int) -> int:
+    """``||T_{i,j}|| <= (2i + k - 1) beta`` with ``k = j - i + 1`` (Eq. 31)."""
+    k = j - i + 1
+    return (2 * i + k - 1) * beta(n, m)
+
+
+def horner_partial_bound(m_bits: int, i: int, x_bits: int) -> int:
+    """``||E_i|| <= m + i X + log(i+1)`` — the partial-value growth in the
+    scaled Horner evaluation (Section 4.3)."""
+    return m_bits + i * x_bits + ceil(log2(i + 2))
+
+
+def eval_bit_cost_bound(m_bits: int, d: int, x_bits: int) -> int:
+    """Eq. (37): one scaled evaluation costs at most
+    ``m X d + X^2 d (d-1) / 2 + X d log d`` bit operations."""
+    if d <= 0:
+        return 0
+    logd = ceil(log2(max(d, 2)))
+    return m_bits * x_bits * d + (x_bits * x_bits * d * (d - 1)) // 2 + (
+        x_bits * d * logd
+    )

@@ -1,0 +1,43 @@
+"""Small fitting utilities shared by the analysis module and benches.
+
+Scaling-law validation (Table 1, the size study, the cost-model
+calibration) repeatedly needs two primitives: a log-log slope (power
+law exponent) and a plain least-squares line.
+"""
+
+from __future__ import annotations
+
+from math import log
+
+__all__ = ["loglog_slope", "linear_fit", "power_law_exponent"]
+
+
+def linear_fit(xs: list[float], ys: list[float]) -> tuple[float, float]:
+    """Least-squares ``(slope, intercept)`` of y against x."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    den = sum((x - mx) ** 2 for x in xs)
+    if den == 0:
+        raise ValueError("degenerate x values")
+    slope = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / den
+    return slope, my - slope * mx
+
+
+def loglog_slope(xs: list[float], ys: list[float]) -> float:
+    """Slope of log(y) against log(x) — the empirical power-law exponent."""
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("log-log fit needs positive data")
+    slope, _ = linear_fit([log(x) for x in xs], [log(y) for y in ys])
+    return slope
+
+
+def power_law_exponent(points: list[tuple[float, float]]) -> float:
+    """``loglog_slope`` over (x, y) pairs."""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return loglog_slope(xs, ys)

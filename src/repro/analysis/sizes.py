@@ -1,0 +1,111 @@
+"""Measured coefficient-size profiles vs the Collins bounds.
+
+The paper's concluding open question: "the main bottleneck in
+attempting to predict the actual execution times is the lack of good
+analytical estimates on the *sizes* of intermediate quantities ...
+It would be interesting to see if improved estimates on these
+quantities can be obtained."
+
+This module provides the measurement side of that question: it records
+the actual bit sizes of every ``F_i``, ``Q_i`` and ``P_{i,j}`` for a
+given input, compares them with the Eqs. (21)-(31) bounds, and fits the
+observed per-index growth rate ``beta_hat`` — the empirical analogue of
+``beta = 2m + 3 log n + 2``.  On the paper's random workload the
+observed growth is far below the bound (slackness growing with the
+index), quantifying exactly how much tighter a future analysis would
+need to be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bounds import beta, bound_F, bound_P, bound_Q
+from repro.core.remainder import RemainderSequence, compute_remainder_sequence
+from repro.core.tree import InterleavingTree
+from repro.poly.dense import IntPoly
+
+__all__ = ["SizeProfile", "measure_sizes", "fitted_beta"]
+
+
+@dataclass
+class SizeProfile:
+    """Observed vs bounded coefficient sizes for one input."""
+
+    n: int
+    m_bits: int
+    #: per-index (i, observed ||F_i||, bound)
+    f_sizes: list[tuple[int, int, int]]
+    #: per-index (i, observed ||Q_i||, bound)
+    q_sizes: list[tuple[int, int, int]]
+    #: per-node ((i, j), observed ||P_{i,j}||, bound)
+    p_sizes: list[tuple[tuple[int, int], int, int]]
+
+    @property
+    def beta_bound(self) -> int:
+        return beta(self.n, self.m_bits)
+
+    def beta_observed(self) -> float:
+        """Least-squares slope of observed ``||F_i||`` against ``i`` —
+        the empirical growth rate the paper wished it had."""
+        return fitted_beta([(i, s) for i, s, _b in self.f_sizes])
+
+    def max_slack(self) -> float:
+        """Largest bound/observed ratio across all measured polynomials."""
+        ratios = [b / max(s, 1) for _i, s, b in self.f_sizes[2:]]
+        ratios += [b / max(s, 1) for _l, s, b in self.p_sizes]
+        return max(ratios) if ratios else 1.0
+
+    def mean_slack_f(self) -> float:
+        ratios = [b / max(s, 1) for _i, s, b in self.f_sizes[2:]]
+        return sum(ratios) / len(ratios) if ratios else 1.0
+
+
+def fitted_beta(pairs: list[tuple[int, int]]) -> float:
+    """Slope of sizes against indices (simple least squares)."""
+    if len(pairs) < 2:
+        return 0.0
+    n = len(pairs)
+    mx = sum(i for i, _s in pairs) / n
+    my = sum(s for _i, s in pairs) / n
+    num = sum((i - mx) * (s - my) for i, s in pairs)
+    den = sum((i - mx) ** 2 for i, _s in pairs)
+    return num / den if den else 0.0
+
+
+def measure_sizes(p: IntPoly) -> SizeProfile:
+    """Measure every intermediate polynomial's coefficient size.
+
+    ``p`` must be square-free and real-rooted (the main algorithm's
+    normal chain); raises the usual structured errors otherwise.
+    """
+    if p.leading_coefficient < 0:
+        p = -p
+    seq: RemainderSequence = compute_remainder_sequence(p)
+    tree = InterleavingTree(seq)
+    tree.compute_polynomials()
+
+    n = seq.n
+    m = max(p.max_coefficient_bits(), 1)
+    f_sizes = [
+        (i, f.max_coefficient_bits(), bound_F(i, n, m))
+        for i, f in enumerate(seq.F)
+    ]
+    q_sizes = [
+        (i, seq.quotient(i).max_coefficient_bits(), bound_Q(i, n, m))
+        for i in range(1, n)
+    ]
+    p_sizes = []
+    for node in tree.root:
+        if node.is_empty or node.poly is None:
+            continue
+        p_sizes.append(
+            (
+                node.label,
+                node.poly.max_coefficient_bits(),
+                bound_P(node.i, node.j, n, m),
+            )
+        )
+    return SizeProfile(
+        n=n, m_bits=m, f_sizes=f_sizes, q_sizes=q_sizes, p_sizes=p_sizes
+    )

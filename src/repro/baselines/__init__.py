@@ -1,0 +1,13 @@
+"""Comparator root finders: the exact Sturm/bisection baseline and the
+fixed-precision Aberth-Ehrlich method (the PARI stand-in), plus
+floating-point oracles."""
+
+from repro.baselines.sturm_bisect import SturmBisectFinder
+from repro.baselines.aberth import AberthFinder, AberthFailure, AberthResult
+from repro.baselines.numpy_eig import eigvalsh_roots, companion_roots, max_abs_error
+
+__all__ = [
+    "SturmBisectFinder",
+    "AberthFinder", "AberthFailure", "AberthResult",
+    "eigvalsh_roots", "companion_roots", "max_abs_error",
+]

@@ -1,0 +1,150 @@
+"""Aberth-Ehrlich simultaneous iteration in fixed (double) precision.
+
+This baseline plays the role of the PARI root finder in the paper's
+Figure 8 comparison: a general-purpose *fixed-working-precision*
+sequential method whose cost is essentially insensitive to the
+requested output precision ``mu`` (it either reaches machine precision
+or fails), and which degrades on high-degree ill-conditioned inputs —
+the paper "was unable to run the PARI algorithm on polynomials of
+degree larger than 30", and this implementation hits the same wall on
+the characteristic-polynomial workload for similar reasons (coefficient
+magnitudes overflow double range, close eigenvalues stall convergence).
+
+Failures are reported honestly via :class:`AberthFailure` so the fig8
+bench can tabulate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.poly.dense import IntPoly
+
+__all__ = ["AberthFinder", "AberthFailure", "AberthResult"]
+
+
+class AberthFailure(RuntimeError):
+    """The fixed-precision iteration could not produce trustworthy roots."""
+
+
+@dataclass
+class AberthResult:
+    roots: list[float]
+    iterations: int
+    residual: float
+
+
+@dataclass
+class AberthFinder:
+    """Aberth-Ehrlich method with double-precision arithmetic.
+
+    Parameters mirror a typical general-purpose package: a convergence
+    tolerance near machine epsilon and an iteration cap.
+    """
+
+    tol: float = 1e-13
+    max_iter: int = 200
+
+    def find_roots(self, p: IntPoly) -> AberthResult:
+        if p.is_zero() or p.degree < 1:
+            return AberthResult([], 0, 0.0)
+        d = p.degree
+        try:
+            coeffs = np.array([float(c) for c in p.coeffs], dtype=np.float64)
+        except OverflowError:
+            coeffs = np.array([np.inf])
+        if not np.all(np.isfinite(coeffs)):
+            raise AberthFailure(
+                "coefficients exceed double-precision range "
+                f"(degree {d}, height {p.max_coefficient_bits()} bits)"
+            )
+        # Normalize to reduce overflow in evaluation.
+        coeffs = coeffs / coeffs[-1]
+        dcoeffs = coeffs[1:] * np.arange(1, d + 1)
+
+        # Initial guesses: circle centred at the root centroid with the
+        # Fujiwara radius (tight for lopsided coefficients like
+        # Wilkinson's), points at twisted roots of unity — the standard
+        # Aberth initialization.
+        centroid = -coeffs[-2] / d
+        with np.errstate(over="ignore"):
+            fuji = [
+                abs(coeffs[d - k]) ** (1.0 / k) for k in range(1, d + 1)
+                if coeffs[d - k] != 0
+            ]
+        radius = 2.0 * max(fuji) if fuji else 1.0
+        radius = max(radius, 1e-3)
+        angles = 2.0 * np.pi * (np.arange(d) + 0.5) / d + 0.4
+        z = centroid + radius * np.exp(1j * angles)
+
+        def horner(cs: np.ndarray, x: np.ndarray) -> np.ndarray:
+            acc = np.zeros_like(x)
+            for c in cs[::-1]:
+                acc = acc * x + c
+            return acc
+
+        it = 0
+        recent: list[float] = []
+        for it in range(1, self.max_iter + 1):
+            pv = horner(coeffs, z)
+            dv = horner(dcoeffs, z)
+            if not (np.all(np.isfinite(pv)) and np.all(np.isfinite(dv))):
+                raise AberthFailure(
+                    f"overflow during iteration at degree {d}"
+                )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                newton = np.where(dv != 0, pv / dv, 0.0)
+                diff = z[:, None] - z[None, :]
+                np.fill_diagonal(diff, np.inf)
+                repulsion = np.sum(1.0 / diff, axis=1)
+                denom = 1.0 - newton * repulsion
+                step = np.where(denom != 0, newton / denom, newton)
+            z = z - step
+            scale = max(1.0, float(np.max(np.abs(z))))
+            max_step = float(np.max(np.abs(step)))
+            if max_step < self.tol * scale:
+                break
+            # Round-off floor: ill-conditioned evaluation makes the steps
+            # oscillate at some small plateau instead of reaching tol.
+            # Accept the plateau once the steps have stopped improving —
+            # this is what any fixed-precision package effectively does.
+            recent.append(max_step)
+            if (
+                len(recent) >= 12
+                and max_step < 1e-7 * scale
+                and min(recent[-6:]) > 0.25 * min(recent[:-6])
+            ):
+                break
+        else:
+            raise AberthFailure(
+                f"no convergence in {self.max_iter} iterations at degree {d}"
+            )
+
+        # All roots must be (numerically) real for this problem class.
+        imag_scale = float(np.max(np.abs(z.imag)))
+        real_scale = max(1.0, float(np.max(np.abs(z.real))))
+        if imag_scale > 1e-6 * real_scale:
+            raise AberthFailure(
+                f"roots did not converge to the real axis (max imag "
+                f"{imag_scale:.2e}) at degree {d}"
+            )
+        # Quality gate: the Newton correction |p/p'| at a claimed root
+        # estimates its error.  A plateau "convergence" with garbage
+        # roots (catastrophic cancellation at higher degrees) must be
+        # reported as failure — this is the degree wall any fixed
+        # precision package hits on this workload.
+        pv = horner(coeffs, z)
+        dv = horner(dcoeffs, z)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            err_est = np.where(dv != 0, np.abs(pv / dv), np.inf)
+        max_err = float(np.max(err_est))
+        if not np.isfinite(max_err) or max_err > 1e-5 * real_scale:
+            raise AberthFailure(
+                f"estimated root error {max_err:.2e} too large at degree {d} "
+                "(double precision insufficient for this input)"
+            )
+        roots = sorted(float(r) for r in z.real)
+        residual = float(np.max(np.abs(horner(coeffs, np.array(roots, dtype=np.complex128)))))
+        return AberthResult(roots=roots, iterations=it, residual=residual)

@@ -1,0 +1,50 @@
+"""Floating-point oracles for cross-checking (not part of the algorithm).
+
+Two oracles:
+
+* :func:`eigvalsh_roots` — for characteristic-polynomial workloads,
+  the symmetric eigensolver applied to the *generating matrix* gives
+  backward-stable references for all roots;
+* :func:`companion_roots` — ``numpy.roots`` on the coefficients, usable
+  for any polynomial but increasingly inaccurate for ill-conditioned
+  high-degree inputs (which is itself a datapoint the docs mention:
+  the exact method keeps working where double precision gives up).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.poly.dense import IntPoly
+
+__all__ = ["eigvalsh_roots", "companion_roots", "max_abs_error"]
+
+
+def eigvalsh_roots(matrix: Sequence[Sequence[int]]) -> list[float]:
+    """Sorted eigenvalues of a symmetric integer matrix (float64)."""
+    a = np.array(matrix, dtype=np.float64)
+    return [float(v) for v in np.sort(np.linalg.eigvalsh(a))]
+
+
+def companion_roots(p: IntPoly) -> list[float]:
+    """Sorted real parts of ``numpy.roots`` (float64 companion matrix)."""
+    if p.degree < 1:
+        return []
+    coeffs = [float(c) for c in reversed(p.coeffs)]
+    roots = np.roots(coeffs)
+    return [float(r) for r in np.sort(roots.real)]
+
+
+def max_abs_error(approx: Sequence[float], reference: Sequence[float]) -> float:
+    """Max absolute difference between two sorted root lists."""
+    if len(approx) != len(reference):
+        raise ValueError(
+            f"length mismatch: {len(approx)} vs {len(reference)}"
+        )
+    if not approx:
+        return 0.0
+    a = np.asarray(approx, dtype=np.float64)
+    b = np.asarray(reference, dtype=np.float64)
+    return float(np.max(np.abs(a - b)))

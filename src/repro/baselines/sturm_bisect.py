@@ -1,0 +1,105 @@
+"""Classical sequential baseline: Sturm isolation + bisection refinement.
+
+This is the textbook exact real-root finder the parallel algorithm is
+implicitly competing against: build the Sturm chain once, isolate the
+roots by recursive interval splitting with Sturm counts, then refine
+each isolating interval by plain bisection to the requested precision.
+
+Complexity is dominated by the ``mu`` bisection evaluations per root —
+with no sieve and no Newton, the cost is linear in ``mu`` where the
+paper's hybrid is logarithmic.  The fig8-style benches use it (together
+with :mod:`repro.baselines.aberth`) in the role of the PARI comparator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.poly.dense import IntPoly
+from repro.poly.gcd import square_free_part
+from repro.poly.roots_bounds import root_bound_bits
+from repro.poly.sturm import sturm_chain, variations_at_scaled
+
+__all__ = ["SturmBisectFinder"]
+
+
+@dataclass
+class SturmBisectFinder:
+    """Exact sequential root finder (baseline).
+
+    Produces the same scaled ceilings ``ceil(2**mu * x)`` as the main
+    algorithm, so results are directly comparable (tests assert
+    equality on square-free inputs).
+    """
+
+    mu: int
+    counter: CostCounter = NULL_COUNTER
+
+    def find_roots_scaled(self, p: IntPoly) -> list[int]:
+        if p.is_zero() or p.degree < 1:
+            return []
+        if p.leading_coefficient < 0:
+            p = -p
+        p = square_free_part(p, self.counter)
+        if p.degree == 1:
+            from repro.core.interval import solve_linear_scaled
+
+            return [solve_linear_scaled(p, self.mu)]
+
+        chain = sturm_chain(p, self.counter)
+        r = root_bound_bits(p)
+        mu = self.mu
+        lo, hi = -(1 << (r + mu)), 1 << (r + mu)
+
+        # Root counting function V(t) with exact-hit handling: we only
+        # ever split at grid points; a grid point that is a root is a
+        # measure-zero event handled by nudging the split point.
+        def v_at(t: int) -> int:
+            return variations_at_scaled(chain, t, mu, self.counter)
+
+        def count(a: int, b: int) -> int:
+            return v_at(a) - v_at(b)
+
+        isolated: list[tuple[int, int]] = []
+
+        def isolate(a: int, b: int, k: int) -> None:
+            """k roots known in (a, b]; recursively split."""
+            if k == 0:
+                return
+            if k == 1:
+                isolated.append((a, b))
+                return
+            mid = (a + b) >> 1
+            if mid == a:  # k >= 2 roots within one grid cell
+                isolated.extend([(a, b)] * k)
+                return
+            # Half-open (a, b] semantics make exact grid-point roots safe:
+            # a root at mid is counted by the left half (a, mid].
+            kl = count(a, mid)
+            isolate(a, mid, kl)
+            isolate(mid, b, k - kl)
+
+        total = count(lo, hi)
+        isolate(lo, hi, total)
+        isolated.sort()
+
+        out: list[int] = []
+        for a, b in isolated:
+            out.append(self._bisect(p, a, b))
+        out.sort()
+        return out
+
+    def _bisect(self, p: IntPoly, a: int, b: int) -> int:
+        """Return ``min{C in (a, b] : root <= C/2**mu}`` by pure bisection."""
+        dp = p.derivative()
+        from repro.core.interval import sign_plus
+
+        sigma_a = sign_plus(p, dp, a, self.mu, self.counter)
+        while b - a > 1:
+            mid = (a + b) >> 1
+            if sign_plus(p, dp, mid, self.mu, self.counter) == sigma_a:
+                a = mid
+            else:
+                b = mid
+        return b

@@ -1,0 +1,40 @@
+"""Benchmark harness: workload suites, experiment drivers, paper-style
+table formatting."""
+
+from repro.bench.workloads import (
+    paper_suite,
+    bench_degrees,
+    bench_mu_digits,
+    full_grid_enabled,
+    square_free_characteristic_input,
+    wilkinson,
+    chebyshev_t,
+    legendre_scaled,
+    hermite_prob,
+    laguerre_scaled,
+    close_roots,
+)
+from repro.bench.runner import (
+    SequentialRecord,
+    ParallelRecord,
+    run_sequential,
+    run_parallel,
+    PAPER_PROCESSORS,
+)
+from repro.bench.report import (
+    format_table2,
+    format_runtime_grid,
+    format_speedup_grid,
+    format_series,
+)
+
+__all__ = [
+    "paper_suite", "bench_degrees", "bench_mu_digits", "full_grid_enabled",
+    "square_free_characteristic_input",
+    "wilkinson", "chebyshev_t", "legendre_scaled", "hermite_prob",
+    "laguerre_scaled", "close_roots",
+    "SequentialRecord", "ParallelRecord", "run_sequential", "run_parallel",
+    "PAPER_PROCESSORS",
+    "format_table2", "format_runtime_grid", "format_speedup_grid",
+    "format_series",
+]

@@ -1,0 +1,85 @@
+"""Terminal-friendly ASCII charts for the reproduced figures.
+
+The paper's evaluation is largely *figures*; in a terminal-only
+environment the reproduction renders each as an ASCII scatter/line
+chart alongside the numeric series.  Log scaling matches the paper's
+semi-log presentation of counts and times.
+"""
+
+from __future__ import annotations
+
+from math import log10
+from typing import Sequence
+
+__all__ = ["ascii_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    title: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    logy: bool = False,
+) -> str:
+    """Render one or more y-series against shared x values.
+
+    Each series gets a distinct glyph; points landing on the same cell
+    show the later series' glyph.  With ``logy`` the y-axis is log10
+    (non-positive values are dropped).
+    """
+    if not xs or not series:
+        raise ValueError("need at least one point and one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+
+    def ty(v: float) -> float | None:
+        if logy:
+            return log10(v) if v > 0 else None
+        return float(v)
+
+    all_y = [t for ys in series.values() for y in ys if (t := ty(y)) is not None]
+    if not all_y:
+        raise ValueError("no plottable y values")
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for x, y in zip(xs, ys):
+            t = ty(y)
+            if t is None:
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((t - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    def fmt_y(v: float) -> str:
+        return f"1e{v:.1f}" if logy else f"{v:.3g}"
+
+    def fmt_x(v: float) -> str:
+        return f"{v:.4g}"
+
+    lines = [title]
+    lines.append(f"{fmt_y(y_hi):>9s} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 9 + " |" + "".join(row) + "|")
+    lines.append(f"{fmt_y(y_lo):>9s} +" + "-" * width + "+")
+    lines.append(
+        " " * 11 + f"{fmt_x(x_lo):<10s}" + " " * (width - 20)
+        + f"{fmt_x(x_hi):>10s}"
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Paper-style table/series formatting for the benches.
+
+Every bench prints rows in the same layout as the corresponding paper
+table or figure so EXPERIMENTS.md can juxtapose them directly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.bench.runner import ParallelRecord, SequentialRecord
+
+__all__ = [
+    "format_table2",
+    "format_runtime_grid",
+    "format_speedup_grid",
+    "format_series",
+    "save_result",
+    "save_result_json",
+]
+
+
+def save_result_json(name: str, payload) -> str:
+    """Persist a machine-readable copy of a reproduced series.
+
+    ``payload`` must be JSON-serializable; written next to the text
+    results as ``<name>.json`` for downstream plotting.
+    """
+    import json
+    import os
+
+    txt_path = save_result(name, "")  # resolves the directory
+    os.remove(txt_path)
+    path = txt_path[: -len(".txt")] + ".json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    return path
+
+
+def save_result(name: str, text: str) -> str:
+    """Persist a reproduced table/figure under ``benchmarks/results/``.
+
+    Returns the path written.  The directory is resolved relative to the
+    repository root when run from within it, else the CWD.
+    """
+    import os
+
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root is None:
+        here = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        cand = os.path.join(here, "benchmarks")
+        root = os.path.join(cand if os.path.isdir(cand) else os.getcwd(),
+                            "results")
+    os.makedirs(root, exist_ok=True)
+    path = os.path.join(root, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return path
+
+
+def format_table2(
+    records: Iterable[SequentialRecord],
+    value: str = "sim_seconds",
+    unit_scale: float = 1e-9,
+) -> str:
+    """Render the Table 2 layout: rows n/m(n), columns mu (digits).
+
+    ``value`` selects the cell metric: ``sim_seconds`` (bit cost scaled
+    by ``unit_scale``), ``wall_seconds``, ``mul_count`` or
+    ``bit_cost``.
+    """
+    by_cell: dict[tuple[int, int], list[float]] = defaultdict(list)
+    m_by_degree: dict[int, int] = {}
+    mus: set[int] = set()
+    for r in records:
+        if value == "sim_seconds":
+            v = r.total_bit_cost * unit_scale
+        elif value == "wall_seconds":
+            v = r.wall_seconds
+        elif value == "mul_count":
+            v = float(r.total_mul_count)
+        elif value == "bit_cost":
+            v = float(r.total_bit_cost)
+        else:
+            raise ValueError(f"unknown value selector {value!r}")
+        by_cell[(r.degree, r.mu_digits)].append(v)
+        m_by_degree[r.degree] = r.m_digits
+        mus.add(r.mu_digits)
+    mu_list = sorted(mus)
+    header = f"{'n':>4s} {'m(n)':>5s} | " + " ".join(f"{mu:>11d}" for mu in mu_list)
+    lines = [header, "-" * len(header)]
+    for n in sorted(m_by_degree):
+        cells = []
+        for mu in mu_list:
+            vals = by_cell.get((n, mu), [])
+            cells.append(
+                f"{sum(vals) / len(vals):11.2f}" if vals else f"{'-':>11s}"
+            )
+        lines.append(f"{n:>4d} {m_by_degree[n]:>5d} | " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_runtime_grid(
+    records: Iterable[ParallelRecord], unit_scale: float = 1e-9
+) -> str:
+    """Appendix B layout: rows degree, columns processor count,
+    cells simulated running time."""
+    recs = list(records)
+    procs = sorted({p for r in recs for p in r.makespans})
+    header = f"{'n':>4s} | " + " ".join(f"{p:>11d}" for p in procs)
+    lines = [header, "-" * len(header)]
+    for r in sorted(recs, key=lambda x: x.degree):
+        cells = " ".join(
+            f"{r.makespans[p] * unit_scale:11.2f}" for p in procs
+        )
+        lines.append(f"{r.degree:>4d} | {cells}")
+    return "\n".join(lines)
+
+
+def format_speedup_grid(records: Iterable[ParallelRecord]) -> str:
+    """Tables 3-7 layout: rows degree, columns processors, cells speedup."""
+    recs = list(records)
+    procs = sorted({p for r in recs for p in r.makespans})
+    header = f"{'degree':>8s} | " + " ".join(f"{p:>7d}" for p in procs)
+    lines = [header, "-" * len(header)]
+    for r in sorted(recs, key=lambda x: x.degree):
+        cells = " ".join(f"{r.speedup(p):7.2f}" for p in procs)
+        lines.append(f"{r.degree:>8d} | {cells}")
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    xlabel: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[float]],
+) -> str:
+    """A figure reproduced as a data series (x + named columns)."""
+    lines = [title]
+    header = f"{xlabel:>8s} | " + " ".join(f"{c:>16s}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        x, rest = row[0], row[1:]
+        cells = " ".join(f"{v:16.4g}" for v in rest)
+        lines.append(f"{x:8.6g} | {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Workload substrate: exact characteristic polynomials of random
+symmetric integer matrices (the paper's Section 5 inputs)."""
+
+from repro.charpoly.berkowitz import berkowitz_charpoly, charpoly_int
+from repro.charpoly.generator import (
+    CharPolyInput,
+    characteristic_input,
+    paper_degrees,
+    random_symmetric_01_matrix,
+    random_symmetric_matrix,
+    PAPER_SEEDS,
+)
+
+__all__ = [
+    "berkowitz_charpoly",
+    "charpoly_int",
+    "CharPolyInput",
+    "characteristic_input",
+    "paper_degrees",
+    "random_symmetric_01_matrix",
+    "random_symmetric_matrix",
+    "PAPER_SEEDS",
+]

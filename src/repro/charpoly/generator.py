@@ -1,0 +1,102 @@
+"""Workload generators: the paper's random symmetric integer matrices.
+
+Section 5: "the input polynomials we used were the characteristic
+equations of randomly generated symmetric matrices over the integers
+... the matrices generated were random 0-1 matrices".  The coefficient
+size ``m(n)`` of the resulting degree-``n`` polynomial then grows
+roughly like the paper's Table 2 column (2 bits at n=10 up to 36 bits
+at n=70 — ours tracks the same trend since it is a property of the
+distribution, not the machine).
+
+Seeding is explicit everywhere: every experiment is reproducible from
+``(degree, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.charpoly.berkowitz import berkowitz_charpoly
+from repro.poly.dense import IntPoly
+
+__all__ = [
+    "random_symmetric_01_matrix",
+    "random_symmetric_matrix",
+    "characteristic_input",
+    "CharPolyInput",
+    "paper_degrees",
+    "PAPER_SEEDS",
+]
+
+#: The degree grid of Section 5: 10, 15, ..., 70.
+def paper_degrees(max_degree: int = 70) -> list[int]:
+    """The degree grid of Section 5: 10, 15, ..., max_degree."""
+    return list(range(10, max_degree + 1, 5))
+
+
+#: Three polynomials per degree, as in the paper ("for each degree 3
+#: different polynomials were generated").
+PAPER_SEEDS = (11, 23, 47)
+
+
+def random_symmetric_01_matrix(n: int, seed: int) -> list[list[int]]:
+    """A random symmetric matrix with independent 0/1 entries (upper
+    triangle sampled, mirrored)."""
+    rng = random.Random(f"sym01-{n}-{seed}")
+    a = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i, n):
+            v = rng.randint(0, 1)
+            a[i][j] = v
+            a[j][i] = v
+    return a
+
+
+def random_symmetric_matrix(n: int, seed: int, entry_bound: int = 1) -> list[list[int]]:
+    """Symmetric matrix with entries uniform in ``[-entry_bound, entry_bound]``.
+
+    ``entry_bound=1`` with shifted sampling gives the paper's 0-1 case via
+    :func:`random_symmetric_01_matrix`; larger bounds let the benches
+    explore the ``m`` (coefficient size) axis independently of ``n``.
+    """
+    rng = random.Random(f"sym-{n}-{seed}-{entry_bound}")
+    a = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i, n):
+            v = rng.randint(-entry_bound, entry_bound)
+            a[i][j] = v
+            a[j][i] = v
+    return a
+
+
+@dataclass(frozen=True)
+class CharPolyInput:
+    """One workload instance: the polynomial plus its provenance."""
+
+    degree: int
+    seed: int
+    poly: IntPoly
+    coeff_bits: int  # the paper's m(n), measured
+
+    @property
+    def label(self) -> str:
+        return f"n={self.degree} seed={self.seed} m={self.coeff_bits}"
+
+
+def characteristic_input(
+    n: int, seed: int, entry_bound: int | None = None
+) -> CharPolyInput:
+    """The paper's workload: char poly of a random symmetric matrix.
+
+    ``entry_bound=None`` uses 0-1 entries (the paper's Table 2 runs);
+    an integer bound switches to symmetric ``[-b, b]`` entries.
+    """
+    if entry_bound is None:
+        mat = random_symmetric_01_matrix(n, seed)
+    else:
+        mat = random_symmetric_matrix(n, seed, entry_bound)
+    p = berkowitz_charpoly(mat)
+    return CharPolyInput(
+        degree=n, seed=seed, poly=p, coeff_bits=p.max_coefficient_bits()
+    )

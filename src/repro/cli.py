@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``roots`` — approximate all real roots of a polynomial given by its
+  coefficients (low to high) or by ``--roots`` for a quick demo.
+* ``eigvals`` — exact eigenvalues of a random symmetric 0-1 matrix (the
+  paper's workload) or of a matrix read from a file.
+* ``speedup`` — record the task DAG for one input and print the
+  simulated speedup curve (paper Tables 3-7 style).
+* ``report`` — per-phase cost report for one run (paper Section 5.1
+  style tracing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.rootfinder import RealRootFinder
+from repro.core.scaling import digits_to_bits
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_int_list(text: str, what: str) -> list[int]:
+    try:
+        return [int(x) for x in text.split(",")]
+    except ValueError:
+        raise SystemExit(
+            f"could not parse {what}: expected comma-separated integers, "
+            f"got {text!r}"
+        ) from None
+
+
+def _poly_from_args(args: argparse.Namespace) -> IntPoly:
+    if args.roots is not None:
+        return IntPoly.from_roots(_parse_int_list(args.roots, "--roots"))
+    if args.coeffs is not None:
+        p = IntPoly(_parse_int_list(args.coeffs, "--coeffs"))
+        if p.degree < 1:
+            raise SystemExit("--coeffs must describe a nonconstant polynomial")
+        return p
+    raise SystemExit("provide --coeffs c0,c1,... or --roots r1,r2,...")
+
+
+def _mu_bits(args: argparse.Namespace) -> int:
+    if args.bits is not None:
+        return args.bits
+    return digits_to_bits(args.digits)
+
+
+def _add_poly_args(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument("--coeffs", help="coefficients, low to high, comma-separated")
+    sp.add_argument("--roots", help="integer roots to build a demo polynomial")
+    sp.add_argument("--digits", type=int, default=15,
+                    help="output precision in decimal digits (default 15)")
+    sp.add_argument("--bits", type=int, default=None,
+                    help="output precision in bits (overrides --digits)")
+
+
+def cmd_roots(args: argparse.Namespace) -> int:
+    p = _poly_from_args(args)
+    mu = _mu_bits(args)
+    finder = RealRootFinder(mu_bits=mu, strategy=args.strategy)
+    result = finder.find_roots(p)
+    if args.json:
+        print(json.dumps({
+            "mu_bits": mu,
+            "scaled": [str(s) for s in result.scaled],
+            "floats": result.as_floats(),
+            "multiplicities": result.multiplicities,
+        }))
+    else:
+        print(f"{len(result)} distinct real roots (precision 2^-{mu}):")
+        for f, m in zip(result.as_floats(), result.multiplicities):
+            suffix = f"   (multiplicity {m})" if m > 1 else ""
+            print(f"  {f:+.{min(17, max(6, mu // 4))}f}{suffix}")
+    if args.certify:
+        from repro.core.certify import certify_roots
+
+        certify_roots(p, result.scaled, result.multiplicities, mu)
+        print("certified exact.", file=sys.stderr)
+    return 0
+
+
+def cmd_eigvals(args: argparse.Namespace) -> int:
+    from repro.charpoly.berkowitz import berkowitz_charpoly
+    from repro.charpoly.generator import random_symmetric_01_matrix
+
+    if args.matrix is not None:
+        with open(args.matrix) as fh:
+            mat = json.load(fh)
+    else:
+        mat = random_symmetric_01_matrix(args.n, args.seed)
+    p = berkowitz_charpoly(mat)
+    mu = _mu_bits(args)
+    result = RealRootFinder(mu_bits=mu).find_roots(p)
+    print(f"characteristic polynomial degree {p.degree}, "
+          f"coefficients up to {p.max_coefficient_bits()} bits")
+    for f, m in zip(result.as_floats(), result.multiplicities):
+        suffix = f"   (multiplicity {m})" if m > 1 else ""
+        print(f"  {f:+.15f}{suffix}")
+    return 0
+
+
+def cmd_speedup(args: argparse.Namespace) -> int:
+    from repro.core.tasks import build_task_graph
+    from repro.sched.simulator import speedup_curve
+
+    p = _poly_from_args(args)
+    mu = _mu_bits(args)
+    counter = CostCounter()
+    tg = build_task_graph(
+        p, mu, counter, sequential_remainder=args.sequential_remainder
+    )
+    tg.graph.run_recorded(counter)
+    procs = _parse_int_list(args.processors, "--processors")
+    if any(p < 1 for p in procs):
+        raise SystemExit("--processors must be positive integers")
+    curve = speedup_curve(tg.graph, procs, queue_overhead=args.queue_overhead)
+    stats = tg.graph.stats()
+    print(f"{stats.n_tasks} tasks, T1/Tinf = "
+          f"{stats.total_work / max(stats.critical_path, 1):.1f}")
+    t1 = curve[1].makespan
+    for pcount in sorted(curve):
+        r = curve[pcount]
+        print(f"  p={pcount:<3d} makespan={r.makespan:<14d} "
+              f"speedup={t1 / r.makespan:6.2f}  util={r.utilization:5.1%}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    p = _poly_from_args(args)
+    mu = _mu_bits(args)
+    counter = CostCounter()
+    result = RealRootFinder(mu_bits=mu, counter=counter).find_roots(p)
+    print(f"{len(result)} roots, wall {result.elapsed_seconds:.3f}s")
+    print(counter.report())
+    st = result.stats
+    print(
+        f"\ninterval solver: {st.solves} solves, cases "
+        f"1/2a/2b/2c = {st.case1}/{st.case2a}/{st.case2b}/{st.case2c}, "
+        f"sieve/bisect/newton evals = "
+        f"{st.sieve_evals}/{st.bisection_evals}/{st.newton_evals}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel real-root finding (Narendran & Tiwari 1992)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sp = sub.add_parser("roots", help="approximate all real roots")
+    _add_poly_args(sp)
+    sp.add_argument("--strategy", choices=("hybrid", "bisection", "newton"),
+                    default="hybrid")
+    sp.add_argument("--certify", action="store_true",
+                    help="prove the answer with exact Sturm counts")
+    sp.add_argument("--json", action="store_true")
+    sp.set_defaults(func=cmd_roots)
+
+    sp = sub.add_parser("eigvals", help="exact symmetric-matrix eigenvalues")
+    sp.add_argument("--n", type=int, default=12)
+    sp.add_argument("--seed", type=int, default=11)
+    sp.add_argument("--matrix", help="JSON file with an integer matrix")
+    sp.add_argument("--digits", type=int, default=15)
+    sp.add_argument("--bits", type=int, default=None)
+    sp.set_defaults(func=cmd_eigvals)
+
+    sp = sub.add_parser("speedup", help="simulated multiprocessor speedups")
+    _add_poly_args(sp)
+    sp.add_argument("--processors", default="1,2,4,8,16")
+    sp.add_argument("--queue-overhead", type=int, default=0,
+                    help="serialized task-queue acquisition cost (bit ops)")
+    sp.add_argument("--sequential-remainder", action="store_true")
+    sp.set_defaults(func=cmd_speedup)
+
+    sp = sub.add_parser("report", help="per-phase cost report")
+    _add_poly_args(sp)
+    sp.set_defaults(func=cmd_report)
+
+    return ap
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: remainder sequence, interleaving
+tree, interval problems, and the end-to-end root finder."""
+
+from repro.core.remainder import (
+    RemainderSequence,
+    compute_remainder_sequence,
+    NotSquareFreeError,
+)
+from repro.core.tree import InterleavingTree, TreeNode
+from repro.core.interval import IntervalProblemSolver, IntervalStats
+from repro.core.sieve import HybridSolver, bisection_budget
+from repro.core.rootfinder import RealRootFinder, RootResult
+from repro.core.refine import refine_root, refine_result
+from repro.core.isolate import IsolatingInterval, isolate_real_roots
+from repro.core.scaling import digits_to_bits
+
+__all__ = [
+    "RemainderSequence",
+    "compute_remainder_sequence",
+    "NotSquareFreeError",
+    "InterleavingTree",
+    "TreeNode",
+    "IntervalProblemSolver",
+    "IntervalStats",
+    "HybridSolver",
+    "bisection_budget",
+    "RealRootFinder",
+    "RootResult",
+    "refine_root",
+    "refine_result",
+    "IsolatingInterval",
+    "isolate_real_roots",
+    "digits_to_bits",
+]

@@ -1,0 +1,116 @@
+"""The dismissed alternative: tree polynomials via prefix products.
+
+The paper's introduction says of the Ben-Or-Tiwari NC formulation:
+"We have not, however, implemented the NC version, which, although
+theoretically efficient, is impractical due to the overheads associated
+with its fine-grained parallelism."  The NC-style way to obtain the
+tree polynomials is *direct*: compute the cofactor sequences
+``A_i, B_i`` from the prefix products ``S_i ... S_1`` (paper Eqs. 3-4)
+and read off every node polynomial from
+
+    P_{i,j} = A_{i-1} B_{j+1} - A_{j+1} B_{i-1}        (Eq. 5)
+
+instead of combining children's T-matrices bottom-up (Eq. 9).
+
+This module implements that alternative exactly (integer arithmetic via
+the scaled prefixes), so the reproduction can *measure* the paper's
+dismissal: the direct method multiplies full-size cofactor polynomials
+at every node — its bit cost is a factor ~n worse than the tree combine
+(see ``bench_ablation_prefix``), which is precisely the kind of
+overhead that made the NC version unattractive in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.remainder import RemainderSequence
+from repro.core.tree import split_index
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.poly.dense import IntPoly
+
+__all__ = ["CofactorSequences", "compute_cofactors", "tree_polys_via_cofactors"]
+
+
+@dataclass
+class CofactorSequences:
+    """The integer cofactor polynomials of paper Eq. (4).
+
+    ``A[i]``, ``B[i]`` for ``0 <= i <= n`` satisfy
+    ``F_i = A_i F_0 + B_i F_1`` with ``A_0 = 1, B_0 = 0, A_1 = 0,
+    B_1 = 1``.
+    """
+
+    n: int
+    A: list[IntPoly]
+    B: list[IntPoly]
+
+
+def compute_cofactors(
+    seq: RemainderSequence, counter: CostCounter = NULL_COUNTER
+) -> CofactorSequences:
+    """Compute all ``A_i, B_i`` by the scaled prefix recurrence.
+
+    Using the integer matrices ``U_i = c_{i-1}^2 S_i``:
+
+        (A_{i+1}, B_{i+1}) = ( -c_i^2 A_{i-1} + Q_i A_i ) / c_{i-1}^2 ...
+
+    i.e. the same second-order recurrence as the ``F_i`` themselves,
+    which keeps every intermediate integral (Collins).
+    """
+    n = seq.n
+    A = [IntPoly.one(), IntPoly.zero()]
+    B = [IntPoly.zero(), IntPoly.one()]
+    with counter.phase("prefix"):
+        for i in range(1, n):
+            q = seq.quotient(i)
+            ci_sq = counter.mul(seq.c[i], seq.c[i])
+            divisor = 1 if i == 1 else seq.c[i - 1] * seq.c[i - 1]
+            a_next = q.mul(A[i], counter) - A[i - 1].scale(ci_sq, counter)
+            b_next = q.mul(B[i], counter) - B[i - 1].scale(ci_sq, counter)
+            if divisor != 1:
+                a_next = a_next.exact_div_scalar(divisor, counter)
+                b_next = b_next.exact_div_scalar(divisor, counter)
+            A.append(a_next)
+            B.append(b_next)
+    return CofactorSequences(n=n, A=A, B=B)
+
+
+def tree_polys_via_cofactors(
+    seq: RemainderSequence,
+    cof: CofactorSequences | None = None,
+    counter: CostCounter = NULL_COUNTER,
+) -> dict[tuple[int, int], IntPoly]:
+    """Every tree node's polynomial from Eq. (5) directly.
+
+    Returns ``{(i, j): P_{i,j}}`` for the same balanced tree the main
+    implementation builds.  Rightmost nodes still come free from the
+    remainder sequence; everything else costs two full-size polynomial
+    products — the measured impracticality.
+    """
+    if cof is None:
+        cof = compute_cofactors(seq, counter)
+    n = seq.n
+    out: dict[tuple[int, int], IntPoly] = {}
+
+    def p_direct(i: int, j: int) -> IntPoly:
+        # Eq. (5): P_{i,j} = A_{i-1} B_{j+1} - A_{j+1} B_{i-1}
+        with counter.phase("prefix.eq5"):
+            return cof.A[i - 1].mul(cof.B[j + 1], counter) - cof.A[j + 1].mul(
+                cof.B[i - 1], counter
+            )
+
+    def visit(i: int, j: int) -> None:
+        if j < i:
+            return
+        if j == n:
+            out[(i, j)] = seq.F[i - 1]
+        else:
+            out[(i, j)] = p_direct(i, j)
+        if j > i:
+            k = split_index(i, j)
+            visit(i, k - 1)
+            visit(k + 1, j)
+
+    visit(1, n)
+    return out

@@ -1,0 +1,180 @@
+"""The standard remainder and quotient sequences (paper Section 2.1, 3.1).
+
+For a degree-``n`` polynomial ``F_0`` with all roots real and distinct the
+sequence
+
+    F_1 = F_0',
+    F_{i+1} = (Q_i F_i - c_i^2 F_{i-1}) / c_{i-1}^2      (divisor 1 for i=1)
+
+is *normal*: every quotient ``Q_i`` is linear, ``deg F_i = n - i``, all
+coefficients stay integral (Collins 1967), and consecutive terms have
+interleaving real roots — it is a Sturm sequence up to positive scaling.
+
+The coefficient-level recurrences implemented here are exactly the
+paper's Eqs. (15)-(18), which is also the decomposition used for the
+fine-grained parallel tasks of Section 3.1:
+
+    q_{i,1} = c_{i-1} c_i
+    q_{i,0} = f_{i,n-i} f_{i-1,n-i} - f_{i,n-i-1} f_{i-1,n-i+1}
+    f_{i+1,j} = (f_{i,j} q_{i,0} + f_{i,j-1} q_{i,1} - c_i^2 f_{i-1,j}) / c_{i-1}^2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.poly.dense import IntPoly
+
+__all__ = ["RemainderSequence", "compute_remainder_sequence", "NotSquareFreeError"]
+
+#: Phase name used for cost attribution, shared with the analysis module.
+PHASE = "remainder"
+
+
+class NotSquareFreeError(ValueError):
+    """Raised when the input polynomial has repeated (real) roots.
+
+    The remainder sequence then terminates early with ``F_{n*+1} = 0``;
+    the caller (:class:`repro.core.rootfinder.RealRootFinder`) catches
+    this and falls back to the square-free reduction of DESIGN.md.
+    The gcd ``F_{n*}`` reached at termination is attached for reuse.
+    """
+
+    def __init__(self, n_star: int, gcd: IntPoly):
+        super().__init__(
+            f"polynomial is not square-free: remainder sequence terminated "
+            f"at index {n_star} with nonconstant gcd of degree {gcd.degree}"
+        )
+        self.n_star = n_star
+        self.gcd = gcd
+
+
+class NotRealRootedError(ValueError):
+    """Raised when the remainder sequence violates the structure that
+    all-real-roots guarantees (non-normal chain or sign flips).
+
+    The algorithm's correctness proof needs every root real; detecting
+    the violation exactly (instead of returning garbage) is the
+    production-quality behaviour.
+    """
+
+
+@dataclass
+class RemainderSequence:
+    """The computed sequences and derived scalars.
+
+    Attributes
+    ----------
+    F:
+        ``F[0] .. F[n]``; ``F[n]`` is the final (nonzero) constant.
+    Q:
+        ``Q[i]`` for ``1 <= i <= n-1`` is the linear quotient; ``Q[0]`` is
+        a placeholder ``None``-like constant and never used.
+    c:
+        ``c[i] = lc(F_i)`` for ``i >= 1``; ``c[0]`` is fixed to 1, the
+        normalization used by the matrices ``S_1`` / ``T_{1,j}``
+        (paper Eq. (1), Eq. (7); the appendix takes ``c_0 = sgn(lc F_0)``
+        so ``c_0^2 = 1``).
+    """
+
+    n: int
+    F: list[IntPoly]
+    Q: list[IntPoly]
+    c: list[int]
+
+    def quotient(self, i: int) -> IntPoly:
+        if not 1 <= i <= self.n - 1:
+            raise IndexError(f"Q_i defined for 1 <= i <= n-1, got {i}")
+        return self.Q[i]
+
+    def lead(self, i: int) -> int:
+        return self.c[i]
+
+    def same_sign_leads(self) -> bool:
+        """Theorem 1(i): all ``lc(F_i)`` share one sign for real-rooted input."""
+        signs = {1 if ci > 0 else -1 for ci in self.c[1:] if ci != 0}
+        return len(signs) <= 1
+
+
+def compute_remainder_sequence(
+    p0: IntPoly, counter: CostCounter = NULL_COUNTER
+) -> RemainderSequence:
+    """Compute the full normal remainder/quotient sequence of ``p0``.
+
+    ``p0`` must have a positive leading coefficient (callers normalize);
+    raises :class:`NotSquareFreeError` on early termination (repeated
+    roots) and :class:`NotRealRootedError` on a non-normal chain, which
+    cannot happen for square-free real-rooted inputs.
+    """
+    if p0.is_zero() or p0.degree < 1:
+        raise ValueError("need a nonconstant polynomial")
+    if p0.leading_coefficient < 0:
+        raise ValueError("leading coefficient must be positive (normalize first)")
+
+    n = p0.degree
+    with counter.phase(PHASE):
+        F: list[IntPoly] = [p0, p0.derivative(counter)]
+        Q: list[IntPoly] = [IntPoly.zero()]  # Q[0] placeholder
+        c: list[int] = [1, F[1].leading_coefficient]
+
+        for i in range(1, n):
+            f_prev = F[i - 1]
+            f_cur = F[i]
+            if f_cur.degree != n - i:
+                raise NotRealRootedError(
+                    f"non-normal chain at i={i}: deg F_i = {f_cur.degree}, "
+                    f"expected {n - i} — input is not a real-rooted "
+                    "square-free polynomial"
+                )
+            ci = f_cur.leading_coefficient
+            ci_prev = f_prev.leading_coefficient  # actual lc, = c[i-1] for i>=2
+
+            # Eq (15)-(17): the two quotient coefficients.
+            q1 = counter.mul(ci_prev, ci)
+            q0 = counter.mul(ci, f_prev.coefficient(n - i)) - counter.mul(
+                f_cur.coefficient(n - i - 1), ci_prev
+            )
+            Qi = IntPoly((q0, q1))
+            Q.append(Qi)
+
+            # Eq (18): coefficients of F_{i+1}, degree n-i-1.
+            divisor = 1 if i == 1 else counter.mul(c[i - 1], c[i - 1])
+            ci_sq = counter.mul(ci, ci)
+            coeffs: list[int] = []
+            for j in range(0, n - i):
+                t = (
+                    counter.mul(f_cur.coefficient(j), q0)
+                    + counter.mul(f_cur.coefficient(j - 1) if j >= 1 else 0, q1)
+                    - counter.mul(ci_sq, f_prev.coefficient(j))
+                )
+                if divisor != 1:
+                    val, rem = counter.divmod(t, divisor)
+                    if rem != 0:
+                        raise ArithmeticError(
+                            f"Collins integrality violated at i={i}, j={j}"
+                        )
+                    coeffs.append(val)
+                else:
+                    coeffs.append(t)
+            f_next = IntPoly(coeffs)
+
+            if f_next.is_zero():
+                # F_{i+1} = 0: F_i divides F_{i-1}; F_i is (a multiple of)
+                # gcd(F_0, F_1).  Per Sec 2.3 this happens exactly when p0
+                # has repeated roots, at i = n*.
+                raise NotSquareFreeError(i, f_cur)
+            F.append(f_next)
+            c.append(f_next.leading_coefficient)
+
+        seq = RemainderSequence(n=n, F=F, Q=Q, c=c)
+        if F[n].degree != 0:
+            raise NotRealRootedError(
+                f"final remainder F_n has degree {F[n].degree}, expected 0"
+            )
+        if not seq.same_sign_leads():
+            raise NotRealRootedError(
+                "leading coefficients of the remainder sequence change sign "
+                "— input has non-real roots (Theorem 1(i) violated)"
+            )
+        return seq

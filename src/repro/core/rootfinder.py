@@ -1,0 +1,249 @@
+"""End-to-end root approximation (the paper's whole algorithm).
+
+:class:`RealRootFinder` wires together the remainder sequence
+(Section 2.1/3.1), the interleaving tree (Section 2.1/3.2), and the
+interval problems (Section 2.2) into the public API:
+
+    >>> from repro import RealRootFinder, IntPoly
+    >>> finder = RealRootFinder(mu_bits=16)
+    >>> result = finder.find_roots(IntPoly.from_roots([-3, 0, 2]))
+    >>> result.as_floats()
+    [-3.0, 0.0, 2.0]
+
+Inputs with repeated roots are handled by the square-free reduction
+described in DESIGN.md (the paper's Section 2.3 sketch, realized through
+its own gcd ``F_{n*}``): distinct roots come from the square-free part,
+multiplicities from Yun's decomposition, each factor's roots being
+cross-checked against the main run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.core.interval import IntervalProblemSolver, solve_linear_scaled
+from repro.core.remainder import (
+    NotSquareFreeError,
+    RemainderSequence,
+    compute_remainder_sequence,
+)
+from repro.core.scaling import digits_to_bits, scaled_to_float
+from repro.core.sieve import IntervalStats
+from repro.core.tree import InterleavingTree
+from repro.poly.dense import IntPoly
+from repro.poly.gcd import square_free_decomposition
+from repro.poly.roots_bounds import root_bound_bits
+
+__all__ = ["RealRootFinder", "RootResult", "merge_sorted"]
+
+PHASE_SORT = "tree.sort"
+
+
+def merge_sorted(a: list[int], b: list[int]) -> list[int]:
+    """Merge two ascending lists — the body of a SORT task (Section 3.2)."""
+    out: list[int] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i] <= b[j]:
+            out.append(a[i])
+            i += 1
+        else:
+            out.append(b[j])
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out
+
+
+@dataclass
+class RootResult:
+    """All distinct real roots of the input, mu-approximated.
+
+    ``scaled[k]`` is ``ceil(2**mu * x_k)`` for the ascending distinct
+    roots ``x_k``; ``multiplicities[k]`` is the multiplicity of ``x_k``
+    in the original input.
+    """
+
+    mu: int
+    scaled: list[int]
+    multiplicities: list[int]
+    degree: int
+    square_free_degree: int
+    counter: CostCounter
+    stats: IntervalStats
+    elapsed_seconds: float
+    tree: InterleavingTree | None = field(default=None, repr=False)
+    sequence: RemainderSequence | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.scaled)
+
+    def as_floats(self) -> list[float]:
+        return [scaled_to_float(s, self.mu) for s in self.scaled]
+
+    def as_fractions(self) -> list[Fraction]:
+        return [Fraction(s, 1 << self.mu) for s in self.scaled]
+
+    def error_bound(self) -> Fraction:
+        """Every true root ``x_k`` satisfies
+        ``approx - error_bound < x_k <= approx``."""
+        return Fraction(1, 1 << self.mu)
+
+
+class RealRootFinder:
+    """Approximates all real roots of an all-real-roots integer polynomial.
+
+    Parameters
+    ----------
+    mu_bits:
+        Output precision: approximations are exact ceilings on the
+        ``2**-mu_bits`` grid.  Use :func:`mu_digits`-style conversion via
+        ``RealRootFinder.from_digits`` for the paper's decimal-digit
+        parameter.
+    check_tree:
+        Assert Theorem 1's degree/sign conclusions at every tree node
+        (cheap insurance; on by default).
+    keep_structures:
+        Attach the remainder sequence and tree to the result for
+        inspection/benchmarks.
+    strategy:
+        Interval-solver strategy: ``"hybrid"`` (the paper's sieve /
+        bisection / Newton method, default), ``"bisection"`` (classical
+        binary search, cost linear in mu), or ``"newton"`` (guarded
+        Newton without the warm-up phases).  All three are exact; see
+        :class:`repro.core.sieve.HybridSolver`.
+    """
+
+    def __init__(
+        self,
+        mu_bits: int = 32,
+        *,
+        check_tree: bool = True,
+        keep_structures: bool = False,
+        counter: CostCounter | None = None,
+        strategy: str = "hybrid",
+    ):
+        if mu_bits < 1:
+            raise ValueError("mu_bits must be >= 1")
+        self.mu = mu_bits
+        self.check_tree = check_tree
+        self.keep_structures = keep_structures
+        self.counter = counter if counter is not None else NULL_COUNTER
+        self.strategy = strategy
+
+    @classmethod
+    def from_digits(cls, mu_digits: int, **kwargs) -> "RealRootFinder":
+        """Construct with precision given in decimal digits (paper's mu)."""
+        return cls(mu_bits=digits_to_bits(mu_digits), **kwargs)
+
+    # -- public API ---------------------------------------------------------
+    def find_roots(self, p: IntPoly) -> RootResult:
+        """Compute mu-approximations of all distinct real roots of ``p``.
+
+        ``p`` must be a nonzero integer polynomial all of whose complex
+        roots are real; a :class:`repro.core.remainder.NotRealRootedError`
+        is raised otherwise (the structure checks detect it exactly).
+        """
+        t0 = time.perf_counter()
+        if p.is_zero():
+            raise ValueError("the zero polynomial has every number as a root")
+        if p.leading_coefficient < 0:
+            p = -p
+        if p.degree == 0:
+            return RootResult(
+                mu=self.mu, scaled=[], multiplicities=[], degree=0,
+                square_free_degree=0, counter=self.counter,
+                stats=IntervalStats(), elapsed_seconds=0.0,
+            )
+
+        stats = IntervalStats()
+        try:
+            seq = compute_remainder_sequence(p, self.counter)
+        except NotSquareFreeError:
+            return self._find_roots_with_multiplicity(p, stats, t0)
+
+        scaled, tree = self._solve_square_free(p, seq, stats)
+        return RootResult(
+            mu=self.mu,
+            scaled=scaled,
+            multiplicities=[1] * len(scaled),
+            degree=p.degree,
+            square_free_degree=p.degree,
+            counter=self.counter,
+            stats=stats,
+            elapsed_seconds=time.perf_counter() - t0,
+            tree=tree if self.keep_structures else None,
+            sequence=seq if self.keep_structures else None,
+        )
+
+    # -- square-free main path ------------------------------------------------
+    def _solve_square_free(
+        self, p: IntPoly, seq: RemainderSequence, stats: IntervalStats
+    ) -> tuple[list[int], InterleavingTree]:
+        counter = self.counter
+        if p.degree == 1:
+            return [solve_linear_scaled(p, self.mu)], InterleavingTree(seq)
+
+        tree = InterleavingTree(seq)
+        tree.compute_polynomials(counter, check=self.check_tree)
+        r_bits = root_bound_bits(p)
+
+        for node in tree.nodes_postorder():
+            if node.is_empty:
+                node.roots_scaled = []
+                continue
+            poly = node.poly
+            assert poly is not None
+            if node.degree == 1:
+                node.roots_scaled = [solve_linear_scaled(poly, self.mu)]
+                continue
+            assert node.left is not None and node.right is not None
+            with counter.phase(PHASE_SORT):
+                inter = merge_sorted(
+                    node.left.roots_scaled or [], node.right.roots_scaled or []
+                )
+            solver = IntervalProblemSolver(
+                poly, self.mu, r_bits, counter, stats, strategy=self.strategy
+            )
+            node.roots_scaled = solver.solve_all(inter)
+
+        assert tree.root.roots_scaled is not None
+        return tree.root.roots_scaled, tree
+
+    # -- repeated-roots path ---------------------------------------------------
+    def _find_roots_with_multiplicity(
+        self, p: IntPoly, stats: IntervalStats, t0: float
+    ) -> RootResult:
+        factors = square_free_decomposition(p, self.counter)
+        # Distinct roots: solve each square-free Yun factor and merge.
+        # (The product of the factors *is* the square-free part; solving
+        # them separately also yields the multiplicities exactly.)
+        pairs: list[tuple[int, int]] = []
+        sf_degree = 0
+        tree = None
+        seq = None
+        for fac, m in factors:
+            sf_degree += fac.degree
+            if fac.degree == 0:
+                continue
+            sub_seq = compute_remainder_sequence(fac, self.counter)
+            scaled, sub_tree = self._solve_square_free(fac, sub_seq, stats)
+            pairs.extend((s, m) for s in scaled)
+            if tree is None:
+                tree, seq = sub_tree, sub_seq
+        pairs.sort()
+        return RootResult(
+            mu=self.mu,
+            scaled=[s for s, _ in pairs],
+            multiplicities=[m for _, m in pairs],
+            degree=p.degree,
+            square_free_degree=sf_degree,
+            counter=self.counter,
+            stats=stats,
+            elapsed_seconds=time.perf_counter() - t0,
+            tree=tree if self.keep_structures else None,
+            sequence=seq if self.keep_structures else None,
+        )

@@ -1,0 +1,218 @@
+"""The interleaving tree of polynomials (paper Sections 2.1 and 3.2).
+
+Every node is labeled ``[i, j]`` (1-based, ``i <= j``) and carries the
+polynomial ``P_{i,j}`` of degree ``j - i + 1`` whose roots are
+interleaved by the roots of its two children ``[i, k-1]`` and
+``[k+1, j]`` (Theorem 1).  Concretely:
+
+* a *rightmost* node (``j == n``) carries ``P_{i,n} = F_{i-1}`` straight
+  from the remainder sequence — no matrix work;
+* every other node carries the 2x2 matrix ``T_{i,j}`` with
+  ``P_{i,j} = T_{i,j}(2,2)``, combined bottom-up from its children by
+  the integer-scaled version of the paper's Eq. (9):
+
+      T_{i,j} = T_{k+1,j} @ U_k @ T_{i,k-1} / (c_{k-1}^2 c_k^2)
+
+  where ``U_k = c_{k-1}^2 S_k = [[0, c_{k-1}^2], [-c_k^2, Q_k]]`` is the
+  denominator-free form of the paper's ``S_k`` (Eqs. (1)-(2)) and the
+  division is exact by Collins' theory (checked at runtime);
+* a leaf ``[i, i]`` (``i < n``) has ``T_{i,i} = U_i`` and
+  ``P_{i,i} = Q_i``; the leaf ``[n, n]`` is rightmost with
+  ``P_{n,n} = F_{n-1}``;
+* an *empty* node ``[i, i-1]`` stands for the degree-0 polynomial 1 and
+  the matrix ``T_{i,i-1} = c_{i-1}^2 * I`` (empty matrix product).
+
+The split index is ``k = (i + j) // 2``, which keeps the tree balanced
+as required for the Section 4.2 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.core.remainder import RemainderSequence
+from repro.poly.dense import IntPoly
+from repro.poly.matrix import PolyMatrix2x2
+
+__all__ = ["TreeNode", "InterleavingTree", "split_index", "u_matrix"]
+
+#: Cost phase for all tree-polynomial computation.
+PHASE = "tree"
+
+
+def split_index(i: int, j: int) -> int:
+    """The pivot ``k`` for node ``[i, j]``: children ``[i,k-1]``, ``[k+1,j]``."""
+    return (i + j) // 2
+
+
+def u_matrix(seq: RemainderSequence, k: int) -> PolyMatrix2x2:
+    """``U_k = c_{k-1}^2 S_k``, the integer-scaled transfer matrix."""
+    ck1_sq = seq.c[k - 1] * seq.c[k - 1]
+    ck_sq = seq.c[k] * seq.c[k]
+    return PolyMatrix2x2(
+        IntPoly.zero(),
+        IntPoly.constant(ck1_sq),
+        IntPoly.constant(-ck_sq),
+        seq.quotient(k),
+    )
+
+
+@dataclass
+class TreeNode:
+    """One node of the interleaving tree."""
+
+    i: int
+    j: int
+    level: int
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    poly: Optional[IntPoly] = None
+    matrix: Optional[PolyMatrix2x2] = None
+    #: scaled integer root approximations ceil(2**mu * x), ascending;
+    #: filled by the bottom-up interval phase.
+    roots_scaled: Optional[list[int]] = field(default=None, repr=False)
+
+    @property
+    def label(self) -> tuple[int, int]:
+        return (self.i, self.j)
+
+    @property
+    def degree(self) -> int:
+        """Degree of P_{i,j} = number of roots at this node."""
+        return self.j - self.i + 1
+
+    @property
+    def is_empty(self) -> bool:
+        return self.j < self.i
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.i == self.j
+
+    @property
+    def pivot(self) -> int:
+        return split_index(self.i, self.j)
+
+    def __iter__(self) -> Iterator["TreeNode"]:
+        """Post-order traversal (children before parents): the bottom-up
+        execution order of the sequential algorithm."""
+        if self.left is not None:
+            yield from self.left
+        if self.right is not None:
+            yield from self.right
+        yield self
+
+
+class InterleavingTree:
+    """Builds the node structure and computes every ``P_{i,j}``.
+
+    Structure construction is the paper's top-down RECURSE phase;
+    :meth:`compute_polynomials` is the matrix part of the bottom-up
+    phase (the COMPUTEPOLY tasks).  Interval solving is driven
+    externally by :class:`repro.core.rootfinder.RealRootFinder` (or by
+    the task graph of :mod:`repro.core.tasks`).
+    """
+
+    def __init__(self, seq: RemainderSequence):
+        self.seq = seq
+        self.n = seq.n
+        self.root = self._build(1, self.n, 0)
+
+    # -- structure ------------------------------------------------------
+    def _build(self, i: int, j: int, level: int) -> TreeNode:
+        node = TreeNode(i=i, j=j, level=level)
+        if j <= i:  # leaf or empty: no children
+            return node
+        k = split_index(i, j)
+        node.left = self._build(i, k - 1, level + 1)
+        node.right = self._build(k + 1, j, level + 1)
+        return node
+
+    def nodes_postorder(self) -> Iterator[TreeNode]:
+        return iter(self.root)
+
+    def nodes_by_level(self) -> dict[int, list[TreeNode]]:
+        out: dict[int, list[TreeNode]] = {}
+        for node in self.root:
+            out.setdefault(node.level, []).append(node)
+        for lst in out.values():
+            lst.sort(key=lambda nd: nd.i)
+        return out
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.root)
+
+    # -- polynomial computation ------------------------------------------
+    def compute_polynomials(
+        self, counter: CostCounter = NULL_COUNTER, check: bool = False
+    ) -> None:
+        """Fill ``poly`` (and ``matrix`` where applicable) on every node.
+
+        With ``check=True``, asserts Theorem 1's degree and
+        positive-leading-coefficient conclusions at every node.
+        """
+        with counter.phase(PHASE):
+            for node in self.root:
+                self._compute_node(node, counter)
+                if check and not node.is_empty:
+                    self._check_node(node)
+
+    def _compute_node(self, node: TreeNode, counter: CostCounter) -> None:
+        seq = self.seq
+        i, j = node.i, node.j
+        if node.is_empty:
+            node.poly = IntPoly.one()
+            c_sq = seq.c[i - 1] * seq.c[i - 1]
+            node.matrix = PolyMatrix2x2.scalar(c_sq)
+            return
+        if j == self.n:
+            # Rightmost spine: P_{i,n} = F_{i-1}, no matrix.
+            node.poly = seq.F[i - 1]
+            node.matrix = None
+            return
+        if node.is_leaf:
+            node.matrix = u_matrix(seq, i)
+            node.poly = node.matrix.entry(2, 2)  # Q_i
+            return
+        # Interior, non-rightmost: combine children (Eq. 9, integer form).
+        k = node.pivot
+        assert node.left is not None and node.right is not None
+        t_left = node.left.matrix
+        t_right = node.right.matrix
+        assert t_left is not None and t_right is not None, (
+            "children of a non-rightmost interior node always carry matrices"
+        )
+        u_k = u_matrix(seq, k)
+        prod = t_right.mul(u_k, counter).mul(t_left, counter)
+        divisor = (seq.c[k - 1] * seq.c[k - 1]) * (seq.c[k] * seq.c[k])
+        node.matrix = prod.exact_div_scalar(divisor, counter)
+        node.poly = node.matrix.entry(2, 2)
+
+    def _check_node(self, node: TreeNode) -> None:
+        p = node.poly
+        assert p is not None
+        if p.degree != node.degree:
+            raise AssertionError(
+                f"P_{node.label} has degree {p.degree}, expected {node.degree}"
+            )
+        if p.leading_coefficient <= 0 and node.j < self.n:
+            raise AssertionError(
+                f"P_{node.label} has non-positive leading coefficient"
+            )
+
+    # -- direct (slow) reference computation for tests ---------------------
+    def direct_t_matrix(self, i: int, j: int) -> PolyMatrix2x2:
+        """``T_{i,j}`` from the definition (Eqs. 6-7): product of U's with
+        one exact scalar division.  Exponential-free but unbalanced; used
+        as the test oracle for the combine rule."""
+        seq = self.seq
+        if j < i:
+            return PolyMatrix2x2.scalar(seq.c[i - 1] * seq.c[i - 1])
+        acc = u_matrix(seq, i)
+        divisor = 1
+        for l in range(i + 1, j + 1):
+            acc = u_matrix(seq, l).mul(acc)
+            divisor *= seq.c[l - 1] * seq.c[l - 1]
+        return acc.exact_div_scalar(divisor)

@@ -1,0 +1,11 @@
+"""Operation counting and the paper's quadratic bit-cost model."""
+
+from repro.costmodel.counter import (
+    CostCounter,
+    NullCounter,
+    NULL_COUNTER,
+    PhaseStats,
+    bit_length,
+)
+
+__all__ = ["CostCounter", "NullCounter", "NULL_COUNTER", "PhaseStats", "bit_length"]

@@ -1,0 +1,5 @@
+"""From-scratch schoolbook multiprecision integers (UNIX ``mp`` stand-in)."""
+
+from repro.mpint.mpint import MPInt, LIMB_BITS, LIMB_BASE
+
+__all__ = ["MPInt", "LIMB_BITS", "LIMB_BASE"]

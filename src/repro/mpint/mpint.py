@@ -1,0 +1,386 @@
+"""A from-scratch multiprecision integer in the image of the UNIX ``mp`` package.
+
+The paper's implementation did all arithmetic with the UNIX ``mp``
+library, which uses the *straightforward* algorithms: linear-time
+addition/subtraction and quadratic-time multiplication and division
+(paper Section 3.3).  Python's built-in ``int`` is asymptotically better
+(Karatsuba), which would silently distort any attempt to validate the
+paper's quadratic bit-cost model against real arithmetic.
+
+:class:`MPInt` is a faithful substitute: sign-magnitude, base ``2**15``
+limbs, schoolbook multiply and Knuth Algorithm D division.  It is used
+
+* by the test suite, cross-validated against ``int`` with hypothesis;
+* by the cost-model calibration bench, which fits measured ``MPInt``
+  multiply times against the ``bits(a)*bits(b)`` model to justify using
+  that model as the simulated-time currency.
+
+The main algorithm uses ``int`` + :class:`~repro.costmodel.counter.CostCounter`
+for speed; MPInt exists to *validate* that accounting, not to run under it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["MPInt", "LIMB_BITS", "LIMB_BASE"]
+
+LIMB_BITS = 15
+LIMB_BASE = 1 << LIMB_BITS
+LIMB_MASK = LIMB_BASE - 1
+
+
+def _trim(limbs: list[int]) -> list[int]:
+    while limbs and limbs[-1] == 0:
+        limbs.pop()
+    return limbs
+
+
+def _cmp_mag(a: list[int], b: list[int]) -> int:
+    if len(a) != len(b):
+        return 1 if len(a) > len(b) else -1
+    for x, y in zip(reversed(a), reversed(b)):
+        if x != y:
+            return 1 if x > y else -1
+    return 0
+
+
+def _add_mag(a: list[int], b: list[int]) -> list[int]:
+    if len(a) < len(b):
+        a, b = b, a
+    out = []
+    carry = 0
+    for i in range(len(a)):
+        s = a[i] + (b[i] if i < len(b) else 0) + carry
+        out.append(s & LIMB_MASK)
+        carry = s >> LIMB_BITS
+    if carry:
+        out.append(carry)
+    return out
+
+
+def _sub_mag(a: list[int], b: list[int]) -> list[int]:
+    """a - b for |a| >= |b|."""
+    out = []
+    borrow = 0
+    for i in range(len(a)):
+        s = a[i] - (b[i] if i < len(b) else 0) - borrow
+        if s < 0:
+            s += LIMB_BASE
+            borrow = 1
+        else:
+            borrow = 0
+        out.append(s)
+    if borrow:
+        raise ArithmeticError("_sub_mag underflow: |a| < |b|")
+    return _trim(out)
+
+
+def _mul_mag(a: list[int], b: list[int]) -> list[int]:
+    """Schoolbook O(len(a)*len(b)) product — the ``mp`` model."""
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b))
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        carry = 0
+        for j, bj in enumerate(b):
+            t = out[i + j] + ai * bj + carry
+            out[i + j] = t & LIMB_MASK
+            carry = t >> LIMB_BITS
+        k = i + len(b)
+        while carry:
+            t = out[k] + carry
+            out[k] = t & LIMB_MASK
+            carry = t >> LIMB_BITS
+            k += 1
+    return _trim(out)
+
+
+def _shl_mag(a: list[int], k: int) -> list[int]:
+    if not a or k == 0:
+        return list(a)
+    limb_shift, bit_shift = divmod(k, LIMB_BITS)
+    out = [0] * limb_shift
+    carry = 0
+    for x in a:
+        v = (x << bit_shift) | carry
+        out.append(v & LIMB_MASK)
+        carry = v >> LIMB_BITS
+    if carry:
+        out.append(carry)
+    return _trim(out)
+
+
+def _shr_mag(a: list[int], k: int) -> list[int]:
+    if not a or k == 0:
+        return list(a)
+    limb_shift, bit_shift = divmod(k, LIMB_BITS)
+    if limb_shift >= len(a):
+        return []
+    a = a[limb_shift:]
+    if bit_shift == 0:
+        return _trim(list(a))
+    out = []
+    for i, x in enumerate(a):
+        hi = a[i + 1] if i + 1 < len(a) else 0
+        out.append(((x >> bit_shift) | (hi << (LIMB_BITS - bit_shift))) & LIMB_MASK)
+    return _trim(out)
+
+
+def _divmod_mag(a: list[int], b: list[int]) -> tuple[list[int], list[int]]:
+    """Knuth Algorithm D on magnitudes; returns (quotient, remainder)."""
+    if not b:
+        raise ZeroDivisionError("MPInt division by zero")
+    if _cmp_mag(a, b) < 0:
+        return [], list(a)
+    if len(b) == 1:
+        # short division
+        d = b[0]
+        out = [0] * len(a)
+        rem = 0
+        for i in range(len(a) - 1, -1, -1):
+            cur = (rem << LIMB_BITS) | a[i]
+            out[i] = cur // d
+            rem = cur % d
+        return _trim(out), _trim([rem])
+
+    # Normalize so the top limb of b has its high bit set.
+    shift = LIMB_BITS - b[-1].bit_length()
+    an = _shl_mag(a, shift)
+    bn = _shl_mag(b, shift)
+    n = len(bn)
+    m = len(an) - n
+    if m < 0:
+        return [], list(a)
+    an = an + [0]  # extra headroom limb
+    q = [0] * (m + 1)
+    bt = bn[-1]
+    bt2 = bn[-2]
+    for j in range(m, -1, -1):
+        num = (an[j + n] << LIMB_BITS) | an[j + n - 1]
+        qhat = num // bt
+        rhat = num - qhat * bt
+        while qhat >= LIMB_BASE or qhat * bt2 > ((rhat << LIMB_BITS) | an[j + n - 2]):
+            qhat -= 1
+            rhat += bt
+            if rhat >= LIMB_BASE:
+                break
+        # multiply-subtract
+        borrow = 0
+        carry = 0
+        for i in range(n):
+            p = qhat * bn[i] + carry
+            carry = p >> LIMB_BITS
+            sub = an[j + i] - (p & LIMB_MASK) - borrow
+            if sub < 0:
+                sub += LIMB_BASE
+                borrow = 1
+            else:
+                borrow = 0
+            an[j + i] = sub
+        sub = an[j + n] - carry - borrow
+        if sub < 0:
+            sub += LIMB_BASE
+            borrow = 1
+        else:
+            borrow = 0
+        an[j + n] = sub
+        if borrow:
+            # qhat was one too large: add back
+            qhat -= 1
+            carry = 0
+            for i in range(n):
+                s = an[j + i] + bn[i] + carry
+                an[j + i] = s & LIMB_MASK
+                carry = s >> LIMB_BITS
+            an[j + n] = (an[j + n] + carry) & LIMB_MASK
+        q[j] = qhat
+    rem = _shr_mag(_trim(an[:n]), shift)
+    return _trim(q), rem
+
+
+class MPInt:
+    """Sign-magnitude multiprecision integer with schoolbook arithmetic."""
+
+    __slots__ = ("sign", "limbs")
+
+    def __init__(self, value: "int | MPInt" = 0):
+        if isinstance(value, MPInt):
+            self.sign = value.sign
+            self.limbs = list(value.limbs)
+            return
+        v = int(value)
+        self.sign = -1 if v < 0 else (1 if v > 0 else 0)
+        v = abs(v)
+        limbs: list[int] = []
+        while v:
+            limbs.append(v & LIMB_MASK)
+            v >>= LIMB_BITS
+        self.limbs = limbs
+
+    @classmethod
+    def _raw(cls, sign: int, limbs: list[int]) -> "MPInt":
+        out = object.__new__(cls)
+        _trim(limbs)
+        out.limbs = limbs
+        out.sign = 0 if not limbs else sign
+        return out
+
+    # -- conversions ----------------------------------------------------
+    def __int__(self) -> int:
+        v = 0
+        for limb in reversed(self.limbs):
+            v = (v << LIMB_BITS) | limb
+        return v * self.sign if self.sign else 0
+
+    def to_int(self) -> int:
+        return int(self)
+
+    def bit_length(self) -> int:
+        if not self.limbs:
+            return 0
+        return (len(self.limbs) - 1) * LIMB_BITS + self.limbs[-1].bit_length()
+
+    def __repr__(self) -> str:
+        return f"MPInt({int(self)})"
+
+    # -- comparisons -----------------------------------------------------
+    def _coerce(self, other: "int | MPInt") -> "MPInt":
+        return other if isinstance(other, MPInt) else MPInt(other)
+
+    def compare(self, other: "int | MPInt") -> int:
+        o = self._coerce(other)
+        if self.sign != o.sign:
+            return 1 if self.sign > o.sign else -1
+        c = _cmp_mag(self.limbs, o.limbs)
+        return c * (self.sign or 1) if self.sign != 0 else 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, MPInt)):
+            return self.compare(other) == 0
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(int(self))
+
+    def __lt__(self, other: "int | MPInt") -> bool:
+        return self.compare(other) < 0
+
+    def __le__(self, other: "int | MPInt") -> bool:
+        return self.compare(other) <= 0
+
+    def __gt__(self, other: "int | MPInt") -> bool:
+        return self.compare(other) > 0
+
+    def __ge__(self, other: "int | MPInt") -> bool:
+        return self.compare(other) >= 0
+
+    def __bool__(self) -> bool:
+        return self.sign != 0
+
+    # -- arithmetic --------------------------------------------------------
+    def __neg__(self) -> "MPInt":
+        return MPInt._raw(-self.sign, list(self.limbs))
+
+    def __abs__(self) -> "MPInt":
+        return MPInt._raw(abs(self.sign), list(self.limbs))
+
+    def __add__(self, other: "int | MPInt") -> "MPInt":
+        o = self._coerce(other)
+        if self.sign == 0:
+            return MPInt(o)
+        if o.sign == 0:
+            return MPInt(self)
+        if self.sign == o.sign:
+            return MPInt._raw(self.sign, _add_mag(self.limbs, o.limbs))
+        c = _cmp_mag(self.limbs, o.limbs)
+        if c == 0:
+            return MPInt(0)
+        if c > 0:
+            return MPInt._raw(self.sign, _sub_mag(self.limbs, o.limbs))
+        return MPInt._raw(o.sign, _sub_mag(o.limbs, self.limbs))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "int | MPInt") -> "MPInt":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: "int | MPInt") -> "MPInt":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other: "int | MPInt") -> "MPInt":
+        o = self._coerce(other)
+        if self.sign == 0 or o.sign == 0:
+            return MPInt(0)
+        return MPInt._raw(self.sign * o.sign, _mul_mag(self.limbs, o.limbs))
+
+    __rmul__ = __mul__
+
+    def __divmod__(self, other: "int | MPInt") -> tuple["MPInt", "MPInt"]:
+        """Floor division semantics, matching Python's ``divmod``."""
+        o = self._coerce(other)
+        if o.sign == 0:
+            raise ZeroDivisionError("MPInt division by zero")
+        q_mag, r_mag = _divmod_mag(self.limbs, o.limbs)
+        q = MPInt._raw(self.sign * o.sign if q_mag else 0, q_mag)
+        r = MPInt._raw(self.sign if r_mag else 0, r_mag)
+        # Adjust truncated -> floored when signs differ and remainder != 0.
+        if r.sign != 0 and (self.sign * o.sign) < 0:
+            q = q - MPInt(1)
+            r = r + o
+        return q, r
+
+    def __rdivmod__(self, other: "int | MPInt") -> tuple["MPInt", "MPInt"]:
+        return divmod(self._coerce(other), self)
+
+    def __floordiv__(self, other: "int | MPInt") -> "MPInt":
+        return divmod(self, other)[0]
+
+    def __rfloordiv__(self, other: "int | MPInt") -> "MPInt":
+        return divmod(self._coerce(other), self)[0]
+
+    def __mod__(self, other: "int | MPInt") -> "MPInt":
+        return divmod(self, other)[1]
+
+    def __rmod__(self, other: "int | MPInt") -> "MPInt":
+        return divmod(self._coerce(other), self)[1]
+
+    def __lshift__(self, k: int) -> "MPInt":
+        if k < 0:
+            raise ValueError("negative shift count")
+        return MPInt._raw(self.sign, _shl_mag(self.limbs, k))
+
+    def __rshift__(self, k: int) -> "MPInt":
+        """Arithmetic (floor) right shift, matching Python ints."""
+        if k < 0:
+            raise ValueError("negative shift count")
+        mag = _shr_mag(self.limbs, k)
+        out = MPInt._raw(self.sign if mag else 0, mag)
+        if self.sign < 0:
+            # floor semantics: if any bit was shifted out, round away from 0
+            lost = _sub_mag(self.limbs, _shl_mag(_shr_mag(self.limbs, k), k))
+            if lost:
+                out = out - MPInt(1)
+        return out
+
+    def __pow__(self, e: int) -> "MPInt":
+        if e < 0:
+            raise ValueError("negative exponent")
+        result = MPInt(1)
+        base = MPInt(self)
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+
+def mp_sum(values: Iterable["MPInt | int"]) -> MPInt:
+    """Sum helper used by tests."""
+    acc = MPInt(0)
+    for v in values:
+        acc = acc + (v if isinstance(v, MPInt) else MPInt(v))
+    return acc

@@ -1,0 +1,48 @@
+"""Exact integer polynomial arithmetic substrate."""
+
+from repro.poly.dense import IntPoly
+from repro.poly.matrix import PolyMatrix2x2
+from repro.poly.eval import scaled_eval, scaled_sign
+from repro.poly.gcd import (
+    poly_gcd,
+    square_free_part,
+    square_free_decomposition,
+    is_square_free,
+)
+from repro.poly.sturm import (
+    sturm_chain,
+    count_real_roots,
+    count_roots_in_open,
+    count_roots_below,
+)
+from repro.poly.roots_bounds import (
+    cauchy_root_bound_bits,
+    fujiwara_root_bound_bits,
+    root_bound_bits,
+    root_bracket_scaled,
+)
+from repro.poly.convert import from_fractions, from_floats, from_any
+from repro.poly.eval import ScaledEvaluator
+
+__all__ = [
+    "IntPoly",
+    "PolyMatrix2x2",
+    "scaled_eval",
+    "scaled_sign",
+    "poly_gcd",
+    "square_free_part",
+    "square_free_decomposition",
+    "is_square_free",
+    "sturm_chain",
+    "count_real_roots",
+    "count_roots_in_open",
+    "count_roots_below",
+    "cauchy_root_bound_bits",
+    "fujiwara_root_bound_bits",
+    "root_bound_bits",
+    "root_bracket_scaled",
+    "from_fractions",
+    "from_floats",
+    "from_any",
+    "ScaledEvaluator",
+]

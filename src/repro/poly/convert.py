@@ -1,0 +1,81 @@
+"""Coefficient conversions into exact integer polynomials.
+
+Adopters rarely hold integer coefficients; these helpers convert the
+common representations exactly:
+
+* rationals (``Fraction`` or ``(num, den)`` pairs) — cleared by the LCM
+  of denominators;
+* floats — every IEEE double is a dyadic rational, so the conversion is
+  exact (no rounding is introduced beyond what the floats already had);
+* numpy arrays — via the float path.
+
+Scaling a polynomial by a positive constant does not move its roots,
+so all downstream results are unaffected.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, Sequence
+
+from repro.poly.dense import IntPoly
+
+__all__ = ["from_fractions", "from_floats", "from_any"]
+
+
+def from_fractions(coeffs: Iterable["Fraction | int | tuple[int, int]"]) -> IntPoly:
+    """Exact integer polynomial from rational coefficients (low to high).
+
+    The result is the input scaled by the positive LCM of denominators.
+    """
+    fracs: list[Fraction] = []
+    for c in coeffs:
+        if isinstance(c, tuple):
+            fracs.append(Fraction(c[0], c[1]))
+        else:
+            fracs.append(Fraction(c))
+    if not fracs:
+        return IntPoly.zero()
+    lcm = 1
+    for f in fracs:
+        lcm = lcm * f.denominator // gcd(lcm, f.denominator)
+    return IntPoly([int(f * lcm) for f in fracs])
+
+
+def from_floats(coeffs: Sequence[float]) -> IntPoly:
+    """Exact integer polynomial from float coefficients (low to high).
+
+    IEEE doubles are dyadic rationals, so ``Fraction(float)`` is exact;
+    no information is lost or invented.  Raises on NaN/inf.
+    """
+    fracs = []
+    for c in coeffs:
+        c = float(c)
+        if c != c or c in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite coefficient {c!r}")
+        fracs.append(Fraction(c))
+    return from_fractions(fracs)
+
+
+def from_any(coeffs: Iterable) -> IntPoly:
+    """Best-effort exact conversion: ints pass through, Fractions and
+    floats via their exact paths; mixing is fine."""
+    fracs = []
+    for c in coeffs:
+        if isinstance(c, bool):
+            fracs.append(Fraction(int(c)))
+        elif isinstance(c, int):
+            fracs.append(Fraction(c))
+        elif isinstance(c, float):
+            if c != c or c in (float("inf"), float("-inf")):
+                raise ValueError(f"non-finite coefficient {c!r}")
+            fracs.append(Fraction(c))
+        elif isinstance(c, Fraction):
+            fracs.append(c)
+        elif isinstance(c, tuple) and len(c) == 2:
+            fracs.append(Fraction(c[0], c[1]))
+        else:
+            # numpy scalars and other numerics: try exact float route
+            fracs.append(Fraction(float(c)))
+    return from_fractions(fracs)

@@ -1,0 +1,397 @@
+"""Exact dense integer polynomials.
+
+This module is the arithmetic substrate for the whole reproduction.  The
+paper performs every computation over the integers (rationals are avoided
+by scaling with ``2**mu``), so :class:`IntPoly` stores coefficients as
+Python ``int`` objects, which are exact and arbitrary precision.
+
+Every potentially expensive operation takes an optional
+:class:`~repro.costmodel.counter.CostCounter`-compatible ``counter`` so
+the benchmark harness can attribute multiplication counts and quadratic
+bit costs to algorithm phases exactly as the paper's tracing did
+(Section 5.1, Figures 2-7).
+
+Coefficient order is low-to-high: ``coeffs[j]`` multiplies ``x**j``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
+
+__all__ = ["IntPoly"]
+
+
+def _trim(coeffs: list[int]) -> list[int]:
+    """Drop trailing zero coefficients (highest degrees) in place."""
+    while coeffs and coeffs[-1] == 0:
+        coeffs.pop()
+    return coeffs
+
+
+class IntPoly:
+    """A dense univariate polynomial with exact integer coefficients.
+
+    The zero polynomial has an empty coefficient list and, by the usual
+    convention for this codebase, ``degree == -1``.
+
+    Instances are immutable in spirit: no public method mutates
+    ``coeffs`` after construction, so polynomials may be shared freely
+    between tasks in the parallel scheduler.
+    """
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: Iterable[int] = ()):  # low-to-high order
+        cs = [int(c) for c in coeffs]
+        _trim(cs)
+        self.coeffs: tuple[int, ...] = tuple(cs)
+
+    # -- constructors -------------------------------------------------
+    @classmethod
+    def zero(cls) -> "IntPoly":
+        return cls(())
+
+    @classmethod
+    def one(cls) -> "IntPoly":
+        return cls((1,))
+
+    @classmethod
+    def constant(cls, c: int) -> "IntPoly":
+        return cls((c,))
+
+    @classmethod
+    def x(cls) -> "IntPoly":
+        return cls((0, 1))
+
+    @classmethod
+    def monomial(cls, c: int, k: int) -> "IntPoly":
+        """Return ``c * x**k``."""
+        if k < 0:
+            raise ValueError("monomial exponent must be >= 0")
+        if c == 0:
+            return cls.zero()
+        return cls((0,) * k + (c,))
+
+    @classmethod
+    def from_roots(cls, roots: Sequence[int]) -> "IntPoly":
+        """Monic polynomial ``prod (x - r)`` with the given integer roots."""
+        p = cls.one()
+        for r in roots:
+            p = p * cls((-int(r), 1))
+        return p
+
+    # -- basic queries -------------------------------------------------
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def leading_coefficient(self) -> int:
+        if not self.coeffs:
+            return 0
+        return self.coeffs[-1]
+
+    def coefficient(self, k: int) -> int:
+        """Coefficient of ``x**k`` (0 for k beyond the degree)."""
+        if 0 <= k < len(self.coeffs):
+            return self.coeffs[k]
+        return 0
+
+    def max_coefficient_bits(self) -> int:
+        """``max_j ||c_j||`` in bits — the paper's ``||p||`` measure."""
+        if not self.coeffs:
+            return 0
+        return max(abs(c).bit_length() for c in self.coeffs)
+
+    def height(self) -> int:
+        """Max absolute coefficient (the classical polynomial height)."""
+        if not self.coeffs:
+            return 0
+        return max(abs(c) for c in self.coeffs)
+
+    # -- equality / hashing / repr --------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IntPoly):
+            return self.coeffs == other.coeffs
+        if isinstance(other, int):
+            return self.coeffs == ((other,) if other else ())
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.coeffs)
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return "IntPoly(0)"
+        terms = []
+        for j in range(self.degree, -1, -1):
+            c = self.coeffs[j]
+            if c == 0:
+                continue
+            if j == 0:
+                terms.append(f"{c:+d}")
+            elif j == 1:
+                terms.append(f"{c:+d}*x")
+            else:
+                terms.append(f"{c:+d}*x^{j}")
+        body = " ".join(terms)
+        if body.startswith("+"):
+            body = body[1:]
+        return f"IntPoly({body})"
+
+    def __bool__(self) -> bool:
+        return bool(self.coeffs)
+
+    # -- ring operations -------------------------------------------------
+    def __neg__(self) -> "IntPoly":
+        return IntPoly(tuple(-c for c in self.coeffs))
+
+    def __add__(self, other: "IntPoly | int") -> "IntPoly":
+        if isinstance(other, int):
+            other = IntPoly.constant(other)
+        if not isinstance(other, IntPoly):
+            return NotImplemented
+        a, b = self.coeffs, other.coeffs
+        if len(a) < len(b):
+            a, b = b, a
+        out = list(a)
+        for j, c in enumerate(b):
+            out[j] += c
+        return IntPoly(out)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "IntPoly | int") -> "IntPoly":
+        if isinstance(other, int):
+            other = IntPoly.constant(other)
+        if not isinstance(other, IntPoly):
+            return NotImplemented
+        out = list(self.coeffs)
+        bc = other.coeffs
+        if len(out) < len(bc):
+            out.extend([0] * (len(bc) - len(out)))
+        for j, c in enumerate(bc):
+            out[j] -= c
+        return IntPoly(out)
+
+    def __rsub__(self, other: "IntPoly | int") -> "IntPoly":
+        if isinstance(other, int):
+            return IntPoly.constant(other) - self
+        return NotImplemented
+
+    def __mul__(self, other: "IntPoly | int") -> "IntPoly":
+        if isinstance(other, int):
+            return self.scale(other)
+        if not isinstance(other, IntPoly):
+            return NotImplemented
+        return self.mul(other)
+
+    def __rmul__(self, other: "IntPoly | int") -> "IntPoly":
+        if isinstance(other, int):
+            return self.scale(other)
+        return NotImplemented
+
+    def scale(self, c: int, counter: CostCounter = NULL_COUNTER) -> "IntPoly":
+        """Multiply every coefficient by the integer ``c``."""
+        if c == 0 or self.is_zero():
+            return IntPoly.zero()
+        if c == 1:
+            return self
+        return IntPoly(tuple(counter.mul(a, c) for a in self.coeffs))
+
+    def mul(self, other: "IntPoly", counter: CostCounter = NULL_COUNTER) -> "IntPoly":
+        """Schoolbook polynomial product, cost-charged per coefficient.
+
+        The schoolbook (quadratic) convolution matches the paper's model:
+        the UNIX ``mp`` package used straightforward algorithms, and the
+        analysis of Section 4.2 charges ``(da+1)*(db+1)`` scalar
+        multiplications per polynomial product.
+        """
+        a, b = self.coeffs, other.coeffs
+        if not a or not b:
+            return IntPoly.zero()
+        out = [0] * (len(a) + len(b) - 1)
+        mul = counter.mul
+        for i, ai in enumerate(a):
+            if ai == 0:
+                continue
+            for j, bj in enumerate(b):
+                if bj == 0:
+                    continue
+                out[i + j] += mul(ai, bj)
+        return IntPoly(out)
+
+    def shift_up(self, k: int) -> "IntPoly":
+        """Return ``x**k * self``."""
+        if self.is_zero() or k == 0:
+            return self
+        return IntPoly((0,) * k + self.coeffs)
+
+    # -- division --------------------------------------------------------
+    def exact_div_scalar(self, c: int, counter: CostCounter = NULL_COUNTER) -> "IntPoly":
+        """Divide every coefficient by ``c``; raise if any division is inexact.
+
+        The paper's recurrence (Eq. 18) divides by ``c_{i-1}^2`` and Collins'
+        theory guarantees exactness; checking it at runtime turns silent
+        corruption into a loud error.
+        """
+        if c == 0:
+            raise ZeroDivisionError("exact_div_scalar by zero")
+        if c == 1:
+            return self
+        out = []
+        for a in self.coeffs:
+            q, r = counter.divmod(a, c)
+            if r != 0:
+                raise ArithmeticError(
+                    f"inexact scalar division: {a} not divisible by {c}"
+                )
+            out.append(q)
+        return IntPoly(out)
+
+    def divmod(
+        self, other: "IntPoly", counter: CostCounter = NULL_COUNTER
+    ) -> tuple["IntPoly", "IntPoly"]:
+        """Euclidean division over Q, valid only when the result is integral.
+
+        Raises :class:`ArithmeticError` if a non-integer coefficient would
+        arise.  Use :meth:`pseudo_divmod` for the general integer case.
+        """
+        if other.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        if self.degree < other.degree:
+            return IntPoly.zero(), self
+        rem = list(self.coeffs)
+        dq = self.degree - other.degree
+        quot = [0] * (dq + 1)
+        lc = other.leading_coefficient
+        bc = other.coeffs
+        for k in range(dq, -1, -1):
+            head = rem[k + other.degree]
+            if head == 0:
+                continue
+            q, r = counter.divmod(head, lc)
+            if r != 0:
+                raise ArithmeticError("non-exact polynomial division")
+            quot[k] = q
+            for j, b in enumerate(bc):
+                rem[k + j] -= counter.mul(q, b)
+        return IntPoly(quot), IntPoly(rem)
+
+    def pseudo_divmod(
+        self, other: "IntPoly", counter: CostCounter = NULL_COUNTER
+    ) -> tuple["IntPoly", "IntPoly", int]:
+        """Pseudo-division: find Q, R with ``lc(other)**k * self = Q*other + R``.
+
+        Returns ``(Q, R, k)`` where ``k = deg(self) - deg(other) + 1`` (or 0
+        when no division step is needed).  All arithmetic stays integral.
+        """
+        if other.is_zero():
+            raise ZeroDivisionError("polynomial pseudo-division by zero")
+        if self.degree < other.degree:
+            return IntPoly.zero(), self, 0
+        d = other.degree
+        lc = other.leading_coefficient
+        k = self.degree - d + 1
+        quot = IntPoly.zero()
+        rem = self
+        e = k
+        while not rem.is_zero() and rem.degree >= d:
+            j = rem.degree - d
+            head = rem.leading_coefficient
+            quot = quot.scale(lc, counter) + IntPoly.monomial(head, j)
+            rem = rem.scale(lc, counter) - other.mul(
+                IntPoly.monomial(head, j), counter
+            )
+            e -= 1
+        # Normalize so that exactly lc**k multiplies the dividend.
+        if e > 0:
+            q = lc**e
+            quot = quot.scale(q, counter)
+            rem = rem.scale(q, counter)
+        return quot, rem, k
+
+    # -- calculus / transforms -------------------------------------------
+    def derivative(self, counter: CostCounter = NULL_COUNTER) -> "IntPoly":
+        if self.degree < 1:
+            return IntPoly.zero()
+        return IntPoly(
+            tuple(counter.mul(j, self.coeffs[j]) for j in range(1, len(self.coeffs)))
+        )
+
+    def compose_linear(self, a: int, b: int) -> "IntPoly":
+        """Return ``p(a*x + b)`` (exact, used by tests and workloads)."""
+        res = IntPoly.zero()
+        lin = IntPoly((b, a))
+        for c in reversed(self.coeffs):
+            res = res * lin + c
+        return res
+
+    def reversed_coeffs(self) -> "IntPoly":
+        """Return ``x**deg * p(1/x)`` — the reciprocal polynomial."""
+        return IntPoly(tuple(reversed(self.coeffs)))
+
+    def primitive_part(self) -> tuple[int, "IntPoly"]:
+        """Return ``(content, primitive)`` with ``content >= 0`` except that
+        the sign convention keeps the primitive part's leading coefficient
+        sign equal to the original's."""
+        if self.is_zero():
+            return 0, IntPoly.zero()
+        from math import gcd
+
+        g = 0
+        for c in self.coeffs:
+            g = gcd(g, abs(c))
+            if g == 1:
+                break
+        if g in (0, 1):
+            return 1, self
+        return g, IntPoly(tuple(c // g for c in self.coeffs))
+
+    # -- evaluation --------------------------------------------------------
+    def __call__(self, x: int) -> int:
+        return self.eval_int(x)
+
+    def eval_int(self, x: int, counter: CostCounter = NULL_COUNTER) -> int:
+        """Horner evaluation at an integer point."""
+        acc = 0
+        mul = counter.mul
+        for c in reversed(self.coeffs):
+            acc = mul(acc, x) + c
+        return acc
+
+    def eval_float(self, x: float) -> float:
+        acc = 0.0
+        for c in reversed(self.coeffs):
+            acc = acc * x + c
+        return acc
+
+    def sign_at_rational(
+        self, num: int, den: int, counter: CostCounter = NULL_COUNTER
+    ) -> int:
+        """Exact sign of ``p(num/den)`` for ``den > 0``.
+
+        Evaluates the homogenized form ``sum c_j num^j den^(d-j)`` by
+        Horner, so only integers appear.
+        """
+        if den <= 0:
+            raise ValueError("den must be positive")
+        if self.is_zero():
+            return 0
+        acc = 0
+        mul = counter.mul
+        for j in range(self.degree, -1, -1):
+            acc = mul(acc, num) + mul(self.coeffs[j], den ** (self.degree - j))
+        return (acc > 0) - (acc < 0)
+
+    def sign_at_neg_inf(self) -> int:
+        """Sign of ``p(x)`` as ``x -> -inf``."""
+        if self.is_zero():
+            return 0
+        lc = 1 if self.leading_coefficient > 0 else -1
+        return lc if self.degree % 2 == 0 else -lc

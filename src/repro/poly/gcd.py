@@ -1,0 +1,149 @@
+"""Polynomial gcd and square-free machinery over the integers.
+
+Repeated roots make the paper's remainder sequence terminate early at
+``F_{n*} = gcd(F_0, F_1)`` (Section 2.3).  The production entry point
+:class:`repro.core.rootfinder.RealRootFinder` therefore needs an exact
+integer polynomial gcd (subresultant PRS, Collins 1967) and Yun's
+square-free decomposition to recover multiplicities.
+"""
+
+from __future__ import annotations
+
+from math import gcd as int_gcd
+
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.poly.dense import IntPoly
+
+__all__ = [
+    "poly_gcd",
+    "square_free_part",
+    "square_free_decomposition",
+    "is_square_free",
+]
+
+
+def _normalize_sign(p: IntPoly) -> IntPoly:
+    if p.leading_coefficient < 0:
+        return -p
+    return p
+
+
+def poly_gcd(
+    a: IntPoly, b: IntPoly, counter: CostCounter = NULL_COUNTER
+) -> IntPoly:
+    """Primitive gcd of two integer polynomials, positive leading coeff.
+
+    Uses the subresultant polynomial remainder sequence, which keeps
+    intermediate coefficients polynomially bounded (Collins 1967) —
+    the same theory underpinning the paper's remainder sequence bounds.
+    """
+    if a.is_zero():
+        return _normalize_sign(b.primitive_part()[1]) if not b.is_zero() else IntPoly.zero()
+    if b.is_zero():
+        return _normalize_sign(a.primitive_part()[1])
+
+    ca, pa = a.primitive_part()
+    cb, pb = b.primitive_part()
+    content = int_gcd(ca, cb)
+
+    if pa.degree < pb.degree:
+        pa, pb = pb, pa
+
+    # Subresultant PRS state (Brown/Collins): g and h scale factors.
+    g, h = 1, 1
+    while True:
+        delta = pa.degree - pb.degree
+        _q, r, _k = pa.pseudo_divmod(pb, counter)
+        if r.is_zero():
+            break
+        if r.degree == 0:
+            pb = IntPoly.one()
+            break
+        divisor = g * h**delta
+        pa, pb = pb, r.exact_div_scalar(divisor, counter) if divisor not in (1, -1) else (
+            r if divisor == 1 else -r
+        )
+        g = pa.leading_coefficient
+        if delta >= 1:
+            # h = h**(1-delta) * g**delta, exact by subresultant theory
+            num = g**delta
+            if delta == 1:
+                h = num
+            else:
+                den = h ** (delta - 1)
+                h = counter.exact_div(num, den)
+        # delta == 0 cannot occur for a proper remainder (deg r < deg pb)
+
+    result = _normalize_sign(pb.primitive_part()[1])
+    if result.degree == 0:
+        return IntPoly.constant(content)
+    return result.scale(content) if content != 1 else result
+
+
+def square_free_part(
+    p: IntPoly, counter: CostCounter = NULL_COUNTER
+) -> IntPoly:
+    """Return the square-free part ``p / gcd(p, p')`` (primitive, lc > 0)."""
+    if p.is_zero():
+        raise ValueError("square-free part of zero is undefined")
+    if p.degree <= 1:
+        return _normalize_sign(p.primitive_part()[1])
+    g = poly_gcd(p, p.derivative(counter), counter)
+    if g.degree == 0:
+        return _normalize_sign(p.primitive_part()[1])
+    q, r = p.divmod(g, counter)
+    if not r.is_zero():
+        raise ArithmeticError("gcd does not divide p — internal error")
+    return _normalize_sign(q.primitive_part()[1])
+
+
+def is_square_free(p: IntPoly, counter: CostCounter = NULL_COUNTER) -> bool:
+    """True iff ``p`` has no repeated (complex) roots: ``gcd(p, p')`` constant."""
+    if p.is_zero():
+        return False
+    if p.degree <= 1:
+        return True
+    return poly_gcd(p, p.derivative(counter), counter).degree == 0
+
+
+def square_free_decomposition(
+    p: IntPoly, counter: CostCounter = NULL_COUNTER
+) -> list[tuple[IntPoly, int]]:
+    """Yun's algorithm: ``p = content * prod f_i**i`` with square-free,
+    pairwise-coprime ``f_i``.
+
+    Returns the list of ``(f_i, i)`` with non-constant ``f_i`` only, in
+    increasing multiplicity order.  The content and overall sign are
+    dropped (roots are unaffected).
+    """
+    if p.is_zero():
+        raise ValueError("square-free decomposition of zero is undefined")
+    _c, f = p.primitive_part()
+    f = _normalize_sign(f)
+    if f.degree == 0:
+        return []
+    out: list[tuple[IntPoly, int]] = []
+    df = f.derivative(counter)
+    a = poly_gcd(f, df, counter)
+    b, rb = f.divmod(a, counter)
+    if not rb.is_zero():
+        raise ArithmeticError("Yun: gcd does not divide f")
+    c, rc = df.divmod(a, counter)
+    if not rc.is_zero():
+        raise ArithmeticError("Yun: gcd does not divide f'")
+    d = c - b.derivative(counter)
+    i = 1
+    while b.degree > 0:
+        fac = poly_gcd(b, d, counter)
+        if fac.degree > 0:
+            out.append((_normalize_sign(fac.primitive_part()[1]), i))
+        b_next, r1 = b.divmod(fac, counter)
+        if not r1.is_zero():
+            raise ArithmeticError("Yun: factor does not divide b")
+        c_next, r2 = d.divmod(fac, counter)
+        if not r2.is_zero():
+            raise ArithmeticError("Yun: factor does not divide d")
+        b = b_next
+        d = c_next - b.derivative(counter)
+        i += 1
+    return out

@@ -1,0 +1,123 @@
+"""2x2 matrices of integer polynomials.
+
+The tree phase of the algorithm (paper Sections 2.1 and 3.2) manipulates
+2x2 matrices ``T_{i,j}`` whose entries are the interleaving polynomials:
+
+    T_{i,j} = [[-P_{i+1,j-1},  P_{i,j-1}],
+               [-P_{i+1,j},    P_{i,j}  ]]        (paper Eq. 54)
+
+Products of these matrices are where most of the tree phase's bit cost is
+spent; :meth:`PolyMatrix2x2.mul` therefore charges the cost counter and
+can optionally run as eight separately attributed entry-products, which
+is exactly how the parallel implementation splits COMPUTEPOLY into tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.poly.dense import IntPoly
+
+__all__ = ["PolyMatrix2x2"]
+
+
+@dataclass(frozen=True)
+class PolyMatrix2x2:
+    """An immutable 2x2 matrix of :class:`IntPoly` entries.
+
+    Entries are addressed (row, col) with 1-based helpers matching the
+    paper's ``T(2,2)`` notation.
+    """
+
+    a11: IntPoly
+    a12: IntPoly
+    a21: IntPoly
+    a22: IntPoly
+
+    @classmethod
+    def identity(cls) -> "PolyMatrix2x2":
+        one = IntPoly.one()
+        zero = IntPoly.zero()
+        return cls(one, zero, zero, one)
+
+    @classmethod
+    def scalar(cls, c: int) -> "PolyMatrix2x2":
+        p = IntPoly.constant(c)
+        zero = IntPoly.zero()
+        return cls(p, zero, zero, p)
+
+    def entry(self, row: int, col: int) -> IntPoly:
+        """1-based entry access: ``entry(2, 2)`` is the paper's ``T(2,2)``."""
+        return {
+            (1, 1): self.a11,
+            (1, 2): self.a12,
+            (2, 1): self.a21,
+            (2, 2): self.a22,
+        }[(row, col)]
+
+    def mul(
+        self, other: "PolyMatrix2x2", counter: CostCounter = NULL_COUNTER
+    ) -> "PolyMatrix2x2":
+        """Matrix product ``self @ other`` with cost-charged entry products."""
+        s, o = self, other
+        return PolyMatrix2x2(
+            s.a11.mul(o.a11, counter) + s.a12.mul(o.a21, counter),
+            s.a11.mul(o.a12, counter) + s.a12.mul(o.a22, counter),
+            s.a21.mul(o.a11, counter) + s.a22.mul(o.a21, counter),
+            s.a21.mul(o.a12, counter) + s.a22.mul(o.a22, counter),
+        )
+
+    def __matmul__(self, other: "PolyMatrix2x2") -> "PolyMatrix2x2":
+        return self.mul(other)
+
+    def entry_product(
+        self, other: "PolyMatrix2x2", row: int, col: int,
+        counter: CostCounter = NULL_COUNTER,
+    ) -> IntPoly:
+        """One entry of ``self @ other`` — the grain of a COMPUTEPOLY task.
+
+        The parallel implementation executes each of the four entries of
+        each of the two matrix products at a node as a distinct task
+        (paper Section 3.2); this method is that task's body.
+        """
+        left = (self.a11, self.a12) if row == 1 else (self.a21, self.a22)
+        right = (other.a11, other.a21) if col == 1 else (other.a12, other.a22)
+        return left[0].mul(right[0], counter) + left[1].mul(right[1], counter)
+
+    def scale(self, c: int, counter: CostCounter = NULL_COUNTER) -> "PolyMatrix2x2":
+        return PolyMatrix2x2(
+            self.a11.scale(c, counter),
+            self.a12.scale(c, counter),
+            self.a21.scale(c, counter),
+            self.a22.scale(c, counter),
+        )
+
+    def exact_div_scalar(
+        self, c: int, counter: CostCounter = NULL_COUNTER
+    ) -> "PolyMatrix2x2":
+        """Entrywise exact division; raises on any inexact coefficient."""
+        return PolyMatrix2x2(
+            self.a11.exact_div_scalar(c, counter),
+            self.a12.exact_div_scalar(c, counter),
+            self.a21.exact_div_scalar(c, counter),
+            self.a22.exact_div_scalar(c, counter),
+        )
+
+    def determinant(self, counter: CostCounter = NULL_COUNTER) -> IntPoly:
+        return self.a11.mul(self.a22, counter) - self.a12.mul(self.a21, counter)
+
+    def max_coefficient_bits(self) -> int:
+        """The paper's ``||T||``: max coefficient size over all entries."""
+        return max(
+            self.a11.max_coefficient_bits(),
+            self.a12.max_coefficient_bits(),
+            self.a21.max_coefficient_bits(),
+            self.a22.max_coefficient_bits(),
+        )
+
+    def max_degree(self) -> int:
+        """The paper's ``d(T)``: max entry degree."""
+        return max(
+            self.a11.degree, self.a12.degree, self.a21.degree, self.a22.degree
+        )

@@ -1,0 +1,86 @@
+"""Root magnitude bounds.
+
+The paper (Section 2.2, citing Householder 1970) brackets all roots of an
+``m``-bit-coefficient polynomial inside ``[-2**m, 2**m]`` (it states the
+interval as ``[2**-m, 2**m]``, an evident typo for the symmetric
+interval).  We implement the Cauchy bound, which is at most ``m+1`` bits
+and usually much tighter, and expose the paper's ``R`` parameter
+(``X = R + mu`` drives the interval-phase complexity, Eq. 40).
+"""
+
+from __future__ import annotations
+
+from repro.poly.dense import IntPoly
+
+__all__ = [
+    "cauchy_root_bound_bits",
+    "fujiwara_root_bound_bits",
+    "root_bound_bits",
+    "root_bracket_scaled",
+]
+
+
+def cauchy_root_bound_bits(p: IntPoly) -> int:
+    """Smallest ``R`` such that every (real or complex) root has ``|x| < 2**R``.
+
+    Uses the Cauchy bound ``|x| <= 1 + max_j |c_j| / |c_d|``.  Returns
+    ``R >= 1`` for constant-free safety.
+    """
+    if p.is_zero():
+        raise ValueError("zero polynomial has no root bound")
+    if p.degree == 0:
+        return 1
+    lead = abs(p.leading_coefficient)
+    mx = max(abs(c) for c in p.coeffs[:-1]) if p.degree >= 1 else 0
+    # 1 + mx/lead  <  2**R   <=>   lead + mx < lead * 2**R
+    bound_num = lead + mx  # numerator of the Cauchy bound times lead
+    r = 1
+    while (lead << r) < bound_num:
+        r += 1
+    return max(r, 1)
+
+
+def fujiwara_root_bound_bits(p: IntPoly) -> int:
+    """Smallest ``R`` with ``2 * max_k |a_{n-k}/a_n|^(1/k) < 2**R``.
+
+    Fujiwara's bound is dramatically tighter than Cauchy's for
+    polynomials whose low coefficients are huge but whose roots are
+    moderate — exactly the characteristic-polynomial workload (Cauchy
+    gives ``R ~ m`` bits, Fujiwara ``R ~ m/n + log n``).  Tight
+    sentinels make the outermost interval problems as cheap as interior
+    ones.
+    """
+    if p.is_zero():
+        raise ValueError("zero polynomial has no root bound")
+    n = p.degree
+    if n == 0:
+        return 1
+    lead = abs(p.leading_coefficient)
+    r = 1
+    for k in range(1, n + 1):
+        a = abs(p.coefficient(n - k))
+        if a == 0:
+            continue
+        # need (a/lead)^(1/k) <= 2**(r_k), i.e. a <= lead << (k * r_k)
+        rk = 0
+        while a > (lead << (k * rk)):
+            rk += 1
+        r = max(r, rk + 1)  # +1 for the factor 2 in Fujiwara's bound
+    return max(r + 1, 1)  # strictness margin
+
+
+def root_bound_bits(p: IntPoly) -> int:
+    """The tighter of the Cauchy and Fujiwara bounds (used everywhere)."""
+    return min(cauchy_root_bound_bits(p), fujiwara_root_bound_bits(p))
+
+
+def root_bracket_scaled(p: IntPoly, w: int) -> tuple[int, int]:
+    """Return integers ``(lo, hi)`` with every real root of ``p`` inside
+    ``(lo/2**w, hi/2**w)``.
+
+    These play the role of the paper's outer sentinels ``y_0`` and ``y_n``
+    when solving the interval problems at the root of the recursion.
+    """
+    r = root_bound_bits(p)
+    hi = 1 << (r + w)
+    return -hi, hi

@@ -1,0 +1,145 @@
+"""Sturm chains and exact real-root counting.
+
+The reproduction uses Sturm chains in two roles:
+
+* as the *certification oracle* for every computed approximation — each
+  reported ``mu``-approximation is certified by exact integer sign
+  evaluations, independent of the algorithm under test;
+* as the classical sequential baseline isolator
+  (:mod:`repro.baselines.sturm_bisect`).
+
+The chain here is the generalized (pseudo-remainder) Sturm sequence: it
+works for arbitrary integer polynomials, including non-square-free ones,
+for which it counts *distinct* real roots.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.poly.dense import IntPoly
+from repro.poly.eval import scaled_sign
+
+__all__ = [
+    "sturm_chain",
+    "sign_variations",
+    "variations_at_scaled",
+    "variations_at_neg_inf",
+    "variations_at_pos_inf",
+    "count_real_roots",
+    "count_roots_in_open",
+    "count_roots_below",
+]
+
+
+def sturm_chain(
+    p: IntPoly, counter: CostCounter = NULL_COUNTER
+) -> list[IntPoly]:
+    """Build the generalized Sturm chain of ``p``.
+
+    Each successor is a *positive* rational multiple of the negated
+    remainder ``-rem(S_{i-1}, S_i)``, computed with integer
+    pseudo-division and content removal to contain coefficient growth.
+    Positive scaling preserves signs everywhere, which is all Sturm's
+    theorem needs.
+    """
+    if p.is_zero():
+        raise ValueError("Sturm chain of the zero polynomial is undefined")
+    chain = [p]
+    if p.degree == 0:
+        return chain
+    cur = p.derivative(counter)
+    if cur.is_zero():
+        return chain
+    chain.append(cur)
+    prev = p
+    while chain[-1].degree > 0:
+        prev, cur = cur, None
+        a, b = chain[-2], chain[-1]
+        _q, r, k = a.pseudo_divmod(b, counter)
+        if r.is_zero():
+            break
+        # prem: lc(b)**k * a = Q*b + r, so rem(a, b) = r / lc(b)**k.
+        # We need a positive multiple of -rem:
+        lc_pow_sign = 1 if (b.leading_coefficient > 0 or k % 2 == 0) else -1
+        nxt = -r if lc_pow_sign > 0 else r
+        _c, nxt = nxt.primitive_part()
+        chain.append(nxt)
+        cur = nxt
+    return chain
+
+
+def sign_variations(signs: list[int]) -> int:
+    """Number of sign changes in a sequence, zeros ignored."""
+    var = 0
+    last = 0
+    for s in signs:
+        if s == 0:
+            continue
+        if last != 0 and s != last:
+            var += 1
+        last = s
+    return var
+
+
+def variations_at_scaled(
+    chain: list[IntPoly], y: int, w: int, counter: CostCounter = NULL_COUNTER
+) -> int:
+    """Sign variations of the chain at the rational point ``y / 2**w``."""
+    return sign_variations(
+        [scaled_sign(q, y, w, counter) for q in chain]
+    )
+
+
+def variations_at_neg_inf(chain: list[IntPoly]) -> int:
+    """Sign variations of the chain as ``x -> -inf`` (leading terms)."""
+    return sign_variations([q.sign_at_neg_inf() for q in chain])
+
+
+def variations_at_pos_inf(chain: list[IntPoly]) -> int:
+    """Sign variations of the chain as ``x -> +inf`` (leading signs)."""
+    signs = []
+    for q in chain:
+        if q.is_zero():
+            signs.append(0)
+        else:
+            signs.append(1 if q.leading_coefficient > 0 else -1)
+    return sign_variations(signs)
+
+
+def count_real_roots(
+    p: IntPoly, counter: CostCounter = NULL_COUNTER
+) -> int:
+    """Number of *distinct* real roots of ``p``."""
+    chain = sturm_chain(p, counter)
+    return variations_at_neg_inf(chain) - variations_at_pos_inf(chain)
+
+
+def count_roots_in_open(
+    chain: list[IntPoly], a: int, b: int, w: int,
+    counter: CostCounter = NULL_COUNTER,
+) -> int:
+    """Distinct real roots in the open interval ``(a/2**w, b/2**w)``.
+
+    Requires that neither endpoint is a root of ``chain[0]`` (raises
+    otherwise — callers perturb by one grid step instead of guessing).
+    """
+    p = chain[0]
+    if scaled_sign(p, a, w, counter) == 0 or scaled_sign(p, b, w, counter) == 0:
+        raise ValueError("count_roots_in_open endpoints must not be roots")
+    if a >= b:
+        return 0
+    return variations_at_scaled(chain, a, w, counter) - variations_at_scaled(
+        chain, b, w, counter
+    )
+
+
+def count_roots_below(
+    chain: list[IntPoly], y: int, w: int, counter: CostCounter = NULL_COUNTER
+) -> int:
+    """Distinct real roots in ``(-inf, y/2**w)``; the endpoint must not be a root."""
+    p = chain[0]
+    if scaled_sign(p, y, w, counter) == 0:
+        raise ValueError("count_roots_below endpoint must not be a root")
+    return variations_at_neg_inf(chain) - variations_at_scaled(
+        chain, y, w, counter
+    )

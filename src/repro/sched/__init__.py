@@ -1,0 +1,20 @@
+"""Parallel substrate: task DAG, dynamic-queue multiprocessor simulator
+(the Sequent Symmetry substitute), and a real multiprocessing executor."""
+
+from repro.sched.task import Task, TaskKind
+from repro.sched.graph import TaskGraph, GraphStats
+from repro.sched.simulator import ScheduleResult, simulate, simulate_static, speedup_curve
+from repro.sched.metrics import SpeedupRow, speedup_table, format_speedup_table
+from repro.sched.executor import ParallelRootFinder
+from repro.sched.render import render_gantt, render_utilization
+from repro.sched.reference import reference_makespan
+
+__all__ = [
+    "Task", "TaskKind", "TaskGraph", "GraphStats",
+    "ScheduleResult", "simulate", "simulate_static", "speedup_curve",
+    "SpeedupRow", "speedup_table", "format_speedup_table",
+    "ParallelRootFinder",
+    "render_gantt",
+    "render_utilization",
+    "reference_makespan",
+]

@@ -1,0 +1,99 @@
+"""Real process-based parallel execution of the interval problems.
+
+The discrete-event simulator (:mod:`repro.sched.simulator`) is the
+faithful instrument for the paper's speedup study (see DESIGN.md: the
+GIL rules out threaded bigint parallelism and this host has a single
+core).  This module exists to demonstrate that the task decomposition
+*also* runs on real OS processes: the embarrassingly parallel INTERVAL
+stage — the dominant cost at large ``mu`` — is farmed out to a
+``multiprocessing`` pool, everything exact, results bit-identical to
+the sequential path.
+
+On a multi-core host this yields genuine wall-clock speedups for large
+inputs; on a single-core host it degrades gracefully to roughly
+sequential speed plus IPC overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+
+from repro.core.interval import IntervalProblemSolver, solve_linear_scaled
+from repro.core.remainder import compute_remainder_sequence
+from repro.core.rootfinder import merge_sorted
+from repro.core.tree import InterleavingTree
+from repro.poly.dense import IntPoly
+from repro.poly.roots_bounds import cauchy_root_bound_bits
+
+__all__ = ["ParallelRootFinder", "solve_gap_worker"]
+
+
+def solve_gap_worker(
+    args: tuple[tuple[int, ...], int, int, int, int, int],
+) -> tuple[int, int]:
+    """Pool worker: solve one interval problem.
+
+    ``args = (coeffs, mu, r_bits, gap_index, left, right)``; returns
+    ``(gap_index, scaled_root)``.  Module-level so it pickles.
+    """
+    coeffs, mu, r_bits, gap, left, right = args
+    p = IntPoly(coeffs)
+    solver = IntervalProblemSolver(p, mu, r_bits)
+    return gap, solver.solve_gap_standalone(gap, left, right)
+
+
+@dataclass
+class ParallelRootFinder:
+    """Multiprocessing variant of :class:`repro.core.rootfinder.RealRootFinder`.
+
+    Only square-free inputs are supported (the benches' workloads); the
+    remainder sequence and tree polynomials are computed in the parent
+    (they are cheap relative to the interval stage for large ``mu``),
+    and each node's interval problems are dispatched to the pool.
+    """
+
+    mu: int
+    processes: int = 2
+    chunk_size: int = 1
+
+    def find_roots_scaled(self, p: IntPoly) -> list[int]:
+        if p.leading_coefficient < 0:
+            p = -p
+        if p.degree == 1:
+            return [solve_linear_scaled(p, self.mu)]
+        seq = compute_remainder_sequence(p)
+        tree = InterleavingTree(seq)
+        tree.compute_polynomials()
+        r_bits = cauchy_root_bound_bits(p)
+
+        with mp.get_context("spawn").Pool(self.processes) as pool:
+            for node in tree.nodes_postorder():
+                if node.is_empty:
+                    node.roots_scaled = []
+                    continue
+                poly = node.poly
+                assert poly is not None
+                if node.degree == 1:
+                    node.roots_scaled = [solve_linear_scaled(poly, self.mu)]
+                    continue
+                assert node.left is not None and node.right is not None
+                inter = merge_sorted(
+                    node.left.roots_scaled or [], node.right.roots_scaled or []
+                )
+                sentinel = 1 << (r_bits + self.mu)
+                ys = [-sentinel] + inter + [sentinel]
+                jobs = [
+                    (poly.coeffs, self.mu, r_bits, gap, ys[gap], ys[gap + 1])
+                    for gap in range(node.degree)
+                ]
+                results = pool.map(
+                    solve_gap_worker, jobs, chunksize=self.chunk_size
+                )
+                roots: list[int] = [0] * node.degree
+                for gap, val in results:
+                    roots[gap] = val
+                node.roots_scaled = roots
+
+        assert tree.root.roots_scaled is not None
+        return tree.root.roots_scaled

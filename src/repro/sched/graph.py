@@ -1,0 +1,127 @@
+"""Task-graph container and the recorded (1-processor) execution.
+
+Creation order is required to be a topological order (every task's
+dependencies have smaller ids).  The builders in
+:mod:`repro.core.tasks` guarantee this by constructing bottom-up in
+post-order; :meth:`TaskGraph.run_recorded` checks it at runtime.
+
+The recorded run *is* the algorithm: task bodies perform the real
+arithmetic through the cost counter, and the per-task bit-cost deltas
+become the task durations used by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.costmodel.counter import CostCounter
+from repro.sched.task import Task, TaskKind
+
+__all__ = ["TaskGraph", "GraphStats"]
+
+
+@dataclass
+class GraphStats:
+    """Aggregate DAG quantities used by the speedup analysis.
+
+    ``total_work`` is the classical T_1 and ``critical_path`` is T_inf
+    (both in bit-cost units, optionally including per-task overhead);
+    a greedy schedule satisfies ``T_p <= T_1 / p + T_inf`` (Brent), a
+    bound the simulator tests enforce.
+    """
+
+    n_tasks: int
+    total_work: int
+    critical_path: int
+    by_kind: dict[str, tuple[int, int]]  # kind -> (count, work)
+
+
+class TaskGraph:
+    """An append-only DAG of :class:`Task` objects."""
+
+    def __init__(self) -> None:
+        self.tasks: list[Task] = []
+        self._executed = False
+
+    # -- construction ------------------------------------------------------
+    def add(
+        self,
+        kind: TaskKind,
+        body: Callable[[], None],
+        deps: Iterable[int] = (),
+        label: str = "",
+        phase: str = "",
+    ) -> int:
+        """Append a task; returns its id.  Deps must already exist."""
+        deps_t = tuple(sorted(set(int(d) for d in deps)))
+        tid = len(self.tasks)
+        for d in deps_t:
+            if d >= tid or d < 0:
+                raise ValueError(
+                    f"task {tid} depends on {d}, which does not precede it"
+                )
+        self.tasks.append(
+            Task(tid=tid, kind=kind, label=label, deps=deps_t, body=body,
+                 phase=phase or kind.value)
+        )
+        return tid
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    # -- recorded execution ---------------------------------------------------
+    def run_recorded(self, counter: CostCounter) -> None:
+        """Execute every task once, in creation (= topological) order,
+        attributing the counter's bit-cost delta to each task.
+
+        This is exactly the paper's 1-processor run of the dynamic-queue
+        program: FIFO order with tasks enqueued as their dependencies
+        complete degenerates to creation order.
+        """
+        if self._executed:
+            raise RuntimeError("task graph has already been executed")
+        done = 0
+        for task in self.tasks:
+            for d in task.deps:
+                if d >= done:
+                    raise RuntimeError(
+                        f"task {task.tid} ran before its dependency {d}"
+                    )
+            before = counter.phase_stats()
+            with counter.phase(task.phase):
+                task.body()
+            after = counter.phase_stats()
+            task.cost = after.total_bit_cost - before.total_bit_cost
+            task.op_count = after.op_count - before.op_count
+            done += 1
+        self._executed = True
+
+    @property
+    def executed(self) -> bool:
+        return self._executed
+
+    # -- analysis -----------------------------------------------------------
+    def stats(self, overhead: int = 0) -> GraphStats:
+        """Compute T_1, T_inf and per-kind work (requires a recorded run)."""
+        self._require_recorded()
+        total = 0
+        finish: list[int] = [0] * len(self.tasks)
+        by_kind: dict[str, tuple[int, int]] = {}
+        for task in self.tasks:
+            dur = (task.cost or 0) + overhead
+            total += dur
+            start = max((finish[d] for d in task.deps), default=0)
+            finish[task.tid] = start + dur
+            cnt, wrk = by_kind.get(task.kind.value, (0, 0))
+            by_kind[task.kind.value] = (cnt + 1, wrk + dur)
+        return GraphStats(
+            n_tasks=len(self.tasks),
+            total_work=total,
+            critical_path=max(finish, default=0),
+            by_kind=by_kind,
+        )
+
+    def _require_recorded(self) -> None:
+        if not self._executed:
+            raise RuntimeError("run_recorded() must be called first")

@@ -1,0 +1,71 @@
+"""Speedup/efficiency reporting (paper Tables 3-7, Figures 9-13).
+
+The paper reports speedups *"with respect to the parallel program with
+one processor"*; :func:`speedup_table` follows that convention exactly
+(T_1 is the simulated one-processor makespan of the same task graph,
+not a separate sequential implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sched.graph import TaskGraph
+from repro.sched.simulator import speedup_curve
+
+__all__ = ["SpeedupRow", "speedup_table", "format_speedup_table"]
+
+
+@dataclass
+class SpeedupRow:
+    """One workload's speedups across processor counts."""
+
+    label: str
+    degree: int
+    makespans: dict[int, int]
+
+    def speedup(self, p: int) -> float:
+        return self.makespans[1] / self.makespans[p]
+
+    def efficiency(self, p: int) -> float:
+        return self.speedup(p) / p
+
+
+def speedup_table(
+    graphs: dict[int, TaskGraph],
+    processor_counts: list[int],
+    overhead: int = 0,
+    labels: dict[int, str] | None = None,
+) -> list[SpeedupRow]:
+    """Simulate every graph at every processor count.
+
+    ``graphs`` maps a degree (table row) to its recorded task graph.
+    """
+    rows = []
+    for degree in sorted(graphs):
+        curve = speedup_curve(graphs[degree], processor_counts, overhead)
+        rows.append(
+            SpeedupRow(
+                label=(labels or {}).get(degree, f"n={degree}"),
+                degree=degree,
+                makespans={p: r.makespan for p, r in curve.items()},
+            )
+        )
+    return rows
+
+
+def format_speedup_table(
+    rows: list[SpeedupRow], processor_counts: list[int], title: str = ""
+) -> str:
+    """Render rows in the paper's Tables 3-7 layout."""
+    counts = sorted(set(processor_counts) | {1})
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'degree':>8s} | " + " ".join(f"{p:>7d}" for p in counts)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = " ".join(f"{row.speedup(p):7.2f}" for p in counts)
+        lines.append(f"{row.degree:>8d} | {cells}")
+    return "\n".join(lines)

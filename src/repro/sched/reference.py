@@ -1,0 +1,61 @@
+"""A deliberately simple reference scheduler for cross-validation.
+
+The production simulator (:mod:`repro.sched.simulator`) is event-driven
+with heaps; this module re-implements the same FIFO list-scheduling
+policy as a naive time-stepping loop over task completions.  It is
+O(n^2)-ish and used only by the test suite: both implementations must
+produce identical makespans on every DAG — a strong mutual check.
+"""
+
+from __future__ import annotations
+
+from repro.sched.graph import TaskGraph
+
+__all__ = ["reference_makespan"]
+
+
+def reference_makespan(
+    graph: TaskGraph, processors: int, overhead: int = 0
+) -> int:
+    """Makespan under FIFO greedy list scheduling, computed naively."""
+    graph._require_recorded()
+    tasks = graph.tasks
+    n = len(tasks)
+    indeg = [len(t.deps) for t in tasks]
+    children: list[list[int]] = [[] for _ in range(n)]
+    for t in tasks:
+        for d in t.deps:
+            children[d].append(t.tid)
+
+    ready: list[int] = sorted(t.tid for t in tasks if not t.deps)
+    #: (finish_time, tid, proc) of in-flight tasks
+    running: list[tuple[int, int, int]] = []
+    #: (last_finish_time, proc) of processors whose completion event has
+    #: been processed — the production simulator's ``free`` heap: a
+    #: processor is reusable only once its completion is *popped*.
+    free: list[tuple[int, int]] = [(0, p) for p in range(processors)]
+    finished = 0
+    clock = 0
+
+    while finished < n:
+        ready.sort()
+        free.sort()
+        while ready and free:
+            t_free, proc = free.pop(0)
+            tid = ready.pop(0)
+            start = max(clock, t_free)
+            dur = (tasks[tid].cost or 0) + overhead
+            running.append((start + dur, tid, proc))
+        if not running:
+            raise RuntimeError("deadlock in reference scheduler")
+        running.sort()
+        finish, tid, proc = running.pop(0)
+        clock = max(clock, finish)
+        free.append((finish, proc))
+        finished += 1
+        for ch in children[tid]:
+            indeg[ch] -= 1
+            if indeg[ch] == 0:
+                ready.append(ch)
+
+    return clock

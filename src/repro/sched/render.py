@@ -1,0 +1,82 @@
+"""Textual rendering of simulated schedules.
+
+Turns a traced :class:`~repro.sched.simulator.ScheduleResult` into an
+ASCII Gantt chart (one row per processor, one column per time bucket,
+letters keyed by task kind) and a utilization timeline — the quickest
+way to *see* where the p=16 droop comes from (idle tails during the
+serial-ish phases).
+"""
+
+from __future__ import annotations
+
+from repro.sched.simulator import ScheduleResult
+from repro.sched.task import TaskKind
+
+__all__ = ["render_gantt", "render_utilization", "KIND_GLYPHS"]
+
+#: One-letter glyph per task kind for the Gantt chart.
+KIND_GLYPHS: dict[str, str] = {
+    TaskKind.REM_Q.value: "q",
+    TaskKind.REM_MUL.value: "m",
+    TaskKind.REM_ADD.value: "a",
+    TaskKind.REM_DIV.value: "d",
+    TaskKind.RECURSE.value: "r",
+    TaskKind.MATMUL.value: "M",
+    TaskKind.DIVSCALE.value: "D",
+    TaskKind.LEAFPOLY.value: "l",
+    TaskKind.SPINEPOLY.value: "s",
+    TaskKind.SORT.value: "o",
+    TaskKind.PREINTERVAL.value: "p",
+    TaskKind.INTERVAL.value: "I",
+    TaskKind.LINROOT.value: "n",
+}
+
+
+def render_gantt(
+    result: ScheduleResult, tasks, width: int = 100
+) -> str:
+    """ASCII Gantt chart of a traced schedule.
+
+    ``tasks`` is the graph's task list (for kinds).  Each row is a
+    processor; each column is a ``makespan / width`` bucket; the glyph
+    is the kind of the task occupying the bucket's midpoint ('.' for
+    idle).  Requires the simulation to have been run with
+    ``keep_trace=True``.
+    """
+    if result.trace is None:
+        raise ValueError("simulate(..., keep_trace=True) required")
+    span = max(result.makespan, 1)
+    rows = [["."] * width for _ in range(result.processors)]
+    for start, end, proc, tid in result.trace:
+        glyph = KIND_GLYPHS.get(tasks[tid].kind.value, "?")
+        c0 = min(width - 1, start * width // span)
+        c1 = min(width - 1, max(c0, (end - 1) * width // span))
+        for c in range(c0, c1 + 1):
+            rows[proc][c] = glyph
+    lines = [
+        f"p{idx:<3d} |{''.join(row)}|" for idx, row in enumerate(rows)
+    ]
+    legend = "  ".join(f"{g}={k}" for k, g in KIND_GLYPHS.items())
+    lines.append(f"(time -> {result.makespan} units; legend: {legend})")
+    return "\n".join(lines)
+
+
+def render_utilization(result: ScheduleResult, width: int = 100) -> str:
+    """Single-line utilization profile: per time bucket, the number of
+    busy processors rendered as a digit (or '#' for >= 10)."""
+    if result.trace is None:
+        raise ValueError("simulate(..., keep_trace=True) required")
+    span = max(result.makespan, 1)
+    busy_cells: set[tuple[int, int]] = set()
+    for start, end, proc, _tid in result.trace:
+        c0 = min(width - 1, start * width // span)
+        c1 = min(width - 1, max(c0, (end - 1) * width // span))
+        for c in range(c0, c1 + 1):
+            busy_cells.add((proc, c))
+    busy = [0] * width
+    for _proc, c in busy_cells:
+        busy[c] += 1
+    chars = [
+        "#" if b >= 10 else (str(b) if b > 0 else ".") for b in busy
+    ]
+    return f"busy |{''.join(chars)}|  (max {result.processors})"

@@ -1,0 +1,235 @@
+"""Discrete-event simulation of the shared-queue multiprocessor.
+
+This is the substitute for the paper's 20-processor Sequent Symmetry
+(see DESIGN.md): the recorded task DAG is replayed under the same
+dynamic scheduling policy the paper describes — a single FIFO task
+queue from which any free processor takes the oldest ready task.
+
+The simulated clock runs in bit-cost units.  A per-task ``overhead``
+parameter models the fixed cost of dequeueing/bookkeeping (the paper's
+"grain ... not so small as to make the overheads large"); the grain
+ablation bench sweeps it.
+
+The simulation is deterministic: ties are broken by task id, matching
+the FIFO enqueue order of the recorded run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.sched.graph import TaskGraph
+
+__all__ = ["ScheduleResult", "simulate", "simulate_static", "speedup_curve"]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one simulated schedule."""
+
+    processors: int
+    makespan: int
+    total_work: int
+    critical_path: int
+    busy: list[int]
+    n_tasks: int
+    #: (start, end, processor, task_id) tuples; only kept when tracing.
+    trace: list[tuple[int, int, int, int]] | None = None
+
+    @property
+    def utilization(self) -> float:
+        if self.makespan == 0:
+            return 1.0
+        return self.total_work / (self.makespan * self.processors)
+
+    def speedup_vs(self, t1: int) -> float:
+        return t1 / self.makespan if self.makespan else float("inf")
+
+    def check_bounds(self) -> None:
+        """Assert the classical greedy-scheduling sandwich:
+        ``max(T_1/p, T_inf) <= T_p <= T_1/p + T_inf``."""
+        p = self.processors
+        lower = max((self.total_work + p - 1) // p, self.critical_path)
+        upper = self.total_work // p + self.critical_path + p  # integer slack
+        if not (lower <= self.makespan <= upper):
+            raise AssertionError(
+                f"greedy bound violated: {lower} <= {self.makespan} <= {upper}"
+            )
+
+
+def simulate(
+    graph: TaskGraph,
+    processors: int,
+    overhead: int = 0,
+    queue_overhead: int = 0,
+    keep_trace: bool = False,
+) -> ScheduleResult:
+    """Replay a recorded task graph on ``processors`` simulated CPUs.
+
+    Scheduling policy: whenever a processor is free and the ready queue
+    is nonempty, it takes the ready task with the smallest id (FIFO by
+    enqueue order, as in the paper's implementation).
+
+    ``overhead`` inflates every task's duration (per-task bookkeeping
+    that parallelizes); ``queue_overhead`` models the *serialized* cost
+    of popping the shared task queue — the Sequent implementation's
+    lock-protected queue.  Serialized acquisition is what makes too
+    fine a grain hurt at high processor counts (the paper's Section 3
+    grain discussion and the droop at 16 processors).
+    """
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    graph._require_recorded()
+    tasks = graph.tasks
+    n = len(tasks)
+
+    indeg = [len(t.deps) for t in tasks]
+    children: list[list[int]] = [[] for _ in range(n)]
+    for t in tasks:
+        for d in t.deps:
+            children[d].append(t.tid)
+
+    ready: list[int] = [t.tid for t in tasks if not t.deps]
+    heapq.heapify(ready)
+
+    #: (time, processor) for free processors
+    free: list[tuple[int, int]] = [(0, p) for p in range(processors)]
+    heapq.heapify(free)
+    #: (finish_time, task_id, processor) for running tasks
+    running: list[tuple[int, int, int]] = []
+
+    busy = [0] * processors
+    trace: list[tuple[int, int, int, int]] | None = [] if keep_trace else None
+    total_work = 0
+    completed = 0
+    clock = 0
+    queue_free = 0  # serialized task-queue lock availability
+
+    while completed < n:
+        # Assign as many ready tasks as possible to free processors at the
+        # earliest available time >= current clock.
+        while ready and free:
+            t_free, proc = heapq.heappop(free)
+            start = max(t_free, clock)
+            if queue_overhead:
+                start = max(start, queue_free)
+                queue_free = start + queue_overhead
+                start = queue_free
+            tid = heapq.heappop(ready)
+            dur = (tasks[tid].cost or 0) + overhead
+            end = start + dur
+            busy[proc] += dur
+            total_work += dur
+            heapq.heappush(running, (end, tid, proc))
+            if trace is not None:
+                trace.append((start, end, proc, tid))
+        if not running:
+            raise RuntimeError("deadlock: no running tasks but work remains")
+        # Advance to the next completion.
+        end, tid, proc = heapq.heappop(running)
+        clock = max(clock, end)
+        heapq.heappush(free, (end, proc))
+        completed += 1
+        for ch in children[tid]:
+            indeg[ch] -= 1
+            if indeg[ch] == 0:
+                heapq.heappush(ready, ch)
+
+    gstats = graph.stats(overhead)
+    return ScheduleResult(
+        processors=processors,
+        makespan=clock,
+        total_work=total_work,
+        critical_path=gstats.critical_path,
+        busy=busy,
+        n_tasks=n,
+        trace=trace,
+    )
+
+
+def simulate_static(
+    graph: TaskGraph,
+    processors: int,
+    overhead: int = 0,
+    assignment: list[int] | None = None,
+) -> ScheduleResult:
+    """Static scheduling: the paper's earlier, abandoned policy.
+
+    Footnote 3 of the paper: "An earlier implementation used a static
+    scheduling policy".  Here every task is pre-assigned to a processor
+    (round-robin over creation order by default, or an explicit
+    ``assignment``), and each processor executes its own tasks in id
+    order, waiting for dependencies.  No work ever migrates — exactly
+    the load-imbalance failure mode that motivated the dynamic queue.
+    """
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    graph._require_recorded()
+    tasks = graph.tasks
+    n = len(tasks)
+    if assignment is None:
+        assignment = [t.tid % processors for t in tasks]
+    if len(assignment) != n or any(
+        not 0 <= a < processors for a in assignment
+    ):
+        raise ValueError("assignment must map every task to a processor")
+
+    queues: list[list[int]] = [[] for _ in range(processors)]
+    for t in tasks:
+        queues[assignment[t.tid]].append(t.tid)
+
+    finish = [0] * n
+    done = [False] * n
+    proc_time = [0] * processors
+    heads = [0] * processors
+    busy = [0] * processors
+    remaining = n
+    while remaining:
+        progressed = False
+        for proc in range(processors):
+            while heads[proc] < len(queues[proc]):
+                tid = queues[proc][heads[proc]]
+                t = tasks[tid]
+                if not all(done[d] for d in t.deps):
+                    break  # this processor stalls until the dep lands
+                start = max(
+                    proc_time[proc],
+                    max((finish[d] for d in t.deps), default=0),
+                )
+                dur = (t.cost or 0) + overhead
+                finish[tid] = start + dur
+                done[tid] = True
+                proc_time[proc] = start + dur
+                busy[proc] += dur
+                heads[proc] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed and remaining:
+            raise RuntimeError(
+                "static schedule deadlocked (cyclic wait across queues?)"
+            )
+    gstats = graph.stats(overhead)
+    return ScheduleResult(
+        processors=processors,
+        makespan=max(finish, default=0),
+        total_work=gstats.total_work,
+        critical_path=gstats.critical_path,
+        busy=busy,
+        n_tasks=n,
+    )
+
+
+def speedup_curve(
+    graph: TaskGraph,
+    processor_counts: list[int],
+    overhead: int = 0,
+    queue_overhead: int = 0,
+) -> dict[int, ScheduleResult]:
+    """Simulate every processor count; key 1 is always included so
+    speedups are relative to the one-processor run of the *parallel*
+    program, exactly as in the paper's Tables 3-7."""
+    counts = sorted(set(processor_counts) | {1})
+    return {
+        p: simulate(graph, p, overhead, queue_overhead) for p in counts
+    }

@@ -1,0 +1,70 @@
+"""Task objects for the dynamic-scheduling reproduction (paper Section 3).
+
+The paper's parallel implementation divides the computation into tasks
+kept in a shared dynamic queue; free processors pop the first task, and
+completing a task typically enqueues others.  We reproduce that
+structure as an explicit recorded DAG:
+
+* every task has a ``kind`` (RECURSE, COMPUTEPOLY entry, SORT,
+  PREINTERVAL, INTERVAL, and the remainder phase's scalar MUL/ADD/DIV
+  grains), its dependency list, and a Python ``body`` that performs the
+  *real* computation;
+* executing the graph once (see :mod:`repro.sched.graph`) records each
+  task's cost in bit-operation units from the cost counter;
+* the discrete-event simulator (:mod:`repro.sched.simulator`) then
+  replays the DAG on any number of processors.
+
+Because the dataflow is deterministic, the recorded DAG is identical
+for every processor count — replaying is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+__all__ = ["TaskKind", "Task"]
+
+
+class TaskKind(str, Enum):
+    """Task kinds, following the paper's Fig. 3.2 vocabulary."""
+
+    # Remainder-sequence phase (Section 3.1)
+    REM_Q = "rem.q"            # compute q_{i,1} / q_{i,0} / c_i^2
+    REM_MUL = "rem.mul"        # one scalar product of Eq. (18)
+    REM_ADD = "rem.add"        # the two additions of Eq. (18)
+    REM_DIV = "rem.div"        # the exact division by c_{i-1}^2
+    # Tree phase (Section 3.2)
+    RECURSE = "recurse"        # top-down structure/initialization
+    MATMUL = "matmul"          # one entry of one of the two 2x2 products
+    DIVSCALE = "divscale"      # exact division by c_{k-1}^2 c_k^2
+    LEAFPOLY = "leafpoly"      # a leaf's U_i / Q_i setup
+    SPINEPOLY = "spinepoly"    # rightmost node adopting F_{i-1}
+    SORT = "sort"              # merge children's sorted roots
+    PREINTERVAL = "preinterval"  # evaluate P at one interleaving point
+    INTERVAL = "interval"      # solve one interval problem
+    LINROOT = "linroot"        # root of a linear node polynomial
+
+
+@dataclass
+class Task:
+    """One schedulable unit.
+
+    ``cost`` is filled by the recorded run: the paper's quadratic
+    bit-cost of the arithmetic performed by ``body``, plus nothing else
+    — per-task overheads are added by the simulator so they can be swept
+    (the grain ablation bench).
+    """
+
+    tid: int
+    kind: TaskKind
+    label: str
+    deps: tuple[int, ...]
+    body: Callable[[], None]
+    phase: str = ""
+    cost: int | None = None
+    op_count: int | None = None
+
+    def __repr__(self) -> str:  # keep reprs short: graphs have ~10^4 tasks
+        return f"Task({self.tid}, {self.kind.value}, {self.label!r})"

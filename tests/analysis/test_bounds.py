@@ -1,0 +1,97 @@
+"""Tests asserting the paper's size bounds (Eqs. 21-31) hold."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    beta,
+    bound_F,
+    bound_P,
+    bound_Q,
+    bound_T,
+    eval_bit_cost_bound,
+    horner_partial_bound,
+)
+from repro.core.remainder import compute_remainder_sequence
+from repro.core.tree import InterleavingTree
+from repro.poly.dense import IntPoly
+
+distinct_roots = st.lists(
+    st.integers(min_value=-20, max_value=20), min_size=2, max_size=8,
+    unique=True,
+)
+
+
+class TestBeta:
+    def test_formula(self):
+        # beta = 2m + 3 log n + 2 with ceil(log2)
+        assert beta(8, 10) == 2 * 10 + 3 * 3 + 2
+
+    def test_monotone_in_m(self):
+        assert beta(10, 20) > beta(10, 10)
+
+
+class TestRemainderBounds:
+    @settings(max_examples=40)
+    @given(distinct_roots)
+    def test_F_and_Q_bounds_hold(self, roots):
+        p = IntPoly.from_roots(sorted(roots))
+        seq = compute_remainder_sequence(p)
+        n, m = seq.n, p.max_coefficient_bits()
+        for i, f in enumerate(seq.F):
+            assert f.max_coefficient_bits() <= bound_F(i, n, max(m, 1))
+        for i in range(1, n):
+            assert seq.quotient(i).max_coefficient_bits() <= bound_Q(
+                i, n, max(m, 1)
+            )
+
+
+class TestTreeBounds:
+    @settings(max_examples=25, deadline=None)
+    @given(distinct_roots)
+    def test_P_and_T_bounds_hold(self, roots):
+        p = IntPoly.from_roots(sorted(roots))
+        seq = compute_remainder_sequence(p)
+        tree = InterleavingTree(seq)
+        tree.compute_polynomials()
+        n, m = seq.n, max(p.max_coefficient_bits(), 1)
+        for node in tree.root:
+            if node.is_empty:
+                continue
+            assert node.poly.max_coefficient_bits() <= bound_P(
+                node.i, node.j, n, m
+            )
+            if node.matrix is not None and node.j < n:
+                assert node.matrix.max_coefficient_bits() <= bound_T(
+                    node.i, node.j, n, m
+                )
+
+
+class TestEvalBounds:
+    def test_horner_partial_bound_monotone(self):
+        vals = [horner_partial_bound(10, i, 8) for i in range(10)]
+        assert vals == sorted(vals)
+
+    def test_eval_bit_cost_zero_degree(self):
+        assert eval_bit_cost_bound(10, 0, 8) == 0
+
+    def test_eval_bit_cost_dominant_terms(self):
+        # m X d and X^2 d^2 / 2 terms both present
+        v = eval_bit_cost_bound(100, 10, 20)
+        assert v >= 100 * 20 * 10
+        assert v >= (20 * 20 * 10 * 9) // 2
+
+    def test_eval_bound_dominates_measured(self):
+        """Eq. (37) upper-bounds the counter's measured cost."""
+        from repro.costmodel.counter import CostCounter
+        from repro.poly.eval import scaled_eval
+
+        p = IntPoly([(-3) ** (j % 5) * (j + 1) for j in range(12)])
+        y, w = 12345, 10
+        c = CostCounter()
+        scaled_eval(p, y, w, c)
+        measured = c.phase_stats().mul_bit_cost
+        bound = eval_bit_cost_bound(
+            p.max_coefficient_bits(), p.degree, max(abs(y).bit_length(), w)
+        )
+        assert measured <= bound

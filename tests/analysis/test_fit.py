@@ -1,0 +1,45 @@
+"""Tests for the fitting utilities."""
+
+import pytest
+
+from repro.analysis.fit import linear_fit, loglog_slope, power_law_exponent
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        slope, intercept = linear_fit([0, 1, 2], [3, 5, 7])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(3.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+
+    def test_single_point(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ValueError):
+            linear_fit([2, 2, 2], [1, 2, 3])
+
+
+class TestLogLog:
+    def test_power_law(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [x**3 for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(3.0)
+
+    def test_with_constant_factor(self):
+        xs = [10, 20, 40]
+        ys = [7 * x**2 for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1, 0], [1, 1])
+        with pytest.raises(ValueError):
+            loglog_slope([1, 2], [-1, 1])
+
+    def test_power_law_exponent_pairs(self):
+        assert power_law_exponent([(2, 4), (4, 16), (8, 64)]) == pytest.approx(2.0)

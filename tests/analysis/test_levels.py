@@ -1,0 +1,57 @@
+"""Tests for the per-level interval-cost decomposition."""
+
+import pytest
+
+from repro.analysis.levels import measure_interval_levels
+from repro.bench.workloads import square_free_characteristic_input
+from repro.core.rootfinder import RealRootFinder
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+
+
+class TestMeasureLevels:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        inp = square_free_characteristic_input(20, 11)
+        return measure_interval_levels(inp.poly, 40)
+
+    def test_levels_present(self, profile):
+        assert 0 in profile.levels()
+        assert len(profile.levels()) >= 4
+
+    def test_root_level_is_single_rightmost_node(self, profile):
+        root_cell = profile.cell(0, True)
+        assert root_cell.nodes == 1
+        assert root_cell.degree_sum == 20
+
+    def test_node_counts_match_tree(self, profile):
+        total_nodes = sum(c.nodes for c in profile.cells.values())
+        # every non-empty node appears exactly once
+        from repro.core.remainder import compute_remainder_sequence
+        from repro.core.tree import InterleavingTree
+
+        inp = square_free_characteristic_input(20, 11)
+        tree = InterleavingTree(compute_remainder_sequence(inp.poly))
+        expected = sum(1 for nd in tree.root if not nd.is_empty)
+        assert total_nodes == expected
+
+    def test_total_matches_normal_interval_cost(self, profile):
+        inp = square_free_characteristic_input(20, 11)
+        c = CostCounter()
+        RealRootFinder(mu_bits=40, counter=c).find_roots(inp.poly)
+        normal = c.phase_stats("interval").total_bit_cost
+        assert abs(profile.total_bit_cost() - normal) <= 0.01 * normal
+
+    def test_degree_sums(self, profile):
+        # sum of node degrees across the tree = total roots produced
+        total_deg = sum(c.degree_sum for c in profile.cells.values())
+        assert total_deg >= 20  # at least the root's
+
+    def test_small_input(self):
+        prof = measure_interval_levels(IntPoly.from_roots([1, 5, 9]), 10)
+        assert prof.total_bit_cost() > 0
+        assert prof.cell(0, True).nodes == 1
+
+    def test_negative_lc_normalized(self):
+        prof = measure_interval_levels(-IntPoly.from_roots([2, 7]), 8)
+        assert prof.n == 2

@@ -1,0 +1,103 @@
+"""Tests for the operation-count predictors (Figures 2-5 machinery)."""
+
+import pytest
+
+from repro.analysis.predict import (
+    asymptotic_table1,
+    iterations_average_case,
+    iterations_worst_case,
+    predict_all,
+    predict_remainder,
+    predict_tree,
+)
+from repro.bench.workloads import square_free_characteristic_input
+from repro.core.rootfinder import RealRootFinder
+from repro.costmodel.counter import CostCounter
+from repro.poly.roots_bounds import cauchy_root_bound_bits
+
+
+def observed(n, seed, mu_bits):
+    inp = square_free_characteristic_input(n, seed)
+    c = CostCounter()
+    RealRootFinder(mu_bits=mu_bits, counter=c).find_roots(inp.poly)
+    return inp, c
+
+
+class TestRemainderPrediction:
+    @pytest.mark.parametrize("n", [6, 11, 17, 24])
+    def test_mul_count_close_to_observed(self, n):
+        inp, c = observed(n, 11, 20)
+        pred = predict_remainder(n, inp.coeff_bits)
+        obs = c.phase_stats("remainder").mul_count
+        # Exact up to zero-coefficient skipping: within 6%.
+        assert abs(pred.mul_count - obs) <= max(4, 0.06 * obs)
+
+    def test_div_count_formula(self):
+        pred = predict_remainder(10, 5)
+        assert pred.div_count == sum(10 - i for i in range(2, 10))
+
+    def test_bit_cost_is_upper_bound(self):
+        inp, c = observed(15, 11, 20)
+        pred = predict_remainder(15, inp.coeff_bits)
+        assert pred.mul_bit_cost >= c.phase_stats("remainder").mul_bit_cost
+
+
+class TestTreePrediction:
+    @pytest.mark.parametrize("n", [7, 12, 20, 27])
+    def test_mul_count_close_to_observed(self, n):
+        inp, c = observed(n, 11, 20)
+        pred = predict_tree(n, inp.coeff_bits)
+        obs = c.phase_stats("tree").mul_count
+        # Dense prediction over-counts skipped zero coefficients a bit.
+        assert obs <= pred.mul_count * 1.02
+        assert pred.mul_count <= obs * 1.25 + 20
+
+    def test_bit_cost_is_weak_upper_bound(self):
+        """The paper's point (Fig 7): Collins bounds are loose."""
+        inp, c = observed(20, 11, 20)
+        pred = predict_tree(20, inp.coeff_bits)
+        obs = c.phase_stats("tree").mul_bit_cost
+        assert pred.mul_bit_cost >= obs  # valid upper bound
+        assert pred.mul_bit_cost > 3 * obs  # and visibly weak
+
+
+class TestIterationModels:
+    def test_worst_dominates_average(self):
+        for x, d in [(30, 10), (120, 40), (250, 70)]:
+            assert iterations_worst_case(x, d) >= 0
+            assert iterations_average_case(x, d) >= 0
+
+    def test_average_grows_logarithmically_in_x(self):
+        d = 20
+        i1 = iterations_average_case(32, d)
+        i2 = iterations_average_case(1024, d)
+        assert i2 > i1
+        assert i2 - i1 < 2 * (10 - 5) + 1  # ~2*log2 growth only
+
+    def test_interval_prediction_within_band(self):
+        inp, c = observed(20, 11, 53)
+        r = cauchy_root_bound_bits(inp.poly)
+        pred = predict_all(20, inp.coeff_bits, 53, r)["interval"]
+        obs = c.phase_stats("interval").mul_count
+        assert 0.5 * obs <= pred.mul_count <= 2.0 * obs
+
+
+class TestTable1:
+    def test_structure(self):
+        t = asymptotic_table1(40, 60, 106, 7)
+        assert set(t) == {
+            "remainder", "tree", "interval_worst", "interval_avg"
+        }
+        for row in t.values():
+            assert row["arithmetic"] > 0 and row["bit"] > 0
+
+    def test_interval_worst_exceeds_avg(self):
+        t = asymptotic_table1(40, 60, 106, 7)
+        assert t["interval_worst"]["bit"] >= t["interval_avg"]["bit"]
+
+    def test_n4_scaling_of_deterministic_phases(self):
+        # bit ~ n^4 (m + log n)^2: the n^4 factor dominates the ratio.
+        a = asymptotic_table1(20, 60, 53, 7)
+        b = asymptotic_table1(40, 60, 53, 7)
+        ratio = b["remainder"]["bit"] / a["remainder"]["bit"]
+        assert 16.0 <= ratio <= 17.0

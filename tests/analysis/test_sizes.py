@@ -1,0 +1,48 @@
+"""Tests for the coefficient-size study (the conclusion's open question)."""
+
+import pytest
+
+from repro.analysis.sizes import SizeProfile, fitted_beta, measure_sizes
+from repro.bench.workloads import square_free_characteristic_input
+from repro.poly.dense import IntPoly
+
+
+class TestFittedBeta:
+    def test_exact_line(self):
+        assert fitted_beta([(0, 1), (1, 3), (2, 5)]) == pytest.approx(2.0)
+
+    def test_degenerate(self):
+        assert fitted_beta([(1, 5)]) == 0.0
+        assert fitted_beta([]) == 0.0
+
+
+class TestMeasureSizes:
+    @pytest.fixture(scope="class")
+    def profile(self) -> SizeProfile:
+        inp = square_free_characteristic_input(15, 11)
+        return measure_sizes(inp.poly)
+
+    def test_counts(self, profile):
+        assert len(profile.f_sizes) == profile.n + 1
+        assert len(profile.q_sizes) == profile.n - 1
+        assert profile.p_sizes  # at least the root node
+
+    def test_bounds_never_violated(self, profile):
+        assert all(s <= b for _i, s, b in profile.f_sizes)
+        assert all(s <= b for _i, s, b in profile.q_sizes)
+        assert all(s <= b for _l, s, b in profile.p_sizes)
+
+    def test_observed_growth_below_analytic(self, profile):
+        assert 0 < profile.beta_observed() < profile.beta_bound
+
+    def test_slack_measures(self, profile):
+        assert profile.max_slack() >= profile.mean_slack_f() > 1.0
+
+    def test_negative_lc_normalized(self):
+        p = -IntPoly.from_roots([1, 4, 9])
+        prof = measure_sizes(p)
+        assert prof.n == 3
+
+    def test_root_node_present(self, profile):
+        labels = [l for l, _s, _b in profile.p_sizes]
+        assert (1, profile.n) in labels

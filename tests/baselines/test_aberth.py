@@ -1,0 +1,51 @@
+"""Tests for the Aberth-Ehrlich fixed-precision baseline."""
+
+import pytest
+
+from repro.baselines.aberth import AberthFailure, AberthFinder
+from repro.bench.workloads import square_free_characteristic_input, wilkinson
+from repro.poly.dense import IntPoly
+
+
+class TestConvergence:
+    def test_small_integer_roots(self):
+        res = AberthFinder().find_roots(IntPoly.from_roots([-3, 1, 8]))
+        assert res.roots == pytest.approx([-3.0, 1.0, 8.0], abs=1e-9)
+
+    def test_empty_for_constant(self):
+        assert AberthFinder().find_roots(IntPoly.constant(2)).roots == []
+
+    def test_wilkinson_10(self):
+        res = AberthFinder().find_roots(wilkinson(10))
+        assert res.roots == pytest.approx(list(range(1, 11)), abs=1e-6)
+
+    def test_charpoly_moderate_degree(self):
+        inp = square_free_characteristic_input(15, 11)
+        res = AberthFinder().find_roots(inp.poly)
+        assert len(res.roots) == 15
+        assert res.iterations > 0
+
+
+class TestFailureModes:
+    def test_wilkinson_20_fails_in_double_precision(self):
+        """Coefficient rounding destroys Wilkinson-20 in float64 — the
+        fixed-precision package must fail, mirroring the paper's PARI
+        wall near degree 30."""
+        with pytest.raises(AberthFailure):
+            AberthFinder().find_roots(wilkinson(20))
+
+    def test_huge_coefficients_fail(self):
+        # coefficient 2**1200 exceeds the double range (~1.8e308)
+        p = IntPoly.from_roots([2**600, -(2**600)])
+        with pytest.raises(AberthFailure):
+            AberthFinder().find_roots(p)
+
+    def test_huge_but_representable_coefficients_converge(self):
+        # 2**800 ~ 6.7e240 still fits in a double; Aberth handles it
+        p = IntPoly.from_roots([2**400, -(2**400)])
+        res = AberthFinder().find_roots(p)
+        assert res.roots == pytest.approx([-(2.0**400), 2.0**400], rel=1e-9)
+
+    def test_complex_roots_rejected(self):
+        with pytest.raises(AberthFailure):
+            AberthFinder().find_roots(IntPoly((1, 0, 1)))  # x^2 + 1

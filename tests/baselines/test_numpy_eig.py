@@ -1,0 +1,26 @@
+"""Tests for the floating-point oracles."""
+
+import pytest
+
+from repro.baselines.numpy_eig import companion_roots, eigvalsh_roots, max_abs_error
+from repro.poly.dense import IntPoly
+
+
+class TestOracles:
+    def test_eigvalsh_diag(self):
+        assert eigvalsh_roots([[3, 0], [0, -1]]) == [-1.0, 3.0]
+
+    def test_companion_roots(self):
+        got = companion_roots(IntPoly.from_roots([-2, 5]))
+        assert got == pytest.approx([-2.0, 5.0])
+
+    def test_companion_constant(self):
+        assert companion_roots(IntPoly.constant(1)) == []
+
+    def test_max_abs_error(self):
+        assert max_abs_error([1.0, 2.0], [1.0, 2.5]) == 0.5
+        assert max_abs_error([], []) == 0.0
+
+    def test_max_abs_error_length_mismatch(self):
+        with pytest.raises(ValueError):
+            max_abs_error([1.0], [1.0, 2.0])

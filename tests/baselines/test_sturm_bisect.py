@@ -1,0 +1,62 @@
+"""Tests for the Sturm/bisection baseline."""
+
+import random
+
+from repro.baselines.sturm_bisect import SturmBisectFinder
+from repro.core.rootfinder import RealRootFinder
+from repro.poly.dense import IntPoly
+
+from tests.conftest import rational_rooted, scaled_ceil
+
+
+class TestBasics:
+    def test_integer_roots(self):
+        got = SturmBisectFinder(mu=8).find_roots_scaled(
+            IntPoly.from_roots([-2, 0, 5])
+        )
+        assert got == [(-2) << 8, 0, 5 << 8]
+
+    def test_empty_for_constants(self):
+        assert SturmBisectFinder(mu=8).find_roots_scaled(IntPoly.constant(4)) == []
+
+    def test_linear(self):
+        got = SturmBisectFinder(mu=4).find_roots_scaled(IntPoly((-1, 2)))
+        assert got == [8]  # ceil(16/2) = 8
+
+    def test_negative_lc(self):
+        got = SturmBisectFinder(mu=6).find_roots_scaled(
+            -IntPoly.from_roots([3, 10])
+        )
+        assert got == [3 << 6, 10 << 6]
+
+    def test_repeated_roots_reduced(self):
+        got = SturmBisectFinder(mu=6).find_roots_scaled(
+            IntPoly.from_roots([2, 2, 7])
+        )
+        assert got == [2 << 6, 7 << 6]
+
+
+class TestAgainstMainAlgorithm:
+    def test_equivalence_randomized(self):
+        rng = random.Random(99)
+        for _ in range(25):
+            p, fracs = rational_rooted(rng)
+            mu = rng.choice([4, 9, 17])
+            ours = RealRootFinder(mu_bits=mu).find_roots(p).scaled
+            base = SturmBisectFinder(mu=mu).find_roots_scaled(p)
+            assert ours == base
+            assert base == [scaled_ceil(f, mu) for f in fracs]
+
+    def test_close_roots_distinct_cells(self):
+        # roots 0 and 1/2048 at mu=5: ceil(0)=0, ceil(32/2048)=1
+        p = IntPoly((0, 1)) * IntPoly((-1, 2048))
+        got = SturmBisectFinder(mu=5).find_roots_scaled(p)
+        assert got == [0, 1]
+
+    def test_two_roots_same_cell(self):
+        # roots 1/4096 and 2/4096 both ceil to 1 at mu=5
+        p = IntPoly((-1, 4096)) * IntPoly((-2, 4096))
+        got = SturmBisectFinder(mu=5).find_roots_scaled(p)
+        assert got == [1, 1]
+        ours = RealRootFinder(mu_bits=5).find_roots(p).scaled
+        assert ours == got

@@ -1,0 +1,31 @@
+"""Tests for the bench grid environment switches."""
+
+import importlib
+
+import repro.bench.workloads as wl
+
+
+class TestGrids:
+    def test_default_is_full_paper_grid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FAST", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert wl.bench_degrees() == list(range(10, 71, 5))
+        assert wl.bench_mu_digits() == [4, 8, 16, 24, 32]
+        assert not wl.full_grid_enabled()
+
+    def test_fast_grid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FAST", "1")
+        assert wl.bench_degrees() == [10, 15, 20, 25, 30]
+        assert wl.bench_mu_digits() == [4, 16, 32]
+
+    def test_full_adds_seeds(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FAST", raising=False)
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert wl.full_grid_enabled()
+        suite = wl.paper_suite([10])
+        assert len(suite) == 3  # three paper seeds
+
+    def test_default_single_seed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        suite = wl.paper_suite([10])
+        assert len(suite) == 1

@@ -1,0 +1,43 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_shape(self):
+        out = ascii_chart("t", [1, 2, 3], {"a": [1, 4, 9]}, width=20, height=6)
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        # title + top border + 6 grid rows + bottom border + x-axis + legend
+        assert len(lines) == 1 + 1 + 6 + 1 + 1 + 1
+        assert "o = a" in out
+
+    def test_log_scale(self):
+        out = ascii_chart("t", [1, 2], {"a": [10, 1000]}, logy=True)
+        assert "1e3.0" in out and "1e1.0" in out
+
+    def test_two_series_glyphs(self):
+        out = ascii_chart("t", [1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "o = a" in out and "x = b" in out
+
+    def test_constant_series(self):
+        out = ascii_chart("t", [1, 2], {"a": [5, 5]})
+        assert "o" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart("t", [1, 2], {"a": [1]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart("t", [], {})
+
+    def test_nonpositive_dropped_on_log(self):
+        out = ascii_chart("t", [1, 2, 3], {"a": [0, 10, 100]}, logy=True)
+        assert "1e2.0" in out
+
+    def test_all_nonpositive_log_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart("t", [1], {"a": [0]}, logy=True)

@@ -1,0 +1,63 @@
+"""Tests for the table/series formatters."""
+
+import pytest
+
+from repro.bench.report import (
+    format_runtime_grid,
+    format_series,
+    format_speedup_grid,
+    format_table2,
+)
+from repro.bench.runner import ParallelRecord, run_sequential
+from repro.bench.workloads import square_free_characteristic_input
+
+
+def make_parallel(degree, spans):
+    return ParallelRecord(
+        degree=degree, seed=1, mu_digits=8, n_tasks=10,
+        total_work=100, critical_path=30, makespans=spans, overhead=0,
+    )
+
+
+class TestTable2Format:
+    def test_layout(self):
+        inp = square_free_characteristic_input(10, 11)
+        recs = [run_sequential(inp, mu_digits=mu) for mu in (4, 8)]
+        txt = format_table2(recs)
+        assert "m(n)" in txt
+        assert "10" in txt
+
+    def test_value_selectors(self):
+        inp = square_free_characteristic_input(10, 11)
+        recs = [run_sequential(inp, mu_digits=4)]
+        for sel in ("sim_seconds", "wall_seconds", "mul_count", "bit_cost"):
+            assert format_table2(recs, value=sel)
+
+    def test_unknown_selector_raises(self):
+        inp = square_free_characteristic_input(10, 11)
+        recs = [run_sequential(inp, mu_digits=4)]
+        with pytest.raises(ValueError):
+            format_table2(recs, value="nope")
+
+
+class TestGrids:
+    def test_runtime_grid(self):
+        txt = format_runtime_grid(
+            [make_parallel(10, {1: 100, 2: 60}), make_parallel(20, {1: 400, 2: 220})]
+        )
+        assert "10" in txt and "20" in txt
+
+    def test_speedup_grid(self):
+        txt = format_speedup_grid([make_parallel(10, {1: 100, 2: 50})])
+        assert "2.00" in txt
+
+
+class TestSeries:
+    def test_series_format(self):
+        txt = format_series(
+            "Figure 2", "n", ["predicted", "observed"],
+            [[10, 100.0, 98.0], [20, 400.0, 395.0]],
+        )
+        assert "Figure 2" in txt
+        assert "predicted" in txt
+        assert "20" in txt

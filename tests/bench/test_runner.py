@@ -1,0 +1,50 @@
+"""Tests for the experiment drivers."""
+
+from repro.bench.runner import run_parallel, run_sequential
+from repro.bench.workloads import square_free_characteristic_input
+
+
+class TestSequentialRecord:
+    def test_fields(self):
+        inp = square_free_characteristic_input(10, 11)
+        rec = run_sequential(inp, mu_digits=4)
+        assert rec.degree == 10
+        assert rec.mu_bits == 14
+        assert rec.n_roots == 10
+        assert rec.wall_seconds > 0
+        assert rec.total_bit_cost > 0
+        assert rec.total_mul_count > 0
+        assert rec.m_digits >= 1
+
+    def test_phase_access(self):
+        inp = square_free_characteristic_input(10, 11)
+        rec = run_sequential(inp, mu_digits=8)
+        assert rec.phase("remainder").mul_count > 0
+        assert rec.phase("interval").mul_count > 0
+
+    def test_predictions_available(self):
+        inp = square_free_characteristic_input(10, 11)
+        rec = run_sequential(inp, mu_digits=8)
+        pred = rec.predictions()
+        assert pred["remainder"].mul_count > 0
+
+    def test_cost_increases_with_mu(self):
+        inp = square_free_characteristic_input(12, 11)
+        lo = run_sequential(inp, mu_digits=4)
+        hi = run_sequential(inp, mu_digits=32)
+        assert hi.total_bit_cost > lo.total_bit_cost
+
+
+class TestParallelRecord:
+    def test_fields_and_speedups(self):
+        inp = square_free_characteristic_input(10, 11)
+        rec = run_parallel(inp, mu_digits=8, processors=[1, 2, 4])
+        assert rec.makespans[1] >= rec.makespans[2] >= rec.makespans[4]
+        assert rec.speedup(1) == 1.0
+        assert rec.speedup(4) >= 1.0
+        assert rec.n_tasks > 0
+
+    def test_overhead_recorded(self):
+        inp = square_free_characteristic_input(10, 11)
+        rec = run_parallel(inp, mu_digits=4, processors=[1, 2], overhead=100)
+        assert rec.overhead == 100

@@ -1,0 +1,33 @@
+"""Tests for bench result persistence."""
+
+import os
+
+from repro.bench.report import save_result
+
+
+class TestSaveResult:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_result("unit_test_artifact", "hello")
+        assert path.startswith(str(tmp_path))
+        with open(path) as fh:
+            assert fh.read() == "hello\n"
+
+    def test_default_location_under_benchmarks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        path = save_result("unit_test_artifact2", "x")
+        assert os.sep + "results" + os.sep in path
+        os.remove(path)
+
+
+class TestSaveResultJson:
+    def test_json_roundtrip(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.bench.report import save_result_json
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_result_json("unit_json", {"a": [1, 2], "b": "x"})
+        assert path.endswith(".json")
+        with open(path) as fh:
+            assert json.load(fh) == {"a": [1, 2], "b": "x"}

@@ -1,0 +1,89 @@
+"""Tests for the workload families."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    bench_degrees,
+    bench_mu_digits,
+    chebyshev_t,
+    close_roots,
+    hermite_prob,
+    laguerre_scaled,
+    legendre_scaled,
+    paper_suite,
+    square_free_characteristic_input,
+    wilkinson,
+)
+from repro.core.rootfinder import RealRootFinder
+from repro.poly.gcd import is_square_free
+from repro.poly.sturm import count_real_roots
+
+
+class TestPaperSuite:
+    def test_square_free_inputs(self):
+        for inp in paper_suite([10, 15], (11,)):
+            assert is_square_free(inp.poly)
+            assert inp.poly.degree == inp.degree
+
+    def test_grids_nonempty(self):
+        assert bench_degrees()
+        assert bench_mu_digits()
+        assert all(d >= 10 for d in bench_degrees())
+
+    def test_square_free_retry(self):
+        # seed 7 at n=5 is known non-square-free; the helper must skip it
+        inp = square_free_characteristic_input(5, 7)
+        assert is_square_free(inp.poly)
+
+
+class TestClassicalFamilies:
+    def test_wilkinson_roots(self):
+        p = wilkinson(6)
+        assert all(p(k) == 0 for k in range(1, 7))
+
+    def test_chebyshev_known_values(self):
+        # T_3 = 4x^3 - 3x
+        assert chebyshev_t(3).coeffs == (0, -3, 0, 4)
+        assert chebyshev_t(0).coeffs == (1,)
+
+    def test_chebyshev_roots_in_unit_interval(self):
+        p = chebyshev_t(9)
+        roots = np.sort(np.roots(list(reversed(p.coeffs))).real)
+        expected = np.sort(np.cos((2 * np.arange(1, 10) - 1) * np.pi / 18))
+        assert np.allclose(roots, expected, atol=1e-9)
+
+    def test_legendre_all_real_roots(self):
+        p = legendre_scaled(8)
+        assert count_real_roots(p) == 8
+
+    def test_hermite_recurrence(self):
+        # He_3 = x^3 - 3x
+        assert hermite_prob(3).coeffs == (0, -3, 0, 1)
+        assert count_real_roots(hermite_prob(9)) == 9
+
+    def test_laguerre_positive_roots(self):
+        p = laguerre_scaled(6)
+        res = RealRootFinder(mu_bits=20).find_roots(p)
+        assert len(res) == 6
+        assert all(x > 0 for x in res.as_floats())
+
+    def test_close_roots_structure(self):
+        p = close_roots(6, 12)
+        assert p.degree == 6
+        res = RealRootFinder(mu_bits=20).find_roots(p)
+        floats = res.as_floats()
+        # pairs around 1, 2, 3 at distance 2^-12
+        assert floats[0] == pytest.approx(1.0, abs=1e-3)
+        assert floats[1] == pytest.approx(1.0, abs=1e-3)
+        assert floats[1] - floats[0] <= 2**-12 + 2**-19
+
+    def test_close_roots_odd(self):
+        p = close_roots(5, 8)
+        assert p.degree == 5
+
+    def test_all_families_solvable_end_to_end(self):
+        for p in (wilkinson(8), chebyshev_t(7), legendre_scaled(6),
+                  hermite_prob(7), laguerre_scaled(5)):
+            res = RealRootFinder(mu_bits=16).find_roots(p)
+            assert len(res) == p.degree

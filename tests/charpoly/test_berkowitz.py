@@ -1,0 +1,92 @@
+"""Tests for the division-free Berkowitz characteristic polynomial."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.charpoly.berkowitz import berkowitz_charpoly, charpoly_int
+from repro.poly.dense import IntPoly
+
+
+def np_charpoly(mat):
+    """Reference: numpy.poly, highest-degree-first, rounded to int."""
+    return [round(c) for c in np.poly(np.array(mat, dtype=float))]
+
+
+class TestSmallCases:
+    def test_empty_matrix(self):
+        assert berkowitz_charpoly([]) == IntPoly.one()
+
+    def test_1x1(self):
+        assert berkowitz_charpoly([[7]]) == IntPoly((-7, 1))
+
+    def test_2x2(self):
+        # det(xI - A) = x^2 - tr x + det
+        p = berkowitz_charpoly([[1, 2], [3, 4]])
+        assert p == IntPoly((-2, -5, 1))
+
+    def test_identity_matrix(self):
+        p = berkowitz_charpoly([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+        assert p == IntPoly.from_roots([1, 1, 1])
+
+    def test_diagonal(self):
+        p = berkowitz_charpoly([[2, 0, 0], [0, -3, 0], [0, 0, 5]])
+        assert p == IntPoly.from_roots([2, -3, 5])
+
+    def test_nilpotent(self):
+        p = berkowitz_charpoly([[0, 1], [0, 0]])
+        assert p == IntPoly((0, 0, 1))
+
+    def test_monic_and_degree(self):
+        m = [[1, 2, 0], [2, 0, 1], [0, 1, 1]]
+        p = berkowitz_charpoly(m)
+        assert p.degree == 3
+        assert p.leading_coefficient == 1
+
+    def test_rectangular_raises(self):
+        with pytest.raises(ValueError):
+            berkowitz_charpoly([[1, 2], [3, 4], [5, 6]][0:2] + [[1]])
+
+    def test_alias(self):
+        assert charpoly_int([[3]]) == berkowitz_charpoly([[3]])
+
+
+class TestAgainstNumpy:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.randoms())
+    def test_random_integer_matrices(self, n, pyrandom):
+        mat = [
+            [pyrandom.randint(-5, 5) for _ in range(n)] for _ in range(n)
+        ]
+        ours = list(reversed(berkowitz_charpoly(mat).coeffs))
+        ref = np_charpoly(mat)
+        assert ours == ref
+
+    def test_trace_and_determinant_coefficients(self):
+        mat = [[2, 1, 0], [1, 3, 1], [0, 1, 4]]
+        p = berkowitz_charpoly(mat)
+        trace = 9
+        det = round(float(np.linalg.det(np.array(mat, dtype=float))))
+        assert p.coefficient(2) == -trace
+        assert p.coefficient(0) == (-1) ** 3 * det
+
+    def test_large_entries_exact(self):
+        """Exactness where float64 would lose digits."""
+        big = 10**12
+        mat = [[big, 1], [1, big]]
+        p = berkowitz_charpoly(mat)
+        assert p == IntPoly((big * big - 1, -2 * big, 1))
+
+    def test_eigenvalues_of_symmetric_match(self):
+        rng = np.random.default_rng(5)
+        mat = rng.integers(0, 2, size=(7, 7))
+        mat = (mat + mat.T) // 1
+        mat = [[int(mat[i][j] if j >= i else mat[j][i]) for j in range(7)]
+               for i in range(7)]
+        p = berkowitz_charpoly(mat)
+        eig = np.sort(np.linalg.eigvalsh(np.array(mat, dtype=float)))
+        vals = [p.eval_float(x) for x in eig]
+        # char poly nearly vanishes at the eigenvalues
+        scale = max(abs(c) for c in p.coeffs)
+        assert all(abs(v) < 1e-6 * scale * 10 for v in vals)

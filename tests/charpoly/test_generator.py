@@ -1,0 +1,59 @@
+"""Tests for the workload matrix/polynomial generators."""
+
+from repro.charpoly.generator import (
+    PAPER_SEEDS,
+    characteristic_input,
+    paper_degrees,
+    random_symmetric_01_matrix,
+    random_symmetric_matrix,
+)
+
+
+class TestMatrices:
+    def test_symmetric(self):
+        a = random_symmetric_01_matrix(10, 3)
+        for i in range(10):
+            for j in range(10):
+                assert a[i][j] == a[j][i]
+
+    def test_01_entries(self):
+        a = random_symmetric_01_matrix(8, 1)
+        assert all(v in (0, 1) for row in a for v in row)
+
+    def test_deterministic_by_seed(self):
+        assert random_symmetric_01_matrix(6, 9) == random_symmetric_01_matrix(6, 9)
+        assert random_symmetric_01_matrix(6, 9) != random_symmetric_01_matrix(6, 10)
+
+    def test_bounded_entries(self):
+        a = random_symmetric_matrix(7, 2, entry_bound=3)
+        assert all(-3 <= v <= 3 for row in a for v in row)
+        for i in range(7):
+            for j in range(7):
+                assert a[i][j] == a[j][i]
+
+
+class TestInputs:
+    def test_characteristic_input_fields(self):
+        inp = characteristic_input(9, 4)
+        assert inp.degree == 9
+        assert inp.poly.degree == 9
+        assert inp.poly.leading_coefficient == 1
+        assert inp.coeff_bits == inp.poly.max_coefficient_bits()
+        assert "n=9" in inp.label
+
+    def test_coefficient_growth_with_degree(self):
+        """The paper's m(n) column grows with n."""
+        m10 = characteristic_input(10, 1).coeff_bits
+        m30 = characteristic_input(30, 1).coeff_bits
+        assert m30 > m10
+
+    def test_entry_bound_variant(self):
+        inp = characteristic_input(6, 2, entry_bound=4)
+        assert inp.poly.degree == 6
+
+    def test_paper_degrees(self):
+        assert paper_degrees(70) == list(range(10, 71, 5))
+        assert paper_degrees(30) == [10, 15, 20, 25, 30]
+
+    def test_three_paper_seeds(self):
+        assert len(PAPER_SEEDS) == 3

@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.poly.dense import IntPoly
+
+
+def random_real_rooted(rng: random.Random, max_roots: int = 8,
+                       lo: int = -50, hi: int = 50) -> tuple[IntPoly, list[int]]:
+    """A polynomial with distinct random integer roots (lc > 0)."""
+    k = rng.randint(1, max_roots)
+    roots = sorted(rng.sample(range(lo, hi), k))
+    return IntPoly.from_roots(roots), roots
+
+
+def rational_rooted(rng: random.Random, max_roots: int = 6
+                    ) -> tuple[IntPoly, list[Fraction]]:
+    """A polynomial with distinct rational roots and positive lc."""
+    fracs: set[Fraction] = set()
+    while len(fracs) < rng.randint(2, max_roots):
+        fracs.add(Fraction(rng.randint(-60, 60), rng.randint(1, 9)))
+    sorted_fracs = sorted(fracs)
+    p = IntPoly.one()
+    for f in sorted_fracs:
+        p = p * IntPoly([-f.numerator, f.denominator])
+    if p.leading_coefficient < 0:
+        p = -p
+    return p, sorted_fracs
+
+
+def scaled_ceil(f: Fraction, mu: int) -> int:
+    """ceil(2**mu * f) for a Fraction — the expected mu-approximation."""
+    return -((-f.numerator << mu) // f.denominator)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,77 @@
+"""Tests for the exact certification oracle."""
+
+import pytest
+
+from repro.core.certify import CertificationError, certify_roots
+from repro.core.rootfinder import RealRootFinder
+from repro.poly.dense import IntPoly
+
+
+class TestAcceptsCorrect:
+    def test_integer_roots(self):
+        p = IntPoly.from_roots([-4, 1, 7])
+        res = RealRootFinder(mu_bits=12).find_roots(p)
+        certify_roots(p, res.scaled, res.multiplicities, 12)
+
+    def test_irrational_roots(self):
+        p = IntPoly((-2, 0, 1)) * IntPoly((-3, 0, 1))  # sqrt2, sqrt3 pairs
+        res = RealRootFinder(mu_bits=24).find_roots(p)
+        certify_roots(p, res.scaled, res.multiplicities, 24)
+
+    def test_repeated_roots(self):
+        p = IntPoly.from_roots([2, 2, 5])
+        res = RealRootFinder(mu_bits=10).find_roots(p)
+        certify_roots(p, res.scaled, res.multiplicities, 10)
+
+    def test_close_roots_same_cell(self):
+        # roots 0 and 1/1024 share a cell at mu=4
+        p = IntPoly((0, 1)) * IntPoly((-1, 1024))
+        res = RealRootFinder(mu_bits=4).find_roots(p)
+        assert res.scaled[0] == res.scaled[1] or res.scaled[0] + 1 == res.scaled[1]
+        certify_roots(p, res.scaled, res.multiplicities, 4)
+
+
+class TestRejectsWrong:
+    def test_wrong_value(self):
+        p = IntPoly.from_roots([-4, 1, 7])
+        res = RealRootFinder(mu_bits=12).find_roots(p)
+        bad = list(res.scaled)
+        bad[1] += 1
+        with pytest.raises(CertificationError):
+            certify_roots(p, bad, res.multiplicities, 12)
+
+    def test_missing_root(self):
+        p = IntPoly.from_roots([-4, 1, 7])
+        res = RealRootFinder(mu_bits=12).find_roots(p)
+        with pytest.raises(CertificationError):
+            certify_roots(p, res.scaled[:-1], res.multiplicities[:-1], 12)
+
+    def test_wrong_multiplicity_sum(self):
+        p = IntPoly.from_roots([2, 2, 5])
+        res = RealRootFinder(mu_bits=10).find_roots(p)
+        with pytest.raises(CertificationError):
+            certify_roots(p, res.scaled, [1, 1], 10)
+
+    def test_unsorted_rejected(self):
+        p = IntPoly.from_roots([-4, 1])
+        res = RealRootFinder(mu_bits=12).find_roots(p)
+        with pytest.raises(CertificationError):
+            certify_roots(p, list(reversed(res.scaled)),
+                          res.multiplicities, 12)
+
+    def test_length_mismatch(self):
+        p = IntPoly.from_roots([1, 2])
+        with pytest.raises(CertificationError):
+            certify_roots(p, [1 << 4], [1, 1], 4)
+
+    def test_zero_polynomial(self):
+        with pytest.raises(CertificationError):
+            certify_roots(IntPoly.zero(), [], [], 4)
+
+    def test_duplicate_claim_with_single_root(self):
+        p = IntPoly.from_roots([0, 100])  # far apart roots
+        res = RealRootFinder(mu_bits=6).find_roots(p)
+        # claim both roots in the same cell
+        bad = [res.scaled[0], res.scaled[0]]
+        with pytest.raises(CertificationError):
+            certify_roots(p, bad, [1, 1], 6)

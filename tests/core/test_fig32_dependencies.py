@@ -1,0 +1,129 @@
+"""Structural fidelity to the paper's Fig. 3.2 task dependencies.
+
+The figure prescribes, per tree node: RECURSE precedes everything at
+the node; COMPUTEPOLY (the matrix-entry tasks) feeds PREINTERVAL;
+SORT merges the children's roots and also feeds PREINTERVAL; each
+INTERVAL task needs its PREINTERVAL evaluations; parents' SORTs wait on
+children's INTERVALs.  These tests check the *recorded DAG's* reachability
+relation encodes exactly those orderings.
+"""
+
+import re
+
+import pytest
+
+from repro.core.tasks import build_task_graph
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+from repro.sched.task import TaskKind
+
+
+@pytest.fixture(scope="module")
+def graph():
+    p = IntPoly.from_roots([-13, -6, -1, 3, 8, 14, 21, 29])
+    tg = build_task_graph(p, 16, CostCounter())
+    tg.graph.run_recorded(CostCounter())
+    return tg.graph
+
+
+@pytest.fixture(scope="module")
+def reach(graph):
+    """Boolean reachability: reach[a] = set of ancestors (deps closure)."""
+    anc: list[set[int]] = []
+    for t in graph.tasks:
+        s = set(t.deps)
+        for d in t.deps:
+            s |= anc[d]
+        anc.append(s)
+    return anc
+
+
+def tasks_of(graph, kind, label_re=None):
+    out = []
+    for t in graph.tasks:
+        if t.kind is kind and (label_re is None or re.search(label_re, t.label)):
+            out.append(t)
+    return out
+
+
+def node_of(label):
+    m = re.search(r"\[(\d+),(\d+)\]", label)
+    return (int(m.group(1)), int(m.group(2))) if m else None
+
+
+class TestFig32:
+    def test_interval_needs_its_preintervals(self, graph, reach):
+        pre_by_node = {}
+        for t in tasks_of(graph, TaskKind.PREINTERVAL):
+            pre_by_node.setdefault(node_of(t.label), []).append(t.tid)
+        for t in tasks_of(graph, TaskKind.INTERVAL):
+            node = node_of(t.label)
+            gap = int(t.label.split("#")[1])
+            pres = sorted(pre_by_node[node])
+            assert pres[gap] in reach[t.tid]
+            assert pres[gap + 1] in reach[t.tid]
+
+    def test_sort_needs_all_children_intervals(self, graph, reach):
+        roots_by_node = {}
+        for t in tasks_of(graph, TaskKind.INTERVAL) + tasks_of(
+            graph, TaskKind.LINROOT
+        ):
+            roots_by_node.setdefault(node_of(t.label), []).append(t.tid)
+        for t in tasks_of(graph, TaskKind.SORT):
+            i, j = node_of(t.label)
+            # children labels
+            k = (i + j) // 2
+            for child in ((i, k - 1), (k + 1, j)):
+                for tid in roots_by_node.get(child, []):
+                    assert tid in reach[t.tid], (t.label, child)
+
+    def test_preinterval_needs_sort_and_polynomial(self, graph, reach):
+        sort_by_node = {
+            node_of(t.label): t.tid for t in tasks_of(graph, TaskKind.SORT)
+        }
+        poly_ready_kinds = (TaskKind.DIVSCALE, TaskKind.SPINEPOLY,
+                            TaskKind.LEAFPOLY)
+        poly_by_node = {}
+        for kind in poly_ready_kinds:
+            for t in tasks_of(graph, kind):
+                node = node_of(t.label)
+                if node:
+                    poly_by_node[node] = t.tid
+        for t in tasks_of(graph, TaskKind.PREINTERVAL):
+            node = node_of(t.label)
+            assert sort_by_node[node] in reach[t.tid]
+            if node in poly_by_node:
+                assert poly_by_node[node] in reach[t.tid]
+
+    def test_matmul_second_product_needs_first(self, graph, reach):
+        m1 = {}
+        for t in tasks_of(graph, TaskKind.MATMUL, r"^m1"):
+            node = node_of(t.label)
+            m1.setdefault(node, []).append(t.tid)
+        for t in tasks_of(graph, TaskKind.MATMUL, r"^m2"):
+            node = node_of(t.label)
+            # each m2 entry needs the two m1 entries of its row
+            row_hits = sum(1 for tid in m1[node] if tid in reach[t.tid])
+            assert row_hits >= 2
+
+    def test_recurse_precedes_node_work(self, graph, reach):
+        recurse_by_node = {
+            node_of(t.label): t.tid
+            for t in tasks_of(graph, TaskKind.RECURSE, r"recurse")
+        }
+        for kind in (TaskKind.MATMUL, TaskKind.LEAFPOLY, TaskKind.SPINEPOLY):
+            for t in tasks_of(graph, kind):
+                node = node_of(t.label)
+                if node in recurse_by_node:
+                    assert recurse_by_node[node] in reach[t.tid], t.label
+
+    def test_remainder_feeds_tree(self, graph, reach):
+        """Every SPINEPOLY (adopting F_{i-1}) transitively needs the
+        remainder divisions that produced those coefficients."""
+        rem_div = [t.tid for t in tasks_of(graph, TaskKind.REM_DIV)]
+        spines = tasks_of(graph, TaskKind.SPINEPOLY)
+        assert spines
+        for t in spines:
+            i, _j = node_of(t.label)
+            if i >= 3:  # F_{i-1} with i-1 >= 2 required actual divisions
+                assert any(tid in reach[t.tid] for tid in rem_div), t.label

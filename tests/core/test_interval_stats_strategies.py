@@ -1,0 +1,40 @@
+"""Additional coverage: solver statistics under each strategy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.interval import IntervalProblemSolver
+from repro.core.sieve import STRATEGIES, IntervalStats, bisection_budget
+from repro.poly.dense import IntPoly
+
+
+class TestBudgetProperties:
+    @given(st.integers(min_value=1, max_value=500))
+    def test_budget_monotone(self, d):
+        assert bisection_budget(d + 1) >= bisection_budget(d)
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_budget_covers_target(self, d):
+        assert (1 << bisection_budget(d)) >= 10 * d * d
+
+
+class TestPerSolveRecords:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_per_solve_triples(self, strategy):
+        p = IntPoly.from_roots([-9, -2, 4, 11])
+        st_ = IntervalStats()
+        solver = IntervalProblemSolver(p, 12, 5, stats=st_, strategy=strategy)
+        solver.solve_all([(-5) << 12, 1 << 12, 7 << 12])
+        assert len(st_.per_solve) == st_.solves
+        for s, b, nit in st_.per_solve:
+            assert s >= 0 and b >= 0 and nit >= 0
+        if strategy == "bisection":
+            assert all(s == 0 and nit == 0 for s, _b, nit in st_.per_solve)
+        if strategy == "newton":
+            assert all(s == 0 and b == 0 for s, b, _n in st_.per_solve)
+
+    def test_strategy_stored(self):
+        p = IntPoly.from_roots([1, 5])
+        solver = IntervalProblemSolver(p, 8, 4, strategy="newton")
+        assert solver._solver.strategy == "newton"

@@ -1,0 +1,79 @@
+"""Tests for the public root-isolation API."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.isolate import IsolatingInterval, isolate_real_roots
+from repro.poly.dense import IntPoly
+from repro.poly.sturm import count_roots_in_open, sturm_chain
+
+
+class TestIsolatingInterval:
+    def test_membership_half_open(self):
+        iv = IsolatingInterval(Fraction(0), Fraction(1), 1)
+        assert Fraction(1) in iv
+        assert Fraction(0) not in iv
+        assert Fraction(1, 2) in iv
+
+    def test_width_and_midpoint(self):
+        iv = IsolatingInterval(Fraction(1, 4), Fraction(3, 4), 2)
+        assert iv.width == Fraction(1, 2)
+        assert iv.midpoint == Fraction(1, 2)
+
+
+class TestIsolation:
+    def test_integer_roots(self):
+        ivs = isolate_real_roots(IntPoly.from_roots([-5, 0, 7]))
+        assert len(ivs) == 3
+        for iv, root in zip(ivs, (-5, 0, 7)):
+            assert root in iv
+            assert iv.multiplicity == 1
+
+    def test_intervals_disjoint_and_sorted(self):
+        ivs = isolate_real_roots(IntPoly.from_roots([1, 2, 3, 4]))
+        for a, b in zip(ivs, ivs[1:]):
+            assert a.hi <= b.lo
+
+    def test_each_interval_contains_exactly_one_root(self):
+        p = IntPoly.from_roots([-9, -3, 2, 8]) * IntPoly((-2, 0, 1))
+        ivs = isolate_real_roots(p)
+        chain = sturm_chain(p)
+        for iv in ivs:
+            # count roots in (lo, hi] via scaled Sturm counts; fractions
+            # reduce, so rescale both endpoints to a common dyadic grid
+            mu = max(iv.lo.denominator, iv.hi.denominator).bit_length() - 1
+            lo_s = iv.lo * (1 << mu)
+            hi_s = iv.hi * (1 << mu)
+            assert lo_s.denominator == 1 and hi_s.denominator == 1
+            from repro.poly.sturm import variations_at_scaled
+
+            v = variations_at_scaled(chain, int(lo_s), mu) - variations_at_scaled(
+                chain, int(hi_s), mu
+            )
+            assert v == 1
+
+    def test_precision_escalation_for_close_roots(self):
+        # roots 1/4096 apart need mu > 12 — must escalate beyond initial 8
+        p = IntPoly((-1, 4096)) * IntPoly((-2, 4096))
+        ivs = isolate_real_roots(p, initial_mu=4)
+        assert len(ivs) == 2
+        assert ivs[0].hi <= ivs[1].lo
+        assert Fraction(1, 4096) in ivs[0]
+        assert Fraction(2, 4096) in ivs[1]
+
+    def test_multiplicities_reported(self):
+        ivs = isolate_real_roots(IntPoly.from_roots([2, 2, 2, 5]))
+        assert [iv.multiplicity for iv in ivs] == [3, 1]
+
+    def test_degree_zero(self):
+        assert isolate_real_roots(IntPoly.constant(3)) == []
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            isolate_real_roots(IntPoly.zero())
+
+    def test_max_mu_guard(self):
+        p = IntPoly((-1, 1 << 40)) * IntPoly((-2, 1 << 40))
+        with pytest.raises(RuntimeError):
+            isolate_real_roots(p, initial_mu=4, max_mu=8)

@@ -1,0 +1,78 @@
+"""Tests for the NC-style cofactor/prefix alternative."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prefix import compute_cofactors, tree_polys_via_cofactors
+from repro.core.remainder import compute_remainder_sequence
+from repro.core.tree import InterleavingTree
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+
+distinct_roots = st.lists(
+    st.integers(min_value=-25, max_value=25), min_size=2, max_size=8,
+    unique=True,
+)
+
+
+class TestCofactors:
+    def test_base_cases(self):
+        seq = compute_remainder_sequence(IntPoly.from_roots([1, 4, 9]))
+        cof = compute_cofactors(seq)
+        assert cof.A[0] == IntPoly.one() and cof.B[0].is_zero()
+        assert cof.A[1].is_zero() and cof.B[1] == IntPoly.one()
+
+    @settings(max_examples=30)
+    @given(distinct_roots)
+    def test_bezout_identity(self, roots):
+        """F_i = A_i F_0 + B_i F_1 for every i."""
+        p = IntPoly.from_roots(sorted(roots))
+        seq = compute_remainder_sequence(p)
+        cof = compute_cofactors(seq)
+        for i, f in enumerate(seq.F):
+            assert cof.A[i] * seq.F[0] + cof.B[i] * seq.F[1] == f
+
+    def test_degrees(self):
+        """deg A_i = i - 2, deg B_i = i - 1 (normal chain)."""
+        seq = compute_remainder_sequence(
+            IntPoly.from_roots([-9, -2, 3, 8, 15, 21])
+        )
+        cof = compute_cofactors(seq)
+        for i in range(2, seq.n + 1):
+            assert cof.A[i].degree == i - 2
+            assert cof.B[i].degree == i - 1
+
+    def test_costs_attributed_to_prefix_phase(self):
+        c = CostCounter()
+        seq = compute_remainder_sequence(IntPoly.from_roots([1, 3, 7, 12]))
+        compute_cofactors(seq, c)
+        assert c.phase_stats("prefix").mul_count > 0
+
+
+class TestEq5Equivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(distinct_roots)
+    def test_matches_tree_polynomials(self, roots):
+        p = IntPoly.from_roots(sorted(roots))
+        seq = compute_remainder_sequence(p)
+        tree = InterleavingTree(seq)
+        tree.compute_polynomials()
+        direct = tree_polys_via_cofactors(seq)
+        for node in tree.root:
+            if not node.is_empty:
+                assert direct[node.label] == node.poly
+
+    def test_root_node_is_input(self):
+        p = IntPoly.from_roots([2, 5, 11, 17])
+        seq = compute_remainder_sequence(p)
+        direct = tree_polys_via_cofactors(seq)
+        assert direct[(1, 4)] == p
+
+    def test_more_expensive_than_tree(self):
+        p = IntPoly.from_roots(list(range(-10, 11, 2)))
+        seq = compute_remainder_sequence(p)
+        c_tree, c_pre = CostCounter(), CostCounter()
+        InterleavingTree(seq).compute_polynomials(c_tree)
+        tree_polys_via_cofactors(seq, counter=c_pre)
+        assert c_pre.total_bit_cost > c_tree.total_bit_cost

@@ -1,0 +1,87 @@
+"""Tests for incremental precision refinement."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.refine import refine_result, refine_root
+from repro.core.rootfinder import RealRootFinder
+from repro.poly.dense import IntPoly
+
+from tests.conftest import rational_rooted, scaled_ceil
+
+
+class TestRefineRoot:
+    def test_matches_direct_high_precision(self):
+        p = IntPoly((-2, 0, 1)) * IntPoly.from_roots([-9])
+        coarse = RealRootFinder(mu_bits=12).find_roots(p)
+        direct = RealRootFinder(mu_bits=120).find_roots(p)
+        for c, d in zip(coarse.scaled, direct.scaled):
+            assert refine_root(p, c, 12, 120) == d
+
+    def test_same_precision_identity(self):
+        assert refine_root(IntPoly.from_roots([1, 5]), 1 << 8, 8, 8) == 1 << 8
+
+    def test_decreasing_precision_rejected(self):
+        with pytest.raises(ValueError):
+            refine_root(IntPoly.from_roots([1, 5]), 1 << 8, 8, 4)
+
+    def test_exact_grid_root(self):
+        p = IntPoly.from_roots([3, 10])
+        assert refine_root(p, 3 << 6, 6, 40) == 3 << 40
+
+    def test_bad_bracket_rejected(self):
+        p = IntPoly.from_roots([3, 10])
+        with pytest.raises(ValueError):
+            refine_root(p, 5 << 6, 6, 20)  # no root in (4, 5] cell
+
+
+class TestRefineResult:
+    def test_matches_direct_run(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(10):
+            p, fracs = rational_rooted(rng)
+            res = RealRootFinder(mu_bits=10).find_roots(p)
+            fine = refine_result(res, p, 60)
+            assert fine.scaled == [scaled_ceil(f, 60) for f in fracs]
+            assert fine.mu == 60
+
+    def test_repeated_roots_refined(self):
+        p = IntPoly.from_roots([2, 2, 7])
+        res = RealRootFinder(mu_bits=10).find_roots(p)
+        fine = refine_result(res, p, 50)
+        assert fine.scaled == [2 << 50, 7 << 50]
+        assert fine.multiplicities == [2, 1]
+
+    def test_shared_cell_falls_back_to_full_run(self):
+        # two roots within one coarse cell: refine must re-separate
+        p = IntPoly((-1, 4096)) * IntPoly((-3, 4096))  # roots 1/4096, 3/4096
+        res = RealRootFinder(mu_bits=4).find_roots(p)
+        assert res.scaled[0] == res.scaled[1]  # shared cell at mu=4
+        fine = refine_result(res, p, 20)
+        assert fine.scaled == [
+            scaled_ceil(Fraction(1, 4096), 20),
+            scaled_ceil(Fraction(3, 4096), 20),
+        ]
+
+    def test_lower_precision_rejected(self):
+        p = IntPoly.from_roots([1, 5])
+        res = RealRootFinder(mu_bits=20).find_roots(p)
+        with pytest.raises(ValueError):
+            refine_result(res, p, 10)
+
+    def test_refinement_is_cheap(self):
+        """Refining 16 -> 512 bits costs far fewer evaluations than a
+        fresh 512-bit run (no tree, Newton doubling)."""
+        p = IntPoly.from_roots([-11, -2, 3, 9, 17]) * IntPoly((-7, 0, 2))
+        res = RealRootFinder(mu_bits=16).find_roots(p)
+        from repro.costmodel.counter import CostCounter
+
+        c_ref = CostCounter()
+        fine = refine_result(res, p, 512, counter=c_ref)
+        c_full = CostCounter()
+        direct = RealRootFinder(mu_bits=512, counter=c_full).find_roots(p)
+        assert fine.scaled == direct.scaled
+        assert c_ref.mul_count < 0.5 * c_full.mul_count

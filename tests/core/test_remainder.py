@@ -1,0 +1,149 @@
+"""Tests for the standard remainder/quotient sequence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.counter import CostCounter
+from repro.core.remainder import (
+    NotRealRootedError,
+    NotSquareFreeError,
+    compute_remainder_sequence,
+)
+from repro.poly.dense import IntPoly
+from repro.poly.sturm import sign_variations
+
+distinct_roots = st.lists(
+    st.integers(min_value=-30, max_value=30), min_size=2, max_size=7, unique=True
+)
+
+
+class TestStructure:
+    def test_degrees_descend_by_one(self):
+        p = IntPoly.from_roots([-4, -1, 2, 6])
+        seq = compute_remainder_sequence(p)
+        for i, f in enumerate(seq.F):
+            assert f.degree == seq.n - i
+
+    def test_first_two_elements(self):
+        p = IntPoly.from_roots([1, 5, 9])
+        seq = compute_remainder_sequence(p)
+        assert seq.F[0] == p
+        assert seq.F[1] == p.derivative()
+
+    def test_quotients_linear_with_positive_lead(self):
+        p = IntPoly.from_roots([-7, 0, 3, 11, 20])
+        seq = compute_remainder_sequence(p)
+        for i in range(1, seq.n):
+            q = seq.quotient(i)
+            assert q.degree == 1
+            assert q.leading_coefficient > 0
+
+    def test_quotient_index_bounds(self):
+        seq = compute_remainder_sequence(IntPoly.from_roots([0, 1, 2]))
+        with pytest.raises(IndexError):
+            seq.quotient(0)
+        with pytest.raises(IndexError):
+            seq.quotient(seq.n)
+
+    def test_leads_same_sign(self):
+        seq = compute_remainder_sequence(IntPoly.from_roots([-2, 1, 4]))
+        assert seq.same_sign_leads()
+        assert all(c > 0 for c in seq.c[1:])
+
+    def test_c0_is_normalized_to_one(self):
+        seq = compute_remainder_sequence(5 * IntPoly.from_roots([1, 2]))
+        assert seq.c[0] == 1
+
+    def test_recurrence_identity(self):
+        """F_{i+1} = (Q_i F_i - c_i^2 F_{i-1}) / c_{i-1}^2 exactly."""
+        p = IntPoly.from_roots([-9, -2, 0, 5, 13])
+        seq = compute_remainder_sequence(p)
+        for i in range(1, seq.n):
+            lhs = seq.quotient(i) * seq.F[i] - (seq.c[i] ** 2) * seq.F[i - 1]
+            divisor = 1 if i == 1 else seq.c[i - 1] ** 2
+            assert lhs == seq.F[i + 1].scale(divisor)
+
+
+class TestSturmProperty:
+    def test_is_sturm_chain(self):
+        """V(-inf) - V(x) counts roots below x."""
+        roots = [-8, -3, 1, 6, 14]
+        seq = compute_remainder_sequence(IntPoly.from_roots(roots))
+
+        def v_at(x):
+            return sign_variations(
+                [(f(x) > 0) - (f(x) < 0) for f in seq.F]
+            )
+
+        v_neg = sign_variations(
+            [f.sign_at_neg_inf() for f in seq.F]
+        )
+        for x in (-10, -5, 0, 3, 10, 20):
+            expected = sum(1 for r in roots if r < x)
+            assert v_neg - v_at(x) == expected
+
+    @settings(max_examples=40)
+    @given(distinct_roots)
+    def test_interleaving_of_consecutive_terms(self, roots):
+        """Each F_{i+1}'s sign alternates at F_i's roots (interleaving)."""
+        import numpy as np
+
+        p = IntPoly.from_roots(sorted(roots))
+        seq = compute_remainder_sequence(p)
+        for i in range(len(seq.F) - 1):
+            if seq.F[i].degree < 2:
+                break
+            ri = np.sort(np.roots(list(reversed(seq.F[i].coeffs))).real)
+            rn = np.sort(np.roots(list(reversed(seq.F[i + 1].coeffs))).real)
+            for a, b in zip(rn, ri[1:]):
+                pass  # ordering checked below
+            # interleaving: ri[t] <= rn[t] <= ri[t+1]
+            for t in range(len(rn)):
+                assert ri[t] <= rn[t] + 1e-6
+                assert rn[t] <= ri[t + 1] + 1e-6
+
+
+class TestErrors:
+    def test_repeated_roots_detected(self):
+        with pytest.raises(NotSquareFreeError) as ei:
+            compute_remainder_sequence(IntPoly.from_roots([3, 3, 5]))
+        err = ei.value
+        assert err.n_star == 2
+        assert err.gcd.degree == 1  # proportional to (x - 3)
+
+    def test_complex_roots_detected(self):
+        with pytest.raises(NotRealRootedError):
+            compute_remainder_sequence(IntPoly((1, 0, 0, 0, 1)))  # x^4 + 1
+
+    def test_complex_roots_detected_mixed(self):
+        # (x^2 + 1)(x - 2)(x + 5): 2 real, 2 complex
+        p = IntPoly((1, 0, 1)) * IntPoly.from_roots([2, -5])
+        with pytest.raises(NotRealRootedError):
+            compute_remainder_sequence(p)
+
+    def test_negative_leading_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            compute_remainder_sequence(-IntPoly.from_roots([1, 2]))
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            compute_remainder_sequence(IntPoly.constant(3))
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            compute_remainder_sequence(IntPoly.zero())
+
+
+class TestCosts:
+    def test_costs_attributed_to_remainder_phase(self):
+        c = CostCounter()
+        compute_remainder_sequence(IntPoly.from_roots([-3, 1, 4, 9]), c)
+        assert c.phase_stats("remainder").mul_count > 0
+        assert c.phase_stats("interval").mul_count == 0
+
+    def test_linear_input_trivial_sequence(self):
+        seq = compute_remainder_sequence(IntPoly.from_roots([7]))
+        assert seq.n == 1
+        assert len(seq.F) == 2
+        assert seq.F[1].degree == 0

@@ -1,0 +1,191 @@
+"""End-to-end tests for RealRootFinder."""
+
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.charpoly.generator import random_symmetric_01_matrix
+from repro.charpoly import characteristic_input
+from repro.core.remainder import NotRealRootedError
+from repro.core.rootfinder import RealRootFinder, RootResult, merge_sorted
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+
+from tests.conftest import rational_rooted, scaled_ceil
+
+
+class TestMergeSorted:
+    def test_basic(self):
+        assert merge_sorted([1, 4, 9], [2, 3, 10]) == [1, 2, 3, 4, 9, 10]
+
+    def test_empty(self):
+        assert merge_sorted([], [5]) == [5]
+        assert merge_sorted([], []) == []
+
+    def test_duplicates_kept(self):
+        assert merge_sorted([1, 2], [2, 3]) == [1, 2, 2, 3]
+
+
+class TestBasicRoots:
+    def test_integer_roots_exact(self):
+        res = RealRootFinder(mu_bits=16).find_roots(IntPoly.from_roots([-3, 0, 2]))
+        assert res.as_floats() == [-3.0, 0.0, 2.0]
+        assert res.multiplicities == [1, 1, 1]
+
+    def test_linear(self):
+        res = RealRootFinder(mu_bits=8).find_roots(IntPoly((-10, 4)))  # root 2.5
+        assert res.as_floats() == [2.5]
+
+    def test_degree_zero(self):
+        res = RealRootFinder(mu_bits=8).find_roots(IntPoly.constant(7))
+        assert len(res) == 0
+
+    def test_zero_polynomial_raises(self):
+        with pytest.raises(ValueError):
+            RealRootFinder(mu_bits=8).find_roots(IntPoly.zero())
+
+    def test_negative_leading_coefficient_normalized(self):
+        res = RealRootFinder(mu_bits=10).find_roots(-IntPoly.from_roots([1, 5]))
+        assert res.as_floats() == [1.0, 5.0]
+
+    def test_non_real_rooted_raises(self):
+        with pytest.raises(NotRealRootedError):
+            RealRootFinder(mu_bits=8).find_roots(IntPoly((1, 0, 1)))
+
+    def test_bad_mu_raises(self):
+        with pytest.raises(ValueError):
+            RealRootFinder(mu_bits=0)
+
+    def test_from_digits(self):
+        f = RealRootFinder.from_digits(4)
+        assert f.mu == 14
+
+    def test_irrational_roots_are_ceilings(self):
+        # x^2 - 2: roots +-sqrt(2)
+        res = RealRootFinder(mu_bits=40).find_roots(IntPoly((-2, 0, 1)))
+        for s, x in zip(res.scaled, [-2**0.5, 2**0.5]):
+            f = Fraction(s, 1 << 40)
+            assert abs(float(f) - x) < 2**-39
+        # exact ceiling property via Fractions: p(s/2^mu) >= 0 boundary
+        p = IntPoly((-2, 0, 1))
+        for s in res.scaled:
+            v_at = p.sign_at_rational(s, 1 << 40)
+            v_before = p.sign_at_rational(s - 1, 1 << 40)
+            # root in (s-1, s] at scale: signs differ or zero at s
+            assert v_at == 0 or v_at != v_before
+
+
+class TestResultObject:
+    def test_error_bound(self):
+        res = RealRootFinder(mu_bits=5).find_roots(IntPoly.from_roots([1]))
+        assert res.error_bound() == Fraction(1, 32)
+
+    def test_as_fractions(self):
+        res = RealRootFinder(mu_bits=3).find_roots(IntPoly.from_roots([2]))
+        assert res.as_fractions() == [Fraction(2)]
+
+    def test_keep_structures(self):
+        f = RealRootFinder(mu_bits=8, keep_structures=True)
+        res = f.find_roots(IntPoly.from_roots([1, 2, 3]))
+        assert res.tree is not None
+        assert res.sequence is not None
+        assert res.tree.root.poly == IntPoly.from_roots([1, 2, 3])
+
+    def test_structures_dropped_by_default(self):
+        res = RealRootFinder(mu_bits=8).find_roots(IntPoly.from_roots([1, 2]))
+        assert res.tree is None
+
+    def test_elapsed_recorded(self):
+        res = RealRootFinder(mu_bits=8).find_roots(IntPoly.from_roots([1, 2]))
+        assert res.elapsed_seconds >= 0
+
+
+class TestRepeatedRoots:
+    def test_multiplicities(self):
+        p = IntPoly.from_roots([1, 1, 1, 2, 2, -3])
+        res = RealRootFinder(mu_bits=16).find_roots(p)
+        assert res.as_floats() == [-3.0, 1.0, 2.0]
+        assert res.multiplicities == [1, 3, 2]
+        assert res.degree == 6
+        assert res.square_free_degree == 3
+
+    def test_all_same_root(self):
+        res = RealRootFinder(mu_bits=8).find_roots(IntPoly.from_roots([4] * 5))
+        assert res.as_floats() == [4.0]
+        assert res.multiplicities == [5]
+
+    def test_mixed_content(self):
+        p = 6 * IntPoly.from_roots([0, 0, 7])
+        res = RealRootFinder(mu_bits=12).find_roots(p)
+        assert res.as_floats() == [0.0, 7.0]
+        assert res.multiplicities == [2, 1]
+
+
+class TestAgainstOracles:
+    def test_charpoly_vs_eigvalsh(self):
+        for n, seed in [(8, 3), (12, 5), (16, 9), (24, 2)]:
+            inp = characteristic_input(n, seed)
+            res = RealRootFinder(mu_bits=30).find_roots(inp.poly)
+            eig = np.sort(np.linalg.eigvalsh(
+                np.array(random_symmetric_01_matrix(n, seed), dtype=float)
+            ))
+            approx = np.array([
+                f for f, m in zip(res.as_floats(), res.multiplicities)
+                for _ in range(m)
+            ])
+            assert len(approx) == n
+            assert np.max(np.abs(approx - eig)) < 1e-7
+
+    def test_rational_roots_randomized(self):
+        rng = random.Random(42)
+        for _ in range(30):
+            p, fracs = rational_rooted(rng)
+            mu = rng.choice([4, 10, 20])
+            res = RealRootFinder(mu_bits=mu).find_roots(p)
+            assert res.scaled == [scaled_ceil(f, mu) for f in fracs]
+
+    def test_precision_refinement_consistency(self):
+        """Higher-precision answers refine lower-precision ones."""
+        p = IntPoly.from_roots([-6, 1, 9]) * IntPoly((-7, 3))
+        prev = None
+        for mu in (4, 8, 16, 32):
+            res = RealRootFinder(mu_bits=mu).find_roots(p)
+            vals = res.as_fractions()
+            if prev is not None:
+                for lo_v, hi_v in zip(prev, vals):
+                    # coarser ceiling is >= finer ceiling, within one step
+                    assert 0 <= lo_v - hi_v < Fraction(1, 1 << (mu // 2))
+            prev = vals
+
+
+class TestCostAccounting:
+    def test_counter_collects_phases(self):
+        c = CostCounter()
+        RealRootFinder(mu_bits=20, counter=c).find_roots(
+            IntPoly.from_roots([-11, -2, 3, 8, 15])
+        )
+        phases = set(c.phases())
+        assert "remainder" in phases
+        assert any(p.startswith("interval") for p in phases)
+
+    def test_stats_populated(self):
+        res = RealRootFinder(mu_bits=20).find_roots(
+            IntPoly.from_roots([-11, -2, 3, 8, 15])
+        )
+        assert res.stats.evaluations > 0
+        assert res.stats.solves > 0
+
+
+class TestTinyPrecision:
+    def test_mu_one_bit(self):
+        """Half-integer grid: ceil(2x)/2."""
+        p = IntPoly.from_roots([1, 4]) * IntPoly((-3, 0, 4))  # +-sqrt(3)/2
+        res = RealRootFinder(mu_bits=1).find_roots(p)
+        # sqrt(3)/2 ~ 0.866 -> ceil at grid 1/2 is 1.0; -0.866 -> -0.5
+        assert res.as_floats() == [-0.5, 1.0, 1.0, 4.0]
+
+    def test_mu_one_integer_roots(self):
+        res = RealRootFinder(mu_bits=1).find_roots(IntPoly.from_roots([-2, 3]))
+        assert res.as_floats() == [-2.0, 3.0]

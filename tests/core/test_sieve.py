@@ -1,0 +1,130 @@
+"""Tests for the hybrid sieve/bisection/Newton solver."""
+
+import random
+
+import pytest
+
+from repro.core.sieve import HybridSolver, IntervalStats, bisection_budget
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+
+
+def make_solver(p, mu, stats=None):
+    return HybridSolver(p, p.derivative(), mu, CostCounter(), stats)
+
+
+class TestBudget:
+    def test_bisection_budget_formula(self):
+        assert bisection_budget(1) == 4    # ceil(log2(10))
+        assert bisection_budget(10) == 10  # ceil(log2(1000))
+        assert bisection_budget(70) == 16  # ceil(log2(49000))
+
+    def test_budget_minimum(self):
+        assert bisection_budget(0) >= 1
+
+
+class TestSolve:
+    def test_simple_root(self):
+        p = IntPoly.from_roots([5])  # but degree-1 handled upstream; use deg 2
+        p = IntPoly.from_roots([5, 100])
+        mu = 6
+        solver = make_solver(p, mu)
+        # isolate root 5 inside (0, 64) scaled by 2^6
+        got = solver.solve(0, 64 << mu, sigma_a=solver._sign_plus(0, "interval.sieve", "sieve_evals"))
+        assert got == 5 << mu
+
+    def test_root_close_to_left_end(self):
+        # root at 1/1024 inside (0, big): sieve must zoom toward lo
+        p = IntPoly((-1, 1024)) * IntPoly((-2000, 1))
+        if p.leading_coefficient < 0:
+            p = -p
+        mu = 20
+        st = IntervalStats()
+        solver = make_solver(p, mu, st)
+        sigma = 1 if p.sign_at_neg_inf() * (-1) ** 0 else 1
+        sigma = solver._sign_plus(0, "interval.sieve", "sieve_evals")
+        got = solver.solve(0, 1000 << mu, sigma)
+        assert got == (1 << 20) // 1024  # 2^20/2^10 = 1024
+        assert st.sieve_rounds >= 1
+
+    def test_root_close_to_right_end(self):
+        # root at 999.999-ish: (1000*2^mu - 1) region; mirrored sieve
+        mu = 12
+        p = IntPoly((-(999 << mu) - 1, 1 << mu)) * IntPoly((3000, 1))
+        if p.leading_coefficient < 0:
+            p = -p
+        st = IntervalStats()
+        solver = make_solver(p, mu, st)
+        sigma = solver._sign_plus(0, "interval.sieve", "sieve_evals")
+        got = solver.solve(0, 1000 << mu, sigma)
+        assert got == (999 << mu) + 1
+
+    def test_empty_bracket_raises(self):
+        solver = make_solver(IntPoly.from_roots([1, 2]), 4)
+        with pytest.raises(ValueError):
+            solver.solve(5, 5, 1)
+
+    def test_bracket_length_one(self):
+        p = IntPoly.from_roots([1, 10])
+        mu = 0
+        solver = make_solver(p, mu)
+        sigma = solver._sign_plus(0, "interval.sieve", "sieve_evals")
+        assert solver.solve(0, 1, sigma) == 1
+
+    def test_per_solve_recorded(self):
+        st = IntervalStats()
+        p = IntPoly.from_roots([7, 1000])
+        solver = make_solver(p, 8, st)
+        sigma = solver._sign_plus(0, "interval.sieve", "sieve_evals")
+        solver.solve(0, 100 << 8, sigma)
+        assert st.solves == 1
+        assert len(st.per_solve) == 1
+        s, b, n = st.per_solve[0]
+        assert s == st.sieve_evals - 1  # minus the sigma probe above
+        assert b == st.bisection_evals
+
+
+class TestNewtonEfficiency:
+    def test_newton_iteration_count_logarithmic(self):
+        """Quadratic convergence: iterations ~ log2(mu), not ~ mu."""
+        random.seed(3)
+        mu = 160
+        p = IntPoly.from_roots([3, 1000])
+        st = IntervalStats()
+        solver = make_solver(p, mu, st)
+        sigma = solver._sign_plus(0, "interval.sieve", "sieve_evals")
+        got = solver.solve(0, 500 << mu, sigma)
+        assert got == 3 << mu
+        assert st.newton_iters <= 20  # log2(160) ~ 7.3 plus slack
+
+    def test_certification_probe_exactness(self):
+        """The returned value is exactly ceil(2^mu * root) for an
+        irrational root (sqrt(2))."""
+        from decimal import Decimal, getcontext
+
+        p = IntPoly((-2, 0, 1)) * IntPoly((-100, 1))  # (x^2-2)(x-100)
+        mu = 64
+        st = IntervalStats()
+        solver = make_solver(p, mu, st)
+        sigma = solver._sign_plus(1 << mu, "interval.sieve", "sieve_evals")
+        got = solver.solve(1 << mu, 2 << mu, sigma)
+        getcontext().prec = 60
+        sqrt2 = Decimal(2).sqrt()
+        expected = int((sqrt2 * (1 << mu)).to_integral_value(rounding="ROUND_CEILING"))
+        assert got == expected
+
+
+class TestStress:
+    def test_many_random_isolations(self):
+        rng = random.Random(77)
+        for _ in range(40):
+            r1 = rng.randint(-500, 500)
+            r2 = r1 + rng.randint(1, 1000)
+            p = IntPoly.from_roots([r1, r2])
+            mu = rng.choice([1, 5, 11, 23])
+            st = IntervalStats()
+            solver = make_solver(p, mu, st)
+            lo = (r1 - 1) << mu
+            hi = ((r1 + r2) // 2 + 1) << mu
+            sigma = solver._sign_plus(lo, "interval.sieve", "sieve_evals")
+            assert solver.solve(lo, hi, sigma) == r1 << mu

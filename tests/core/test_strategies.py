@@ -1,0 +1,69 @@
+"""Tests for the interval-solver strategy variants."""
+
+import pytest
+
+from repro.bench.workloads import square_free_characteristic_input
+from repro.core.rootfinder import RealRootFinder
+from repro.core.sieve import STRATEGIES, HybridSolver
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_identical_answers(self, strategy):
+        p = IntPoly.from_roots([-9, -2, 0, 5, 13]) * IntPoly((-3, 0, 1))
+        ref = RealRootFinder(mu_bits=40).find_roots(p)
+        got = RealRootFinder(mu_bits=40, strategy=strategy).find_roots(p)
+        assert got.scaled == ref.scaled
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_charpoly_answers(self, strategy):
+        inp = square_free_characteristic_input(12, 11)
+        ref = RealRootFinder(mu_bits=27).find_roots(inp.poly)
+        got = RealRootFinder(mu_bits=27, strategy=strategy).find_roots(inp.poly)
+        assert got.scaled == ref.scaled
+
+    def test_unknown_strategy_rejected(self):
+        p = IntPoly.from_roots([1, 2])
+        with pytest.raises(ValueError):
+            HybridSolver(p, p.derivative(), 8, strategy="secant")
+
+
+class TestStrategyCosts:
+    def test_bisection_cost_linear_in_mu(self):
+        inp = square_free_characteristic_input(12, 11)
+        evals = {}
+        for mu in (16, 64):
+            res = RealRootFinder(
+                mu_bits=mu, strategy="bisection"
+            ).find_roots(inp.poly)
+            evals[mu] = res.stats.evaluations / max(res.stats.solves, 1)
+        # 4x the precision => roughly 2-4x the evals (linear-ish + consts)
+        assert evals[64] > 1.8 * evals[16]
+
+    def test_hybrid_cost_sublinear_in_mu(self):
+        inp = square_free_characteristic_input(12, 11)
+        evals = {}
+        for mu in (16, 64):
+            res = RealRootFinder(mu_bits=mu).find_roots(inp.poly)
+            evals[mu] = res.stats.evaluations / max(res.stats.solves, 1)
+        assert evals[64] < 1.6 * evals[16]
+
+    def test_bisection_strategy_uses_only_bisection_phase(self):
+        inp = square_free_characteristic_input(10, 11)
+        res = RealRootFinder(
+            mu_bits=20, strategy="bisection"
+        ).find_roots(inp.poly)
+        assert res.stats.sieve_evals == 0
+        assert res.stats.newton_evals == 0
+        assert res.stats.bisection_evals > 0
+
+    def test_newton_strategy_uses_only_newton_phase(self):
+        inp = square_free_characteristic_input(10, 11)
+        res = RealRootFinder(
+            mu_bits=20, strategy="newton"
+        ).find_roots(inp.poly)
+        assert res.stats.sieve_evals == 0
+        assert res.stats.bisection_evals == 0
+        assert res.stats.newton_evals > 0

@@ -1,0 +1,123 @@
+"""Tests for the task-granular decomposition (Section 3 fidelity)."""
+
+import pytest
+
+from repro.bench.workloads import square_free_characteristic_input
+from repro.core.rootfinder import RealRootFinder
+from repro.core.tasks import build_task_graph
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+from repro.sched.task import TaskKind
+
+
+def run_graph(p, mu):
+    c = CostCounter()
+    tg = build_task_graph(p, mu, c)
+    tg.graph.run_recorded(c)
+    return tg, c
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("roots", [
+        [1, 2], [0, 5, -5], [-7, -1, 2, 9], [3, 8, 15, 22, 31, 40],
+    ])
+    def test_roots_identical_to_sequential(self, roots):
+        p = IntPoly.from_roots(roots)
+        mu = 18
+        ref = RealRootFinder(mu_bits=mu).find_roots(p)
+        tg, _ = run_graph(p, mu)
+        assert tg.roots_scaled() == ref.scaled
+
+    def test_charpoly_equivalence(self):
+        inp = square_free_characteristic_input(14, 7)
+        mu = 24
+        ref = RealRootFinder(mu_bits=mu).find_roots(inp.poly)
+        tg, _ = run_graph(inp.poly, mu)
+        assert tg.roots_scaled() == ref.scaled
+
+    def test_result_requires_execution(self):
+        tg = build_task_graph(IntPoly.from_roots([1, 2]), 8)
+        with pytest.raises(RuntimeError):
+            tg.roots_scaled()
+
+
+class TestGraphShape:
+    def test_remainder_task_count(self):
+        """Paper Section 3.1: iteration i contributes 5(n-i) body tasks
+        plus 3 head tasks."""
+        n = 9
+        p = IntPoly.from_roots([k * 3 for k in range(n)])
+        tg, _ = run_graph(p, 8)
+        kinds = {}
+        for t in tg.graph.tasks:
+            kinds[t.kind] = kinds.get(t.kind, 0) + 1
+        body = sum(5 * (n - i) for i in range(1, n))
+        assert (
+            kinds[TaskKind.REM_MUL] + kinds[TaskKind.REM_ADD]
+            + kinds[TaskKind.REM_DIV]
+        ) == body + 1  # +1 derivative init task (REM_MUL)
+        assert kinds[TaskKind.REM_Q] == 3 * (n - 1)
+
+    def test_interval_task_per_root(self):
+        n = 8
+        p = IntPoly.from_roots([k * 5 - 17 for k in range(n)])
+        tg, _ = run_graph(p, 8)
+        n_interval = sum(
+            1 for t in tg.graph.tasks if t.kind is TaskKind.INTERVAL
+        )
+        n_lin = sum(1 for t in tg.graph.tasks if t.kind is TaskKind.LINROOT)
+        # Across the whole tree, every node of degree d contributes d
+        # root-producing tasks; total root tasks = sum of node degrees.
+        assert n_interval + n_lin >= n  # at least the root node's
+
+    def test_matmul_tasks_eight_per_interior_node(self):
+        p = IntPoly.from_roots([1, 4, 9, 16, 25, 36, 49])
+        tg, _ = run_graph(p, 8)
+        matmul = [t for t in tg.graph.tasks if t.kind is TaskKind.MATMUL]
+        assert len(matmul) % 8 == 0
+        assert matmul, "interior non-rightmost nodes must exist for n=7"
+
+    def test_recurse_tasks_cover_tree(self):
+        p = IntPoly.from_roots([2, 4, 8, 16, 32])
+        tg, _ = run_graph(p, 8)
+        recs = [t for t in tg.graph.tasks
+                if t.kind is TaskKind.RECURSE and t.label.startswith("recurse")]
+        assert len(recs) >= 5
+
+    def test_costs_recorded_on_all_tasks(self):
+        p = IntPoly.from_roots([1, 3, 7, 12])
+        tg, _ = run_graph(p, 12)
+        assert all(t.cost is not None for t in tg.graph.tasks)
+        assert any(t.cost > 0 for t in tg.graph.tasks)
+
+
+class TestValidation:
+    def test_not_square_free_fails_fast(self):
+        p = IntPoly.from_roots([2, 2, 5])
+        tg = build_task_graph(p, 8)
+        with pytest.raises(ArithmeticError):
+            tg.graph.run_recorded(CostCounter())
+
+    def test_non_real_rooted_fails(self):
+        p = IntPoly((1, 0, 0, 0, 1))
+        tg = build_task_graph(p, 8)
+        with pytest.raises(ArithmeticError):
+            tg.graph.run_recorded(CostCounter())
+
+    def test_constant_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            build_task_graph(IntPoly.constant(3), 8)
+
+    def test_negative_lead_normalized(self):
+        tg, _ = run_graph(-IntPoly.from_roots([1, 6]), 8)
+        assert tg.roots_scaled() == [1 << 8, 6 << 8]
+
+
+class TestCostConsistency:
+    def test_task_costs_sum_to_counter_total(self):
+        p = IntPoly.from_roots([-9, -1, 4, 13, 21])
+        c = CostCounter()
+        tg = build_task_graph(p, 16, c)
+        tg.graph.run_recorded(c)
+        total_task_cost = sum(t.cost for t in tg.graph.tasks)
+        assert total_task_cost == c.total_bit_cost

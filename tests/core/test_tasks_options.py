@@ -1,0 +1,67 @@
+"""Tests for the task-graph run-time options."""
+
+from repro.bench.workloads import square_free_characteristic_input
+from repro.core.tasks import build_task_graph
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+from repro.sched.simulator import speedup_curve
+from repro.sched.task import TaskKind
+
+
+def record(p, mu, **kwargs):
+    c = CostCounter()
+    tg = build_task_graph(p, mu, c, **kwargs)
+    tg.graph.run_recorded(c)
+    return tg
+
+
+class TestSequentialRemainder:
+    def test_same_results(self):
+        p = IntPoly.from_roots([-11, -4, 0, 3, 9, 16])
+        a = record(p, 20)
+        b = record(p, 20, sequential_remainder=True)
+        assert a.roots_scaled() == b.roots_scaled()
+
+    def test_remainder_tasks_form_a_chain(self):
+        p = IntPoly.from_roots([1, 4, 9, 16, 25])
+        tg = record(p, 12, sequential_remainder=True)
+        rem_tids = [
+            t.tid for t in tg.graph.tasks if t.phase == "remainder"
+        ]
+        # every remainder task (after the first) depends on its
+        # predecessor in creation order
+        for prev, cur in zip(rem_tids, rem_tids[1:]):
+            assert prev in tg.graph.tasks[cur].deps
+
+    def test_parallel_mode_has_no_chain(self):
+        p = IntPoly.from_roots([1, 4, 9, 16, 25])
+        tg = record(p, 12)
+        rem_tids = [t.tid for t in tg.graph.tasks if t.phase == "remainder"]
+        chained = sum(
+            1
+            for prev, cur in zip(rem_tids, rem_tids[1:])
+            if prev in tg.graph.tasks[cur].deps
+        )
+        assert chained < len(rem_tids) - 1
+
+    def test_sequential_remainder_reduces_parallelism(self):
+        inp = square_free_characteristic_input(15, 11)
+        par = record(inp.poly, 14)
+        seq = record(inp.poly, 14, sequential_remainder=True)
+        s_par = speedup_curve(par.graph, [16])
+        s_seq = speedup_curve(seq.graph, [16])
+        sp_par = s_par[1].makespan / s_par[16].makespan
+        sp_seq = s_seq[1].makespan / s_seq[16].makespan
+        assert sp_seq < sp_par
+
+    def test_total_work_unchanged(self):
+        p = IntPoly.from_roots([-6, -1, 2, 8])
+        a = record(p, 16)
+        b = record(p, 16, sequential_remainder=True)
+        assert a.graph.stats().total_work == b.graph.stats().total_work
+
+    def test_critical_path_grows(self):
+        inp = square_free_characteristic_input(12, 11)
+        a = record(inp.poly, 14)
+        b = record(inp.poly, 14, sequential_remainder=True)
+        assert b.graph.stats().critical_path > a.graph.stats().critical_path

@@ -1,0 +1,160 @@
+"""Tests for the interleaving tree (Theorem 1 in executable form)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.remainder import compute_remainder_sequence
+from repro.core.tree import InterleavingTree, split_index, u_matrix
+from repro.poly.dense import IntPoly
+from repro.poly.sturm import count_roots_in_open, sturm_chain
+
+distinct_roots = st.lists(
+    st.integers(min_value=-25, max_value=25), min_size=2, max_size=8, unique=True
+)
+
+
+def build(roots):
+    p = IntPoly.from_roots(sorted(roots))
+    seq = compute_remainder_sequence(p)
+    tree = InterleavingTree(seq)
+    tree.compute_polynomials(check=True)
+    return p, tree
+
+
+class TestStructure:
+    def test_root_label(self):
+        _p, tree = build([1, 2, 3, 4, 5])
+        assert tree.root.label == (1, 5)
+
+    def test_node_count_linear_in_n(self):
+        _p, tree = build(list(range(1, 9)))
+        # Every node splits into two children; counting empties the node
+        # count is bounded by ~3n.
+        assert tree.node_count() <= 3 * 8
+
+    def test_children_partition_indices(self):
+        _p, tree = build(list(range(1, 8)))
+        for node in tree.root:
+            if node.left is None:
+                continue
+            k = node.pivot
+            assert node.left.label == (node.i, k - 1)
+            assert node.right.label == (k + 1, node.j)
+            assert node.i <= k <= node.j
+
+    def test_postorder_children_before_parents(self):
+        _p, tree = build(list(range(1, 7)))
+        seen = set()
+        for node in tree.root:
+            if node.left is not None:
+                assert node.left.label in seen
+                assert node.right.label in seen
+            seen.add(node.label)
+
+    def test_levels(self):
+        _p, tree = build(list(range(1, 8)))  # n = 7 = 2^3 - 1
+        levels = tree.nodes_by_level()
+        assert len(levels[0]) == 1
+        assert all(nd.level == lvl for lvl, lst in levels.items() for nd in lst)
+
+    def test_split_index_midpoint(self):
+        assert split_index(1, 10) == 5
+        assert split_index(3, 4) == 3
+
+
+class TestPolynomials:
+    def test_root_poly_is_input(self):
+        p, tree = build([-5, -1, 0, 3, 8, 12])
+        assert tree.root.poly == p
+
+    def test_rightmost_spine_is_remainder_sequence(self):
+        _p, tree = build(list(range(0, 12, 2)))
+        for node in tree.root:
+            if node.j == tree.n and not node.is_empty:
+                assert node.poly == tree.seq.F[node.i - 1]
+                assert node.matrix is None
+
+    def test_leaf_polys_are_quotients(self):
+        _p, tree = build([-3, 1, 5, 9, 14])
+        for node in tree.root:
+            if node.is_leaf and node.j < tree.n:
+                assert node.poly == tree.seq.quotient(node.i)
+
+    def test_degree_equals_label_width(self):
+        _p, tree = build([-9, -4, 0, 2, 7, 11, 19])
+        for node in tree.root:
+            if not node.is_empty:
+                assert node.poly.degree == node.degree
+
+    def test_positive_leading_coefficients(self):
+        _p, tree = build([-6, -2, 3, 10, 15, 21])
+        for node in tree.root:
+            if not node.is_empty and node.j < tree.n:
+                assert node.poly.leading_coefficient > 0
+
+    def test_combine_matches_direct_product(self):
+        _p, tree = build([-8, -3, -1, 4, 9, 13, 17, 22])
+        for node in tree.root:
+            if node.matrix is not None and not node.is_empty and node.j < tree.n:
+                assert tree.direct_t_matrix(node.i, node.j) == node.matrix
+
+    def test_empty_nodes(self):
+        _p, tree = build([1, 2])
+        empties = [nd for nd in tree.root if nd.is_empty]
+        assert empties, "n=2 tree must contain an empty child"
+        for nd in empties:
+            assert nd.poly == IntPoly.one()
+
+    def test_u_matrix_entries(self):
+        seq = compute_remainder_sequence(IntPoly.from_roots([1, 4, 7]))
+        u1 = u_matrix(seq, 1)
+        assert u1.entry(1, 1).is_zero()
+        assert u1.entry(1, 2) == IntPoly.constant(1)  # c_0^2 = 1
+        assert u1.entry(2, 1) == IntPoly.constant(-seq.c[1] ** 2)
+        assert u1.entry(2, 2) == seq.quotient(1)
+
+
+class TestInterleavingTheorem:
+    @settings(max_examples=25, deadline=None)
+    @given(distinct_roots)
+    def test_children_roots_interleave_parent(self, roots):
+        """Theorem 1(ii), certified with exact Sturm counts: strictly
+        between consecutive roots of any node there is exactly one
+        child root, checked via float root brackets + exact counting."""
+        p, tree = build(roots)
+        for node in tree.root:
+            if node.is_empty or node.degree < 2:
+                continue
+            pr = np.sort(np.roots(list(reversed(node.poly.coeffs))).real)
+            kids = []
+            for ch in (node.left, node.right):
+                if ch is not None and not ch.is_empty:
+                    kids.extend(np.roots(list(reversed(ch.poly.coeffs))).real)
+            kids = np.sort(np.array(kids))
+            assert len(kids) == node.degree - 1
+            for t in range(len(kids)):
+                assert pr[t] <= kids[t] + 1e-6
+                assert kids[t] <= pr[t + 1] + 1e-6
+
+    def test_tree_polys_have_all_real_distinct_roots(self):
+        p, tree = build([-11, -5, 0, 4, 9, 16, 23])
+        for node in tree.root:
+            if node.is_empty or node.degree < 1:
+                continue
+            chain = sturm_chain(node.poly)
+            lo, hi = -(10**6), 10**6
+            assert count_roots_in_open(chain, lo, hi, 0) == node.degree
+
+
+class TestChecks:
+    def test_check_flag_catches_corruption(self):
+        p = IntPoly.from_roots([1, 3, 6, 10])
+        seq = compute_remainder_sequence(p)
+        tree = InterleavingTree(seq)
+        # Corrupt a quotient to break Theorem 1, then expect the check
+        # to fire.
+        seq.Q[1] = IntPoly((1, 0, 1))  # not linear
+        with pytest.raises(Exception):
+            tree.compute_polynomials(check=True)

@@ -1,0 +1,47 @@
+"""Additional tree-shape coverage, including the paper's 2^K - 1 case."""
+
+from repro.core.remainder import compute_remainder_sequence
+from repro.core.tree import InterleavingTree
+from repro.poly.dense import IntPoly
+
+
+def build(n):
+    p = IntPoly.from_roots([7 * k + (-1) ** k for k in range(n)])
+    seq = compute_remainder_sequence(p)
+    return InterleavingTree(seq)
+
+
+class TestShapes:
+    def test_power_of_two_minus_one_is_complete(self):
+        """The Section 4.2 analysis assumes n = 2^K - 1: every level l
+        then has 2^l non-empty nodes of degree 2^(K-l) - 1."""
+        tree = build(15)  # K = 4
+        levels = tree.nodes_by_level()
+        for lvl, nodes in levels.items():
+            nonempty = [nd for nd in nodes if not nd.is_empty]
+            if nonempty:
+                assert len(nonempty) <= 2**lvl
+                for nd in nonempty:
+                    assert nd.degree in (2 ** (4 - lvl) - 1, 2 ** (4 - lvl)), (
+                        lvl, nd.label
+                    )
+
+    def test_degrees_sum_to_n_per_full_level(self):
+        tree = build(15)
+        levels = tree.nodes_by_level()
+        # level 1's two nodes carry n-1 roots between them
+        lvl1 = [nd.degree for nd in levels[1] if not nd.is_empty]
+        assert sum(lvl1) == 14
+
+    def test_general_n_total_root_tasks(self):
+        for n in (5, 9, 12):
+            tree = build(n)
+            total = sum(nd.degree for nd in tree.root if not nd.is_empty)
+            # every node contributes its degree in roots; the total over
+            # the tree is at most ~2n (geometric halving)
+            assert n <= total <= 2 * n + tree.node_count()
+
+    def test_single_node_tree(self):
+        tree = build(1)
+        assert tree.root.is_leaf
+        assert tree.node_count() == 1

@@ -1,0 +1,127 @@
+"""Cross-module integration tests: the full pipeline against every
+available oracle on realistic and adversarial workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.numpy_eig import eigvalsh_roots, max_abs_error
+from repro.baselines.sturm_bisect import SturmBisectFinder
+from repro.bench.workloads import (
+    chebyshev_t,
+    close_roots,
+    hermite_prob,
+    legendre_scaled,
+    square_free_characteristic_input,
+    wilkinson,
+)
+from repro.charpoly.generator import random_symmetric_01_matrix
+from repro.core.certify import certify_roots
+from repro.core.rootfinder import RealRootFinder
+from repro.core.tasks import build_task_graph
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+
+
+class TestFullPipelineCharpoly:
+    @pytest.mark.parametrize("n,seed", [(10, 11), (15, 23), (20, 47), (25, 11)])
+    def test_charpoly_triple_checked(self, n, seed):
+        """Main algorithm vs task graph vs Sturm baseline vs eigvalsh
+        vs exact certification, all on one instance."""
+        inp = square_free_characteristic_input(n, seed)
+        mu = 30
+        res = RealRootFinder(mu_bits=mu).find_roots(inp.poly)
+
+        # 1. exact Sturm baseline agrees bit-for-bit
+        base = SturmBisectFinder(mu=mu).find_roots_scaled(inp.poly)
+        assert res.scaled == base
+
+        # 2. the task-granular parallel decomposition agrees bit-for-bit
+        tg = build_task_graph(inp.poly, mu, CostCounter())
+        tg.graph.run_recorded(CostCounter())
+        assert tg.roots_scaled() == res.scaled
+
+        # 3. floating oracle within grid resolution
+        seed_used = inp.seed
+        eig = eigvalsh_roots(random_symmetric_01_matrix(n, seed_used))
+        assert max_abs_error(res.as_floats(), eig) < 2**-25
+
+        # 4. exact certification
+        certify_roots(inp.poly, res.scaled, res.multiplicities, mu)
+
+
+class TestAdversarialFamilies:
+    @pytest.mark.parametrize("family,degree", [
+        (wilkinson, 12), (chebyshev_t, 10), (legendre_scaled, 9),
+        (hermite_prob, 10),
+    ])
+    def test_certified(self, family, degree):
+        p = family(degree)
+        res = RealRootFinder(mu_bits=26).find_roots(p)
+        assert len(res) == degree
+        certify_roots(p, res.scaled, res.multiplicities, 26)
+
+    def test_close_roots_certified(self):
+        p = close_roots(8, 16)
+        res = RealRootFinder(mu_bits=30).find_roots(p)
+        certify_roots(p, res.scaled, res.multiplicities, 30)
+
+    def test_wilkinson_20_exact_where_floats_fail(self):
+        """Degree-20 Wilkinson: double precision eigen/companion methods
+        lose the roots; the exact algorithm does not."""
+        p = wilkinson(20)
+        res = RealRootFinder(mu_bits=30).find_roots(p)
+        assert res.as_floats() == [float(k) for k in range(1, 21)]
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-40, max_value=40), min_size=1,
+                 max_size=7, unique=True),
+        st.integers(min_value=2, max_value=24),
+    )
+    def test_random_integer_roots_exact(self, roots, mu):
+        p = IntPoly.from_roots(roots)
+        res = RealRootFinder(mu_bits=mu).find_roots(p)
+        assert res.scaled == [r << mu for r in sorted(roots)]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-15, max_value=15), min_size=2,
+                 max_size=6),
+        st.integers(min_value=4, max_value=16),
+    )
+    def test_random_multiplicities(self, roots, mu):
+        from collections import Counter
+
+        p = IntPoly.from_roots(roots)
+        res = RealRootFinder(mu_bits=mu).find_roots(p)
+        counts = Counter(roots)
+        expected = sorted(counts.items())
+        got = list(zip([s >> mu for s in res.scaled], res.multiplicities))
+        assert got == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=9),
+           st.integers(min_value=0, max_value=2**31))
+    def test_scaled_random_rationals(self, k, seed):
+        """Random rational-rooted polys: answers are exact ceilings."""
+        import random
+        from fractions import Fraction
+
+        from tests.conftest import scaled_ceil
+
+        pyrandom = random.Random(seed)
+        fracs = set()
+        while len(fracs) < k:
+            fracs.add(Fraction(pyrandom.randint(-99, 99),
+                               pyrandom.randint(1, 16)))
+        fracs = sorted(fracs)
+        p = IntPoly.one()
+        for f in fracs:
+            p = p * IntPoly((-f.numerator, f.denominator))
+        mu = pyrandom.choice([5, 13, 27])
+        res = RealRootFinder(mu_bits=mu).find_roots(p)
+        assert res.scaled == [scaled_ceil(f, mu) for f in fracs]

@@ -1,0 +1,88 @@
+"""Integration checks of the paper's qualitative claims."""
+
+import pytest
+
+from repro.bench.runner import run_parallel, run_sequential
+from repro.bench.workloads import square_free_characteristic_input
+
+
+@pytest.fixture(scope="module")
+def records():
+    out = {}
+    for n in (10, 20, 30):
+        inp = square_free_characteristic_input(n, 11)
+        for mu in (4, 32):
+            out[(n, mu)] = run_sequential(inp, mu_digits=mu)
+    return out
+
+
+class TestSequentialTrends:
+    def test_cost_grows_superlinearly_in_n(self, records):
+        """Table 2: cost roughly n^4-ish between n=10 and n=30."""
+        r10 = records[(10, 32)].total_bit_cost
+        r30 = records[(30, 32)].total_bit_cost
+        assert r30 > 20 * r10
+
+    def test_cost_grows_with_mu(self, records):
+        for n in (10, 20, 30):
+            assert records[(n, 32)].total_bit_cost > records[(n, 4)].total_bit_cost
+
+    def test_mu_sensitivity_shrinks_relatively_with_n(self, records):
+        """Paper Table 2: the mu=32/mu=4 ratio falls as n grows (the
+        mu-independent phases dominate at large n)."""
+        ratio10 = records[(10, 32)].total_bit_cost / records[(10, 4)].total_bit_cost
+        ratio30 = records[(30, 32)].total_bit_cost / records[(30, 4)].total_bit_cost
+        assert ratio30 < ratio10
+
+    def test_multiplications_dominate_operations(self, records):
+        """Paper Section 4: "the number of multiplications is far
+        greater than the number of divisions" (the justification for
+        the mult-only analysis), and multiplication is the largest
+        single bit-cost category."""
+        for rec in records.values():
+            st = rec.counter.phase_stats()
+            assert st.mul_count > 10 * st.div_count
+            assert st.mul_bit_cost > st.div_bit_cost
+            assert st.mul_bit_cost > st.add_bit_cost
+
+
+class TestParallelTrends:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        out = {}
+        for n in (20, 30):
+            inp = square_free_characteristic_input(n, 11)
+            out[n] = run_parallel(inp, mu_digits=16, processors=[1, 2, 4, 8, 16])
+        return out
+
+    def test_speedup_monotone_in_processors(self, curves):
+        for rec in curves.values():
+            sp = [rec.speedup(p) for p in (1, 2, 4, 8, 16)]
+            assert all(b >= a - 1e-12 for a, b in zip(sp, sp[1:]))
+
+    def test_speedup_at_two_processors_near_two(self, curves):
+        """Tables 3-7: p=2 speedups are 1.96-2.08 (we can't exceed 2
+        without the paper's cache effects, but we should be close)."""
+        for rec in curves.values():
+            assert 1.6 <= rec.speedup(2) <= 2.0 + 1e-9
+
+    def test_larger_degree_scales_better_at_16(self, curves):
+        assert curves[30].speedup(16) >= curves[20].speedup(16) * 0.9
+
+    def test_serialized_queue_overhead_caps_speedup(self):
+        """Section 3 grain discussion: a lock-protected task queue
+        serializes task acquisition, so with too-fine grain the 16-way
+        speedup collapses even though the DAG has ample parallelism."""
+        inp = square_free_characteristic_input(20, 11)
+        lean = run_parallel(inp, mu_digits=8, processors=[16])
+        contended = run_parallel(
+            inp, mu_digits=8, processors=[16], queue_overhead=10**5
+        )
+        assert contended.speedup(16) < lean.speedup(16)
+        assert contended.makespans[16] > lean.makespans[16]
+
+    def test_per_task_overhead_inflates_makespan(self):
+        inp = square_free_characteristic_input(15, 11)
+        lean = run_parallel(inp, mu_digits=8, processors=[8])
+        fat = run_parallel(inp, mu_digits=8, processors=[8], overhead=10**5)
+        assert fat.makespans[8] > lean.makespans[8]

@@ -1,0 +1,95 @@
+"""Extended property-based coverage of the end-to-end invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sturm_bisect import SturmBisectFinder
+from repro.bench.workloads import random_real_rooted
+from repro.core.certify import certify_roots
+from repro.core.refine import refine_result
+from repro.core.rootfinder import RealRootFinder
+from repro.core.tasks import build_task_graph
+from repro.costmodel.counter import CostCounter
+from repro.poly.gcd import is_square_free
+from repro.poly.sturm import count_real_roots
+
+
+def sf_random_real_rooted(n, seed):
+    for s in range(seed, seed + 50):
+        p = random_real_rooted(n, s)
+        if is_square_free(p):
+            return p
+    raise RuntimeError("no square-free instance")
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=12),
+       st.integers(min_value=0, max_value=10**6))
+def test_irrational_roots_certified(n, seed):
+    """Random real-rooted (mostly irrational) inputs: found, certified."""
+    p = sf_random_real_rooted(n, seed)
+    res = RealRootFinder(mu_bits=22).find_roots(p)
+    assert len(res) == count_real_roots(p)
+    certify_roots(p, res.scaled, res.multiplicities, 22)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=10),
+       st.integers(min_value=0, max_value=10**6))
+def test_task_graph_equivalence_random(n, seed):
+    p = sf_random_real_rooted(n, seed)
+    ref = RealRootFinder(mu_bits=18).find_roots(p)
+    tg = build_task_graph(p, 18, CostCounter())
+    tg.graph.run_recorded(CostCounter())
+    assert tg.roots_scaled() == ref.scaled
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=9),
+       st.integers(min_value=0, max_value=10**6))
+def test_baseline_equivalence_random(n, seed):
+    p = sf_random_real_rooted(n, seed)
+    ours = RealRootFinder(mu_bits=15).find_roots(p)
+    base = SturmBisectFinder(mu=15).find_roots_scaled(p)
+    assert ours.scaled == base
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=9),
+       st.integers(min_value=0, max_value=10**6),
+       st.integers(min_value=30, max_value=90))
+def test_refinement_equals_direct_random(n, seed, mu_hi):
+    p = sf_random_real_rooted(n, seed)
+    coarse = RealRootFinder(mu_bits=12).find_roots(p)
+    fine = refine_result(coarse, p, mu_hi)
+    direct = RealRootFinder(mu_bits=mu_hi).find_roots(p)
+    assert fine.scaled == direct.scaled
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=3, max_value=10),
+       st.integers(min_value=0, max_value=10**6))
+def test_strategies_agree_random(n, seed):
+    p = sf_random_real_rooted(n, seed)
+    answers = {
+        strat: RealRootFinder(mu_bits=20, strategy=strat).find_roots(p).scaled
+        for strat in ("hybrid", "bisection", "newton")
+    }
+    assert answers["hybrid"] == answers["bisection"] == answers["newton"]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=8),
+       st.integers(min_value=0, max_value=10**6),
+       st.integers(min_value=0, max_value=10**5))
+def test_queue_overhead_monotone(n, seed, q):
+    from repro.sched.simulator import simulate
+
+    p = sf_random_real_rooted(n, seed)
+    tg = build_task_graph(p, 12, CostCounter())
+    tg.graph.run_recorded(CostCounter())
+    base = simulate(tg.graph, 4).makespan
+    contended = simulate(tg.graph, 4, queue_overhead=q).makespan
+    assert contended >= base

@@ -1,0 +1,97 @@
+"""Paper-scale stress tests (marked slow; run with ``pytest -m slow``
+or plain ``pytest`` — they take a few seconds each)."""
+
+import pytest
+
+from repro.baselines.sturm_bisect import SturmBisectFinder
+from repro.bench.workloads import (
+    chebyshev_t,
+    close_roots,
+    hermite_prob,
+    laguerre_scaled,
+    legendre_scaled,
+    square_free_characteristic_input,
+    wilkinson,
+)
+from repro.core.certify import certify_roots
+from repro.core.refine import refine_result
+from repro.core.rootfinder import RealRootFinder
+from repro.core.scaling import digits_to_bits
+from repro.core.tasks import build_task_graph
+from repro.costmodel.counter import CostCounter
+
+
+@pytest.mark.slow
+class TestPaperScale:
+    def test_degree_70_full_precision_certified(self):
+        """The paper's largest configuration, exactly certified."""
+        inp = square_free_characteristic_input(70, 11)
+        mu = digits_to_bits(32)
+        res = RealRootFinder(mu_bits=mu).find_roots(inp.poly)
+        assert len(res) == 70
+        certify_roots(inp.poly, res.scaled, res.multiplicities, mu)
+
+    def test_degree_70_task_graph_equivalence(self):
+        inp = square_free_characteristic_input(70, 11)
+        mu = digits_to_bits(8)
+        ref = RealRootFinder(mu_bits=mu).find_roots(inp.poly)
+        c = CostCounter()
+        tg = build_task_graph(inp.poly, mu, c)
+        tg.graph.run_recorded(c)
+        assert tg.roots_scaled() == ref.scaled
+
+    def test_degree_55_baseline_equivalence(self):
+        inp = square_free_characteristic_input(55, 11)
+        mu = digits_to_bits(6)
+        ours = RealRootFinder(mu_bits=mu).find_roots(inp.poly)
+        base = SturmBisectFinder(mu=mu).find_roots_scaled(inp.poly)
+        assert ours.scaled == base
+
+
+@pytest.mark.slow
+class TestAdversarialScale:
+    def test_wilkinson_40(self):
+        p = wilkinson(40)
+        res = RealRootFinder(mu_bits=40).find_roots(p)
+        assert res.as_floats() == [float(k) for k in range(1, 41)]
+
+    def test_high_degree_orthogonal_families(self):
+        for fam, deg in ((chebyshev_t, 24), (hermite_prob, 22),
+                         (legendre_scaled, 20), (laguerre_scaled, 18)):
+            p = fam(deg)
+            res = RealRootFinder(mu_bits=48).find_roots(p)
+            assert len(res) == deg
+            certify_roots(p, res.scaled, res.multiplicities, 48)
+
+    def test_extreme_close_roots(self):
+        """Pairs separated by 2^-256: isolated and certified."""
+        p = close_roots(6, 256)
+        res = RealRootFinder(mu_bits=280).find_roots(p)
+        assert len(res) == 6
+        certify_roots(p, res.scaled, res.multiplicities, 280)
+
+    def test_deep_refinement(self):
+        """Isolate at 16 bits, refine to 2048 bits, spot-check sqrt(3)."""
+        from decimal import Decimal, getcontext
+        from fractions import Fraction
+
+        from repro.poly.dense import IntPoly
+
+        p = IntPoly((-3, 0, 1)) * IntPoly.from_roots([-100, 7])
+        res = RealRootFinder(mu_bits=16).find_roots(p)
+        fine = refine_result(res, p, 2048)
+        getcontext().prec = 700
+        sqrt3 = Decimal(3).sqrt()
+        got = Fraction(fine.scaled[2], 1 << 2048)
+        ref = Fraction(int(sqrt3 * 10**650), 10**650)
+        assert abs(got - ref) < Fraction(1, 1 << 2040)
+
+    def test_mixed_multiplicity_stress(self):
+        from repro.poly.dense import IntPoly
+
+        roots = [-5] * 4 + [0] * 3 + [2] * 2 + [9]
+        p = IntPoly.from_roots(roots)
+        res = RealRootFinder(mu_bits=24).find_roots(p)
+        assert res.as_floats() == [-5.0, 0.0, 2.0, 9.0]
+        assert res.multiplicities == [4, 3, 2, 1]
+        certify_roots(p, res.scaled, res.multiplicities, 24)

@@ -1,0 +1,162 @@
+"""Unit tests for the schoolbook bignum (MPInt)."""
+
+import pytest
+
+from repro.mpint.mpint import LIMB_BASE, MPInt
+
+
+class TestConversion:
+    def test_roundtrip_zero(self):
+        assert int(MPInt(0)) == 0
+        assert MPInt(0).sign == 0
+        assert MPInt(0).limbs == []
+
+    def test_roundtrip_positive(self):
+        assert int(MPInt(12345678901234567890)) == 12345678901234567890
+
+    def test_roundtrip_negative(self):
+        assert int(MPInt(-987654321)) == -987654321
+
+    def test_copy_constructor(self):
+        a = MPInt(42)
+        b = MPInt(a)
+        assert int(b) == 42
+        assert b.limbs is not a.limbs
+
+    def test_bit_length(self):
+        for v in (0, 1, 2, 255, 256, LIMB_BASE - 1, LIMB_BASE, 10**30):
+            assert MPInt(v).bit_length() == v.bit_length()
+            assert MPInt(-v).bit_length() == v.bit_length()
+
+    def test_repr(self):
+        assert repr(MPInt(-5)) == "MPInt(-5)"
+
+
+class TestComparison:
+    def test_ordering(self):
+        assert MPInt(3) < MPInt(5)
+        assert MPInt(-5) < MPInt(-3)
+        assert MPInt(-1) < MPInt(0) < MPInt(1)
+
+    def test_equality_with_int(self):
+        assert MPInt(77) == 77
+        assert MPInt(-77) == -77
+        assert MPInt(77) != 76
+
+    def test_magnitude_comparison_same_length(self):
+        assert MPInt(LIMB_BASE + 5) > MPInt(LIMB_BASE + 3)
+
+    def test_magnitude_comparison_diff_length(self):
+        assert MPInt(LIMB_BASE**3) > MPInt(LIMB_BASE**2 * 1000)
+
+    def test_bool(self):
+        assert not MPInt(0)
+        assert MPInt(1)
+        assert MPInt(-1)
+
+    def test_hash(self):
+        assert hash(MPInt(123)) == hash(123)
+
+
+class TestAddSub:
+    def test_carry_propagation(self):
+        a = MPInt(LIMB_BASE - 1)
+        assert int(a + MPInt(1)) == LIMB_BASE
+
+    def test_long_carry_chain(self):
+        v = LIMB_BASE**5 - 1
+        assert int(MPInt(v) + 1) == v + 1
+
+    def test_borrow_propagation(self):
+        v = LIMB_BASE**4
+        assert int(MPInt(v) - 1) == v - 1
+
+    def test_mixed_signs(self):
+        assert int(MPInt(100) + MPInt(-30)) == 70
+        assert int(MPInt(-100) + MPInt(30)) == -70
+        assert int(MPInt(30) - MPInt(100)) == -70
+
+    def test_cancellation_to_zero(self):
+        assert int(MPInt(12345) + MPInt(-12345)) == 0
+
+    def test_add_int_operand(self):
+        assert int(MPInt(5) + 7) == 12
+        assert int(7 + MPInt(5)) == 12
+        assert int(7 - MPInt(5)) == 2
+
+
+class TestMul:
+    def test_zero(self):
+        assert int(MPInt(12345) * MPInt(0)) == 0
+
+    def test_sign_rules(self):
+        assert int(MPInt(-3) * MPInt(4)) == -12
+        assert int(MPInt(-3) * MPInt(-4)) == 12
+
+    def test_multi_limb(self):
+        a, b = 2**200 - 1, 2**100 + 12345
+        assert int(MPInt(a) * MPInt(b)) == a * b
+
+    def test_pow(self):
+        assert int(MPInt(3) ** 40) == 3**40
+        assert int(MPInt(2) ** 0) == 1
+
+    def test_pow_negative_exponent_raises(self):
+        with pytest.raises(ValueError):
+            MPInt(2) ** -1
+
+
+class TestDivMod:
+    def test_short_division(self):
+        q, r = divmod(MPInt(10**20 + 7), MPInt(3))
+        assert (int(q), int(r)) == divmod(10**20 + 7, 3)
+
+    def test_long_division_knuth_case(self):
+        # Exercise the qhat-correction path with adversarial operands.
+        a = (LIMB_BASE**6 - 1) * (LIMB_BASE**3 - 1)
+        b = LIMB_BASE**3 - 1
+        q, r = divmod(MPInt(a), MPInt(b))
+        assert (int(q), int(r)) == divmod(a, b)
+
+    def test_floor_semantics_negative(self):
+        for a, b in [(-7, 2), (7, -2), (-7, -2), (-6, 2), (6, -2)]:
+            q, r = divmod(MPInt(a), MPInt(b))
+            assert (int(q), int(r)) == divmod(a, b), (a, b)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            divmod(MPInt(1), MPInt(0))
+
+    def test_floordiv_mod_operators(self):
+        assert int(MPInt(17) // MPInt(5)) == 3
+        assert int(MPInt(17) % MPInt(5)) == 2
+        assert int(17 // MPInt(5)) == 3
+        assert int(17 % MPInt(5)) == 2
+
+    def test_dividend_smaller(self):
+        q, r = divmod(MPInt(3), MPInt(10**30))
+        assert int(q) == 0 and int(r) == 3
+
+
+class TestShifts:
+    def test_left_shift(self):
+        assert int(MPInt(5) << 100) == 5 << 100
+
+    def test_right_shift_floor_negative(self):
+        assert int(MPInt(-5) >> 1) == -3  # floor semantics
+
+    def test_right_shift_exact_negative(self):
+        assert int(MPInt(-4) >> 1) == -2
+
+    def test_shift_by_zero(self):
+        assert int(MPInt(9) << 0) == 9
+        assert int(MPInt(9) >> 0) == 9
+
+    def test_right_shift_to_zero(self):
+        assert int(MPInt(5) >> 100) == 0
+
+    def test_negative_shift_raises(self):
+        with pytest.raises(ValueError):
+            MPInt(1) << -1
+        with pytest.raises(ValueError):
+            MPInt(1) >> -1

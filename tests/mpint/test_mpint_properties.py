@@ -1,0 +1,69 @@
+"""Hypothesis cross-validation of MPInt against Python int."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpint.mpint import MPInt
+
+ints = st.integers(min_value=-(10**45), max_value=10**45)
+small = st.integers(min_value=-(10**18), max_value=10**18)
+shifts = st.integers(min_value=0, max_value=200)
+
+
+@given(ints, ints)
+def test_add(a, b):
+    assert int(MPInt(a) + MPInt(b)) == a + b
+
+
+@given(ints, ints)
+def test_sub(a, b):
+    assert int(MPInt(a) - MPInt(b)) == a - b
+
+
+@given(ints, ints)
+def test_mul(a, b):
+    assert int(MPInt(a) * MPInt(b)) == a * b
+
+
+@given(ints, small.filter(lambda x: x != 0))
+def test_divmod(a, b):
+    q, r = divmod(MPInt(a), MPInt(b))
+    assert (int(q), int(r)) == divmod(a, b)
+
+
+@given(ints, ints.filter(lambda x: x != 0))
+def test_divmod_big_divisor(a, b):
+    q, r = divmod(MPInt(a), MPInt(b))
+    assert (int(q), int(r)) == divmod(a, b)
+
+
+@given(ints, shifts)
+def test_shifts(a, k):
+    assert int(MPInt(a) << k) == a << k
+    assert int(MPInt(a) >> k) == a >> k
+
+
+@given(ints, ints)
+def test_comparisons(a, b):
+    assert (MPInt(a) < MPInt(b)) == (a < b)
+    assert (MPInt(a) <= MPInt(b)) == (a <= b)
+    assert (MPInt(a) == MPInt(b)) == (a == b)
+    assert (MPInt(a) > MPInt(b)) == (a > b)
+
+
+@given(ints)
+def test_neg_abs(a):
+    assert int(-MPInt(a)) == -a
+    assert int(abs(MPInt(a))) == abs(a)
+
+
+@given(st.integers(min_value=-50, max_value=50),
+       st.integers(min_value=0, max_value=12))
+def test_pow(base, e):
+    assert int(MPInt(base) ** e) == base**e
+
+
+@given(ints)
+def test_roundtrip(a):
+    assert int(MPInt(a)) == a
+    assert MPInt(a).bit_length() == a.bit_length() if a >= 0 else (-a).bit_length()

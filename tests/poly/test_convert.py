@@ -1,0 +1,74 @@
+"""Tests for exact coefficient conversions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.poly.convert import from_any, from_floats, from_fractions
+from repro.poly.dense import IntPoly
+
+
+class TestFromFractions:
+    def test_denominators_cleared(self):
+        p = from_fractions([Fraction(1, 2), Fraction(1, 3)])
+        assert p == IntPoly((3, 2))  # x/3 + 1/2 scaled by 6
+
+    def test_tuples_accepted(self):
+        assert from_fractions([(1, 2), (1, 3)]) == IntPoly((3, 2))
+
+    def test_integers_passthrough(self):
+        assert from_fractions([1, -2, 3]) == IntPoly((1, -2, 3))
+
+    def test_empty(self):
+        assert from_fractions([]).is_zero()
+
+    def test_roots_preserved(self):
+        # root 2/3 of x - 2/3
+        p = from_fractions([Fraction(-2, 3), 1])
+        assert p.sign_at_rational(2, 3) == 0
+
+
+class TestFromFloats:
+    def test_dyadic_exact(self):
+        assert from_floats([-0.25, 1.0]) == IntPoly((-1, 4))
+
+    def test_repr_exactness(self):
+        # 0.1 is NOT 1/10 in binary; the conversion is exact w.r.t. the
+        # actual double, so scaling by 10 does not give integer coeffs.
+        p = from_floats([0.5, 0.1])
+        assert p.coefficient(1) != 0
+        # exactness: evaluating at 0 recovers the double exactly
+        from fractions import Fraction as F
+
+        assert F(p.coefficient(0), p.coefficient(1)) == F(0.5) / F(0.1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            from_floats([float("nan"), 1.0])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            from_floats([float("inf")])
+
+
+class TestFromAny:
+    def test_mixed(self):
+        p = from_any([1, 0.5, Fraction(1, 3), (1, 6)])
+        # lcm(1,2,3,6) = 6: [6, 3, 2, 1]
+        assert p == IntPoly((6, 3, 2, 1))
+
+    def test_bool_coerced(self):
+        assert from_any([True, False, True]) == IntPoly((1, 0, 1))
+
+    def test_numpy_scalars(self):
+        import numpy as np
+
+        p = from_any(np.array([0.5, 1.0]))
+        assert p == IntPoly((1, 2))
+
+    def test_end_to_end_root_finding(self):
+        from repro.core.rootfinder import RealRootFinder
+
+        p = from_fractions([Fraction(-3, 4), Fraction(1, 2)])  # root 3/2
+        res = RealRootFinder(mu_bits=8).find_roots(p)
+        assert res.as_floats() == [1.5]

@@ -1,0 +1,242 @@
+"""Unit tests for IntPoly: exact dense integer polynomials."""
+
+import pytest
+
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+
+
+class TestConstruction:
+    def test_zero_polynomial_has_degree_minus_one(self):
+        assert IntPoly.zero().degree == -1
+        assert IntPoly(()).is_zero()
+
+    def test_trailing_zeros_trimmed(self):
+        assert IntPoly((1, 2, 0, 0)).coeffs == (1, 2)
+
+    def test_all_zero_coeffs_is_zero(self):
+        assert IntPoly((0, 0, 0)).is_zero()
+
+    def test_constant(self):
+        p = IntPoly.constant(7)
+        assert p.degree == 0
+        assert p.coefficient(0) == 7
+
+    def test_x(self):
+        assert IntPoly.x().coeffs == (0, 1)
+
+    def test_monomial(self):
+        assert IntPoly.monomial(5, 3).coeffs == (0, 0, 0, 5)
+
+    def test_monomial_zero_coefficient(self):
+        assert IntPoly.monomial(0, 3).is_zero()
+
+    def test_monomial_negative_exponent_raises(self):
+        with pytest.raises(ValueError):
+            IntPoly.monomial(1, -1)
+
+    def test_from_roots(self):
+        p = IntPoly.from_roots([1, 2])
+        assert p.coeffs == (2, -3, 1)  # (x-1)(x-2) = x^2 - 3x + 2
+
+    def test_from_roots_empty_is_one(self):
+        assert IntPoly.from_roots([]) == IntPoly.one()
+
+    def test_coefficients_coerced_to_int(self):
+        p = IntPoly([True, 2])
+        assert p.coeffs == (1, 2)
+        assert all(type(c) is int for c in p.coeffs)
+
+
+class TestQueries:
+    def test_leading_coefficient(self):
+        assert IntPoly((1, 2, 3)).leading_coefficient == 3
+        assert IntPoly.zero().leading_coefficient == 0
+
+    def test_coefficient_out_of_range_is_zero(self):
+        p = IntPoly((1, 2))
+        assert p.coefficient(5) == 0
+        assert p.coefficient(-1) == 0
+
+    def test_max_coefficient_bits(self):
+        assert IntPoly((1, -8)).max_coefficient_bits() == 4
+        assert IntPoly.zero().max_coefficient_bits() == 0
+
+    def test_height(self):
+        assert IntPoly((3, -17, 4)).height() == 17
+
+    def test_equality_with_int(self):
+        assert IntPoly.constant(5) == 5
+        assert IntPoly.zero() == 0
+        assert IntPoly((0, 1)) != 0
+
+    def test_hash_consistency(self):
+        assert hash(IntPoly((1, 2))) == hash(IntPoly([1, 2, 0]))
+
+    def test_bool(self):
+        assert not IntPoly.zero()
+        assert IntPoly.one()
+
+    def test_repr_readable(self):
+        r = repr(IntPoly((2, -3, 1)))
+        assert "x^2" in r and "-3*x" in r
+
+
+class TestRingOps:
+    def test_add(self):
+        assert (IntPoly((1, 2)) + IntPoly((3, 0, 5))).coeffs == (4, 2, 5)
+
+    def test_add_int(self):
+        assert (IntPoly((1, 2)) + 10).coeffs == (11, 2)
+        assert (10 + IntPoly((1, 2))).coeffs == (11, 2)
+
+    def test_add_cancels_leading(self):
+        assert (IntPoly((0, 1)) + IntPoly((1, -1))).coeffs == (1,)
+
+    def test_sub(self):
+        assert (IntPoly((5, 5)) - IntPoly((1, 2, 3))).coeffs == (4, 3, -3)
+
+    def test_rsub(self):
+        assert (7 - IntPoly((2, 1))).coeffs == (5, -1)
+
+    def test_neg(self):
+        assert (-IntPoly((1, -2))).coeffs == (-1, 2)
+
+    def test_mul(self):
+        # (1+x)(1-x) = 1 - x^2
+        assert (IntPoly((1, 1)) * IntPoly((1, -1))).coeffs == (1, 0, -1)
+
+    def test_mul_by_zero(self):
+        assert (IntPoly((1, 2)) * IntPoly.zero()).is_zero()
+
+    def test_scalar_mul(self):
+        assert (3 * IntPoly((1, 2))).coeffs == (3, 6)
+        assert (IntPoly((1, 2)) * 3).coeffs == (3, 6)
+
+    def test_scale_by_zero(self):
+        assert IntPoly((1, 2)).scale(0).is_zero()
+
+    def test_scale_by_one_returns_same_object(self):
+        p = IntPoly((1, 2))
+        assert p.scale(1) is p
+
+    def test_shift_up(self):
+        assert IntPoly((1, 2)).shift_up(2).coeffs == (0, 0, 1, 2)
+
+    def test_mul_counts_operations(self):
+        c = CostCounter()
+        IntPoly((1, 2, 3)).mul(IntPoly((4, 5)), c)
+        assert c.mul_count == 6  # dense 3x2 products
+
+    def test_mul_skips_zero_coefficients(self):
+        c = CostCounter()
+        IntPoly((1, 0, 3)).mul(IntPoly((4, 5)), c)
+        assert c.mul_count == 4
+
+
+class TestDivision:
+    def test_exact_div_scalar(self):
+        assert IntPoly((4, 8)).exact_div_scalar(4).coeffs == (1, 2)
+
+    def test_exact_div_scalar_inexact_raises(self):
+        with pytest.raises(ArithmeticError):
+            IntPoly((4, 9)).exact_div_scalar(4)
+
+    def test_exact_div_scalar_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            IntPoly((4,)).exact_div_scalar(0)
+
+    def test_divmod_exact(self):
+        num = IntPoly.from_roots([1, 2, 3])
+        den = IntPoly.from_roots([2])
+        q, r = num.divmod(den)
+        assert r.is_zero()
+        assert q == IntPoly.from_roots([1, 3])
+
+    def test_divmod_with_remainder(self):
+        q, r = IntPoly((1, 0, 1)).divmod(IntPoly((-1, 1)))  # x^2+1 by x-1
+        assert q.coeffs == (1, 1)
+        assert r.coeffs == (2,)
+
+    def test_divmod_smaller_degree(self):
+        q, r = IntPoly((1, 2)).divmod(IntPoly((0, 0, 1)))
+        assert q.is_zero() and r == IntPoly((1, 2))
+
+    def test_divmod_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            IntPoly((1,)).divmod(IntPoly.zero())
+
+    def test_divmod_nonexact_lead_raises(self):
+        with pytest.raises(ArithmeticError):
+            IntPoly((0, 0, 1)).divmod(IntPoly((1, 2)))  # x^2 / (2x+1)
+
+    def test_pseudo_divmod_invariant(self):
+        a = IntPoly((3, -2, 0, 7, 1))
+        b = IntPoly((1, 5, 2))
+        q, r, k = a.pseudo_divmod(b)
+        lc = b.leading_coefficient
+        assert k == a.degree - b.degree + 1
+        assert a.scale(lc**k) == q * b + r
+        assert r.degree < b.degree
+
+    def test_pseudo_divmod_smaller_degree(self):
+        a, b = IntPoly((1, 2)), IntPoly((1, 1, 1))
+        q, r, k = a.pseudo_divmod(b)
+        assert q.is_zero() and r == a and k == 0
+
+    def test_pseudo_divmod_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            IntPoly((1,)).pseudo_divmod(IntPoly.zero())
+
+
+class TestCalculus:
+    def test_derivative(self):
+        assert IntPoly((5, 3, 2)).derivative().coeffs == (3, 4)
+
+    def test_derivative_constant_is_zero(self):
+        assert IntPoly.constant(5).derivative().is_zero()
+
+    def test_compose_linear(self):
+        p = IntPoly((0, 0, 1))  # x^2
+        assert p.compose_linear(2, 1).coeffs == (1, 4, 4)  # (2x+1)^2
+
+    def test_reversed_coeffs(self):
+        assert IntPoly((1, 2, 3)).reversed_coeffs().coeffs == (3, 2, 1)
+
+    def test_primitive_part(self):
+        c, prim = IntPoly((6, -9, 3)).primitive_part()
+        assert c == 3 and prim.coeffs == (2, -3, 1)
+
+    def test_primitive_part_keeps_sign(self):
+        c, prim = IntPoly((-6, -9)).primitive_part()
+        assert c == 3 and prim.coeffs == (-2, -3)
+
+    def test_primitive_part_of_zero(self):
+        c, prim = IntPoly.zero().primitive_part()
+        assert c == 0 and prim.is_zero()
+
+
+class TestEvaluation:
+    def test_eval_int(self):
+        p = IntPoly((1, -2, 1))  # (x-1)^2
+        assert p(3) == 4
+        assert p(1) == 0
+
+    def test_eval_float(self):
+        assert IntPoly((0, 1)).eval_float(2.5) == 2.5
+
+    def test_sign_at_rational(self):
+        p = IntPoly.from_roots([0, 2])  # roots 0, 2
+        assert p.sign_at_rational(1, 1) == -1
+        assert p.sign_at_rational(5, 2) == 1
+        assert p.sign_at_rational(2, 1) == 0
+
+    def test_sign_at_rational_requires_positive_den(self):
+        with pytest.raises(ValueError):
+            IntPoly((1,)).sign_at_rational(1, -1)
+
+    def test_sign_at_neg_inf(self):
+        assert IntPoly((0, 1)).sign_at_neg_inf() == -1       # x
+        assert IntPoly((0, 0, 1)).sign_at_neg_inf() == 1     # x^2
+        assert IntPoly((0, 0, -1)).sign_at_neg_inf() == -1   # -x^2
+        assert IntPoly.zero().sign_at_neg_inf() == 0

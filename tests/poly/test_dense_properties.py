@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) for the polynomial ring."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.poly.dense import IntPoly
+
+coeff = st.integers(min_value=-(10**6), max_value=10**6)
+polys = st.lists(coeff, min_size=0, max_size=9).map(IntPoly)
+nonzero_polys = polys.filter(lambda p: not p.is_zero())
+points = st.integers(min_value=-(10**3), max_value=10**3)
+
+
+@given(polys, polys)
+def test_addition_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(polys, polys, polys)
+def test_addition_associative(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(polys)
+def test_additive_inverse(a):
+    assert (a + (-a)).is_zero()
+
+
+@given(polys, polys)
+def test_multiplication_commutative(a, b):
+    assert a * b == b * a
+
+
+@settings(max_examples=60)
+@given(polys, polys, polys)
+def test_multiplication_associative(a, b, c):
+    assert (a * b) * c == a * (b * c)
+
+
+@settings(max_examples=60)
+@given(polys, polys, polys)
+def test_distributivity(a, b, c):
+    assert a * (b + c) == a * b + a * c
+
+
+@given(polys, polys)
+def test_degree_of_product(a, b):
+    if a.is_zero() or b.is_zero():
+        assert (a * b).is_zero()
+    else:
+        assert (a * b).degree == a.degree + b.degree
+
+
+@given(polys, polys, points)
+def test_evaluation_is_ring_homomorphism(a, b, x):
+    assert (a + b)(x) == a(x) + b(x)
+    assert (a * b)(x) == a(x) * b(x)
+
+
+@given(polys, nonzero_polys)
+def test_pseudo_divmod_identity(a, b):
+    q, r, k = a.pseudo_divmod(b)
+    lc = b.leading_coefficient
+    assert a.scale(lc**k) == q * b + r
+    assert r.is_zero() or r.degree < b.degree
+
+
+@given(nonzero_polys, points)
+def test_derivative_product_rule(p, x):
+    q = IntPoly((1, 1))  # x + 1
+    lhs = (p * q).derivative()
+    rhs = p.derivative() * q + p * q.derivative()
+    assert lhs == rhs
+
+
+@given(polys, points)
+def test_sign_at_rational_matches_fraction_eval(p, x):
+    den = 7
+    exact = sum(Fraction(c) * Fraction(x, den) ** j for j, c in enumerate(p.coeffs))
+    s = p.sign_at_rational(x, den)
+    assert s == (exact > 0) - (exact < 0)
+
+
+@given(st.lists(st.integers(min_value=-30, max_value=30), min_size=1,
+                max_size=6, unique=True))
+def test_from_roots_vanishes_at_roots(roots):
+    p = IntPoly.from_roots(roots)
+    assert all(p(r) == 0 for r in roots)
+    assert p.degree == len(roots)
+    assert p.leading_coefficient == 1

@@ -1,0 +1,74 @@
+"""Tests for scaled-integer evaluation (the algorithm's hot primitive)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import horner_partial_bound
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+from repro.poly.eval import horner_partial_sizes, scaled_eval, scaled_sign
+
+polys = st.lists(
+    st.integers(min_value=-(10**4), max_value=10**4), min_size=1, max_size=7
+).map(IntPoly)
+
+
+class TestScaledEval:
+    def test_matches_definition(self):
+        p = IntPoly((1, -2, 3))
+        # 2^(2*4) * p(5/16) = 256*(1 - 10/16 + 75/256)
+        assert scaled_eval(p, 5, 4) == 256 - 2 * 5 * 16 + 3 * 25
+
+    def test_zero_scale_is_plain_eval(self):
+        p = IntPoly((7, 0, -1))
+        assert scaled_eval(p, 3, 0) == p(3)
+
+    def test_zero_polynomial(self):
+        assert scaled_eval(IntPoly.zero(), 10, 4) == 0
+
+    def test_negative_scale_raises(self):
+        with pytest.raises(ValueError):
+            scaled_eval(IntPoly((1,)), 1, -1)
+
+    def test_counts_one_mul_per_degree(self):
+        c = CostCounter()
+        p = IntPoly((1, 2, 3, 4, 5))
+        scaled_eval(p, 7, 3, c)
+        assert c.mul_count == p.degree
+
+    @given(polys, st.integers(min_value=-(10**5), max_value=10**5),
+           st.integers(min_value=0, max_value=24))
+    def test_matches_fraction_evaluation(self, p, y, w):
+        exact = sum(
+            Fraction(c) * Fraction(y, 1 << w) ** j
+            for j, c in enumerate(p.coeffs)
+        ) * Fraction(1 << (w * max(p.degree, 0)))
+        assert scaled_eval(p, y, w) == exact
+
+    @given(polys, st.integers(min_value=-(10**5), max_value=10**5),
+           st.integers(min_value=0, max_value=24))
+    def test_sign_matches_fraction_sign(self, p, y, w):
+        exact = sum(
+            Fraction(c) * Fraction(y, 1 << w) ** j
+            for j, c in enumerate(p.coeffs)
+        )
+        assert scaled_sign(p, y, w) == (exact > 0) - (exact < 0)
+
+
+class TestPartialSizes:
+    def test_partial_sizes_respect_paper_bound(self):
+        """Section 4.3: ||E_i|| <= m + i*X + log(i+1)."""
+        p = IntPoly([(-1) ** j * (j + 1) * 12345 for j in range(20)])
+        y, w = (1 << 30) + 12345, 20
+        m = p.max_coefficient_bits()
+        x_bits = abs(y).bit_length()
+        sizes = horner_partial_sizes(p, y, w)
+        for i, s in enumerate(sizes):
+            assert s <= horner_partial_bound(m, i, max(x_bits, w))
+
+    def test_partial_sizes_length(self):
+        p = IntPoly((1, 2, 3))
+        assert len(horner_partial_sizes(p, 5, 2)) == p.degree + 1

@@ -1,0 +1,52 @@
+"""Tests for the one-time-scaling evaluator (paper Sec 4.3 practice)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+from repro.poly.eval import ScaledEvaluator, scaled_eval
+
+polys = st.lists(
+    st.integers(min_value=-(10**4), max_value=10**4), min_size=1, max_size=8
+).map(IntPoly)
+
+
+class TestScaledEvaluator:
+    @given(polys, st.integers(min_value=-(10**6), max_value=10**6),
+           st.integers(min_value=0, max_value=20))
+    def test_matches_scaled_eval(self, p, y, w):
+        ev = ScaledEvaluator(p, w)
+        assert ev.eval(y) == scaled_eval(p, y, w)
+
+    @given(polys, st.integers(min_value=-(10**6), max_value=10**6))
+    def test_sign(self, p, y):
+        ev = ScaledEvaluator(p, 6)
+        v = scaled_eval(p, y, 6)
+        assert ev.sign(y) == (v > 0) - (v < 0)
+
+    def test_zero_polynomial(self):
+        ev = ScaledEvaluator(IntPoly.zero(), 5)
+        assert ev.eval(123) == 0
+        assert ev.sign(123) == 0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ScaledEvaluator(IntPoly.one(), -1)
+
+    def test_mul_counts_match_scaled_eval(self):
+        p = IntPoly((3, -1, 4, -1, 5))
+        c1, c2 = CostCounter(), CostCounter()
+        scaled_eval(p, 77, 9, c1)
+        ScaledEvaluator(p, 9).eval(77, c2)
+        assert c1.mul_count == c2.mul_count == p.degree
+
+    def test_shifted_coefficients_precomputed(self):
+        p = IntPoly((1, 1))
+        ev = ScaledEvaluator(p, 4)
+        assert ev.shifted == (16, 1)  # 1 << (1*4), 1 << 0
+
+    def test_constant_polynomial(self):
+        ev = ScaledEvaluator(IntPoly.constant(-7), 12)
+        assert ev.eval(999) == -7

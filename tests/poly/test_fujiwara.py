@@ -1,0 +1,74 @@
+"""Tests for the Fujiwara root bound and the combined bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import square_free_characteristic_input, wilkinson
+from repro.poly.dense import IntPoly
+from repro.poly.roots_bounds import (
+    cauchy_root_bound_bits,
+    fujiwara_root_bound_bits,
+    root_bound_bits,
+)
+
+
+class TestFujiwara:
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            fujiwara_root_bound_bits(IntPoly.zero())
+
+    def test_constant(self):
+        assert fujiwara_root_bound_bits(IntPoly.constant(9)) == 1
+
+    def test_known_roots_inside(self):
+        p = IntPoly.from_roots([100, -100])
+        r = fujiwara_root_bound_bits(p)
+        assert (1 << r) > 100
+
+    def test_much_tighter_than_cauchy_on_charpoly(self):
+        """The motivating case: characteristic polynomials have huge low
+        coefficients but moderate roots."""
+        inp = square_free_characteristic_input(40, 11)
+        f = fujiwara_root_bound_bits(inp.poly)
+        c = cauchy_root_bound_bits(inp.poly)
+        assert f + 10 < c
+        # all eigenvalues of a 0-1 symmetric n=40 matrix are within +-40
+        assert (1 << f) > 40 or f >= 6
+
+    def test_tighter_on_wilkinson(self):
+        p = wilkinson(20)  # roots 1..20, coefficients ~2^61
+        f = fujiwara_root_bound_bits(p)
+        assert (1 << f) > 20
+        # 2 * |a_19/a_20| = 2 * 210 -> 9 bits + strictness margin
+        assert f <= 11
+        assert cauchy_root_bound_bits(p) > 50
+
+    @settings(max_examples=80)
+    @given(st.lists(st.integers(min_value=-(10**5), max_value=10**5),
+                    min_size=2, max_size=7).filter(lambda c: c[-1] != 0))
+    def test_always_valid(self, coeffs):
+        p = IntPoly(coeffs)
+        if p.degree < 1:
+            return
+        r = fujiwara_root_bound_bits(p)
+        roots = np.roots(list(reversed(p.coeffs)))
+        assert all(abs(z) < (1 << r) + 1e-9 for z in roots)
+
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(min_value=-(10**5), max_value=10**5),
+                    min_size=2, max_size=7).filter(lambda c: c[-1] != 0))
+    def test_combined_bound_valid_and_minimal(self, coeffs):
+        p = IntPoly(coeffs)
+        if p.degree < 1:
+            return
+        r = root_bound_bits(p)
+        assert r == min(cauchy_root_bound_bits(p), fujiwara_root_bound_bits(p))
+        roots = np.roots(list(reversed(p.coeffs)))
+        assert all(abs(z) < (1 << r) + 1e-9 for z in roots)
+
+    def test_sparse_polynomial_skips_zero_coefficients(self):
+        p = IntPoly((1, 0, 0, 0, 0, 1))  # x^5 + 1: roots on unit circle
+        r = fujiwara_root_bound_bits(p)
+        assert 1 <= r <= 3

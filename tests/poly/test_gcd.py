@@ -1,0 +1,136 @@
+"""Tests for polynomial gcd and square-free machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.poly.dense import IntPoly
+from repro.poly.gcd import (
+    is_square_free,
+    poly_gcd,
+    square_free_decomposition,
+    square_free_part,
+)
+
+small_roots = st.lists(
+    st.integers(min_value=-12, max_value=12), min_size=0, max_size=4
+)
+
+
+class TestGcd:
+    def test_gcd_of_coprime_is_constant(self):
+        g = poly_gcd(IntPoly.from_roots([1, 2]), IntPoly.from_roots([3, 4]))
+        assert g.degree == 0
+
+    def test_gcd_shared_factor(self):
+        shared = IntPoly.from_roots([5, -3])
+        a = shared * IntPoly.from_roots([1])
+        b = shared * IntPoly.from_roots([2, 7])
+        g = poly_gcd(a, b)
+        assert g == shared
+
+    def test_gcd_with_zero(self):
+        p = IntPoly.from_roots([1, 2])
+        assert poly_gcd(p, IntPoly.zero()) == p
+        assert poly_gcd(IntPoly.zero(), p) == p
+        assert poly_gcd(IntPoly.zero(), IntPoly.zero()).is_zero()
+
+    def test_gcd_normalizes_sign(self):
+        a = -IntPoly.from_roots([1, 2])
+        b = -IntPoly.from_roots([1, 3])
+        g = poly_gcd(a, b)
+        assert g.leading_coefficient > 0
+        assert g == IntPoly.from_roots([1])
+
+    def test_gcd_includes_content(self):
+        a = IntPoly((6, 6))     # 6(x+1)
+        b = IntPoly((0, 4))     # 4x
+        g = poly_gcd(a, b)
+        assert g == IntPoly.constant(2)
+
+    def test_gcd_of_constants(self):
+        assert poly_gcd(IntPoly.constant(12), IntPoly.constant(18)) == 6
+
+    def test_gcd_nonmonic(self):
+        shared = IntPoly((1, 3))  # 3x + 1
+        a = shared * IntPoly((2, 5))
+        b = shared * IntPoly((-1, 7, 2))
+        assert poly_gcd(a, b) == shared
+
+    @settings(max_examples=50)
+    @given(small_roots, small_roots)
+    def test_gcd_divides_both(self, ra, rb):
+        a = IntPoly.from_roots(ra) * 3
+        b = IntPoly.from_roots(rb) * 2
+        g = poly_gcd(a, b)
+        if a.is_zero() and b.is_zero():
+            assert g.is_zero()
+            return
+        for p in (a, b):
+            if not p.is_zero():
+                _q, r = p.divmod(g)
+                assert r.is_zero()
+
+
+class TestSquareFree:
+    def test_square_free_part_strips_multiplicity(self):
+        p = IntPoly.from_roots([1, 1, 1, 4])
+        assert square_free_part(p) == IntPoly.from_roots([1, 4])
+
+    def test_square_free_part_of_squarefree_is_self(self):
+        p = IntPoly.from_roots([2, 3])
+        assert square_free_part(p * 5) == p
+
+    def test_square_free_part_zero_raises(self):
+        with pytest.raises(ValueError):
+            square_free_part(IntPoly.zero())
+
+    def test_is_square_free(self):
+        assert is_square_free(IntPoly.from_roots([1, 2]))
+        assert not is_square_free(IntPoly.from_roots([1, 1]))
+        assert not is_square_free(IntPoly.zero())
+        assert is_square_free(IntPoly.constant(3)) is False or True  # degree 0 OK
+
+    def test_decomposition_simple(self):
+        # (x-1)^2 (x-2)^3
+        p = IntPoly.from_roots([1, 1, 2, 2, 2])
+        decomp = square_free_decomposition(p)
+        assert (IntPoly.from_roots([1]), 2) in decomp
+        assert (IntPoly.from_roots([2]), 3) in decomp
+        assert len(decomp) == 2
+
+    def test_decomposition_mixed(self):
+        p = IntPoly.from_roots([0, 5, 5, -3, -3, -3, -3])
+        decomp = dict((m, f) for f, m in square_free_decomposition(p))
+        assert decomp[1] == IntPoly.from_roots([0])
+        assert decomp[2] == IntPoly.from_roots([5])
+        assert decomp[4] == IntPoly.from_roots([-3])
+
+    def test_decomposition_reconstructs_product(self):
+        p = IntPoly.from_roots([1, 1, 4, 7, 7, 7])
+        prod = IntPoly.one()
+        for f, m in square_free_decomposition(p):
+            for _ in range(m):
+                prod = prod * f
+        assert prod == p  # monic input, content 1
+
+    def test_decomposition_drops_content_and_sign(self):
+        p = (-6) * IntPoly.from_roots([2, 2])
+        decomp = square_free_decomposition(p)
+        assert decomp == [(IntPoly.from_roots([2]), 2)]
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=-8, max_value=8),
+                    min_size=1, max_size=6))
+    def test_decomposition_multiplicities_match(self, roots):
+        from collections import Counter
+
+        p = IntPoly.from_roots(roots)
+        counts = Counter(roots)
+        decomp = square_free_decomposition(p)
+        for f, m in decomp:
+            # every root of factor f must occur exactly m times in input
+            for r, c in counts.items():
+                if f(r) == 0:
+                    assert c == m
+        assert sum(f.degree * m for f, m in decomp) == p.degree

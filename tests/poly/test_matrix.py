@@ -1,0 +1,102 @@
+"""Tests for 2x2 polynomial matrices."""
+
+import pytest
+
+from repro.costmodel.counter import CostCounter
+from repro.poly.dense import IntPoly
+from repro.poly.matrix import PolyMatrix2x2
+
+
+def mat(a, b, c, d):
+    return PolyMatrix2x2(IntPoly(a), IntPoly(b), IntPoly(c), IntPoly(d))
+
+
+class TestBasics:
+    def test_identity(self):
+        i = PolyMatrix2x2.identity()
+        m = mat((1, 2), (3,), (0, 0, 1), (5, 1))
+        assert i.mul(m) == m
+        assert m.mul(i) == m
+
+    def test_scalar(self):
+        s = PolyMatrix2x2.scalar(3)
+        m = mat((1,), (2,), (3,), (4,))
+        prod = s.mul(m)
+        assert prod.entry(1, 1) == IntPoly((3,))
+        assert prod.entry(2, 2) == IntPoly((12,))
+
+    def test_entry_access_one_based(self):
+        m = mat((1,), (2,), (3,), (4,))
+        assert m.entry(1, 1).coeffs == (1,)
+        assert m.entry(1, 2).coeffs == (2,)
+        assert m.entry(2, 1).coeffs == (3,)
+        assert m.entry(2, 2).coeffs == (4,)
+
+    def test_entry_bad_index_raises(self):
+        with pytest.raises(KeyError):
+            mat((1,), (2,), (3,), (4,)).entry(0, 1)
+
+
+class TestProducts:
+    def test_mul_matches_manual(self):
+        a = mat((1, 1), (0, 1), (2,), (1,))
+        b = mat((1,), (0, 2), (3,), (1, 1))
+        p = a.mul(b)
+        # (1,1) entry: (x+1)*1 + x*3 = 4x + 1
+        assert p.entry(1, 1).coeffs == (1, 4)
+
+    def test_matmul_operator(self):
+        a = mat((2,), (0,), (0,), (2,))
+        b = mat((1, 1), (0,), (0,), (1, 1))
+        assert (a @ b).entry(1, 1).coeffs == (2, 2)
+
+    def test_entry_product_matches_full_mul(self):
+        a = mat((1, 2), (3, 4), (5,), (6, 7, 8))
+        b = mat((1,), (2, 3), (4, 5), (6,))
+        full = a.mul(b)
+        for r in (1, 2):
+            for c in (1, 2):
+                assert a.entry_product(b, r, c) == full.entry(r, c)
+
+    def test_mul_is_associative(self):
+        a = mat((1, 1), (2,), (0, 3), (1,))
+        b = mat((0, 1), (1,), (2,), (1, 1))
+        c = mat((5,), (1, 2), (3,), (0, 1))
+        assert a.mul(b).mul(c) == a.mul(b.mul(c))
+
+    def test_mul_charges_counter(self):
+        counter = CostCounter()
+        a = mat((1, 1), (2,), (0, 3), (1,))
+        a.mul(a, counter)
+        assert counter.mul_count > 0
+
+
+class TestScalarOps:
+    def test_scale(self):
+        m = mat((1, 2), (0,), (3,), (4,))
+        s = m.scale(5)
+        assert s.entry(1, 1).coeffs == (5, 10)
+
+    def test_exact_div_scalar(self):
+        m = mat((4, 8), (0,), (12,), (16,))
+        d = m.exact_div_scalar(4)
+        assert d.entry(1, 1).coeffs == (1, 2)
+        assert d.entry(2, 2).coeffs == (4,)
+
+    def test_exact_div_scalar_inexact_raises(self):
+        with pytest.raises(ArithmeticError):
+            mat((5,), (0,), (0,), (4,)).exact_div_scalar(4)
+
+    def test_determinant(self):
+        m = mat((1, 1), (2,), (3,), (0, 1))  # (x+1)x - 2*3
+        assert m.determinant().coeffs == (-6, 1, 1)
+
+
+class TestMeasures:
+    def test_max_coefficient_bits(self):
+        m = mat((1,), (255,), (0,), (3,))
+        assert m.max_coefficient_bits() == 8
+
+    def test_max_degree(self):
+        m = mat((1,), (0, 0, 7), (0,), (3,))
+        assert m.max_degree() == 2

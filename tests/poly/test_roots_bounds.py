@@ -1,0 +1,63 @@
+"""Tests for root magnitude bounds."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.poly.dense import IntPoly
+from repro.poly.roots_bounds import cauchy_root_bound_bits, root_bracket_scaled
+
+
+class TestCauchyBound:
+    def test_monic_small(self):
+        # roots of x^2 - 1 are +-1 < 2
+        assert cauchy_root_bound_bits(IntPoly((-1, 0, 1))) >= 1
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            cauchy_root_bound_bits(IntPoly.zero())
+
+    def test_constant(self):
+        assert cauchy_root_bound_bits(IntPoly.constant(5)) == 1
+
+    def test_known_large_root(self):
+        p = IntPoly.from_roots([1000])
+        r = cauchy_root_bound_bits(p)
+        assert (1 << r) > 1000
+
+    def test_bound_is_reasonably_tight(self):
+        p = IntPoly.from_roots([3])
+        # Cauchy gives 1 + 3 = 4 -> 2 bits
+        assert cauchy_root_bound_bits(p) <= 3
+
+    @given(st.lists(st.integers(min_value=-10**4, max_value=10**4),
+                    min_size=1, max_size=6, unique=True))
+    def test_all_roots_strictly_inside(self, roots):
+        p = IntPoly.from_roots(roots)
+        r = cauchy_root_bound_bits(p)
+        assert all(abs(x) < (1 << r) for x in roots)
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100),
+                    min_size=2, max_size=6).filter(lambda c: c[-1] != 0))
+    def test_bound_valid_for_arbitrary_polys(self, coeffs):
+        import numpy as np
+
+        p = IntPoly(coeffs)
+        if p.degree < 1:
+            return
+        r = cauchy_root_bound_bits(p)
+        roots = np.roots(list(reversed(p.coeffs)))
+        assert all(abs(z) < (1 << r) + 1e-9 for z in roots)
+
+
+class TestBracket:
+    def test_bracket_scaled(self):
+        p = IntPoly.from_roots([-3, 7])
+        lo, hi = root_bracket_scaled(p, 4)
+        assert lo == -hi
+        assert hi >= 7 * 16
+
+    def test_bracket_contains_roots_strictly(self):
+        p = IntPoly.from_roots([15])
+        lo, hi = root_bracket_scaled(p, 8)
+        assert lo < 15 * 256 < hi

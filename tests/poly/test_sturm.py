@@ -1,0 +1,128 @@
+"""Tests for Sturm chains and exact root counting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.poly.dense import IntPoly
+from repro.poly.sturm import (
+    count_real_roots,
+    count_roots_below,
+    count_roots_in_open,
+    sign_variations,
+    sturm_chain,
+    variations_at_neg_inf,
+    variations_at_pos_inf,
+    variations_at_scaled,
+)
+
+
+class TestSignVariations:
+    def test_basic(self):
+        assert sign_variations([1, -1, 1]) == 2
+
+    def test_zeros_ignored(self):
+        assert sign_variations([1, 0, -1, 0, 0, 1]) == 2
+
+    def test_empty_and_constant(self):
+        assert sign_variations([]) == 0
+        assert sign_variations([0, 0]) == 0
+        assert sign_variations([5]) == 0
+
+
+class TestChain:
+    def test_chain_starts_with_p_and_derivative_direction(self):
+        p = IntPoly.from_roots([0, 3, 7])
+        chain = sturm_chain(p)
+        assert chain[0] == p
+        assert chain[1] == p.derivative()
+
+    def test_chain_of_constant(self):
+        assert len(sturm_chain(IntPoly.constant(5))) == 1
+
+    def test_chain_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            sturm_chain(IntPoly.zero())
+
+    def test_chain_terminates_with_constant_for_squarefree(self):
+        chain = sturm_chain(IntPoly.from_roots([-2, 1, 4, 9]))
+        assert chain[-1].degree == 0
+
+    def test_chain_for_repeated_roots_ends_at_gcd_degree(self):
+        p = IntPoly.from_roots([1, 1, 2])
+        chain = sturm_chain(p)
+        # last element is proportional to gcd(p, p') = (x-1)
+        assert chain[-1].degree == 1
+
+
+class TestCounting:
+    def test_count_all_real_roots(self):
+        assert count_real_roots(IntPoly.from_roots([-5, 0, 5])) == 3
+
+    def test_count_no_real_roots(self):
+        assert count_real_roots(IntPoly((1, 0, 1))) == 0  # x^2 + 1
+
+    def test_count_distinct_for_repeated(self):
+        assert count_real_roots(IntPoly.from_roots([2, 2, 2, -1])) == 2
+
+    def test_count_mixed_real_complex(self):
+        # (x^2+1)(x-3)
+        p = IntPoly((1, 0, 1)) * IntPoly((-3, 1))
+        assert count_real_roots(p) == 1
+
+    def test_count_in_open_interval(self):
+        p = IntPoly.from_roots([1, 3, 5])
+        chain = sturm_chain(p)
+        assert count_roots_in_open(chain, 0, 4, 0) == 2
+        assert count_roots_in_open(chain, 4, 10, 0) == 1
+        assert count_roots_in_open(chain, 6, 10, 0) == 0
+
+    def test_count_in_open_endpoint_root_raises(self):
+        p = IntPoly.from_roots([1, 3])
+        chain = sturm_chain(p)
+        with pytest.raises(ValueError):
+            count_roots_in_open(chain, 1, 2, 0)
+
+    def test_count_below(self):
+        p = IntPoly.from_roots([-10, 0, 10])
+        chain = sturm_chain(p)
+        assert count_roots_below(chain, -11, 0) == 0
+        assert count_roots_below(chain, 1, 0) == 2
+        assert count_roots_below(chain, 11, 0) == 3
+
+    def test_count_with_scaled_endpoints(self):
+        p = IntPoly.from_roots([0, 1])
+        chain = sturm_chain(p)
+        # interval (1/4, 9/8) at scale 3: contains root 1
+        assert count_roots_in_open(chain, 2, 9, 3) == 1
+
+    @given(st.lists(st.integers(min_value=-40, max_value=40),
+                    min_size=1, max_size=7, unique=True))
+    def test_count_matches_known_roots(self, roots):
+        p = IntPoly.from_roots(roots)
+        assert count_real_roots(p) == len(roots)
+
+    @given(st.lists(st.integers(min_value=-40, max_value=40),
+                    min_size=1, max_size=6, unique=True),
+           st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=-50, max_value=50))
+    def test_interval_count_matches_known_roots(self, roots, a, b):
+        if a >= b or a in roots or b in roots:
+            return
+        p = IntPoly.from_roots(roots)
+        chain = sturm_chain(p)
+        expected = sum(1 for r in roots if a < r < b)
+        assert count_roots_in_open(chain, a, b, 0) == expected
+
+
+class TestInfinityVariations:
+    def test_real_rooted_has_zero_variations_at_pos_inf(self):
+        chain = sturm_chain(IntPoly.from_roots([-7, -1, 2, 8]))
+        assert variations_at_pos_inf(chain) == 0
+        assert variations_at_neg_inf(chain) == 4
+
+    def test_variations_at_scaled_matches_infinite_far_out(self):
+        p = IntPoly.from_roots([-3, 2])
+        chain = sturm_chain(p)
+        assert variations_at_scaled(chain, -1000, 0) == variations_at_neg_inf(chain)
+        assert variations_at_scaled(chain, 1000, 0) == variations_at_pos_inf(chain)

@@ -1,0 +1,31 @@
+"""Tests for the real multiprocessing executor."""
+
+import pytest
+
+from repro.core.rootfinder import RealRootFinder
+from repro.poly.dense import IntPoly
+from repro.sched.executor import ParallelRootFinder, solve_gap_worker
+
+
+class TestWorker:
+    def test_worker_solves_one_gap(self):
+        p = IntPoly.from_roots([-5, 3])
+        mu, r = 8, 4
+        sent = 1 << (r + mu)
+        gap, val = solve_gap_worker((p.coeffs, mu, r, 0, -sent, 3 << mu))
+        assert gap == 0
+        assert val == (-5) << mu
+
+
+@pytest.mark.slow
+class TestParallelFinder:
+    def test_matches_sequential(self):
+        p = IntPoly.from_roots([-12, -3, 0, 4, 9, 17])
+        mu = 16
+        ref = RealRootFinder(mu_bits=mu).find_roots(p)
+        par = ParallelRootFinder(mu=mu, processes=2)
+        assert par.find_roots_scaled(p) == ref.scaled
+
+    def test_linear_shortcut(self):
+        par = ParallelRootFinder(mu=8, processes=2)
+        assert par.find_roots_scaled(IntPoly((-10, 4))) == [int(2.5 * 256)]

@@ -1,0 +1,104 @@
+"""Tests for the task graph container."""
+
+import pytest
+
+from repro.costmodel.counter import CostCounter
+from repro.sched.graph import TaskGraph
+from repro.sched.task import TaskKind
+
+
+def noop():
+    pass
+
+
+class TestConstruction:
+    def test_add_returns_sequential_ids(self):
+        g = TaskGraph()
+        assert g.add(TaskKind.RECURSE, noop) == 0
+        assert g.add(TaskKind.RECURSE, noop) == 1
+        assert len(g) == 2
+
+    def test_forward_dependency_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add(TaskKind.RECURSE, noop, deps=[0])  # self/forward
+
+    def test_dep_deduplication(self):
+        g = TaskGraph()
+        a = g.add(TaskKind.RECURSE, noop)
+        b = g.add(TaskKind.RECURSE, noop, deps=[a, a, a])
+        assert g.tasks[b].deps == (a,)
+
+
+class TestRecordedRun:
+    def test_bodies_execute_in_order(self):
+        g = TaskGraph()
+        log = []
+        g.add(TaskKind.RECURSE, lambda: log.append("a"))
+        g.add(TaskKind.SORT, lambda: log.append("b"), deps=[0])
+        g.run_recorded(CostCounter())
+        assert log == ["a", "b"]
+
+    def test_costs_are_bitcost_deltas(self):
+        g = TaskGraph()
+        c = CostCounter()
+        g.add(TaskKind.REM_MUL, lambda: c.mul(255, 255))
+        g.add(TaskKind.REM_MUL, lambda: None)
+        g.run_recorded(c)
+        assert g.tasks[0].cost == 64
+        assert g.tasks[1].cost == 0
+        assert g.tasks[0].op_count == 1
+
+    def test_double_execution_rejected(self):
+        g = TaskGraph()
+        g.add(TaskKind.RECURSE, noop)
+        g.run_recorded(CostCounter())
+        with pytest.raises(RuntimeError):
+            g.run_recorded(CostCounter())
+
+    def test_phase_attribution(self):
+        g = TaskGraph()
+        c = CostCounter()
+        g.add(TaskKind.REM_MUL, lambda: c.mul(3, 3), phase="remainder")
+        g.run_recorded(c)
+        assert c.phase_stats("remainder").mul_count == 1
+
+
+class TestStats:
+    def test_total_work_and_critical_path(self):
+        g = TaskGraph()
+        c = CostCounter()
+        # chain: a -> b, plus independent c
+        g.add(TaskKind.REM_MUL, lambda: c.mul(2**10, 2**10))          # cost 121
+        g.add(TaskKind.REM_MUL, lambda: c.mul(2**10, 2**10), deps=[0])
+        g.add(TaskKind.REM_MUL, lambda: c.mul(2**10, 2**10))
+        g.run_recorded(c)
+        st = g.stats()
+        assert st.total_work == 3 * 121
+        assert st.critical_path == 2 * 121
+        assert st.n_tasks == 3
+
+    def test_overhead_added_per_task(self):
+        g = TaskGraph()
+        g.add(TaskKind.RECURSE, noop)
+        g.add(TaskKind.RECURSE, noop, deps=[0])
+        g.run_recorded(CostCounter())
+        st = g.stats(overhead=10)
+        assert st.total_work == 20
+        assert st.critical_path == 20
+
+    def test_by_kind_breakdown(self):
+        g = TaskGraph()
+        c = CostCounter()
+        g.add(TaskKind.SORT, noop)
+        g.add(TaskKind.REM_MUL, lambda: c.mul(3, 3))
+        g.run_recorded(c)
+        st = g.stats()
+        assert st.by_kind[TaskKind.SORT.value][0] == 1
+        assert st.by_kind[TaskKind.REM_MUL.value] == (1, 4)
+
+    def test_stats_require_execution(self):
+        g = TaskGraph()
+        g.add(TaskKind.RECURSE, noop)
+        with pytest.raises(RuntimeError):
+            g.stats()

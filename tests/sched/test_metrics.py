@@ -1,0 +1,43 @@
+"""Tests for speedup table construction and formatting."""
+
+from repro.costmodel.counter import CostCounter
+from repro.sched.graph import TaskGraph
+from repro.sched.metrics import SpeedupRow, format_speedup_table, speedup_table
+from repro.sched.task import TaskKind
+
+
+def simple_graph(n_tasks, cost_bits):
+    g = TaskGraph()
+    c = CostCounter()
+    for _ in range(n_tasks):
+        g.add(TaskKind.REM_MUL, lambda: c.mul(1, 1 << (cost_bits - 1)))
+    g.run_recorded(c)
+    return g
+
+
+class TestSpeedupRow:
+    def test_speedup_and_efficiency(self):
+        row = SpeedupRow("n=10", 10, {1: 100, 2: 50, 4: 30})
+        assert row.speedup(2) == 2.0
+        assert row.efficiency(4) == (100 / 30) / 4
+
+
+class TestSpeedupTable:
+    def test_rows_sorted_by_degree(self):
+        graphs = {20: simple_graph(8, 4), 10: simple_graph(4, 4)}
+        rows = speedup_table(graphs, [2, 4])
+        assert [r.degree for r in rows] == [10, 20]
+        for r in rows:
+            assert set(r.makespans) == {1, 2, 4}
+
+    def test_embarrassingly_parallel_speedup(self):
+        rows = speedup_table({8: simple_graph(8, 10)}, [2, 4, 8])
+        row = rows[0]
+        assert abs(row.speedup(8) - 8.0) < 1e-9
+
+    def test_formatting(self):
+        rows = speedup_table({5: simple_graph(4, 6)}, [2, 4])
+        txt = format_speedup_table(rows, [2, 4], title="Table X")
+        assert "Table X" in txt
+        assert "degree" in txt
+        assert "5" in txt

@@ -1,0 +1,113 @@
+"""Tests for schedule rendering and the reference scheduler cross-check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.counter import CostCounter
+from repro.sched.graph import TaskGraph
+from repro.sched.reference import reference_makespan
+from repro.sched.render import render_gantt, render_utilization
+from repro.sched.simulator import simulate
+from repro.sched.task import TaskKind
+
+
+def graph_with_costs(costs, deps_map=None):
+    g = TaskGraph()
+    c = CostCounter()
+
+    def body(cost):
+        def run():
+            if cost:
+                c.mul(1, 1 << (cost - 1))
+        return run
+
+    for i, cost in enumerate(costs):
+        g.add(TaskKind.REM_MUL, body(cost), deps=(deps_map or {}).get(i, []))
+    g.run_recorded(c)
+    return g
+
+
+class TestReferenceScheduler:
+    def test_matches_simple_cases(self):
+        g = graph_with_costs([10, 10, 10, 10])
+        for p in (1, 2, 4):
+            assert reference_makespan(g, p) == simulate(g, p).makespan
+
+    def test_matches_with_overhead(self):
+        g = graph_with_costs([5, 7, 3], {2: [0]})
+        for p in (1, 2):
+            assert (
+                reference_makespan(g, p, overhead=11)
+                == simulate(g, p, overhead=11).makespan
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=40), min_size=1,
+                 max_size=30),
+        st.integers(min_value=1, max_value=9),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_random_dags(self, costs, p, rng):
+        deps_map = {
+            i: rng.sample(range(i), rng.randint(0, min(i, 3)))
+            for i in range(1, len(costs))
+        }
+        g = graph_with_costs(costs, deps_map)
+        assert reference_makespan(g, p) == simulate(g, p).makespan
+
+    def test_real_task_graph(self):
+        from repro.core.tasks import build_task_graph
+        from repro.poly.dense import IntPoly
+
+        c = CostCounter()
+        tg = build_task_graph(IntPoly.from_roots([1, 4, 9, 16, 25]), 16, c)
+        tg.graph.run_recorded(c)
+        for p in (2, 4, 16):
+            assert (
+                reference_makespan(tg.graph, p)
+                == simulate(tg.graph, p).makespan
+            )
+
+    def test_requires_recorded_graph(self):
+        g = TaskGraph()
+        g.add(TaskKind.RECURSE, lambda: None)
+        with pytest.raises(RuntimeError):
+            reference_makespan(g, 2)
+
+
+class TestRendering:
+    def _traced(self, p=2):
+        g = graph_with_costs([8, 4, 4, 8], {3: [0]})
+        return g, simulate(g, p, keep_trace=True)
+
+    def test_gantt_shape(self):
+        g, r = self._traced()
+        out = render_gantt(r, g.tasks, width=40)
+        lines = out.splitlines()
+        assert len(lines) == r.processors + 1  # rows + legend
+        assert all(line.startswith("p") for line in lines[:-1])
+        assert "m" in out  # REM_MUL glyph present
+
+    def test_utilization_counts_processors_not_tasks(self):
+        g, r = self._traced(p=2)
+        out = render_utilization(r, width=40)
+        # no bucket can report more busy processors than exist
+        digits = [ch for ch in out if ch.isdigit()]
+        assert digits and all(int(d) <= r.processors for d in digits)
+
+    def test_requires_trace(self):
+        g = graph_with_costs([1])
+        r = simulate(g, 1)  # no trace
+        with pytest.raises(ValueError):
+            render_gantt(r, g.tasks)
+        with pytest.raises(ValueError):
+            render_utilization(r)
+
+    def test_idle_shown_as_dots(self):
+        # chain forces idleness on the second processor
+        g = graph_with_costs([10, 10], {1: [0]})
+        r = simulate(g, 2, keep_trace=True)
+        out = render_gantt(r, g.tasks, width=20)
+        assert "." in out.splitlines()[1]

@@ -1,0 +1,207 @@
+"""Tests for the discrete-event multiprocessor simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.counter import CostCounter
+from repro.sched.graph import TaskGraph
+from repro.sched.simulator import simulate, speedup_curve
+from repro.sched.task import TaskKind
+
+
+def graph_with_costs(costs, deps_map=None):
+    """Build + record a graph whose task i charges costs[i] bit ops."""
+    g = TaskGraph()
+    c = CostCounter()
+
+    def body(cost):
+        def run():
+            # charge exactly `cost` via a 1 x cost bit multiply
+            if cost:
+                c.mul(1, (1 << (cost - 1)))
+        return run
+
+    for i, cost in enumerate(costs):
+        deps = (deps_map or {}).get(i, [])
+        g.add(TaskKind.REM_MUL, body(cost), deps=deps)
+    g.run_recorded(c)
+    return g
+
+
+class TestKnownMakespans:
+    def test_independent_tasks_perfectly_parallel(self):
+        g = graph_with_costs([10, 10, 10, 10])
+        assert simulate(g, 1).makespan == 40
+        assert simulate(g, 2).makespan == 20
+        assert simulate(g, 4).makespan == 10
+
+    def test_chain_is_serial(self):
+        g = graph_with_costs([5, 5, 5], {1: [0], 2: [1]})
+        for p in (1, 2, 8):
+            assert simulate(g, p).makespan == 15
+
+    def test_diamond(self):
+        #    0
+        #  1   2
+        #    3
+        g = graph_with_costs([1, 10, 3, 1], {1: [0], 2: [0], 3: [1, 2]})
+        assert simulate(g, 2).makespan == 1 + 10 + 1
+        assert simulate(g, 1).makespan == 15
+
+    def test_unbalanced_with_two_processors(self):
+        # one long task + three short ones
+        g = graph_with_costs([9, 3, 3, 3])
+        r = simulate(g, 2)
+        assert r.makespan == 9  # 9 || (3+3+3)
+
+    def test_fifo_tie_breaking_deterministic(self):
+        g = graph_with_costs([4, 4, 4, 4, 4, 4])
+        a = simulate(g, 3, keep_trace=True)
+        b = simulate(g, 3, keep_trace=True)
+        assert a.trace == b.trace
+
+    def test_overhead_inflates_tasks(self):
+        g = graph_with_costs([10, 10])
+        assert simulate(g, 1, overhead=5).makespan == 30
+        assert simulate(g, 2, overhead=5).makespan == 15
+
+
+class TestInvariants:
+    def test_busy_sums_to_total_work(self):
+        g = graph_with_costs([7, 2, 9, 4, 1], {2: [0], 4: [1]})
+        for p in (1, 2, 3):
+            r = simulate(g, p)
+            assert sum(r.busy) == r.total_work
+
+    def test_utilization_bounds(self):
+        g = graph_with_costs([5, 5, 5, 5])
+        r = simulate(g, 2)
+        assert 0 < r.utilization <= 1
+
+    def test_processors_must_be_positive(self):
+        g = graph_with_costs([1])
+        with pytest.raises(ValueError):
+            simulate(g, 0)
+
+    def test_unexecuted_graph_rejected(self):
+        g = TaskGraph()
+        g.add(TaskKind.RECURSE, lambda: None)
+        with pytest.raises(RuntimeError):
+            simulate(g, 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                 max_size=24),
+        st.integers(min_value=1, max_value=8),
+        st.randoms(),
+    )
+    def test_greedy_bounds_random_dags(self, costs, p, pyrandom):
+        deps_map = {}
+        for i in range(1, len(costs)):
+            k = pyrandom.randint(0, min(i, 3))
+            deps_map[i] = pyrandom.sample(range(i), k)
+        g = graph_with_costs(costs, deps_map)
+        r = simulate(g, p)
+        r.check_bounds()  # max(T1/p, Tinf) <= Tp <= T1/p + Tinf
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=30), min_size=2,
+                    max_size=16))
+    def test_makespan_monotone_in_processors(self, costs):
+        g = graph_with_costs(costs)
+        spans = [simulate(g, p).makespan for p in (1, 2, 4, 8)]
+        assert spans == sorted(spans, reverse=True)
+
+
+class TestSpeedupCurve:
+    def test_always_includes_p1(self):
+        g = graph_with_costs([3, 3, 3])
+        curve = speedup_curve(g, [4])
+        assert 1 in curve and 4 in curve
+
+    def test_speedup_vs(self):
+        g = graph_with_costs([6, 6])
+        curve = speedup_curve(g, [2])
+        assert curve[2].speedup_vs(curve[1].makespan) == 2.0
+
+
+class TestLimits:
+    def test_ample_processors_reach_critical_path(self):
+        g = graph_with_costs([7, 3, 9, 2, 5], {2: [0], 3: [1], 4: [2, 3]})
+        r = simulate(g, 64)  # more processors than tasks
+        assert r.makespan == r.critical_path
+
+    def test_one_processor_equals_total_work(self):
+        g = graph_with_costs([4, 4, 4], {1: [0]})
+        r = simulate(g, 1)
+        assert r.makespan == r.total_work
+
+    def test_queue_overhead_serializes_fully(self):
+        # with queue cost >> task cost, makespan ~ n * queue cost
+        g = graph_with_costs([1] * 10)
+        r = simulate(g, 16, queue_overhead=1000)
+        assert r.makespan >= 10 * 1000
+
+
+class TestStaticScheduling:
+    def test_single_processor_matches_dynamic(self):
+        from repro.sched.simulator import simulate_static
+
+        g = graph_with_costs([5, 7, 3], {2: [0]})
+        assert simulate_static(g, 1).makespan == simulate(g, 1).makespan
+
+    def test_never_beats_dynamic_on_chains(self):
+        from repro.sched.simulator import simulate_static
+
+        g = graph_with_costs([9, 3, 3, 3])
+        for p in (2, 4):
+            assert simulate_static(g, p).makespan >= simulate(g, p).makespan
+
+    def test_imbalance_pathology(self):
+        """Round-robin puts both heavy tasks on processor 0."""
+        from repro.sched.simulator import simulate_static
+
+        g = graph_with_costs([100, 1, 100, 1])
+        static = simulate_static(g, 2)
+        dynamic = simulate(g, 2)
+        assert static.makespan == 200
+        assert dynamic.makespan == 101
+
+    def test_explicit_assignment(self):
+        from repro.sched.simulator import simulate_static
+
+        g = graph_with_costs([100, 1, 100, 1])
+        balanced = simulate_static(g, 2, assignment=[0, 0, 1, 1])
+        assert balanced.makespan == 101
+
+    def test_bad_assignment_rejected(self):
+        from repro.sched.simulator import simulate_static
+
+        g = graph_with_costs([1, 1])
+        with pytest.raises(ValueError):
+            simulate_static(g, 2, assignment=[0])
+        with pytest.raises(ValueError):
+            simulate_static(g, 2, assignment=[0, 5])
+
+    def test_cross_processor_dependency_waits(self):
+        from repro.sched.simulator import simulate_static
+
+        # task 1 on proc 1 needs task 0 on proc 0
+        g = graph_with_costs([10, 5], {1: [0]})
+        r = simulate_static(g, 2)
+        assert r.makespan == 15
+
+    def test_results_equal_recorded_outputs(self):
+        """Static scheduling changes time, never results: the recorded
+        bodies already ran once; scheduling is replay-only."""
+        from repro.poly.dense import IntPoly
+        from repro.core.tasks import build_task_graph
+        from repro.sched.simulator import simulate_static
+
+        tg = build_task_graph(IntPoly.from_roots([1, 5, 11]), 12, CostCounter())
+        tg.graph.run_recorded(CostCounter())
+        roots_before = tg.roots_scaled()
+        simulate_static(tg.graph, 4)
+        assert tg.roots_scaled() == roots_before

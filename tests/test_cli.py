@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestRoots:
+    def test_roots_demo(self, capsys):
+        assert main(["roots", "--roots=-3,0,2", "--digits", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "3 distinct real roots" in out
+        assert "-3.0" in out
+
+    def test_coeffs_json(self, capsys):
+        assert main(["roots", "--coeffs=-2,0,1", "--bits", "20",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["mu_bits"] == 20
+        assert len(data["floats"]) == 2
+        assert data["floats"][1] == pytest.approx(2**0.5, abs=1e-5)
+
+    def test_certify_flag(self, capsys):
+        assert main(["roots", "--roots=1,5", "--digits", "4",
+                     "--certify"]) == 0
+        assert "certified" in capsys.readouterr().err
+
+    def test_strategy_flag(self, capsys):
+        assert main(["roots", "--roots=1,5", "--digits", "4",
+                     "--strategy", "bisection"]) == 0
+
+    def test_missing_input_errors(self):
+        with pytest.raises(SystemExit):
+            main(["roots", "--digits", "4"])
+
+    def test_multiplicity_display(self, capsys):
+        assert main(["roots", "--roots=2,2,7", "--digits", "5"]) == 0
+        assert "multiplicity 2" in capsys.readouterr().out
+
+
+class TestEigvals:
+    def test_random_matrix(self, capsys):
+        assert main(["eigvals", "--n", "6", "--seed", "3",
+                     "--digits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "degree 6" in out
+
+    def test_matrix_file(self, tmp_path, capsys):
+        f = tmp_path / "m.json"
+        f.write_text("[[2, 0], [0, 5]]")
+        assert main(["eigvals", "--matrix", str(f), "--digits", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "+2.0" in out and "+5.0" in out
+
+
+class TestSpeedup:
+    def test_speedup_output(self, capsys):
+        assert main(["speedup", "--roots=1,3,6,10,15,21",
+                     "--digits", "8", "--processors", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "p=1" in out and "p=4" in out and "T1/Tinf" in out
+
+    def test_queue_overhead_flag(self, capsys):
+        assert main(["speedup", "--roots=1,3,6,10",
+                     "--digits", "6", "--processors", "1,8",
+                     "--queue-overhead", "100000"]) == 0
+
+    def test_sequential_remainder_flag(self, capsys):
+        assert main(["speedup", "--roots=1,3,6,10", "--digits", "6",
+                     "--processors", "1,2", "--sequential-remainder"]) == 0
+
+
+class TestReport:
+    def test_report_output(self, capsys):
+        assert main(["report", "--roots=2,4,9", "--digits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "interval solver" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestRobustness:
+    def test_malformed_roots(self):
+        with pytest.raises(SystemExit, match="could not parse"):
+            main(["roots", "--roots=1,x", "--digits", "4"])
+
+    def test_malformed_coeffs(self):
+        with pytest.raises(SystemExit, match="could not parse"):
+            main(["roots", "--coeffs=1,,2", "--digits", "4"])
+
+    def test_constant_coeffs_rejected(self):
+        with pytest.raises(SystemExit, match="nonconstant"):
+            main(["roots", "--coeffs=5", "--digits", "4"])
+
+    def test_bad_processor_list(self):
+        with pytest.raises(SystemExit):
+            main(["speedup", "--roots=1,2", "--digits", "4",
+                  "--processors", "1,0"])
+
+    def test_malformed_processor_list(self):
+        with pytest.raises(SystemExit, match="could not parse"):
+            main(["speedup", "--roots=1,2", "--digits", "4",
+                  "--processors", "two"])
