@@ -20,6 +20,8 @@ Subpackages:
 - :mod:`repro.sched` — task DAG, multiprocessor simulator, real
   multiprocessing executor;
 - :mod:`repro.analysis` — the paper's Section 4 bounds and predictions;
+- :mod:`repro.obs` — tracing spans, JSONL run logs, Chrome-trace export,
+  and metrics for real and simulated runs;
 - :mod:`repro.charpoly` — workload generation (Berkowitz char polys);
 - :mod:`repro.baselines` — Sturm/bisection and Aberth comparators;
 - :mod:`repro.bench` — experiment drivers for every table and figure.
@@ -30,6 +32,7 @@ from repro.core.rootfinder import RealRootFinder, RootResult
 from repro.core.certify import certify_roots, CertificationError
 from repro.core.scaling import digits_to_bits
 from repro.costmodel.counter import CostCounter
+from repro.obs.trace import Tracer
 
 __version__ = "1.0.0"
 
@@ -41,5 +44,6 @@ __all__ = [
     "CertificationError",
     "digits_to_bits",
     "CostCounter",
+    "Tracer",
     "__version__",
 ]

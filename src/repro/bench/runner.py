@@ -10,7 +10,7 @@ across processor counts.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.predict import predict_all
 from repro.charpoly.generator import CharPolyInput
@@ -19,6 +19,8 @@ from repro.core.scaling import digits_to_bits
 from repro.core.sieve import IntervalStats
 from repro.core.tasks import build_task_graph
 from repro.costmodel.counter import CostCounter, PhaseStats
+from repro.obs.rollup import phase_wall_ns
+from repro.obs.trace import Tracer
 from repro.poly.roots_bounds import root_bound_bits
 from repro.sched.simulator import speedup_curve
 
@@ -43,6 +45,9 @@ class SequentialRecord:
     stats: IntervalStats
     result: RootResult
     r_bits: int
+    #: exclusive wall nanoseconds per span phase (``None`` unless the
+    #: run was traced): the wall-time analogue of the bit-cost split.
+    phase_wall: dict[str, int] | None = field(default=None)
 
     @property
     def m_digits(self) -> int:
@@ -83,11 +88,20 @@ class ParallelRecord:
         return self.makespans[1] / self.makespans[p]
 
 
-def run_sequential(inp: CharPolyInput, mu_digits: int) -> SequentialRecord:
-    """Instrumented sequential run of the full algorithm."""
+def run_sequential(
+    inp: CharPolyInput, mu_digits: int, trace_walls: bool = False
+) -> SequentialRecord:
+    """Instrumented sequential run of the full algorithm.
+
+    With ``trace_walls=True`` the run is executed under a real
+    :class:`~repro.obs.trace.Tracer` and the record's ``phase_wall``
+    carries the exclusive per-phase wall-time rollup — how the bit-cost
+    phase split maps onto real seconds on this host.
+    """
     mu_bits = digits_to_bits(mu_digits)
     counter = CostCounter()
-    finder = RealRootFinder(mu_bits=mu_bits, counter=counter)
+    tracer = Tracer(counter=counter) if trace_walls else None
+    finder = RealRootFinder(mu_bits=mu_bits, counter=counter, tracer=tracer)
     t0 = time.perf_counter()
     result = finder.find_roots(inp.poly)
     wall = time.perf_counter() - t0
@@ -103,6 +117,7 @@ def run_sequential(inp: CharPolyInput, mu_digits: int) -> SequentialRecord:
         stats=result.stats,
         result=result,
         r_bits=root_bound_bits(inp.poly),
+        phase_wall=phase_wall_ns(tracer.spans) if tracer is not None else None,
     )
 
 

@@ -10,6 +10,12 @@ Commands:
   simulated speedup curve (paper Tables 3-7 style).
 * ``report`` — per-phase cost report for one run (paper Section 5.1
   style tracing).
+
+``roots``, ``eigvals``, and ``speedup`` accept ``--trace out.jsonl``
+(structured JSONL event log, see :mod:`repro.obs.events`) and
+``--chrome-trace out.json`` (Chrome trace-event timeline, loadable in
+Perfetto; real spans for ``roots``/``eigvals``, simulated
+per-processor lanes for ``speedup``).  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -63,11 +69,64 @@ def _add_poly_args(sp: argparse.ArgumentParser) -> None:
                     help="output precision in bits (overrides --digits)")
 
 
+def _add_trace_args(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument("--trace", metavar="PATH",
+                    help="write a structured JSONL event log of the run")
+    sp.add_argument("--chrome-trace", metavar="PATH",
+                    help="write a Chrome trace-event JSON (open in Perfetto)")
+
+
+class _TraceSession:
+    """Owns the optional ``--trace`` / ``--chrome-trace`` outputs of a
+    command: builds the counter+tracer when either flag is set, writes
+    the files on :meth:`finish`."""
+
+    def __init__(self, args: argparse.Namespace, command: str, **header):
+        from repro.obs.events import EventLog
+        from repro.obs.trace import Tracer
+
+        self.trace_path = getattr(args, "trace", None)
+        self.chrome_path = getattr(args, "chrome_trace", None)
+        self.counter: CostCounter | None = None
+        self.tracer = None
+        self.log = None
+        if self.trace_path or self.chrome_path:
+            self.counter = CostCounter()
+            if self.trace_path:
+                try:
+                    self.log = EventLog(self.trace_path)
+                except OSError as e:
+                    raise SystemExit(
+                        f"cannot write --trace file: {e}") from e
+                self.log.run_header(command, **header)
+            self.tracer = Tracer(counter=self.counter, sink=self.log)
+
+    def finish(self, stats=None) -> None:
+        """Write the run footer and the Chrome trace, close files."""
+        if self.log is not None:
+            self.log.run_end(counter=self.counter, stats=stats)
+            self.log.close()
+        if self.chrome_path and self.tracer is not None:
+            from repro.obs.chrometrace import spans_to_chrome, write_chrome_trace
+
+            try:
+                write_chrome_trace(
+                    self.chrome_path, spans_to_chrome(self.tracer.spans)
+                )
+            except OSError as e:
+                raise SystemExit(
+                    f"cannot write --chrome-trace file: {e}") from e
+
+
 def cmd_roots(args: argparse.Namespace) -> int:
     p = _poly_from_args(args)
     mu = _mu_bits(args)
-    finder = RealRootFinder(mu_bits=mu, strategy=args.strategy)
+    session = _TraceSession(args, "roots", degree=p.degree, mu_bits=mu,
+                            strategy=args.strategy)
+    finder = RealRootFinder(mu_bits=mu, strategy=args.strategy,
+                            counter=session.counter, tracer=session.tracer)
     result = finder.find_roots(p)
+    session.finish(stats=result.stats)
     if args.json:
         print(json.dumps({
             "mu_bits": mu,
@@ -99,7 +158,11 @@ def cmd_eigvals(args: argparse.Namespace) -> int:
         mat = random_symmetric_01_matrix(args.n, args.seed)
     p = berkowitz_charpoly(mat)
     mu = _mu_bits(args)
-    result = RealRootFinder(mu_bits=mu).find_roots(p)
+    session = _TraceSession(args, "eigvals", degree=p.degree, mu_bits=mu)
+    result = RealRootFinder(
+        mu_bits=mu, counter=session.counter, tracer=session.tracer
+    ).find_roots(p)
+    session.finish(stats=result.stats)
     print(f"characteristic polynomial degree {p.degree}, "
           f"coefficients up to {p.max_coefficient_bits()} bits")
     for f, m in zip(result.as_floats(), result.multiplicities):
@@ -110,7 +173,7 @@ def cmd_eigvals(args: argparse.Namespace) -> int:
 
 def cmd_speedup(args: argparse.Namespace) -> int:
     from repro.core.tasks import build_task_graph
-    from repro.sched.simulator import speedup_curve
+    from repro.sched.simulator import simulate, speedup_curve
 
     p = _poly_from_args(args)
     mu = _mu_bits(args)
@@ -131,6 +194,43 @@ def cmd_speedup(args: argparse.Namespace) -> int:
         r = curve[pcount]
         print(f"  p={pcount:<3d} makespan={r.makespan:<14d} "
               f"speedup={t1 / r.makespan:6.2f}  util={r.utilization:5.1%}")
+
+    if args.trace:
+        from repro.obs.events import EventLog
+
+        try:
+            log_cm = EventLog(args.trace)
+        except OSError as e:
+            raise SystemExit(f"cannot write --trace file: {e}") from e
+        with log_cm as log:
+            log.run_header("speedup", degree=p.degree, mu_bits=mu,
+                           n_tasks=stats.n_tasks,
+                           total_work=stats.total_work,
+                           critical_path=stats.critical_path,
+                           queue_overhead=args.queue_overhead)
+            for pcount in sorted(curve):
+                r = curve[pcount]
+                log.write({"ev": "schedule", "processors": pcount,
+                           "makespan": r.makespan,
+                           "speedup": t1 / r.makespan,
+                           "utilization": r.utilization,
+                           "busy": r.busy})
+            log.write({"ev": "run_end"})
+    if args.chrome_trace:
+        from repro.obs.chrometrace import schedules_to_chrome, write_chrome_trace
+
+        traced = {
+            pcount: simulate(tg.graph, pcount,
+                             queue_overhead=args.queue_overhead,
+                             keep_trace=True)
+            for pcount in sorted(curve)
+        }
+        try:
+            write_chrome_trace(
+                args.chrome_trace, schedules_to_chrome(traced, tg.graph.tasks)
+            )
+        except OSError as e:
+            raise SystemExit(f"cannot write --chrome-trace file: {e}") from e
     return 0
 
 
@@ -166,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--certify", action="store_true",
                     help="prove the answer with exact Sturm counts")
     sp.add_argument("--json", action="store_true")
+    _add_trace_args(sp)
     sp.set_defaults(func=cmd_roots)
 
     sp = sub.add_parser("eigvals", help="exact symmetric-matrix eigenvalues")
@@ -174,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--matrix", help="JSON file with an integer matrix")
     sp.add_argument("--digits", type=int, default=15)
     sp.add_argument("--bits", type=int, default=None)
+    _add_trace_args(sp)
     sp.set_defaults(func=cmd_eigvals)
 
     sp = sub.add_parser("speedup", help="simulated multiprocessor speedups")
@@ -182,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--queue-overhead", type=int, default=0,
                     help="serialized task-queue acquisition cost (bit ops)")
     sp.add_argument("--sequential-remainder", action="store_true")
+    _add_trace_args(sp)
     sp.set_defaults(func=cmd_speedup)
 
     sp = sub.add_parser("report", help="per-phase cost report")

@@ -18,6 +18,7 @@ neighbours — exactly what the INTERVAL tasks of Section 3.2 need.
 from __future__ import annotations
 
 from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.core.scaling import ceil_div
 from repro.core.sieve import HybridSolver, IntervalStats
 from repro.poly.dense import IntPoly
@@ -90,6 +91,12 @@ class IntervalProblemSolver:
     r_bits:
         All roots of ``p`` lie strictly inside ``(-2**r_bits, 2**r_bits)``
         — the paper's ``R``; the sentinels ``y_0, y_L`` (Section 2.2).
+    tracer:
+        Observability hook; a real tracer gets one span per case-2c gap
+        and one ``interval_case`` event per gap (see
+        :mod:`repro.obs.events`).
+    label:
+        Free-form origin tag (the tree-node label) stamped on events.
     """
 
     def __init__(
@@ -100,6 +107,8 @@ class IntervalProblemSolver:
         counter: CostCounter = NULL_COUNTER,
         stats: IntervalStats | None = None,
         strategy: str = "hybrid",
+        tracer: Tracer = NULL_TRACER,
+        label: str = "",
     ):
         if p.degree < 1:
             raise ValueError("need a nonconstant polynomial")
@@ -109,12 +118,14 @@ class IntervalProblemSolver:
         self.r_bits = r_bits
         self.counter = counter
         self.stats = stats if stats is not None else IntervalStats()
+        self.tracer = tracer
+        self.label = label
         self.sentinel = 1 << (r_bits + mu)
         self._ev_p = ScaledEvaluator(self.p, mu)
         self._ev_dp = ScaledEvaluator(self.dp, mu)
         self._solver = HybridSolver(
             self.p, self.dp, mu, counter=counter, stats=self.stats,
-            strategy=strategy,
+            strategy=strategy, tracer=tracer,
         )
 
     # -- PREINTERVAL: evaluate the polynomial at every interleaving point --
@@ -198,9 +209,11 @@ class IntervalProblemSolver:
         ``ytilde_i`` and ``ytilde_{i+1}`` (with sentinels at the ends).
         """
         st = self.stats
+        tracer = self.tracer
         # Case 1: coincident approximations pin the root's approximation.
         if left == right:
             st.case1 += 1
+            tracer.event("interval_case", node=self.label, gap=i, case="1")
             return left
 
         # Case 2: count roots <= left via the parity trick (paper's r_i,
@@ -212,6 +225,7 @@ class IntervalProblemSolver:
         if u == i + 1:
             # Case 2a: x_i in (ytilde_i - 2^-mu, ytilde_i] -> approx is ytilde_i.
             st.case2a += 1
+            tracer.event("interval_case", node=self.label, gap=i, case="2a")
             return left
 
         # x_i > left.  b = ytilde_{i+1} - one grid step.
@@ -219,13 +233,24 @@ class IntervalProblemSolver:
         if b == left:
             # Zero-width middle region: root in (b, right] directly.
             st.case2b += 1
+            tracer.event("interval_case", node=self.label, gap=i, case="2b")
             return right
         s_b = self.preinterval_sign(b)
         if s_b == s_left:
             # Case 2b: no root in (left, b] -> x_i in (b, right].
             st.case2b += 1
+            tracer.event("interval_case", node=self.label, gap=i, case="2b")
             return right
 
         # Case 2c: x_i isolated in (left, b]; run the hybrid solver.
         st.case2c += 1
-        return self._solver.solve(left, b, s_left)
+        with tracer.span("interval.solve", phase="interval",
+                         node=self.label, gap=i):
+            result = self._solver.solve(left, b, s_left)
+        sieve_e, bisect_e, newton_i = st.per_solve[-1]
+        tracer.event(
+            "interval_case", node=self.label, gap=i, case="2c",
+            sieve_evals=sieve_e, bisection_evals=bisect_e,
+            newton_iters=newton_i,
+        )
+        return result

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.poly.dense import IntPoly
 
 __all__ = ["RemainderSequence", "compute_remainder_sequence", "NotSquareFreeError"]
@@ -98,14 +99,18 @@ class RemainderSequence:
 
 
 def compute_remainder_sequence(
-    p0: IntPoly, counter: CostCounter = NULL_COUNTER
+    p0: IntPoly,
+    counter: CostCounter = NULL_COUNTER,
+    tracer: Tracer = NULL_TRACER,
 ) -> RemainderSequence:
     """Compute the full normal remainder/quotient sequence of ``p0``.
 
     ``p0`` must have a positive leading coefficient (callers normalize);
     raises :class:`NotSquareFreeError` on early termination (repeated
     roots) and :class:`NotRealRootedError` on a non-normal chain, which
-    cannot happen for square-free real-rooted inputs.
+    cannot happen for square-free real-rooted inputs.  A real ``tracer``
+    records the whole sequence as one span (the per-coefficient grains
+    of Section 3.1 are far below useful span granularity).
     """
     if p0.is_zero() or p0.degree < 1:
         raise ValueError("need a nonconstant polynomial")
@@ -113,7 +118,7 @@ def compute_remainder_sequence(
         raise ValueError("leading coefficient must be positive (normalize first)")
 
     n = p0.degree
-    with counter.phase(PHASE):
+    with tracer.span("remainder", phase=PHASE, degree=n), counter.phase(PHASE):
         F: list[IntPoly] = [p0, p0.derivative(counter)]
         Q: list[IntPoly] = [IntPoly.zero()]  # Q[0] placeholder
         c: list[int] = [1, F[1].leading_coefficient]

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 
 from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.core.interval import IntervalProblemSolver, solve_linear_scaled
 from repro.core.remainder import (
     NotSquareFreeError,
@@ -115,6 +116,11 @@ class RealRootFinder:
         binary search, cost linear in mu), or ``"newton"`` (guarded
         Newton without the warm-up phases).  All three are exact; see
         :class:`repro.core.sieve.HybridSolver`.
+    tracer:
+        Observability hook (:class:`repro.obs.trace.Tracer`): records
+        hierarchical wall-time/bit-cost spans for every phase and
+        structured interval-case events.  Defaults to the zero-overhead
+        :data:`repro.obs.trace.NULL_TRACER`.
     """
 
     def __init__(
@@ -125,6 +131,7 @@ class RealRootFinder:
         keep_structures: bool = False,
         counter: CostCounter | None = None,
         strategy: str = "hybrid",
+        tracer: Tracer | None = None,
     ):
         if mu_bits < 1:
             raise ValueError("mu_bits must be >= 1")
@@ -133,6 +140,7 @@ class RealRootFinder:
         self.keep_structures = keep_structures
         self.counter = counter if counter is not None else NULL_COUNTER
         self.strategy = strategy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @classmethod
     def from_digits(cls, mu_digits: int, **kwargs) -> "RealRootFinder":
@@ -156,16 +164,20 @@ class RealRootFinder:
             return RootResult(
                 mu=self.mu, scaled=[], multiplicities=[], degree=0,
                 square_free_degree=0, counter=self.counter,
-                stats=IntervalStats(), elapsed_seconds=0.0,
+                stats=IntervalStats(),
+                elapsed_seconds=time.perf_counter() - t0,
             )
 
         stats = IntervalStats()
-        try:
-            seq = compute_remainder_sequence(p, self.counter)
-        except NotSquareFreeError:
-            return self._find_roots_with_multiplicity(p, stats, t0)
+        with self.tracer.span(
+            "find_roots", degree=p.degree, mu=self.mu, strategy=self.strategy
+        ):
+            try:
+                seq = compute_remainder_sequence(p, self.counter, self.tracer)
+            except NotSquareFreeError:
+                return self._find_roots_with_multiplicity(p, stats, t0)
 
-        scaled, tree = self._solve_square_free(p, seq, stats)
+            scaled, tree = self._solve_square_free(p, seq, stats)
         return RootResult(
             mu=self.mu,
             scaled=scaled,
@@ -184,11 +196,15 @@ class RealRootFinder:
         self, p: IntPoly, seq: RemainderSequence, stats: IntervalStats
     ) -> tuple[list[int], InterleavingTree]:
         counter = self.counter
+        tracer = self.tracer
         if p.degree == 1:
             return [solve_linear_scaled(p, self.mu)], InterleavingTree(seq)
 
         tree = InterleavingTree(seq)
-        tree.compute_polynomials(counter, check=self.check_tree)
+        with tracer.span("tree.compute_polynomials", phase="tree",
+                         degree=p.degree):
+            tree.compute_polynomials(counter, check=self.check_tree,
+                                     tracer=tracer)
         r_bits = root_bound_bits(p)
 
         for node in tree.nodes_postorder():
@@ -201,14 +217,20 @@ class RealRootFinder:
                 node.roots_scaled = [solve_linear_scaled(poly, self.mu)]
                 continue
             assert node.left is not None and node.right is not None
-            with counter.phase(PHASE_SORT):
-                inter = merge_sorted(
-                    node.left.roots_scaled or [], node.right.roots_scaled or []
+            with tracer.span("node.intervals", phase="interval",
+                             i=node.i, j=node.j, level=node.level,
+                             degree=node.degree):
+                with counter.phase(PHASE_SORT):
+                    inter = merge_sorted(
+                        node.left.roots_scaled or [],
+                        node.right.roots_scaled or [],
+                    )
+                solver = IntervalProblemSolver(
+                    poly, self.mu, r_bits, counter, stats,
+                    strategy=self.strategy, tracer=tracer,
+                    label=f"[{node.i},{node.j}]",
                 )
-            solver = IntervalProblemSolver(
-                poly, self.mu, r_bits, counter, stats, strategy=self.strategy
-            )
-            node.roots_scaled = solver.solve_all(inter)
+                node.roots_scaled = solver.solve_all(inter)
 
         assert tree.root.roots_scaled is not None
         return tree.root.roots_scaled, tree
@@ -217,7 +239,9 @@ class RealRootFinder:
     def _find_roots_with_multiplicity(
         self, p: IntPoly, stats: IntervalStats, t0: float
     ) -> RootResult:
-        factors = square_free_decomposition(p, self.counter)
+        with self.tracer.span("square_free_decomposition", phase="remainder",
+                              degree=p.degree):
+            factors = square_free_decomposition(p, self.counter)
         # Distinct roots: solve each square-free Yun factor and merge.
         # (The product of the factors *is* the square-free part; solving
         # them separately also yields the multiplicities exactly.)
@@ -229,8 +253,11 @@ class RealRootFinder:
             sf_degree += fac.degree
             if fac.degree == 0:
                 continue
-            sub_seq = compute_remainder_sequence(fac, self.counter)
-            scaled, sub_tree = self._solve_square_free(fac, sub_seq, stats)
+            with self.tracer.span("factor", degree=fac.degree, multiplicity=m):
+                sub_seq = compute_remainder_sequence(
+                    fac, self.counter, self.tracer
+                )
+                scaled, sub_tree = self._solve_square_free(fac, sub_seq, stats)
             pairs.extend((s, m) for s in scaled)
             if tree is None:
                 tree, seq = sub_tree, sub_seq

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.poly.dense import IntPoly
 from repro.poly.eval import ScaledEvaluator
 
@@ -134,6 +135,7 @@ class HybridSolver:
         counter: CostCounter = NULL_COUNTER,
         stats: IntervalStats | None = None,
         strategy: str = "hybrid",
+        tracer: Tracer = NULL_TRACER,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -145,6 +147,7 @@ class HybridSolver:
         self.counter = counter
         self.stats = stats if stats is not None else IntervalStats()
         self.strategy = strategy
+        self.tracer = tracer
         # One-time coefficient scaling (paper Sec 4.3): evaluations are
         # then pure integer Horner with no per-step shifting.
         self.ev_p = ScaledEvaluator(p, mu)
@@ -176,6 +179,7 @@ class HybridSolver:
         if hi <= lo:
             raise ValueError("empty bracket")
         self.stats.solves += 1
+        bracket0 = hi - lo
         ev0_s = self.stats.sieve_evals
         ev0_b = self.stats.bisection_evals
         it0_n = self.stats.newton_iters
@@ -189,12 +193,14 @@ class HybridSolver:
             lo, hi = self._bisection_phase(lo, hi, sigma_a)
             result = self._newton_phase(lo, hi, sigma_a)
 
-        self.stats.per_solve.append(
-            (
-                self.stats.sieve_evals - ev0_s,
-                self.stats.bisection_evals - ev0_b,
-                self.stats.newton_iters - it0_n,
-            )
+        sieve_e = self.stats.sieve_evals - ev0_s
+        bisect_e = self.stats.bisection_evals - ev0_b
+        newton_i = self.stats.newton_iters - it0_n
+        self.stats.per_solve.append((sieve_e, bisect_e, newton_i))
+        self.tracer.event(
+            "hybrid_solve", strategy=self.strategy, sieve_evals=sieve_e,
+            bisection_evals=bisect_e, newton_iters=newton_i,
+            bracket_bits=bracket0.bit_length(),
         )
         return result
 

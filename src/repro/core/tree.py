@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.core.remainder import RemainderSequence
 from repro.poly.dense import IntPoly
 from repro.poly.matrix import PolyMatrix2x2
@@ -146,16 +147,27 @@ class InterleavingTree:
 
     # -- polynomial computation ------------------------------------------
     def compute_polynomials(
-        self, counter: CostCounter = NULL_COUNTER, check: bool = False
+        self,
+        counter: CostCounter = NULL_COUNTER,
+        check: bool = False,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         """Fill ``poly`` (and ``matrix`` where applicable) on every node.
 
         With ``check=True``, asserts Theorem 1's degree and
-        positive-leading-coefficient conclusions at every node.
+        positive-leading-coefficient conclusions at every node.  A real
+        ``tracer`` records one span per combined interior node (the
+        COMPUTEPOLY grains — leaves and spine adoptions are too cheap
+        to be worth a span each).
         """
         with counter.phase(PHASE):
             for node in self.root:
-                self._compute_node(node, counter)
+                if node.is_empty or node.is_leaf or node.j == self.n:
+                    self._compute_node(node, counter)
+                else:
+                    with tracer.span("tree.combine", phase="tree",
+                                     i=node.i, j=node.j, level=node.level):
+                        self._compute_node(node, counter)
                 if check and not node.is_empty:
                     self._check_node(node)
 

@@ -153,6 +153,40 @@ class CostCounter:
         s.add_bit_cost += bit_length(a) + max(k, 0)
         return a << k
 
+    # -- snapshots (used by repro.obs spans) -------------------------------
+    def snapshot(self) -> dict[str, tuple[int, int, int, int, int, int]]:
+        """Cheap point-in-time copy of every phase's counters.
+
+        Returns a plain ``{phase: (mul_count, mul_bit_cost, div_count,
+        div_bit_cost, add_count, add_bit_cost)}`` mapping; pair with
+        :meth:`diff` to attribute the cost of a region of code (this is
+        how :class:`repro.obs.trace.Tracer` charges spans).
+        """
+        return {
+            name: (
+                st.mul_count, st.mul_bit_cost, st.div_count,
+                st.div_bit_cost, st.add_count, st.add_bit_cost,
+            )
+            for name, st in self.stats.items()
+        }
+
+    def diff(
+        self, snap: dict[str, tuple[int, int, int, int, int, int]]
+    ) -> dict[str, PhaseStats]:
+        """Per-phase deltas accumulated since ``snap`` (zero deltas dropped)."""
+        out: dict[str, PhaseStats] = {}
+        zero = (0, 0, 0, 0, 0, 0)
+        for name, st in self.stats.items():
+            old = snap.get(name, zero)
+            delta = PhaseStats(
+                st.mul_count - old[0], st.mul_bit_cost - old[1],
+                st.div_count - old[2], st.div_bit_cost - old[3],
+                st.add_count - old[4], st.add_bit_cost - old[5],
+            )
+            if delta.op_count or delta.total_bit_cost:
+                out[name] = delta
+        return out
+
     # -- reporting ---------------------------------------------------------
     def phase_stats(self, prefix: str = "") -> PhaseStats:
         """Aggregate stats over every phase whose name starts with ``prefix``."""

@@ -1,0 +1,64 @@
+"""repro.obs: unified tracing and metrics for real and simulated runs.
+
+The observability layer of the reproduction: hierarchical spans tied to
+the paper's bit-cost currency (:mod:`repro.obs.trace`), structured
+JSONL run logs (:mod:`repro.obs.events`), Chrome trace-event export for
+both real runs and simulated schedules (:mod:`repro.obs.chrometrace`),
+a counter/gauge/histogram registry (:mod:`repro.obs.metrics`), and span
+rollups (:mod:`repro.obs.rollup`).
+
+Quickstart::
+
+    from repro import RealRootFinder, IntPoly, CostCounter
+    from repro.obs import Tracer, EventLog, spans_to_chrome
+
+    counter = CostCounter()
+    with EventLog("run.jsonl") as log:
+        log.run_header("api", degree=3)
+        tracer = Tracer(counter=counter, sink=log)
+        finder = RealRootFinder(mu_bits=32, counter=counter, tracer=tracer)
+        result = finder.find_roots(IntPoly.from_roots([-3, 0, 2]))
+        log.run_end(counter=counter, stats=result.stats)
+
+Untraced runs pay nothing: the default :data:`NULL_TRACER` mirrors
+``NULL_COUNTER``.
+"""
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.events import EventLog, read_events, validate_events
+from repro.obs.chrometrace import (
+    schedule_to_chrome,
+    schedules_to_chrome,
+    spans_to_chrome,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    run_metrics,
+)
+from repro.obs.rollup import level_wall_ns, phase_wall_ns, self_wall_ns
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "EventLog",
+    "read_events",
+    "validate_events",
+    "spans_to_chrome",
+    "schedule_to_chrome",
+    "schedules_to_chrome",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "run_metrics",
+    "self_wall_ns",
+    "phase_wall_ns",
+    "level_wall_ns",
+]

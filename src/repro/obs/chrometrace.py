@@ -1,0 +1,141 @@
+"""Chrome trace-event export (open in Perfetto / ``chrome://tracing``).
+
+Two sources, one format:
+
+* **real runs** — the spans of a :class:`repro.obs.trace.Tracer`
+  become complete (``"ph": "X"``) events on one lane per
+  process/worker track, timestamps in microseconds of wall time;
+* **simulated schedules** — a traced
+  :class:`repro.sched.simulator.ScheduleResult` becomes one lane per
+  simulated processor, timestamps in the paper's bit-operation units
+  (rendered as microseconds, since the format has no unit concept).
+  This turns the Figures 9-13 makespan numbers into inspectable
+  timelines: the p=16 droop is literally visible as idle lane tails.
+
+The output is the plain ``{"traceEvents": [...]}`` JSON object defined
+by the Trace Event Format; load it via Perfetto's "Open trace file".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterable, Mapping, Sequence
+
+from repro.obs.trace import Span
+
+# ``ScheduleResult`` is duck-typed (``.trace``/``.processors``) rather
+# than imported: repro.obs sits *below* repro.sched in the layering so
+# the core algorithm modules can depend on tracing without cycles.
+
+__all__ = [
+    "spans_to_chrome",
+    "schedule_to_chrome",
+    "schedules_to_chrome",
+    "write_chrome_trace",
+]
+
+
+def _meta(pid: int, tid: int, name: str, what: str) -> dict[str, Any]:
+    return {"ph": "M", "pid": pid, "tid": tid, "name": what,
+            "args": {"name": name}}
+
+
+def spans_to_chrome(
+    spans: Iterable[Span], pid: int = 1, process_name: str = "repro"
+) -> dict[str, Any]:
+    """Convert traced spans to a Chrome trace-event object.
+
+    Each span track (main process, adopted workers) becomes one thread
+    lane.  Span ``args`` carry the phase, attrs, and the span's bit
+    cost so the cost currency is inspectable next to wall time.
+    """
+    spans = [sp for sp in spans if sp.end_ns is not None]
+    events: list[dict[str, Any]] = [_meta(pid, 0, process_name, "process_name")]
+    tracks = sorted({sp.track for sp in spans})
+    for tr in tracks:
+        label = "main" if tr == 0 else f"worker-{tr}"
+        events.append(_meta(pid, tr, label, "thread_name"))
+    t0 = min((sp.start_ns for sp in spans), default=0)
+    for sp in spans:
+        args: dict[str, Any] = {"phase": sp.phase, **sp.attrs}
+        if sp.cost:
+            args["bit_cost"] = sp.bit_cost
+            args["mul_count"] = sp.mul_count
+        events.append({
+            "ph": "X",
+            "pid": pid,
+            "tid": sp.track,
+            "name": sp.name,
+            "cat": sp.phase or "span",
+            "ts": (sp.start_ns - t0) / 1000.0,
+            "dur": sp.wall_ns / 1000.0,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def schedule_to_chrome(
+    result: Any,
+    tasks: Sequence[Any] | None = None,
+    pid: int = 1,
+    process_name: str | None = None,
+) -> dict[str, Any]:
+    """Convert one traced simulated schedule to a Chrome trace object.
+
+    Requires ``simulate(..., keep_trace=True)``.  One thread lane per
+    simulated processor; each task slice is a complete event whose
+    duration is its bit cost (shown as microseconds).  When the graph's
+    ``tasks`` list is given, events are named/categorized by task kind
+    and labeled with the task's label.
+    """
+    if result.trace is None:
+        raise ValueError("simulate(..., keep_trace=True) required")
+    name = process_name or f"sim p={result.processors}"
+    events: list[dict[str, Any]] = [_meta(pid, 0, name, "process_name")]
+    for proc in range(result.processors):
+        events.append(_meta(pid, proc, f"cpu{proc}", "thread_name"))
+    for start, end, proc, tid in result.trace:
+        if tasks is not None:
+            task = tasks[tid]
+            ev_name = task.kind.value
+            args = {"task": tid, "label": task.label, "cost": end - start}
+        else:
+            ev_name = f"task{tid}"
+            args = {"task": tid, "cost": end - start}
+        events.append({
+            "ph": "X",
+            "pid": pid,
+            "tid": proc,
+            "name": ev_name,
+            "cat": "sim",
+            "ts": float(start),
+            "dur": float(max(end - start, 1)),
+            "args": args,
+        })
+    return {"traceEvents": events}
+
+
+def schedules_to_chrome(
+    curve: Mapping[int, Any], tasks: Sequence[Any] | None = None
+) -> dict[str, Any]:
+    """Merge several processor counts into one trace, one pid each.
+
+    ``curve`` is the :func:`repro.sched.simulator.speedup_curve` shape:
+    ``{processor_count: ScheduleResult}``.  Perfetto shows each count
+    as its own process group, so the whole Tables 3-7 sweep is one
+    file.
+    """
+    events: list[dict[str, Any]] = []
+    for pcount in sorted(curve):
+        sub = schedule_to_chrome(curve[pcount], tasks, pid=pcount)
+        events.extend(sub["traceEvents"])
+    return {"traceEvents": events}
+
+
+def write_chrome_trace(path_or_file: str | IO[str], trace: dict[str, Any]) -> None:
+    """Serialize a trace object produced by the converters above."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh)
+    else:
+        json.dump(trace, path_or_file)

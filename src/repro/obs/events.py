@@ -1,0 +1,192 @@
+"""Structured JSONL run logs.
+
+One traced run writes one JSON object per line:
+
+========================  ====================================================
+``ev``                    meaning / extra fields
+========================  ====================================================
+``run``                   header: ``command``, ``time_unix``, input shape
+                          (degree, ``mu_bits``, strategy, ...)
+``span_open``             ``id``, ``name``, ``phase``, ``depth``, ``parent``,
+                          ``ts_ns``
+``span_close``            ``id``, ``name``, ``phase``, ``wall_ns``,
+                          ``mul_count``, ``bit_cost``, ``phases`` (per
+                          cost-phase ``[muls, mul_bits, divs, div_bits,
+                          adds, add_bits]`` deltas)
+``interval_case``         one per interval problem: ``node``, ``gap``,
+                          ``case`` (``"1"``/``"2a"``/``"2b"``/``"2c"``) and,
+                          for case 2c, the sieve/bisection/Newton step counts
+``hybrid_solve``          per 2c solve: phase step counts and the strategy
+``run_end``               footer: full per-phase ``CostCounter`` totals and
+                          the :class:`~repro.core.sieve.IntervalStats` fields
+========================  ====================================================
+
+The log is append-only and crash-tolerant (each line is complete JSON);
+:func:`read_events` and :func:`validate_events` are the programmatic
+consumers used by the tests and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Any, Iterable
+
+from repro.costmodel.counter import CostCounter
+from repro.obs.trace import Span
+
+__all__ = ["EventLog", "read_events", "validate_events"]
+
+
+def _phases_payload(cost: dict[str, Any] | None) -> dict[str, list[int]]:
+    return {
+        ph: [st.mul_count, st.mul_bit_cost, st.div_count,
+             st.div_bit_cost, st.add_count, st.add_bit_cost]
+        for ph, st in (cost or {}).items()
+    }
+
+
+class EventLog:
+    """Streaming JSONL sink; plugs into :class:`repro.obs.trace.Tracer`.
+
+    Accepts a path (opened and owned) or any writable text file object
+    (borrowed).  Usable as a context manager.
+    """
+
+    def __init__(self, path_or_file: str | IO[str]):
+        if isinstance(path_or_file, str):
+            self._fh: IO[str] = open(path_or_file, "w", encoding="utf-8")
+            self._owned = True
+        else:
+            self._fh = path_or_file
+            self._owned = False
+
+    # -- raw line ------------------------------------------------------------
+    def write(self, obj: dict[str, Any]) -> None:
+        """Append one event object as a single JSON line."""
+        self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+
+    # -- well-known events ----------------------------------------------------
+    def run_header(self, command: str, **fields: Any) -> None:
+        """First line of the log: what run this is."""
+        self.write({"ev": "run", "command": command,
+                    "time_unix": time.time(), **fields})
+
+    def span_open(self, span: Span) -> None:
+        """Tracer callback: a span opened."""
+        self.write({
+            "ev": "span_open", "id": span.sid, "name": span.name,
+            "phase": span.phase, "depth": span.depth, "parent": span.parent,
+            "ts_ns": span.start_ns, **({"attrs": span.attrs} if span.attrs else {}),
+        })
+
+    def span_close(self, span: Span) -> None:
+        """Tracer callback: a span closed; costs are final here."""
+        self.write({
+            "ev": "span_close", "id": span.sid, "name": span.name,
+            "phase": span.phase, "wall_ns": span.wall_ns,
+            "mul_count": span.mul_count, "bit_cost": span.bit_cost,
+            "phases": _phases_payload(span.cost),
+        })
+
+    def event(self, name: str, fields: dict[str, Any]) -> None:
+        """Tracer callback: an instantaneous event."""
+        self.write({"ev": name, **fields})
+
+    def run_end(self, counter: CostCounter | None = None,
+                stats: Any | None = None, **fields: Any) -> None:
+        """Footer: authoritative per-phase totals for cross-checking spans."""
+        obj: dict[str, Any] = {"ev": "run_end", **fields}
+        if counter is not None:
+            obj["phases"] = {
+                ph: [st.mul_count, st.mul_bit_cost, st.div_count,
+                     st.div_bit_cost, st.add_count, st.add_bit_cost]
+                for ph, st in counter.stats.items()
+            }
+            obj["total_bit_cost"] = counter.total_bit_cost
+            obj["mul_count"] = counter.mul_count
+        if stats is not None:
+            obj["interval_stats"] = {
+                k: getattr(stats, k)
+                for k in ("evaluations", "preinterval_evals", "sieve_evals",
+                          "bisection_evals", "newton_evals", "newton_iters",
+                          "sieve_rounds", "solves", "case1", "case2a",
+                          "case2b", "case2c")
+            }
+        self.write(obj)
+
+    def close(self) -> None:
+        """Flush, and close the file if this log opened it."""
+        self._fh.flush()
+        if self._owned:
+            self._fh.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_events(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL event log back into a list of dicts."""
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def validate_events(events: Iterable[dict[str, Any]]) -> None:
+    """Schema check for one run's event list; raises ``ValueError``.
+
+    Enforces: a ``run`` header comes first; every ``span_open`` has a
+    matching ``span_close`` (and vice versa); and when a ``run_end``
+    footer with per-phase totals is present, the cost deltas of the
+    *top-level* spans sum exactly to those totals — i.e. the trace
+    accounts for every charged bit operation.
+    """
+    events = list(events)
+    if not events:
+        raise ValueError("empty event log")
+    if events[0].get("ev") != "run":
+        raise ValueError("first event must be the 'run' header")
+
+    opened: dict[int, dict[str, Any]] = {}
+    closed: dict[int, dict[str, Any]] = {}
+    for ev in events:
+        kind = ev.get("ev")
+        if kind == "span_open":
+            if ev["id"] in opened:
+                raise ValueError(f"span {ev['id']} opened twice")
+            opened[ev["id"]] = ev
+        elif kind == "span_close":
+            if ev["id"] not in opened:
+                raise ValueError(f"span {ev['id']} closed but never opened")
+            if ev["id"] in closed:
+                raise ValueError(f"span {ev['id']} closed twice")
+            closed[ev["id"]] = ev
+    unclosed = set(opened) - set(closed)
+    if unclosed:
+        raise ValueError(f"spans never closed: {sorted(unclosed)}")
+
+    footers = [ev for ev in events if ev.get("ev") == "run_end"]
+    if footers and "phases" in footers[-1]:
+        totals: dict[str, list[int]] = {}
+        for sid, ev in closed.items():
+            if opened[sid].get("parent") is not None:
+                continue  # nested spans are already inside their parent
+            for ph, vals in ev.get("phases", {}).items():
+                acc = totals.setdefault(ph, [0] * 6)
+                for k in range(6):
+                    acc[k] += vals[k]
+        expect = {
+            ph: vals for ph, vals in footers[-1]["phases"].items()
+            if any(vals)
+        }
+        if totals != expect:
+            raise ValueError(
+                f"span costs do not sum to counter totals: {totals} != {expect}"
+            )

@@ -1,0 +1,158 @@
+"""A small metrics registry: counters, gauges, histograms.
+
+Complements the span/event machinery with cheap aggregate observables
+in the style of the paper's Section 5 tables: how often each interval
+case fired, how Newton iteration counts distribute (the constant-
+average-iterations claim of Eq. 41), how work splits across tree
+levels.  :func:`run_metrics` derives the standard set from a finished
+:class:`repro.core.rootfinder.RootResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "run_metrics"]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1)."""
+        self.value += n
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe summary."""
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        """Record the current value."""
+        self.value = v
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe summary."""
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Power-of-two bucketed distribution of nonnegative observations.
+
+    Bucket ``k`` counts observations with ``bit_length() == k`` (so
+    bucket 0 holds zeros, bucket 1 holds {1}, bucket 2 holds {2, 3},
+    ...), which matches the doubling structure of every quantity the
+    solver produces (evaluation counts, iteration counts, bit sizes).
+    """
+
+    name: str
+    count: int = 0
+    total: int = 0
+    min: int | None = None
+    max: int | None = None
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, v: int) -> None:
+        """Record one observation (``v >= 0``)."""
+        if v < 0:
+            raise ValueError("histogram observations must be >= 0")
+        self.count += 1
+        self.total += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+        b = v.bit_length()
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe summary."""
+        return {
+            "type": "histogram", "count": self.count, "total": self.total,
+            "min": self.min, "max": self.max, "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by metric name.
+
+    A name is permanently bound to its first-seen type; asking for the
+    same name as a different type raises ``TypeError``.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls: type) -> Any:
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(name)
+            self._metrics[name] = m
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(m).__name__}, not {cls.__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        """JSON-safe dump of every metric."""
+        return {name: m.as_dict() for name, m in sorted(self._metrics.items())}
+
+
+def run_metrics(result: Any, registry: MetricsRegistry | None = None
+                ) -> MetricsRegistry:
+    """Standard metric set for one finished root-finding run.
+
+    Populates interval-case counters, the per-solve sieve/bisection/
+    Newton histograms (the observables of Figures 6-7 and Eq. 41), and
+    degree/root gauges from a
+    :class:`repro.core.rootfinder.RootResult`.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    st = result.stats
+    for case in ("case1", "case2a", "case2b", "case2c"):
+        reg.counter(f"interval.{case}").inc(getattr(st, case))
+    reg.counter("interval.solves").inc(st.solves)
+    reg.counter("interval.evaluations").inc(st.evaluations)
+    for sieve, bisect, newton in st.per_solve:
+        reg.histogram("interval.sieve_evals").observe(sieve)
+        reg.histogram("interval.bisection_evals").observe(bisect)
+        reg.histogram("interval.newton_iters").observe(newton)
+    reg.gauge("run.degree").set(result.degree)
+    reg.gauge("run.n_roots").set(len(result.scaled))
+    reg.gauge("run.mu_bits").set(result.mu)
+    reg.gauge("run.elapsed_seconds").set(result.elapsed_seconds)
+    return reg

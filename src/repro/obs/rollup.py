@@ -1,0 +1,66 @@
+"""Span rollups: exclusive wall time per phase, per tree level.
+
+A span's *exclusive* (self) time is its duration minus its children's
+— the quantity that sums to the root span's duration and therefore
+decomposes a run the way the paper's per-phase tables decompose bit
+cost.  These helpers power the bench runner's wall-time breakdown and
+the ``tree level`` rollups of :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.trace import Span
+
+__all__ = ["self_wall_ns", "phase_wall_ns", "level_wall_ns"]
+
+
+def self_wall_ns(spans: Iterable[Span]) -> dict[int, int]:
+    """Exclusive nanoseconds per span id (duration minus children).
+
+    Adopted worker spans live on their own clock; they subtract from
+    their re-parented ancestor like any other child, which attributes
+    pool wait time to the worker lanes rather than the parent.
+    """
+    spans = list(spans)
+    out = {sp.sid: sp.wall_ns for sp in spans if sp.end_ns is not None}
+    for sp in spans:
+        if sp.parent is not None and sp.parent in out and sp.end_ns is not None:
+            out[sp.parent] -= sp.wall_ns
+    return out
+
+
+def phase_wall_ns(spans: Iterable[Span]) -> dict[str, int]:
+    """Exclusive wall nanoseconds summed per span phase path.
+
+    Spans with no phase are grouped under ``""`` (the glue between the
+    phases — should be small; if it is not, instrumentation is
+    missing).  Values sum to the total duration of the root spans.
+    """
+    spans = list(spans)
+    self_ns = self_wall_ns(spans)
+    out: dict[str, int] = {}
+    for sp in spans:
+        if sp.sid not in self_ns:
+            continue
+        out[sp.phase] = out.get(sp.phase, 0) + self_ns[sp.sid]
+    return out
+
+
+def level_wall_ns(spans: Iterable[Span]) -> dict[int, int]:
+    """Exclusive wall nanoseconds per interleaving-tree level.
+
+    Uses the ``level`` attr the root finder stamps on per-node spans;
+    spans without it are ignored.  This is the wall-time analogue of
+    the Section 4.2 per-level work decomposition.
+    """
+    spans = list(spans)
+    self_ns = self_wall_ns(spans)
+    out: dict[int, int] = {}
+    for sp in spans:
+        lvl = sp.attrs.get("level")
+        if lvl is None or sp.sid not in self_ns:
+            continue
+        out[lvl] = out.get(lvl, 0) + self_ns[sp.sid]
+    return out

@@ -9,38 +9,65 @@ stage — the dominant cost at large ``mu`` — is farmed out to a
 ``multiprocessing`` pool, everything exact, results bit-identical to
 the sequential path.
 
+The root bound is :func:`repro.poly.roots_bounds.root_bound_bits` — the
+same helper the sequential :class:`repro.core.rootfinder.RealRootFinder`
+uses — so both paths pose *identical* interval problems (same
+sentinels, same gap endpoints) and agree bit for bit.
+
 On a multi-core host this yields genuine wall-clock speedups for large
 inputs; on a single-core host it degrades gracefully to roughly
 sequential speed plus IPC overhead.
+
+Observability: pass a :class:`repro.obs.trace.Tracer` and every worker
+captures its own spans (with per-gap bit costs from a worker-local
+:class:`~repro.costmodel.counter.CostCounter`), ships them back through
+the pool, and the parent merges them onto per-worker tracks — so a
+Chrome trace of a real parallel run shows true worker lanes.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 from dataclasses import dataclass
 
 from repro.core.interval import IntervalProblemSolver, solve_linear_scaled
 from repro.core.remainder import compute_remainder_sequence
 from repro.core.rootfinder import merge_sorted
 from repro.core.tree import InterleavingTree
+from repro.costmodel.counter import CostCounter
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.poly.dense import IntPoly
-from repro.poly.roots_bounds import cauchy_root_bound_bits
+from repro.poly.roots_bounds import root_bound_bits
 
 __all__ = ["ParallelRootFinder", "solve_gap_worker"]
 
 
 def solve_gap_worker(
-    args: tuple[tuple[int, ...], int, int, int, int, int],
-) -> tuple[int, int]:
+    args: tuple,
+) -> tuple[int, int, list[dict] | None]:
     """Pool worker: solve one interval problem.
 
-    ``args = (coeffs, mu, r_bits, gap_index, left, right)``; returns
-    ``(gap_index, scaled_root)``.  Module-level so it pickles.
+    ``args = (coeffs, mu, r_bits, gap_index, left, right[, trace])``;
+    returns ``(gap_index, scaled_root, spans)`` where ``spans`` is the
+    worker tracer's export when ``trace`` is truthy (else ``None``).
+    Module-level so it pickles.
     """
-    coeffs, mu, r_bits, gap, left, right = args
+    coeffs, mu, r_bits, gap, left, right = args[:6]
+    trace = bool(args[6]) if len(args) > 6 else False
     p = IntPoly(coeffs)
-    solver = IntervalProblemSolver(p, mu, r_bits)
-    return gap, solver.solve_gap_standalone(gap, left, right)
+    if not trace:
+        solver = IntervalProblemSolver(p, mu, r_bits)
+        return gap, solver.solve_gap_standalone(gap, left, right), None
+    pid = os.getpid()
+    counter = CostCounter()
+    tracer = Tracer(counter=counter)
+    solver = IntervalProblemSolver(
+        p, mu, r_bits, counter=counter, tracer=tracer, label=f"pid{pid}",
+    )
+    with tracer.span("gap", phase="interval", gap=gap, pid=pid):
+        val = solver.solve_gap_standalone(gap, left, right)
+    return gap, val, tracer.export()
 
 
 @dataclass
@@ -51,21 +78,31 @@ class ParallelRootFinder:
     remainder sequence and tree polynomials are computed in the parent
     (they are cheap relative to the interval stage for large ``mu``),
     and each node's interval problems are dispatched to the pool.
+
+    With a real ``tracer``, the parent records the remainder/tree/sort
+    phases and each node dispatch, and adopts the per-gap spans the
+    workers capture.
     """
 
     mu: int
     processes: int = 2
     chunk_size: int = 1
+    tracer: Tracer = NULL_TRACER
 
     def find_roots_scaled(self, p: IntPoly) -> list[int]:
+        """Scaled mu-approximations of all roots, ascending (exact)."""
+        tracer = self.tracer
         if p.leading_coefficient < 0:
             p = -p
         if p.degree == 1:
             return [solve_linear_scaled(p, self.mu)]
-        seq = compute_remainder_sequence(p)
-        tree = InterleavingTree(seq)
-        tree.compute_polynomials()
-        r_bits = cauchy_root_bound_bits(p)
+        seq = compute_remainder_sequence(p, tracer=tracer)
+        with tracer.span("tree.compute_polynomials", phase="tree",
+                         degree=p.degree):
+            tree = InterleavingTree(seq)
+            tree.compute_polynomials()
+        r_bits = root_bound_bits(p)
+        capture = tracer.enabled
 
         with mp.get_context("spawn").Pool(self.processes) as pool:
             for node in tree.nodes_postorder():
@@ -84,15 +121,24 @@ class ParallelRootFinder:
                 sentinel = 1 << (r_bits + self.mu)
                 ys = [-sentinel] + inter + [sentinel]
                 jobs = [
-                    (poly.coeffs, self.mu, r_bits, gap, ys[gap], ys[gap + 1])
+                    (poly.coeffs, self.mu, r_bits, gap, ys[gap], ys[gap + 1],
+                     capture)
                     for gap in range(node.degree)
                 ]
-                results = pool.map(
-                    solve_gap_worker, jobs, chunksize=self.chunk_size
-                )
-                roots: list[int] = [0] * node.degree
-                for gap, val in results:
-                    roots[gap] = val
+                with tracer.span("node.intervals", phase="interval",
+                                 i=node.i, j=node.j, level=node.level,
+                                 degree=node.degree):
+                    results = pool.map(
+                        solve_gap_worker, jobs, chunksize=self.chunk_size
+                    )
+                    roots: list[int] = [0] * node.degree
+                    for gap, val, spans in results:
+                        roots[gap] = val
+                        if spans:
+                            # Lane per OS worker: the gap span carries
+                            # the worker pid in its attrs.
+                            pid = spans[0].get("attrs", {}).get("pid")
+                            tracer.adopt(spans, key=pid)
                 node.roots_scaled = roots
 
         assert tree.root.roots_scaled is not None

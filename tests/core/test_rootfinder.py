@@ -42,6 +42,11 @@ class TestBasicRoots:
         res = RealRootFinder(mu_bits=8).find_roots(IntPoly.constant(7))
         assert len(res) == 0
 
+    def test_degree_zero_measures_elapsed(self):
+        # The early return must still report a measured (nonzero) wall time.
+        res = RealRootFinder(mu_bits=8).find_roots(IntPoly.constant(7))
+        assert res.elapsed_seconds > 0.0
+
     def test_zero_polynomial_raises(self):
         with pytest.raises(ValueError):
             RealRootFinder(mu_bits=8).find_roots(IntPoly.zero())

@@ -1,0 +1,111 @@
+"""Tests for the Chrome trace-event export (real spans and schedules)."""
+
+import json
+
+from repro.costmodel.counter import CostCounter
+from repro.obs.chrometrace import (
+    schedule_to_chrome,
+    schedules_to_chrome,
+    spans_to_chrome,
+    write_chrome_trace,
+)
+from repro.obs.trace import Tracer
+from repro.core.tasks import build_task_graph
+from repro.poly.dense import IntPoly
+from repro.sched.simulator import simulate, speedup_curve
+
+
+def _traced_spans():
+    counter = CostCounter()
+    tr = Tracer(counter=counter)
+    with tr.span("run", degree=4):
+        with tr.span("remainder", phase="remainder"):
+            counter.mul(1 << 8, 1 << 8)
+    return tr.spans
+
+
+def _recorded_graph():
+    counter = CostCounter()
+    tg = build_task_graph(IntPoly.from_roots([-3, 1, 4, 9]), 12, counter)
+    tg.graph.run_recorded(counter)
+    return tg.graph
+
+
+class TestSpansToChrome:
+    def test_complete_events_with_args(self):
+        trace = spans_to_chrome(_traced_spans())
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 2
+        rem = next(e for e in xs if e["name"] == "remainder")
+        assert rem["cat"] == "remainder"
+        assert rem["args"]["bit_cost"] == 9 * 9
+        assert all(e["dur"] >= 0 for e in xs)
+
+    def test_metadata_names_lanes(self):
+        trace = spans_to_chrome(_traced_spans(), process_name="myrun")
+        metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "myrun" for e in metas)
+        assert any(e["args"]["name"] == "main" for e in metas)
+
+    def test_open_spans_skipped(self):
+        tr = Tracer()
+        cm = tr.span("never_closed")
+        cm.__enter__()
+        trace = spans_to_chrome(tr.spans)
+        assert all(e["ph"] != "X" for e in trace["traceEvents"])
+
+
+class TestScheduleToChrome:
+    def test_four_processor_schedule_is_valid_chrome_json(self, tmp_path):
+        graph = _recorded_graph()
+        result = simulate(graph, 4, keep_trace=True)
+        trace = schedule_to_chrome(result, graph.tasks)
+        path = tmp_path / "sim.json"
+        write_chrome_trace(str(path), trace)
+        loaded = json.loads(path.read_text())
+        events = loaded["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == result.n_tasks
+        assert {e["tid"] for e in xs} <= set(range(4))
+        # Every event sits inside the makespan and durations match costs.
+        assert all(0 <= e["ts"] and e["ts"] + e["dur"] <= result.makespan + 1
+                   for e in xs)
+        # Task kinds name the slices.
+        assert any(e["name"] == "interval" for e in xs)
+
+    def test_requires_kept_trace(self):
+        graph = _recorded_graph()
+        result = simulate(graph, 2)
+        try:
+            schedule_to_chrome(result)
+        except ValueError as e:
+            assert "keep_trace" in str(e)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_curve_merges_one_pid_per_count(self):
+        graph = _recorded_graph()
+        curve = {
+            p: simulate(graph, p, keep_trace=True) for p in (1, 2, 4)
+        }
+        trace = schedules_to_chrome(curve, graph.tasks)
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert pids == {1, 2, 4}
+
+    def test_speedup_curve_results_work_when_retraced(self):
+        graph = _recorded_graph()
+        curve = speedup_curve(graph, [2])
+        retraced = {
+            p: simulate(graph, p, keep_trace=True) for p in curve
+        }
+        trace = schedules_to_chrome(retraced, graph.tasks)
+        assert trace["traceEvents"]
+
+    def test_writes_to_file_object(self, tmp_path):
+        import io
+
+        graph = _recorded_graph()
+        result = simulate(graph, 2, keep_trace=True)
+        buf = io.StringIO()
+        write_chrome_trace(buf, schedule_to_chrome(result))
+        assert json.loads(buf.getvalue())["traceEvents"]

@@ -1,0 +1,123 @@
+"""Tests for the JSONL event log and its validator."""
+
+import io
+import json
+
+import pytest
+
+from repro.costmodel.counter import CostCounter
+from repro.core.sieve import IntervalStats
+from repro.obs.events import EventLog, read_events, validate_events
+from repro.obs.trace import Tracer
+
+
+def _traced_run(counter: CostCounter, log: EventLog) -> None:
+    tr = Tracer(counter=counter, sink=log)
+    with tr.span("run"):
+        with counter.phase("alpha"):
+            counter.mul(1 << 8, 1 << 8)
+        with tr.span("child", phase="alpha"):
+            with counter.phase("alpha"):
+                counter.mul(1 << 4, 1 << 4)
+        tr.event("interval_case", node="[1,3]", gap=0, case="2c")
+
+
+class TestEventLog:
+    def test_every_line_is_json(self):
+        buf = io.StringIO()
+        counter = CostCounter()
+        log = EventLog(buf)
+        log.run_header("test", degree=3)
+        _traced_run(counter, log)
+        log.run_end(counter=counter, stats=IntervalStats())
+        log.close()
+        lines = [ln for ln in buf.getvalue().splitlines() if ln]
+        events = [json.loads(ln) for ln in lines]
+        assert events[0]["ev"] == "run"
+        assert events[-1]["ev"] == "run_end"
+        assert {"span_open", "span_close", "interval_case"} <= {
+            e["ev"] for e in events
+        }
+
+    def test_validator_accepts_complete_run(self):
+        buf = io.StringIO()
+        counter = CostCounter()
+        log = EventLog(buf)
+        log.run_header("test")
+        _traced_run(counter, log)
+        log.run_end(counter=counter)
+        validate_events([json.loads(ln) for ln in buf.getvalue().splitlines()])
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        counter = CostCounter()
+        with EventLog(path) as log:
+            log.run_header("test")
+            _traced_run(counter, log)
+            log.run_end(counter=counter)
+        events = read_events(path)
+        validate_events(events)
+        closes = [e for e in events if e["ev"] == "span_close"]
+        assert closes and all("phases" in e for e in closes)
+
+    def test_run_end_carries_interval_stats(self):
+        buf = io.StringIO()
+        log = EventLog(buf)
+        st = IntervalStats(case2c=3, solves=3, newton_iters=7)
+        log.run_end(stats=st)
+        ev = json.loads(buf.getvalue())
+        assert ev["interval_stats"]["case2c"] == 3
+        assert ev["interval_stats"]["newton_iters"] == 7
+
+
+class TestValidator:
+    def _base(self):
+        return [{"ev": "run", "command": "t"}]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_events([])
+
+    def test_rejects_missing_header(self):
+        with pytest.raises(ValueError, match="header"):
+            validate_events([{"ev": "span_open", "id": 0}])
+
+    def test_rejects_unclosed_span(self):
+        evs = self._base() + [
+            {"ev": "span_open", "id": 0, "parent": None},
+        ]
+        with pytest.raises(ValueError, match="never closed"):
+            validate_events(evs)
+
+    def test_rejects_close_without_open(self):
+        evs = self._base() + [{"ev": "span_close", "id": 5}]
+        with pytest.raises(ValueError, match="never opened"):
+            validate_events(evs)
+
+    def test_rejects_double_close(self):
+        evs = self._base() + [
+            {"ev": "span_open", "id": 0, "parent": None},
+            {"ev": "span_close", "id": 0, "phases": {}},
+            {"ev": "span_close", "id": 0, "phases": {}},
+        ]
+        with pytest.raises(ValueError, match="closed twice"):
+            validate_events(evs)
+
+    def test_rejects_cost_mismatch(self):
+        evs = self._base() + [
+            {"ev": "span_open", "id": 0, "parent": None},
+            {"ev": "span_close", "id": 0,
+             "phases": {"p": [1, 10, 0, 0, 0, 0]}},
+            {"ev": "run_end", "phases": {"p": [2, 20, 0, 0, 0, 0]}},
+        ]
+        with pytest.raises(ValueError, match="do not sum"):
+            validate_events(evs)
+
+    def test_accepts_matching_costs(self):
+        evs = self._base() + [
+            {"ev": "span_open", "id": 0, "parent": None},
+            {"ev": "span_close", "id": 0,
+             "phases": {"p": [1, 10, 0, 0, 0, 0]}},
+            {"ev": "run_end", "phases": {"p": [1, 10, 0, 0, 0, 0]}},
+        ]
+        validate_events(evs)

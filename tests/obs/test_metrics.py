@@ -1,0 +1,82 @@
+"""Tests for the metrics registry and the standard run metric set."""
+
+import pytest
+
+from repro.core.rootfinder import RealRootFinder
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, run_metrics
+from repro.poly.dense import IntPoly
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.as_dict() == {"type": "counter", "value": 5}
+
+    def test_gauge(self):
+        g = Gauge("g")
+        g.set(2.5)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_buckets_by_bit_length(self):
+        h = Histogram("h")
+        for v in (0, 1, 2, 3, 4, 100):
+            h.observe(v)
+        assert h.count == 6
+        assert h.min == 0 and h.max == 100
+        assert h.buckets[0] == 1   # {0}
+        assert h.buckets[1] == 1   # {1}
+        assert h.buckets[2] == 2   # {2, 3}
+        assert h.buckets[3] == 1   # {4..7}
+        assert h.buckets[7] == 1   # {64..127}
+        assert h.mean == pytest.approx(110 / 6)
+
+    def test_histogram_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram("h").observe(-1)
+
+    def test_empty_histogram_mean(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.names() == ["a"]
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            reg.histogram("x")
+
+    def test_as_dict_json_safe(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(3)
+        json.dumps(reg.as_dict())
+
+
+class TestRunMetrics:
+    def test_standard_set_from_real_run(self):
+        result = RealRootFinder(mu_bits=24).find_roots(
+            IntPoly.from_roots([-9, -2, 3, 11])
+        )
+        reg = run_metrics(result)
+        d = reg.as_dict()
+        st = result.stats
+        cases = sum(
+            d[f"interval.case{c}"]["value"] for c in ("1", "2a", "2b", "2c")
+        )
+        assert cases == st.case1 + st.case2a + st.case2b + st.case2c
+        assert d["interval.solves"]["value"] == st.solves
+        assert d["interval.newton_iters"]["count"] == len(st.per_solve)
+        assert d["run.degree"]["value"] == 4
+        assert d["run.n_roots"]["value"] == 4

@@ -3,7 +3,10 @@
 import pytest
 
 from repro.core.rootfinder import RealRootFinder
+from repro.costmodel.counter import CostCounter
+from repro.obs.trace import Tracer
 from repro.poly.dense import IntPoly
+from repro.poly.roots_bounds import cauchy_root_bound_bits, root_bound_bits
 from repro.sched.executor import ParallelRootFinder, solve_gap_worker
 
 
@@ -12,9 +15,46 @@ class TestWorker:
         p = IntPoly.from_roots([-5, 3])
         mu, r = 8, 4
         sent = 1 << (r + mu)
-        gap, val = solve_gap_worker((p.coeffs, mu, r, 0, -sent, 3 << mu))
+        gap, val, spans = solve_gap_worker((p.coeffs, mu, r, 0, -sent, 3 << mu))
         assert gap == 0
         assert val == (-5) << mu
+        assert spans is None
+
+    def test_worker_captures_spans_when_asked(self):
+        p = IntPoly.from_roots([-5, 3])
+        mu, r = 8, 4
+        sent = 1 << (r + mu)
+        gap, val, spans = solve_gap_worker(
+            (p.coeffs, mu, r, 0, -sent, 3 << mu, True)
+        )
+        assert val == (-5) << mu
+        assert spans and spans[0]["name"] == "gap"
+        assert spans[0]["end_ns"] is not None
+        # The worker's cost counter charged the solve to real phases.
+        assert any(d["cost"] for d in spans)
+
+
+class TestRootBoundUnification:
+    """The executor must pose the same interval problems as the
+    sequential path: one shared root-bound helper (regression for the
+    cauchy-vs-combined bound divergence)."""
+
+    def test_executor_uses_shared_bound_helper(self):
+        import repro.sched.executor as ex
+
+        assert ex.root_bound_bits is root_bound_bits
+        assert not hasattr(ex, "cauchy_root_bound_bits")
+
+    @pytest.mark.slow
+    def test_bit_identical_where_bounds_differ(self):
+        # Coefficients large relative to the roots: Fujiwara beats
+        # Cauchy, so the old executor would have used wider sentinels.
+        p = IntPoly.from_roots([2, 3, 4, 5, 6, 7])
+        assert cauchy_root_bound_bits(p) != root_bound_bits(p)
+        mu = 16
+        ref = RealRootFinder(mu_bits=mu).find_roots(p)
+        par = ParallelRootFinder(mu=mu, processes=2)
+        assert par.find_roots_scaled(p) == ref.scaled
 
 
 @pytest.mark.slow
@@ -29,3 +69,17 @@ class TestParallelFinder:
     def test_linear_shortcut(self):
         par = ParallelRootFinder(mu=8, processes=2)
         assert par.find_roots_scaled(IntPoly((-10, 4))) == [int(2.5 * 256)]
+
+    def test_traced_run_adopts_worker_spans(self):
+        p = IntPoly.from_roots([-7, -1, 2, 8])
+        mu = 12
+        tracer = Tracer(counter=CostCounter())
+        par = ParallelRootFinder(mu=mu, processes=2, tracer=tracer)
+        ref = RealRootFinder(mu_bits=mu).find_roots(p)
+        assert par.find_roots_scaled(p) == ref.scaled
+        gap_spans = [s for s in tracer.spans if s.name == "gap"]
+        assert gap_spans, "worker spans were not adopted"
+        assert all(s.track > 0 for s in gap_spans)
+        assert all(s.end_ns is not None for s in tracer.spans)
+        # Worker-side costs made it back through the pool.
+        assert any(s.bit_cost > 0 for s in gap_spans)

@@ -79,6 +79,99 @@ class TestReport:
         assert "TOTAL" in out
         assert "interval solver" in out
 
+    def test_report_lists_paper_phases(self, capsys):
+        assert main(["report", "--roots=-9,-5,-2,1,4,8", "--digits", "10"]) == 0
+        out = capsys.readouterr().out
+        for phase in ("remainder", "tree", "interval."):
+            assert phase in out
+
+    def test_report_from_coeffs(self, capsys):
+        assert main(["report", "--coeffs=-2,0,1", "--bits", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "1 roots" in out or "2 roots" in out
+
+    def test_report_case_counts_are_consistent(self, capsys):
+        assert main(["report", "--roots=1,2,3,4", "--digits", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "cases" in out and "solves" in out
+
+
+class TestTraceFlags:
+    """--trace / --chrome-trace on roots, eigvals, and speedup."""
+
+    def test_roots_trace_jsonl_schema(self, tmp_path, capsys):
+        from repro.obs.events import read_events, validate_events
+
+        path = str(tmp_path / "run.jsonl")
+        assert main(["roots", "--roots=-3,0,2", "--digits", "8",
+                     "--trace", path]) == 0
+        events = read_events(path)
+        validate_events(events)  # spans close; costs sum to counter totals
+        assert events[0]["ev"] == "run"
+        assert events[0]["command"] == "roots"
+        assert events[-1]["ev"] == "run_end"
+        assert events[-1]["phases"]  # per-phase CostCounter totals present
+        assert any(e["ev"] == "interval_case" for e in events)
+
+    def test_roots_chrome_trace_loads(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "run.json")
+        assert main(["roots", "--roots=-3,0,2", "--digits", "8",
+                     "--chrome-trace", path]) == 0
+        with open(path) as fh:
+            trace = json.load(fh)
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "find_roots" in names
+
+    def test_roots_both_flags_together(self, tmp_path, capsys):
+        from repro.obs.events import read_events, validate_events
+
+        jl = str(tmp_path / "run.jsonl")
+        cj = str(tmp_path / "run.json")
+        assert main(["roots", "--roots=1,5", "--digits", "6",
+                     "--trace", jl, "--chrome-trace", cj]) == 0
+        validate_events(read_events(jl))
+
+    def test_untraced_roots_unaffected(self, capsys):
+        assert main(["roots", "--roots=-3,0,2", "--digits", "6"]) == 0
+        assert "3 distinct real roots" in capsys.readouterr().out
+
+    def test_eigvals_trace(self, tmp_path, capsys):
+        from repro.obs.events import read_events, validate_events
+
+        path = str(tmp_path / "eig.jsonl")
+        assert main(["eigvals", "--n", "5", "--seed", "3", "--digits", "6",
+                     "--trace", path]) == 0
+        events = read_events(path)
+        validate_events(events)
+        assert events[0]["command"] == "eigvals"
+
+    def test_speedup_chrome_trace_simulated_lanes(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "sim.json")
+        assert main(["speedup", "--roots=1,3,6,10", "--digits", "6",
+                     "--processors", "1,4", "--chrome-trace", path]) == 0
+        with open(path) as fh:
+            trace = json.load(fh)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in xs} == {1, 4}
+        p4_lanes = {e["tid"] for e in xs if e["pid"] == 4}
+        assert p4_lanes <= set(range(4)) and len(p4_lanes) > 1
+
+    def test_speedup_trace_jsonl(self, tmp_path, capsys):
+        from repro.obs.events import read_events, validate_events
+
+        path = str(tmp_path / "sim.jsonl")
+        assert main(["speedup", "--roots=1,3,6,10", "--digits", "6",
+                     "--processors", "1,2", "--trace", path]) == 0
+        events = read_events(path)
+        validate_events(events)
+        scheds = [e for e in events if e["ev"] == "schedule"]
+        assert [e["processors"] for e in scheds] == [1, 2]
+        assert all(e["makespan"] > 0 for e in scheds)
+
 
 class TestParser:
     def test_requires_subcommand(self):

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.costmodel",
     "repro.sched",
     "repro.analysis",
+    "repro.obs",
     "repro.charpoly",
     "repro.baselines",
     "repro.bench",
@@ -51,6 +52,11 @@ MODULES = [
     "repro.sched.executor",
     "repro.sched.render",
     "repro.sched.reference",
+    "repro.obs.trace",
+    "repro.obs.events",
+    "repro.obs.chrometrace",
+    "repro.obs.metrics",
+    "repro.obs.rollup",
     "repro.analysis.bounds",
     "repro.analysis.predict",
     "repro.analysis.sizes",
