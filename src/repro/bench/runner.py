@@ -9,7 +9,6 @@ across processor counts.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.analysis.predict import predict_all
@@ -102,16 +101,17 @@ def run_sequential(
     counter = CostCounter()
     tracer = Tracer(counter=counter) if trace_walls else None
     finder = RealRootFinder(mu_bits=mu_bits, counter=counter, tracer=tracer)
-    t0 = time.perf_counter()
     result = finder.find_roots(inp.poly)
-    wall = time.perf_counter() - t0
+    # Single source of truth for wall time: the result's own bracket.
+    # (A second perf_counter bracket here used to disagree with it by
+    # the record-construction overhead.)
     return SequentialRecord(
         degree=inp.degree,
         seed=inp.seed,
         m_bits=inp.coeff_bits,
         mu_digits=mu_digits,
         mu_bits=mu_bits,
-        wall_seconds=wall,
+        wall_seconds=result.elapsed_seconds,
         n_roots=len(result),
         counter=counter,
         stats=result.stats,

@@ -10,6 +10,9 @@ Commands:
   simulated speedup curve (paper Tables 3-7 style).
 * ``report`` — per-phase cost report for one run (paper Section 5.1
   style tracing).
+* ``batch`` — many polynomials through one persistent worker pool
+  (:class:`repro.sched.executor.ParallelRootFinder.find_roots_many`),
+  the service-style throughput path.
 
 ``roots``, ``eigvals``, and ``speedup`` accept ``--trace out.jsonl``
 (structured JSONL event log, see :mod:`repro.obs.events`) and
@@ -23,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Sequence
 
 from repro.core.rootfinder import RealRootFinder
@@ -251,6 +255,96 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_polys(args: argparse.Namespace) -> list[IntPoly]:
+    """Collect the batch inputs from ``--file`` / ``--coeff-sets`` /
+    ``--roots-sets`` (any combination, in that order)."""
+    polys: list[IntPoly] = []
+    if args.file:
+        try:
+            fh = open(args.file)
+        except OSError as e:
+            raise SystemExit(f"cannot read --file: {e}") from e
+        with fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise SystemExit(
+                        f"{args.file}:{lineno}: not valid JSON: {e}"
+                    ) from e
+                coeffs = data.get("coeffs") if isinstance(data, dict) else data
+                if not isinstance(coeffs, list):
+                    raise SystemExit(
+                        f"{args.file}:{lineno}: expected a coefficient array "
+                        'or {"coeffs": [...]}'
+                    )
+                polys.append(IntPoly(int(c) for c in coeffs))
+    if args.coeff_sets:
+        for part in args.coeff_sets.split(";"):
+            polys.append(IntPoly(_parse_int_list(part, "--coeff-sets")))
+    if args.roots_sets:
+        for part in args.roots_sets.split(";"):
+            polys.append(
+                IntPoly.from_roots(_parse_int_list(part, "--roots-sets"))
+            )
+    if not polys:
+        raise SystemExit(
+            "provide --file polys.jsonl, --coeff-sets, or --roots-sets"
+        )
+    return polys
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.core.scaling import scaled_to_float
+    from repro.sched.executor import ParallelRootFinder
+
+    polys = _batch_polys(args)
+    mu = _mu_bits(args)
+    session = _TraceSession(args, "batch", count=len(polys), mu_bits=mu,
+                            processes=args.processes)
+    kwargs = {}
+    if session.tracer is not None:
+        kwargs = {"counter": session.counter, "tracer": session.tracer}
+    t0 = time.perf_counter()
+    with ParallelRootFinder(mu=mu, processes=args.processes,
+                            strategy=args.strategy,
+                            task_timeout=args.timeout, **kwargs) as finder:
+        results = finder.find_roots_many(polys)
+        elapsed = time.perf_counter() - t0
+        fallbacks = finder.fallback_count
+    session.finish()
+    if args.json:
+        print(json.dumps({
+            "mu_bits": mu,
+            "count": len(polys),
+            "processes": args.processes,
+            "elapsed_seconds": elapsed,
+            "fallbacks": fallbacks,
+            "results": [
+                {"scaled": [str(s) for s in scaled],
+                 "floats": [scaled_to_float(s, mu) for s in scaled]}
+                for scaled in results
+            ],
+        }))
+    else:
+        print(f"{len(polys)} polynomials on a pool of {args.processes} "
+              f"processes: {elapsed:.3f}s total "
+              f"({elapsed / len(polys):.3f}s/poly, "
+              f"{fallbacks} sequential fallbacks)")
+        for k, (p, scaled) in enumerate(zip(polys, results)):
+            if scaled:
+                vals = ", ".join(
+                    f"{scaled_to_float(s, mu):+.6f}" for s in scaled
+                )
+            else:
+                vals = "(no real roots reported)"
+            print(f"  [{k}] degree {p.degree}: {vals}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     ap = argparse.ArgumentParser(
@@ -290,6 +384,33 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("report", help="per-phase cost report")
     _add_poly_args(sp)
     sp.set_defaults(func=cmd_report)
+
+    sp = sub.add_parser(
+        "batch", help="many polynomials through one persistent worker pool"
+    )
+    sp.add_argument("--file", metavar="PATH",
+                    help="JSONL input: each line a coefficient array "
+                         '(low to high) or {"coeffs": [...]}')
+    sp.add_argument("--coeff-sets",
+                    help="semicolon-separated coefficient lists, "
+                         "e.g. '-2,0,1;-6,1,1'")
+    sp.add_argument("--roots-sets",
+                    help="semicolon-separated integer root lists "
+                         "for demo polynomials, e.g. '-3,0,2;1,4'")
+    sp.add_argument("--digits", type=int, default=15,
+                    help="output precision in decimal digits (default 15)")
+    sp.add_argument("--bits", type=int, default=None,
+                    help="output precision in bits (overrides --digits)")
+    sp.add_argument("--processes", type=int, default=2,
+                    help="worker-pool size (default 2)")
+    sp.add_argument("--strategy", choices=("hybrid", "bisection", "newton"),
+                    default="hybrid")
+    sp.add_argument("--timeout", type=float, default=None,
+                    help="seconds to wait per task before finishing "
+                         "sequentially")
+    sp.add_argument("--json", action="store_true")
+    _add_trace_args(sp)
+    sp.set_defaults(func=cmd_batch)
 
     return ap
 

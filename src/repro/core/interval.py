@@ -150,6 +150,17 @@ class IntervalProblemSolver:
                 )
             return 1 if dv > 0 else -1
 
+    def preinterval_signs(self, ys_scaled: list[int]) -> list[int]:
+        """Signs just right of every point of ``ys_scaled`` — the whole
+        PREINTERVAL stage for one node.
+
+        Each endpoint is evaluated exactly once; adjacent gaps share
+        their common endpoint's sign instead of each recomputing it
+        (half the endpoint evaluations of per-gap
+        :meth:`solve_gap_standalone` dispatch).
+        """
+        return [self.preinterval_sign(y) for y in ys_scaled]
+
     # -- full solve ------------------------------------------------------
     def solve_all(self, interleave_scaled: list[int]) -> list[int]:
         """Return the scaled mu-approximations of all roots, ascending.
@@ -166,7 +177,7 @@ class IntervalProblemSolver:
             return [solve_linear_scaled(self.p, self.mu)]
 
         ys = [-self.sentinel] + list(interleave_scaled) + [self.sentinel]
-        signs = [self.preinterval_sign(y) for y in ys]
+        signs = self.preinterval_signs(ys)
         sign_at_minus_inf = self.p.sign_at_neg_inf()
 
         out: list[int] = []

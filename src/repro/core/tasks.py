@@ -37,7 +37,72 @@ from repro.poly.roots_bounds import root_bound_bits
 from repro.sched.graph import TaskGraph
 from repro.sched.task import TaskKind
 
-__all__ = ["build_task_graph", "TaskGraphResult"]
+__all__ = [
+    "build_task_graph",
+    "TaskGraphResult",
+    "NodePlan",
+    "build_interval_plan",
+]
+
+
+@dataclass(frozen=True)
+class NodePlan:
+    """Picklable description of one tree node's interval-stage work.
+
+    The real executor (:mod:`repro.sched.executor`) consumes a list of
+    these instead of the closure-based :class:`TaskGraph` (closures do
+    not cross process boundaries): same PREINTERVAL/INTERVAL task
+    granularity, same node-level dependencies, but every field is plain
+    data that pickles into a pool worker.
+    """
+
+    #: the tree node's ``(i, j)`` label.
+    label: tuple[int, int]
+    #: coefficients of ``P_{i,j}``, low to high.
+    coeffs: tuple[int, ...]
+    #: number of roots ``L`` of this node (= number of INTERVAL tasks).
+    degree: int
+    #: ``sign(P_{i,j}(-inf))`` — the parity anchor of Section 2.2.
+    sign_at_neg_inf: int
+    #: labels of the non-empty children whose roots interleave ours
+    #: (empty children contribute no roots and no dependency).
+    children: tuple[tuple[int, int], ...]
+
+
+def build_interval_plan(tree) -> list[NodePlan]:
+    """Flatten a computed :class:`~repro.core.tree.InterleavingTree`
+    into postorder :class:`NodePlan` records (non-empty nodes only).
+
+    The node polynomials must already be computed
+    (:meth:`InterleavingTree.compute_polynomials`); raises
+    :class:`ValueError` otherwise.  The last entry is always the root,
+    and every node's children precede it — the dependency-driven
+    dispatch order of the executor.
+    """
+    plan: list[NodePlan] = []
+    for node in tree.nodes_postorder():
+        if node.is_empty:
+            continue
+        poly = node.poly
+        if poly is None:
+            raise ValueError(
+                "tree polynomials not computed; call compute_polynomials first"
+            )
+        children = tuple(
+            child.label
+            for child in (node.left, node.right)
+            if child is not None and not child.is_empty
+        )
+        plan.append(
+            NodePlan(
+                label=node.label,
+                coeffs=tuple(poly.coeffs),
+                degree=node.degree,
+                sign_at_neg_inf=poly.sign_at_neg_inf(),
+                children=children,
+            )
+        )
+    return plan
 
 
 @dataclass

@@ -2,51 +2,165 @@
 
 The discrete-event simulator (:mod:`repro.sched.simulator`) is the
 faithful instrument for the paper's speedup study (see DESIGN.md: the
-GIL rules out threaded bigint parallelism and this host has a single
-core).  This module exists to demonstrate that the task decomposition
-*also* runs on real OS processes: the embarrassingly parallel INTERVAL
-stage — the dominant cost at large ``mu`` — is farmed out to a
-``multiprocessing`` pool, everything exact, results bit-identical to
-the sequential path.
+GIL rules out threaded bigint parallelism).  This module demonstrates
+that the task decomposition *also* runs on real OS processes — and
+does so in a service-style shape: one **persistent** worker pool
+(spawned lazily, reused across calls, explicit ``close()`` /
+context-manager lifecycle) consumes a picklable rendering of the
+Section-3 task structure (:func:`repro.core.tasks.build_interval_plan`)
+with dependency-driven ``apply_async`` dispatch.
+
+Compared with the original per-call ``Pool`` + per-node ``pool.map``
+design, three things changed:
+
+* **Pipelined dispatch** — PREINTERVAL (endpoint-sign) and INTERVAL
+  (gap-solve) tasks are submitted the moment their inputs exist.  Gaps
+  from independent subtrees run concurrently; there is no barrier at
+  tree-node boundaries.
+* **Shared endpoint signs** — each interleaving point's sign is
+  evaluated once by a PREINTERVAL task and reused by both adjacent
+  gaps, halving endpoint evaluations vs. the old
+  ``solve_gap_standalone`` per-gap dispatch (Sagraloff's point that
+  evaluation counts dominate applies squarely here).
+* **Robustness** — per-task ``task_timeout`` with graceful, logged
+  degradation to the sequential path; dead workers are respawned by the
+  pool's maintenance thread, and a broken/terminated pool is replaced
+  on the next call.  The same guards as
+  :class:`repro.core.rootfinder.RealRootFinder` apply to degenerate
+  inputs (zero polynomial, constants, repeated roots).
 
 The root bound is :func:`repro.poly.roots_bounds.root_bound_bits` — the
-same helper the sequential :class:`repro.core.rootfinder.RealRootFinder`
-uses — so both paths pose *identical* interval problems (same
-sentinels, same gap endpoints) and agree bit for bit.
-
-On a multi-core host this yields genuine wall-clock speedups for large
-inputs; on a single-core host it degrades gracefully to roughly
-sequential speed plus IPC overhead.
+same helper the sequential finder uses — so both paths pose *identical*
+interval problems (same sentinels, same gap endpoints) and agree bit
+for bit.
 
 Observability: pass a :class:`repro.obs.trace.Tracer` and every worker
-captures its own spans (with per-gap bit costs from a worker-local
+captures its own spans (with per-task bit costs from a worker-local
 :class:`~repro.costmodel.counter.CostCounter`), ships them back through
-the pool, and the parent merges them onto per-worker tracks — so a
-Chrome trace of a real parallel run shows true worker lanes.
+the pool, and the parent merges them onto per-worker lanes
+(``Tracer.adopt(spans, key=pid)``).  Pool lifecycle shows up as
+``pool.spawn`` / ``pool.close`` spans; fallbacks as
+``executor_fallback`` events.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from dataclasses import dataclass
+import queue
+import signal
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.interval import IntervalProblemSolver, solve_linear_scaled
-from repro.core.remainder import compute_remainder_sequence
-from repro.core.rootfinder import merge_sorted
+from repro.core.remainder import NotSquareFreeError, compute_remainder_sequence
+from repro.core.rootfinder import RealRootFinder, merge_sorted
 from repro.core.tree import InterleavingTree
-from repro.costmodel.counter import CostCounter
+
+if TYPE_CHECKING:  # runtime import is deferred: repro.core.tasks
+    from repro.core.tasks import NodePlan  # imports repro.sched.graph
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.poly.dense import IntPoly
 from repro.poly.roots_bounds import root_bound_bits
 
-__all__ = ["ParallelRootFinder", "solve_gap_worker"]
+__all__ = [
+    "ParallelRootFinder",
+    "sign_worker",
+    "gap_worker",
+    "solve_gap_worker",
+]
 
 
-def solve_gap_worker(
-    args: tuple,
-) -> tuple[int, int, list[dict] | None]:
-    """Pool worker: solve one interval problem.
+class _Degraded(Exception):
+    """Internal: the pooled run cannot complete; fall back sequentially."""
+
+
+# -- worker side -----------------------------------------------------------
+
+#: Worker-local solver cache: repeated tasks against the same node
+#: polynomial (same call, or the same input across batched calls) skip
+#: re-deriving the derivative and evaluators.  Bounded so long-lived
+#: service pools do not accumulate stale polynomials.
+_SOLVER_CACHE: dict[tuple, IntervalProblemSolver] = {}
+_SOLVER_CACHE_MAX = 8
+
+
+def _cached_solver(
+    coeffs: tuple[int, ...], mu: int, r_bits: int, strategy: str
+) -> IntervalProblemSolver:
+    key = (coeffs, mu, r_bits, strategy)
+    solver = _SOLVER_CACHE.get(key)
+    if solver is None:
+        if len(_SOLVER_CACHE) >= _SOLVER_CACHE_MAX:
+            _SOLVER_CACHE.clear()
+        solver = IntervalProblemSolver(
+            IntPoly(coeffs), mu, r_bits, strategy=strategy
+        )
+        _SOLVER_CACHE[key] = solver
+    return solver
+
+
+def _traced_solver(
+    coeffs: tuple[int, ...], mu: int, r_bits: int, strategy: str
+) -> tuple[IntervalProblemSolver, Tracer, int]:
+    pid = os.getpid()
+    counter = CostCounter()
+    tracer = Tracer(counter=counter)
+    solver = IntervalProblemSolver(
+        IntPoly(coeffs), mu, r_bits, counter=counter,
+        strategy=strategy, tracer=tracer, label=f"pid{pid}",
+    )
+    return solver, tracer, pid
+
+
+def sign_worker(args: tuple) -> tuple:
+    """Pool worker: one PREINTERVAL task — the sign of a node polynomial
+    just right of one interleaving point.
+
+    ``args = (label, t, y, coeffs, mu, r_bits, strategy, trace)``;
+    returns ``("sign", label, t, sign, spans)`` where ``spans`` is the
+    worker tracer's export when ``trace`` is truthy (else ``None``).
+    Module-level so it pickles.
+    """
+    label, t, y, coeffs, mu, r_bits, strategy, trace = args
+    if not trace:
+        solver = _cached_solver(coeffs, mu, r_bits, strategy)
+        return ("sign", label, t, solver.preinterval_sign(y), None)
+    solver, tracer, pid = _traced_solver(coeffs, mu, r_bits, strategy)
+    with tracer.span("sign", phase="interval.preinterval",
+                     node=list(label), t=t, pid=pid):
+        s = solver.preinterval_sign(y)
+    return ("sign", label, t, s, tracer.export())
+
+
+def gap_worker(args: tuple) -> tuple:
+    """Pool worker: one INTERVAL task — solve gap ``i`` of a node given
+    both endpoint signs (shared with the adjacent gaps' tasks).
+
+    ``args = (label, gap, left, right, s_left, s_right, sign_at_neg_inf,
+    coeffs, mu, r_bits, strategy, trace)``; returns
+    ``("gap", label, gap, scaled_root, spans)``.  Module-level so it
+    pickles.
+    """
+    (label, gap, left, right, s_left, s_right, s_inf,
+     coeffs, mu, r_bits, strategy, trace) = args
+    if not trace:
+        solver = _cached_solver(coeffs, mu, r_bits, strategy)
+        val = solver.solve_gap(gap, left, right, s_left, s_right, s_inf)
+        return ("gap", label, gap, val, None)
+    solver, tracer, pid = _traced_solver(coeffs, mu, r_bits, strategy)
+    with tracer.span("gap", phase="interval",
+                     node=list(label), gap=gap, pid=pid):
+        val = solver.solve_gap(gap, left, right, s_left, s_right, s_inf)
+    return ("gap", label, gap, val, tracer.export())
+
+
+def solve_gap_worker(args: tuple) -> tuple[int, int, list[dict] | None]:
+    """Pool worker: solve one interval problem *standalone* (recomputing
+    both endpoint signs) — the legacy per-gap task body, kept for
+    direct use and comparison against the shared-sign pipeline.
 
     ``args = (coeffs, mu, r_bits, gap_index, left, right[, trace])``;
     returns ``(gap_index, scaled_root, spans)`` where ``spans`` is the
@@ -55,91 +169,340 @@ def solve_gap_worker(
     """
     coeffs, mu, r_bits, gap, left, right = args[:6]
     trace = bool(args[6]) if len(args) > 6 else False
-    p = IntPoly(coeffs)
     if not trace:
-        solver = IntervalProblemSolver(p, mu, r_bits)
+        solver = IntervalProblemSolver(IntPoly(coeffs), mu, r_bits)
         return gap, solver.solve_gap_standalone(gap, left, right), None
-    pid = os.getpid()
-    counter = CostCounter()
-    tracer = Tracer(counter=counter)
-    solver = IntervalProblemSolver(
-        p, mu, r_bits, counter=counter, tracer=tracer, label=f"pid{pid}",
-    )
+    solver, tracer, pid = _traced_solver(tuple(coeffs), mu, r_bits, "hybrid")
     with tracer.span("gap", phase="interval", gap=gap, pid=pid):
         val = solver.solve_gap_standalone(gap, left, right)
     return gap, val, tracer.export()
 
 
+# -- parent side -----------------------------------------------------------
+
+
 @dataclass
 class ParallelRootFinder:
-    """Multiprocessing variant of :class:`repro.core.rootfinder.RealRootFinder`.
+    """Multiprocessing variant of :class:`repro.core.rootfinder.RealRootFinder`
+    built around one persistent worker pool.
 
-    Only square-free inputs are supported (the benches' workloads); the
-    remainder sequence and tree polynomials are computed in the parent
-    (they are cheap relative to the interval stage for large ``mu``),
-    and each node's interval problems are dispatched to the pool.
+    The pool is spawned lazily on the first call and reused by every
+    subsequent :meth:`find_roots_scaled` / :meth:`find_roots_many`
+    until :meth:`close` (also a context manager).  Dispatch is
+    dependency-driven: per-node PREINTERVAL sign tasks start as soon as
+    the node's children have delivered their roots, and each gap's
+    INTERVAL task starts as soon as its two endpoint signs exist —
+    independent subtrees overlap freely.
 
-    With a real ``tracer``, the parent records the remainder/tree/sort
-    phases and each node dispatch, and adopts the per-gap spans the
-    workers capture.
+    Degenerate inputs behave exactly like the sequential finder:
+    ``ValueError`` on the zero polynomial, ``[]`` for constants, and a
+    square-free-decomposition fallback for repeated roots.  Worker
+    failures and per-task timeouts degrade to the sequential path
+    (counted in :attr:`fallback_count`, logged via the tracer), so a
+    call always returns the exact answer.
+
+    Parameters
+    ----------
+    mu:
+        Output precision in bits (scaled grid is ``2**-mu``).
+    processes:
+        Pool size.  Dead workers are respawned by the pool itself; a
+        broken pool is replaced on the next call.
+    check_tree:
+        Assert Theorem 1's conclusions at every tree node — same
+        default as the sequential finder.
+    strategy:
+        Interval-solver strategy (``hybrid`` / ``bisection`` /
+        ``newton``), applied inside every worker.  May be changed
+        between calls; the pool is strategy-agnostic.
+    task_timeout:
+        Seconds to wait for *some* task completion before declaring the
+        pool wedged and finishing sequentially (``None`` = wait
+        forever).
+    counter:
+        Parent-side cost counter for the remainder/tree phases (worker
+        costs stay worker-local and return only through trace spans).
+    tracer:
+        Observability hook; see the module docstring.
     """
 
     mu: int
     processes: int = 2
-    chunk_size: int = 1
+    check_tree: bool = True
+    strategy: str = "hybrid"
+    task_timeout: float | None = None
+    counter: CostCounter = NULL_COUNTER
     tracer: Tracer = NULL_TRACER
+    #: sequential degradations so far (repeated roots, timeouts, worker
+    #: failures); parity tests assert it stays 0 on the happy path.
+    fallback_count: int = field(default=0, init=False)
+    _pool: Any = field(default=None, init=False, repr=False)
 
+    def __post_init__(self) -> None:
+        if self.mu < 1:
+            raise ValueError("mu must be >= 1")
+        if self.processes < 1:
+            raise ValueError("processes must be >= 1")
+
+    # -- pool lifecycle --------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            with self.tracer.span("pool.spawn", phase="pool",
+                                  processes=self.processes):
+                self._pool = mp.get_context("spawn").Pool(self.processes)
+        return self._pool
+
+    def worker_pids(self) -> list[int]:
+        """Sorted OS pids of the live pool's workers (``[]`` if none)."""
+        if self._pool is None:
+            return []
+        return sorted(w.pid for w in self._pool._pool)
+
+    def close(self) -> None:
+        """Shut the pool down cleanly (idempotent).
+
+        The finder stays usable: the next call simply spawns a fresh
+        pool.
+        """
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        with self.tracer.span("pool.close", phase="pool"):
+            pool.close()
+            pool.join()
+
+    def _discard_pool(self) -> None:
+        """Hard-kill a wedged pool; the next call respawns."""
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        # terminate() can itself block forever: a worker SIGKILLed while
+        # blocked in the inqueue's recv dies holding the queue read-lock
+        # (a POSIX semaphore — no owner, never released), and
+        # Pool._terminate drains the inqueue under that same lock.  Run
+        # the teardown in a daemon thread with a bounded join; if it
+        # wedges, SIGKILL the workers directly and abandon the pool
+        # (its daemonic processes are reaped at interpreter exit).
+        pids = [w.pid for w in pool._pool if w.pid]
+
+        def _teardown() -> None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
+
+        t = threading.Thread(target=_teardown, daemon=True)
+        t.start()
+        t.join(timeout=5.0)
+        if t.is_alive():
+            for pid in pids:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "ParallelRootFinder":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:
+        try:
+            self._discard_pool()
+        except Exception:
+            pass
+
+    # -- public API ------------------------------------------------------
     def find_roots_scaled(self, p: IntPoly) -> list[int]:
-        """Scaled mu-approximations of all roots, ascending (exact)."""
+        """Scaled mu-approximations of all distinct real roots, ascending
+        (exact; bit-identical to the sequential finder)."""
         tracer = self.tracer
+        if p.is_zero():
+            raise ValueError("the zero polynomial has every number as a root")
         if p.leading_coefficient < 0:
             p = -p
+        if p.degree == 0:
+            return []
         if p.degree == 1:
             return [solve_linear_scaled(p, self.mu)]
-        seq = compute_remainder_sequence(p, tracer=tracer)
+        try:
+            seq = compute_remainder_sequence(p, self.counter, tracer)
+        except NotSquareFreeError:
+            tracer.event("executor_fallback", reason="not_square_free",
+                         degree=p.degree)
+            return self._sequential_scaled(p)
         with tracer.span("tree.compute_polynomials", phase="tree",
                          degree=p.degree):
             tree = InterleavingTree(seq)
-            tree.compute_polynomials()
+            tree.compute_polynomials(self.counter, check=self.check_tree,
+                                     tracer=tracer)
+        # Deferred import (cycle: repro.core.tasks -> repro.sched.graph
+        # -> repro.sched package -> this module).
+        from repro.core.tasks import build_interval_plan
+
         r_bits = root_bound_bits(p)
+        plan = build_interval_plan(tree)
+        try:
+            with tracer.span("executor.dispatch", phase="interval",
+                             degree=p.degree, nodes=len(plan)):
+                return self._run_plan(plan, r_bits)
+        except _Degraded as exc:
+            tracer.event("executor_fallback", reason=str(exc),
+                         degree=p.degree)
+            self._discard_pool()
+            return self._sequential_scaled(p)
+
+    def find_roots_many(self, polys: Sequence[IntPoly]) -> list[list[int]]:
+        """Batched throughput API: solve many polynomials on one warm pool.
+
+        The pool is spawned once (if not already live) and stays warm
+        across the whole batch — the service-style shape where per-call
+        pool startup would otherwise dominate.  Results are in input
+        order, each exactly what :meth:`find_roots_scaled` returns.
+        """
+        out: list[list[int]] = []
+        with self.tracer.span("executor.batch", phase="interval",
+                              count=len(polys)):
+            for p in polys:
+                out.append(self.find_roots_scaled(p))
+        return out
+
+    # -- internals -------------------------------------------------------
+    def _sequential_scaled(self, p: IntPoly) -> list[int]:
+        """Sequential degradation path: same parameters, same answer."""
+        self.fallback_count += 1
+        finder = RealRootFinder(
+            mu_bits=self.mu, check_tree=self.check_tree,
+            counter=self.counter, strategy=self.strategy, tracer=self.tracer,
+        )
+        return finder.find_roots(p).scaled
+
+    def _run_plan(self, plan: "list[NodePlan]", r_bits: int) -> list[int]:
+        """Dependency-driven dispatch of one plan over the shared pool."""
+        pool = self._ensure_pool()
+        tracer = self.tracer
         capture = tracer.enabled
+        mu = self.mu
+        strategy = self.strategy
+        sentinel = 1 << (r_bits + mu)
 
-        with mp.get_context("spawn").Pool(self.processes) as pool:
-            for node in tree.nodes_postorder():
-                if node.is_empty:
-                    node.roots_scaled = []
-                    continue
-                poly = node.poly
-                assert poly is not None
-                if node.degree == 1:
-                    node.roots_scaled = [solve_linear_scaled(poly, self.mu)]
-                    continue
-                assert node.left is not None and node.right is not None
-                inter = merge_sorted(
-                    node.left.roots_scaled or [], node.right.roots_scaled or []
+        by_label = {node.label: node for node in plan}
+        parent_of: dict[tuple[int, int], tuple[int, int]] = {}
+        waiting: dict[tuple[int, int], int] = {}
+        for node in plan:
+            waiting[node.label] = len(node.children)
+            for child in node.children:
+                parent_of[child] = node.label
+        root_label = plan[-1].label  # postorder: the root closes the plan
+
+        roots: dict[tuple[int, int], list] = {}
+        ys: dict[tuple[int, int], list[int]] = {}
+        signs: dict[tuple[int, int], list] = {}
+        gap_started: dict[tuple[int, int], list[bool]] = {}
+        gaps_left: dict[tuple[int, int], int] = {}
+
+        results_q: queue.Queue = queue.Queue()
+        pending = 0
+        completed: list[tuple[int, int]] = []
+        done = False
+
+        def submit(fn, payload) -> None:
+            nonlocal pending
+            try:
+                pool.apply_async(
+                    fn, (payload,),
+                    callback=results_q.put,
+                    error_callback=results_q.put,
                 )
-                sentinel = 1 << (r_bits + self.mu)
-                ys = [-sentinel] + inter + [sentinel]
-                jobs = [
-                    (poly.coeffs, self.mu, r_bits, gap, ys[gap], ys[gap + 1],
-                     capture)
-                    for gap in range(node.degree)
-                ]
-                with tracer.span("node.intervals", phase="interval",
-                                 i=node.i, j=node.j, level=node.level,
-                                 degree=node.degree):
-                    results = pool.map(
-                        solve_gap_worker, jobs, chunksize=self.chunk_size
-                    )
-                    roots: list[int] = [0] * node.degree
-                    for gap, val, spans in results:
-                        roots[gap] = val
-                        if spans:
-                            # Lane per OS worker: the gap span carries
-                            # the worker pid in its attrs.
-                            pid = spans[0].get("attrs", {}).get("pid")
-                            tracer.adopt(spans, key=pid)
-                node.roots_scaled = roots
+            except Exception as exc:  # pool broken/closed underneath us
+                raise _Degraded(f"dispatch failed: {exc!r}") from exc
+            pending += 1
 
-        assert tree.root.roots_scaled is not None
-        return tree.root.roots_scaled
+        def complete(label: tuple[int, int]) -> None:
+            nonlocal done
+            completed.append(label)
+            if label == root_label:
+                done = True
+
+        def start_node(node: NodePlan) -> None:
+            if node.degree == 1:
+                # Leaves are linear — solved in the parent, as in the
+                # sequential path (paper: "easy to estimate").
+                roots[node.label] = [solve_linear_scaled(IntPoly(node.coeffs),
+                                                         mu)]
+                complete(node.label)
+                return
+            inter: list[int] = []
+            for child in node.children:
+                inter = merge_sorted(inter, roots[child])
+            ys_node = [-sentinel] + inter + [sentinel]
+            L = node.degree
+            ys[node.label] = ys_node
+            signs[node.label] = [None] * (L + 1)
+            gap_started[node.label] = [False] * L
+            gaps_left[node.label] = L
+            roots[node.label] = [None] * L
+            for t, y in enumerate(ys_node):
+                submit(sign_worker, (node.label, t, y, node.coeffs, mu,
+                                     r_bits, strategy, capture))
+
+        def on_sign(label: tuple[int, int], t: int, s: int) -> None:
+            node = by_label[label]
+            sg = signs[label]
+            sg[t] = s
+            ys_node = ys[label]
+            started = gap_started[label]
+            for gap in (t - 1, t):
+                if (0 <= gap < node.degree and not started[gap]
+                        and sg[gap] is not None and sg[gap + 1] is not None):
+                    started[gap] = True
+                    submit(gap_worker, (label, gap, ys_node[gap],
+                                        ys_node[gap + 1], sg[gap], sg[gap + 1],
+                                        node.sign_at_neg_inf, node.coeffs,
+                                        mu, r_bits, strategy, capture))
+
+        def on_gap(label: tuple[int, int], gap: int, val: int) -> None:
+            roots[label][gap] = val
+            gaps_left[label] -= 1
+            if gaps_left[label] == 0:
+                complete(label)
+
+        for node in plan:  # seed: nodes with no root-producing children
+            if waiting[node.label] == 0:
+                start_node(node)
+
+        while True:
+            while completed:
+                label = completed.pop()
+                parent = parent_of.get(label)
+                if parent is not None:
+                    waiting[parent] -= 1
+                    if waiting[parent] == 0:
+                        start_node(by_label[parent])
+            if done:
+                break
+            if pending == 0:
+                raise _Degraded("scheduler stalled with no pending tasks")
+            try:
+                item = results_q.get(timeout=self.task_timeout)
+            except queue.Empty:
+                raise _Degraded(
+                    f"no task completion within {self.task_timeout}s"
+                ) from None
+            pending -= 1
+            if isinstance(item, BaseException):
+                raise _Degraded(f"worker failed: {item!r}")
+            kind, label, idx, val, spans = item
+            if spans:
+                # Lane per OS worker: spans carry the worker pid.
+                pid = spans[0].get("attrs", {}).get("pid")
+                tracer.adopt(spans, key=pid)
+            if kind == "sign":
+                on_sign(label, idx, val)
+            else:
+                on_gap(label, idx, val)
+
+        return roots[root_label]

@@ -1,5 +1,9 @@
 """Tests for the real multiprocessing executor."""
 
+import os
+import signal
+import time
+
 import pytest
 
 from repro.core.rootfinder import RealRootFinder
@@ -74,12 +78,49 @@ class TestParallelFinder:
         p = IntPoly.from_roots([-7, -1, 2, 8])
         mu = 12
         tracer = Tracer(counter=CostCounter())
-        par = ParallelRootFinder(mu=mu, processes=2, tracer=tracer)
-        ref = RealRootFinder(mu_bits=mu).find_roots(p)
-        assert par.find_roots_scaled(p) == ref.scaled
+        with ParallelRootFinder(mu=mu, processes=2, tracer=tracer) as par:
+            ref = RealRootFinder(mu_bits=mu).find_roots(p)
+            assert par.find_roots_scaled(p) == ref.scaled
         gap_spans = [s for s in tracer.spans if s.name == "gap"]
         assert gap_spans, "worker spans were not adopted"
         assert all(s.track > 0 for s in gap_spans)
+        # PREINTERVAL sign tasks are traced too (the shared-sign stage).
+        assert [s for s in tracer.spans if s.name == "sign"]
         assert all(s.end_ns is not None for s in tracer.spans)
         # Worker-side costs made it back through the pool.
         assert any(s.bit_cost > 0 for s in gap_spans)
+
+    def test_pool_lifecycle_spans(self):
+        tracer = Tracer(counter=CostCounter())
+        with ParallelRootFinder(mu=10, processes=2, tracer=tracer) as par:
+            par.find_roots_scaled(IntPoly.from_roots([-4, 1, 5]))
+            par.find_roots_scaled(IntPoly.from_roots([-8, 3]))
+        names = [s.name for s in tracer.spans]
+        assert names.count("pool.spawn") == 1, "one pool for both calls"
+        assert names.count("pool.close") == 1
+        assert names.count("executor.dispatch") == 2
+
+    def test_dead_worker_is_replaced(self):
+        p = IntPoly.from_roots([-6, -1, 3, 8])
+        ref = RealRootFinder(mu_bits=12).find_roots(p)
+        # task_timeout bounds the post-kill call: if the victim died
+        # holding the inqueue read-lock (a ~50/50 race — an idle worker
+        # blocks in recv *inside* the lock), the respawned worker can
+        # never read tasks and only the timeout fallback saves the call.
+        with ParallelRootFinder(mu=12, processes=2,
+                                task_timeout=15.0) as par:
+            assert par.find_roots_scaled(p) == ref.scaled
+            victim = par.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            # The pool's maintenance thread replaces the dead worker.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                pids = par.worker_pids()
+                if len(pids) == 2 and victim not in pids:
+                    break
+                time.sleep(0.05)
+            assert victim not in par.worker_pids()
+            # The exact answer comes back either way: pipelined on the
+            # respawned pool, or sequentially if the lock was orphaned.
+            assert par.find_roots_scaled(p) == ref.scaled
+            assert par.fallback_count in (0, 1)

@@ -72,6 +72,54 @@ class TestSpeedup:
                      "--processors", "1,2", "--sequential-remainder"]) == 0
 
 
+class TestBatch:
+    @pytest.mark.slow
+    def test_batch_roots_sets(self, capsys):
+        assert main(["batch", "--roots-sets=-3,0,2;1,4", "--digits", "6",
+                     "--processes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 polynomials" in out
+        assert "0 sequential fallbacks" in out
+        assert "-3.0" in out and "+4.0" in out
+
+    @pytest.mark.slow
+    def test_batch_file_json(self, tmp_path, capsys):
+        f = tmp_path / "polys.jsonl"
+        f.write_text('[-2, 0, 1]\n{"coeffs": [-6, 1, 1]}\n\n')
+        assert main(["batch", "--file", str(f), "--bits", "16",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["count"] == 2
+        assert data["processes"] == 2
+        assert data["results"][0]["floats"][1] == pytest.approx(
+            2 ** 0.5, abs=1e-3
+        )
+        assert data["results"][1]["floats"] == pytest.approx(
+            [-3.0, 2.0], abs=1e-3
+        )
+
+    @pytest.mark.slow
+    def test_batch_chrome_trace_has_worker_lanes(self, tmp_path, capsys):
+        path = str(tmp_path / "batch.json")
+        assert main(["batch", "--roots-sets=-5,1,6;2,9", "--digits", "6",
+                     "--chrome-trace", path]) == 0
+        with open(path) as fh:
+            trace = json.load(fh)
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "pool.spawn" in names and "executor.batch" in names
+        assert "gap" in names  # adopted worker spans
+
+    def test_batch_requires_input(self):
+        with pytest.raises(SystemExit):
+            main(["batch"])
+
+    def test_batch_rejects_bad_file(self, tmp_path):
+        f = tmp_path / "bad.jsonl"
+        f.write_text("not json\n")
+        with pytest.raises(SystemExit):
+            main(["batch", "--file", str(f)])
+
+
 class TestReport:
     def test_report_output(self, capsys):
         assert main(["report", "--roots=2,4,9", "--digits", "8"]) == 0
