@@ -10,6 +10,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.bench.artifact import (
+    add_parallel_metrics,
+    add_sequential_metrics,
+    bench_artifact,
+    save_bench_artifact,
+)
 from repro.bench.runner import run_parallel, run_sequential
 from repro.bench.workloads import (
     bench_degrees,
@@ -20,12 +26,23 @@ from repro.bench.workloads import (
 
 @pytest.fixture(scope="session")
 def sequential_records():
-    """{(n, mu_digits): SequentialRecord} over the bench grid."""
+    """{(n, mu_digits): SequentialRecord} over the bench grid.
+
+    As a side effect the grid is folded into a schema-versioned
+    ``BENCH_grid_sequential.json`` artifact next to the text tables, so
+    every bench session leaves a machine-comparable trajectory point.
+    """
     out = {}
     for n in bench_degrees():
         inp = square_free_characteristic_input(n, 11)
         for mu in bench_mu_digits():
             out[(n, mu)] = run_sequential(inp, mu)
+    art = bench_artifact(
+        "grid_sequential",
+        {"degrees": bench_degrees(), "mu_digits": bench_mu_digits(),
+         "seed": 11},
+    )
+    save_bench_artifact(add_sequential_metrics(art, out.values()))
     return out
 
 
@@ -34,7 +51,9 @@ def parallel_records():
     """{(n, mu_digits): ParallelRecord} over the speedup-study grid.
 
     The paper's speedup tables start at degree 35; with the fast grid we
-    keep the largest degrees available.
+    keep the largest degrees available.  Emits
+    ``BENCH_grid_parallel.json`` as a side effect (simulated work /
+    critical-path / makespan metrics for every cell).
     """
     degrees = [n for n in bench_degrees() if n >= 20]
     out = {}
@@ -42,4 +61,9 @@ def parallel_records():
         inp = square_free_characteristic_input(n, 11)
         for mu in bench_mu_digits():
             out[(n, mu)] = run_parallel(inp, mu)
+    art = bench_artifact(
+        "grid_parallel",
+        {"degrees": degrees, "mu_digits": bench_mu_digits(), "seed": 11},
+    )
+    save_bench_artifact(add_parallel_metrics(art, out.values()))
     return out

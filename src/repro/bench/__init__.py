@@ -26,6 +26,14 @@ from repro.bench.report import (
     format_runtime_grid,
     format_speedup_grid,
     format_series,
+    results_dir,
+)
+from repro.bench.artifact import (
+    add_parallel_metrics,
+    add_sequential_metrics,
+    artifact_path,
+    bench_artifact,
+    save_bench_artifact,
 )
 
 __all__ = [
@@ -36,5 +44,7 @@ __all__ = [
     "SequentialRecord", "ParallelRecord", "run_sequential", "run_parallel",
     "PAPER_PROCESSORS",
     "format_table2", "format_runtime_grid", "format_speedup_grid",
-    "format_series",
+    "format_series", "results_dir",
+    "bench_artifact", "add_sequential_metrics", "add_parallel_metrics",
+    "artifact_path", "save_bench_artifact",
 ]

@@ -16,9 +16,31 @@ __all__ = [
     "format_runtime_grid",
     "format_speedup_grid",
     "format_series",
+    "results_dir",
     "save_result",
     "save_result_json",
 ]
+
+
+def results_dir() -> str:
+    """The bench output directory (created if absent).
+
+    ``REPRO_RESULTS_DIR`` overrides; otherwise ``benchmarks/results/``
+    relative to the repository root when run from within it, else the
+    CWD.  Shared by the ``.txt`` tables, the ``.json`` series, and the
+    ``BENCH_*.json`` artifacts.
+    """
+    import os
+
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root is None:
+        here = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        cand = os.path.join(here, "benchmarks")
+        root = os.path.join(cand if os.path.isdir(cand) else os.getcwd(),
+                            "results")
+    os.makedirs(root, exist_ok=True)
+    return root
 
 
 def save_result_json(name: str, payload) -> str:
@@ -30,9 +52,7 @@ def save_result_json(name: str, payload) -> str:
     import json
     import os
 
-    txt_path = save_result(name, "")  # resolves the directory
-    os.remove(txt_path)
-    path = txt_path[: -len(".txt")] + ".json"
+    path = os.path.join(results_dir(), f"{name}.json")
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)
     return path
@@ -46,15 +66,7 @@ def save_result(name: str, text: str) -> str:
     """
     import os
 
-    root = os.environ.get("REPRO_RESULTS_DIR")
-    if root is None:
-        here = os.path.dirname(os.path.dirname(os.path.dirname(
-            os.path.dirname(os.path.abspath(__file__)))))
-        cand = os.path.join(here, "benchmarks")
-        root = os.path.join(cand if os.path.isdir(cand) else os.getcwd(),
-                            "results")
-    os.makedirs(root, exist_ok=True)
-    path = os.path.join(root, f"{name}.txt")
+    path = os.path.join(results_dir(), f"{name}.txt")
     with open(path, "w") as fh:
         fh.write(text + "\n")
     return path

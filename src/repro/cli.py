@@ -115,7 +115,10 @@ class _TraceSession:
 
             try:
                 write_chrome_trace(
-                    self.chrome_path, spans_to_chrome(self.tracer.spans)
+                    self.chrome_path,
+                    spans_to_chrome(
+                        self.tracer.spans, counters=self.tracer.counters
+                    ),
                 )
             except OSError as e:
                 raise SystemExit(
@@ -238,10 +241,47 @@ def cmd_speedup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_parallel_rollup(rollup: dict) -> None:
+    """Render a :func:`repro.obs.rollup.parallel_rollup` summary."""
+    if not rollup:
+        print("\nno worker spans captured (run degraded to sequential?)")
+        return
+    print(
+        f"\nexecutor: {rollup['workers']} workers, makespan "
+        f"{rollup['makespan_ns'] / 1e6:.2f}ms, work "
+        f"{rollup['work_ns'] / 1e6:.2f}ms, speedup "
+        f"{rollup['speedup']:.2f}, efficiency {rollup['efficiency']:.1%}, "
+        f"idle tail {rollup['idle_tail_fraction']:.1%}"
+    )
+    for tr, w in sorted(rollup["per_worker"].items()):
+        print(
+            f"  worker-{tr}: {w['tasks']} tasks, busy "
+            f"{w['busy_ns'] / 1e6:.2f}ms ({w['utilization']:5.1%}), "
+            f"idle tail {w['idle_tail_ns'] / 1e6:.2f}ms"
+        )
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     p = _poly_from_args(args)
     mu = _mu_bits(args)
     counter = CostCounter()
+    if args.parallel:
+        from repro.obs.rollup import parallel_rollup
+        from repro.obs.trace import Tracer
+        from repro.sched.executor import ParallelRootFinder
+
+        tracer = Tracer(counter=counter)
+        t0 = time.perf_counter()
+        with ParallelRootFinder(mu=mu, processes=args.parallel,
+                                counter=counter, tracer=tracer) as finder:
+            scaled = finder.find_roots_scaled(p)
+            elapsed = time.perf_counter() - t0
+            fallbacks = finder.fallback_count
+        print(f"{len(scaled)} roots, wall {elapsed:.3f}s "
+              f"(parent-side costs only; {fallbacks} fallbacks)")
+        print(counter.report())
+        _print_parallel_rollup(parallel_rollup(tracer.spans))
+        return 0
     result = RealRootFinder(mu_bits=mu, counter=counter).find_roots(p)
     print(f"{len(result)} roots, wall {result.elapsed_seconds:.3f}s")
     print(counter.report())
@@ -252,6 +292,102 @@ def cmd_report(args: argparse.Namespace) -> int:
         f"sieve/bisect/newton evals = "
         f"{st.sieve_evals}/{st.bisection_evals}/{st.newton_evals}"
     )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.artifact import (
+        add_sequential_metrics,
+        artifact_path,
+        bench_artifact,
+    )
+    from repro.bench.runner import run_sequential
+    from repro.bench.workloads import square_free_characteristic_input
+    from repro.obs.perf import (
+        compare_artifacts,
+        format_diff_table,
+        read_artifact,
+        write_artifact,
+    )
+    from repro.obs.rollup import parallel_rollup
+    from repro.obs.trace import Tracer
+    from repro.sched.executor import ParallelRootFinder
+
+    degrees = _parse_int_list(args.degrees, "--degrees")
+    if any(n < 2 for n in degrees):
+        raise SystemExit("--degrees must be >= 2")
+    params = {"degrees": degrees, "mu_digits": args.digits,
+              "seed": args.seed, "processes": args.processes}
+    session = _TraceSession(args, "bench", **params)
+    artifact = bench_artifact(args.name, params)
+
+    records = []
+    for n in degrees:
+        inp = square_free_characteristic_input(n, args.seed)
+        rec = run_sequential(inp, args.digits, trace_walls=True)
+        records.append(rec)
+        print(f"  n={n:<3d} mu={args.digits}d: {rec.n_roots} roots, "
+              f"bit cost {rec.total_bit_cost}, wall {rec.wall_seconds:.3f}s")
+    add_sequential_metrics(artifact, records)
+
+    if args.processes > 0:
+        # Parallel telemetry stage: the largest pinned input through the
+        # real executor, always traced so the utilization rollup and
+        # the queue-depth/worker-busy counter lanes exist.
+        counter = session.counter if session.counter is not None else CostCounter()
+        tracer = session.tracer if session.tracer is not None else Tracer(
+            counter=counter)
+        inp = square_free_characteristic_input(max(degrees), args.seed)
+        t0 = time.perf_counter()
+        with ParallelRootFinder(mu=digits_to_bits(args.digits),
+                                processes=args.processes, counter=counter,
+                                tracer=tracer) as finder:
+            finder.find_roots_scaled(inp.poly)
+            parallel_wall = time.perf_counter() - t0
+            reg = finder.metrics
+            artifact.add_metric(
+                "executor.fallbacks", reg.counter("executor.fallbacks").value
+            )
+            artifact.add_metric(
+                "executor.task_timeouts",
+                reg.counter("executor.task_timeouts").value,
+            )
+            artifact.add_metric(
+                "executor.worker_failures",
+                reg.counter("executor.worker_failures").value,
+            )
+            artifact.histograms["executor.queue_depth.samples"] = (
+                reg.histogram("executor.queue_depth.samples").as_dict()
+            )
+        artifact.add_metric("parallel.wall_seconds", parallel_wall,
+                            kind="wall")
+        rollup = parallel_rollup(tracer.spans)
+        if rollup:
+            artifact.add_metric("parallel.efficiency", rollup["efficiency"],
+                                kind="wall")
+            artifact.add_metric("parallel.idle_tail_fraction",
+                                rollup["idle_tail_fraction"], kind="wall")
+        _print_parallel_rollup(rollup)
+
+    out = args.out if args.out else artifact_path(args.name)
+    try:
+        write_artifact(out, artifact)
+    except OSError as e:
+        raise SystemExit(f"cannot write artifact: {e}") from e
+    session.finish()
+    print(f"\nwrote {out} ({len(artifact.metrics)} metrics, "
+          f"{len(artifact.histograms)} histograms)")
+
+    if args.check:
+        try:
+            baseline = read_artifact(args.check)
+        except (OSError, ValueError, KeyError) as e:
+            raise SystemExit(f"cannot read baseline {args.check}: {e}") from e
+        diffs = compare_artifacts(baseline, artifact)
+        print(f"\nregression gate vs {args.check}:")
+        print(format_diff_table(diffs))
+        if any(d.failed for d in diffs):
+            return 1
     return 0
 
 
@@ -383,7 +519,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("report", help="per-phase cost report")
     _add_poly_args(sp)
+    sp.add_argument("--parallel", type=int, default=0, metavar="N",
+                    help="run on a real N-process pool and report the "
+                         "utilization/parallel-efficiency rollup")
     sp.set_defaults(func=cmd_report)
+
+    sp = sub.add_parser(
+        "bench",
+        help="pinned benchmark run -> BENCH_<name>.json artifact "
+             "(with an optional regression gate)",
+    )
+    sp.add_argument("--name", default="smoke",
+                    help="artifact name (default smoke)")
+    sp.add_argument("--degrees", default="10,15,20,25",
+                    help="comma-separated degree grid (default 10,15,20,25)")
+    sp.add_argument("--digits", type=int, default=8,
+                    help="output precision in decimal digits (default 8)")
+    sp.add_argument("--seed", type=int, default=11,
+                    help="workload seed (default 11, the paper's)")
+    sp.add_argument("--processes", type=int, default=2,
+                    help="pool size for the parallel telemetry stage "
+                         "(0 disables it; default 2)")
+    sp.add_argument("--out", metavar="PATH",
+                    help="artifact path (default "
+                         "benchmarks/results/BENCH_<name>.json)")
+    sp.add_argument("--check", metavar="BASELINE",
+                    help="compare against a baseline artifact; exit 1 when "
+                         "a gated metric leaves its tolerance band")
+    _add_trace_args(sp)
+    sp.set_defaults(func=cmd_bench)
 
     sp = sub.add_parser(
         "batch", help="many polynomials through one persistent worker pool"

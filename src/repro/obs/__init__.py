@@ -4,8 +4,10 @@ The observability layer of the reproduction: hierarchical spans tied to
 the paper's bit-cost currency (:mod:`repro.obs.trace`), structured
 JSONL run logs (:mod:`repro.obs.events`), Chrome trace-event export for
 both real runs and simulated schedules (:mod:`repro.obs.chrometrace`),
-a counter/gauge/histogram registry (:mod:`repro.obs.metrics`), and span
-rollups (:mod:`repro.obs.rollup`).
+a counter/gauge/histogram registry (:mod:`repro.obs.metrics`), span
+rollups including the real-run utilization/parallel-efficiency summary
+(:mod:`repro.obs.rollup`), and versioned benchmark artifacts with a
+regression gate (:mod:`repro.obs.perf`).
 
 Quickstart::
 
@@ -30,6 +32,7 @@ from repro.obs.chrometrace import (
     schedule_to_chrome,
     schedules_to_chrome,
     spans_to_chrome,
+    worker_busy_series,
     write_chrome_trace,
 )
 from repro.obs.metrics import (
@@ -39,7 +42,23 @@ from repro.obs.metrics import (
     MetricsRegistry,
     run_metrics,
 )
-from repro.obs.rollup import level_wall_ns, phase_wall_ns, self_wall_ns
+from repro.obs.perf import (
+    BenchArtifact,
+    MetricDiff,
+    compare_artifacts,
+    env_fingerprint,
+    format_diff_table,
+    read_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from repro.obs.rollup import (
+    level_wall_ns,
+    parallel_rollup,
+    phase_wall_ns,
+    self_wall_ns,
+    worker_busy_intervals,
+)
 
 __all__ = [
     "Tracer",
@@ -50,6 +69,7 @@ __all__ = [
     "read_events",
     "validate_events",
     "spans_to_chrome",
+    "worker_busy_series",
     "schedule_to_chrome",
     "schedules_to_chrome",
     "write_chrome_trace",
@@ -58,7 +78,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "run_metrics",
+    "BenchArtifact",
+    "MetricDiff",
+    "compare_artifacts",
+    "env_fingerprint",
+    "format_diff_table",
+    "read_artifact",
+    "validate_artifact",
+    "write_artifact",
     "self_wall_ns",
     "phase_wall_ns",
     "level_wall_ns",
+    "parallel_rollup",
+    "worker_busy_intervals",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from typing import IO, Any, Iterable, Mapping, Sequence
 
+from repro.obs.rollup import worker_busy_intervals
 from repro.obs.trace import Span
 
 # ``ScheduleResult`` is duck-typed (``.trace``/``.processors``) rather
@@ -29,6 +30,7 @@ from repro.obs.trace import Span
 
 __all__ = [
     "spans_to_chrome",
+    "worker_busy_series",
     "schedule_to_chrome",
     "schedules_to_chrome",
     "write_chrome_trace",
@@ -40,14 +42,48 @@ def _meta(pid: int, tid: int, name: str, what: str) -> dict[str, Any]:
             "args": {"name": name}}
 
 
+def worker_busy_series(
+    spans: Iterable[Span],
+) -> dict[int, list[tuple[int, int]]]:
+    """Per-worker busy 0/1 series derived from adopted task spans.
+
+    For each worker track the per-task *root* spans (spans whose parent
+    sits on a different track — one per pool task) yield merged
+    ``(t_ns, 0|1)`` transitions: 1 when the worker picks up a task,
+    0 when its task stream goes idle.  This is the real-run analogue of
+    the simulator's per-processor lanes: the p=16-style idle tails the
+    paper analyzes become visible as flat-zero stretches.
+    """
+    series: dict[int, list[tuple[int, int]]] = {}
+    for tr, ivals in worker_busy_intervals(spans).items():
+        out: list[tuple[int, int]] = []
+        for start, end in ivals:
+            out.append((start, 1))
+            out.append((end, 0))
+        series[tr] = out
+    return series
+
+
 def spans_to_chrome(
-    spans: Iterable[Span], pid: int = 1, process_name: str = "repro"
+    spans: Iterable[Span],
+    pid: int = 1,
+    process_name: str = "repro",
+    counters: Iterable[tuple[int, str, float]] | None = None,
+    worker_busy: bool = True,
 ) -> dict[str, Any]:
     """Convert traced spans to a Chrome trace-event object.
 
     Each span track (main process, adopted workers) becomes one thread
     lane.  Span ``args`` carry the phase, attrs, and the span's bit
     cost so the cost currency is inspectable next to wall time.
+
+    ``counters`` are ``(t_ns, name, value)`` samples (e.g.
+    ``Tracer.counters`` filled by the executor's live telemetry); each
+    named series becomes a ``"ph": "C"`` counter lane.  With
+    ``worker_busy`` (the default), per-worker busy/idle lanes derived
+    from adopted task spans (:func:`worker_busy_series`) are appended
+    as ``worker-<track> busy`` counters — together these put queue
+    depth and worker utilization next to the span timeline.
     """
     spans = [sp for sp in spans if sp.end_ns is not None]
     events: list[dict[str, Any]] = [_meta(pid, 0, process_name, "process_name")]
@@ -55,7 +91,11 @@ def spans_to_chrome(
     for tr in tracks:
         label = "main" if tr == 0 else f"worker-{tr}"
         events.append(_meta(pid, tr, label, "thread_name"))
-    t0 = min((sp.start_ns for sp in spans), default=0)
+    counters = list(counters) if counters is not None else []
+    t0 = min(
+        (sp.start_ns for sp in spans),
+        default=min((t for t, _, _ in counters), default=0),
+    )
     for sp in spans:
         args: dict[str, Any] = {"phase": sp.phase, **sp.attrs}
         if sp.cost:
@@ -71,6 +111,20 @@ def spans_to_chrome(
             "dur": sp.wall_ns / 1000.0,
             "args": args,
         })
+    for t_ns, name, value in counters:
+        events.append({
+            "ph": "C", "pid": pid, "tid": 0, "name": name,
+            "cat": "telemetry", "ts": (t_ns - t0) / 1000.0,
+            "args": {"value": value},
+        })
+    if worker_busy:
+        for tr, samples in sorted(worker_busy_series(spans).items()):
+            for t_ns, busy in samples:
+                events.append({
+                    "ph": "C", "pid": pid, "tid": tr,
+                    "name": f"worker-{tr} busy", "cat": "telemetry",
+                    "ts": (t_ns - t0) / 1000.0, "args": {"busy": busy},
+                })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -10,6 +10,7 @@ levels.  :func:`run_metrics` derives the standard set from a finished
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -42,6 +43,12 @@ class Gauge:
     def set(self, v: float) -> None:
         """Record the current value."""
         self.value = v
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value by ``delta`` (may be negative) —
+        the natural form for level-style gauges (queue depth, in-flight
+        tasks) updated at enter/exit sites."""
+        self.value += delta
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-safe summary."""
@@ -80,6 +87,27 @@ class Histogram:
     def mean(self) -> float:
         """Arithmetic mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> int | None:
+        """Upper bound of the bucket holding the ``q``-quantile.
+
+        ``q`` is a fraction in ``[0, 1]``.  The answer is exact up to
+        the power-of-two bucketing (the true value ``v`` satisfies
+        ``v.bit_length() == answer.bit_length()``), clamped to the
+        observed maximum; an empty histogram returns ``None``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(self.count * q))
+        seen = 0
+        for b in sorted(self.buckets):
+            seen += self.buckets[b]
+            if seen >= rank:
+                upper = 0 if b == 0 else (1 << b) - 1
+                return min(upper, self.max)
+        return self.max
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-safe summary."""

@@ -1,0 +1,306 @@
+"""Performance-regression artifacts: a versioned bench schema + gate.
+
+The paper is a *computational investigation*: its contribution is
+measured behavior (Tables 2-12, Figures 6-13).  This module gives the
+reproduction the same currency for its own evolution — every benchmark
+run can be persisted as a :class:`BenchArtifact` (``BENCH_<name>.json``)
+and every future change judged by :func:`compare_artifacts` against a
+committed baseline, instead of prose claims.
+
+An artifact carries four sections:
+
+* ``env`` — an environment fingerprint (:func:`env_fingerprint`) so a
+  diff across machines is never mistaken for a diff across commits;
+* ``params`` — the workload pin (degrees, precision, seeds, pool size);
+* ``metrics`` — flat named scalars, each tagged with a *kind*:
+  ``count`` metrics (bit costs, iteration counts, case tallies) are
+  deterministic for a pinned workload and are **gated**, ``wall``
+  metrics (seconds on this host) are machine-dependent and reported
+  **informationally only**;
+* ``histograms`` / ``phases`` — the interval-solver iteration
+  distributions (sieve steps / bisections / Newton iterations per
+  solve) and the per-phase bit-cost / wall rollups, kept for plotting
+  and drill-down (not gated).
+
+The gate (:func:`compare_artifacts`) applies per-metric tolerance
+bands: a baseline may override the default band for any metric via its
+``tolerances`` section; otherwise ``count`` metrics must match within
+``DEFAULT_COUNT_RTOL`` and ``wall`` metrics never fail.
+:func:`format_diff_table` renders the comparison the way the paper's
+tables juxtapose predicted and observed columns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterable, Mapping
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_COUNT_RTOL",
+    "BenchArtifact",
+    "MetricDiff",
+    "env_fingerprint",
+    "validate_artifact",
+    "compare_artifacts",
+    "format_diff_table",
+    "read_artifact",
+    "write_artifact",
+]
+
+#: Version tag written into (and required of) every artifact.
+SCHEMA = "repro.bench-artifact/1"
+
+#: Default relative tolerance band for ``count`` metrics.  Counts are
+#: deterministic for a pinned workload, so the default is exact; a
+#: baseline can widen the band per metric via its ``tolerances`` map.
+DEFAULT_COUNT_RTOL = 0.0
+
+#: Metric kinds: ``count`` gates, ``wall`` informs.
+_KINDS = ("count", "wall")
+
+
+def env_fingerprint() -> dict[str, Any]:
+    """Where this artifact was measured: interpreter, OS, core count.
+
+    Everything here is cheap, deterministic for one host, and enough to
+    explain a wall-time delta between two artifacts (``count`` metrics
+    should never depend on any of it).
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+@dataclass
+class BenchArtifact:
+    """One benchmark run in comparable, versioned form.
+
+    ``metrics`` maps a metric name to ``{"kind": "count"|"wall",
+    "value": number}``; ``histograms`` holds
+    :meth:`repro.obs.metrics.Histogram.as_dict` dumps; ``phases`` maps
+    a phase name to ``{"bit_cost": int, "wall_ns": int|None}``.
+    """
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+    histograms: dict[str, dict[str, Any]] = field(default_factory=dict)
+    phases: dict[str, dict[str, Any]] = field(default_factory=dict)
+    env: dict[str, Any] = field(default_factory=env_fingerprint)
+    tolerances: dict[str, float] = field(default_factory=dict)
+    created_unix: float = field(default_factory=time.time)
+
+    # -- building ---------------------------------------------------------
+    def add_metric(self, name: str, value: float, kind: str = "count") -> None:
+        """Record one named scalar (``kind`` in {``count``, ``wall``})."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.metrics[name] = {"kind": kind, "value": value}
+
+    def metric(self, name: str) -> float:
+        """The recorded value of metric ``name`` (KeyError if absent)."""
+        return self.metrics[name]["value"]
+
+    # -- (de)serialization --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dump (inverse of :meth:`from_dict`)."""
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "created_unix": self.created_unix,
+            "env": dict(self.env),
+            "params": dict(self.params),
+            "metrics": {k: dict(v) for k, v in sorted(self.metrics.items())},
+            "histograms": dict(self.histograms),
+            "phases": dict(self.phases),
+            "tolerances": dict(self.tolerances),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "BenchArtifact":
+        """Rebuild a validated artifact from a parsed JSON object."""
+        validate_artifact(d)
+        return cls(
+            name=d["name"],
+            params=dict(d.get("params", {})),
+            metrics={k: dict(v) for k, v in d["metrics"].items()},
+            histograms=dict(d.get("histograms", {})),
+            phases=dict(d.get("phases", {})),
+            env=dict(d.get("env", {})),
+            tolerances=dict(d.get("tolerances", {})),
+            created_unix=d.get("created_unix", 0.0),
+        )
+
+
+def validate_artifact(d: Mapping[str, Any]) -> None:
+    """Schema check for one parsed artifact; raises ``ValueError``.
+
+    Enforces the version tag, a nonempty name, and the metric shape
+    (every entry a ``{"kind", "value"}`` object with a known kind and a
+    numeric value).
+    """
+    if not isinstance(d, Mapping):
+        raise ValueError("artifact must be a JSON object")
+    if d.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported artifact schema {d.get('schema')!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    if not d.get("name") or not isinstance(d["name"], str):
+        raise ValueError("artifact needs a nonempty string 'name'")
+    metrics = d.get("metrics")
+    if not isinstance(metrics, Mapping):
+        raise ValueError("artifact needs a 'metrics' object")
+    for mname, m in metrics.items():
+        if not isinstance(m, Mapping) or "value" not in m:
+            raise ValueError(f"metric {mname!r} must be {{kind, value}}")
+        if m.get("kind") not in _KINDS:
+            raise ValueError(
+                f"metric {mname!r} has unknown kind {m.get('kind')!r}"
+            )
+        if not isinstance(m["value"], (int, float)) or isinstance(
+            m["value"], bool
+        ):
+            raise ValueError(f"metric {mname!r} value must be a number")
+    tol = d.get("tolerances", {})
+    if not isinstance(tol, Mapping):
+        raise ValueError("'tolerances' must be an object")
+    for mname, band in tol.items():
+        if not isinstance(band, (int, float)) or band < 0:
+            raise ValueError(f"tolerance for {mname!r} must be >= 0")
+
+
+def write_artifact(path_or_file: str | IO[str], artifact: BenchArtifact) -> None:
+    """Serialize one artifact as stable, human-diffable JSON."""
+    payload = json.dumps(artifact.to_dict(), indent=1, sort_keys=True)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+    else:
+        path_or_file.write(payload + "\n")
+
+
+def read_artifact(path: str) -> BenchArtifact:
+    """Load and validate one ``BENCH_*.json`` artifact."""
+    with open(path, encoding="utf-8") as fh:
+        return BenchArtifact.from_dict(json.load(fh))
+
+
+# -- the regression gate -----------------------------------------------------
+
+
+@dataclass
+class MetricDiff:
+    """One metric's baseline-vs-current comparison."""
+
+    name: str
+    kind: str
+    baseline: float | None
+    current: float | None
+    rtol: float | None  #: applied band; None = informational only
+
+    @property
+    def rel_delta(self) -> float | None:
+        """Relative change vs. baseline (None when not computable)."""
+        if self.baseline is None or self.current is None:
+            return None
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    @property
+    def status(self) -> str:
+        """``ok`` / ``FAIL`` / ``info`` / ``missing`` / ``new``."""
+        if self.baseline is None:
+            return "new"
+        if self.current is None:
+            return "missing"
+        if self.rtol is None:
+            return "info"
+        delta = self.rel_delta
+        return "ok" if delta is not None and abs(delta) <= self.rtol else "FAIL"
+
+    @property
+    def failed(self) -> bool:
+        """True when this metric breaches its band (missing also fails)."""
+        return self.status in ("FAIL", "missing")
+
+
+def compare_artifacts(
+    baseline: BenchArtifact,
+    current: BenchArtifact,
+    default_count_rtol: float = DEFAULT_COUNT_RTOL,
+) -> list[MetricDiff]:
+    """Per-metric tolerance-band comparison, baseline's metric order.
+
+    Band resolution per metric: the baseline's ``tolerances`` override
+    if present, else ``default_count_rtol`` for ``count`` metrics, else
+    informational (``wall`` metrics, which depend on the machine, never
+    gate).  Metrics present only in ``current`` are reported as ``new``
+    (never failing); metrics missing from ``current`` fail — a silently
+    dropped observable is itself a regression.
+    """
+    diffs: list[MetricDiff] = []
+    for name, m in baseline.metrics.items():
+        kind = m["kind"]
+        cur = current.metrics.get(name)
+        if name in baseline.tolerances:
+            rtol: float | None = baseline.tolerances[name]
+        elif kind == "count":
+            rtol = default_count_rtol
+        else:
+            rtol = None
+        diffs.append(MetricDiff(
+            name=name, kind=kind, baseline=m["value"],
+            current=None if cur is None else cur["value"], rtol=rtol,
+        ))
+    for name, m in current.metrics.items():
+        if name not in baseline.metrics:
+            diffs.append(MetricDiff(
+                name=name, kind=m["kind"], baseline=None,
+                current=m["value"], rtol=None,
+            ))
+    return diffs
+
+
+def _fmt_value(v: float | None) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float) and not v.is_integer():
+        return f"{v:.6g}"
+    return f"{int(v)}"
+
+
+def format_diff_table(diffs: Iterable[MetricDiff]) -> str:
+    """Readable baseline-vs-current table, failures first."""
+    rows = sorted(diffs, key=lambda d: (not d.failed, d.name))
+    header = (
+        f"{'metric':40s} {'kind':>5s} {'baseline':>14s} {'current':>14s} "
+        f"{'delta':>8s} {'band':>7s} {'status':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for d in rows:
+        delta = d.rel_delta
+        delta_s = "-" if delta is None else f"{delta:+.2%}"
+        band_s = "-" if d.rtol is None else f"{d.rtol:.2%}"
+        lines.append(
+            f"{d.name:40s} {d.kind:>5s} {_fmt_value(d.baseline):>14s} "
+            f"{_fmt_value(d.current):>14s} {delta_s:>8s} {band_s:>7s} "
+            f"{d.status:>7s}"
+        )
+    n_fail = sum(1 for d in rows if d.failed)
+    gated = sum(1 for d in rows if d.rtol is not None or d.status == "missing")
+    lines.append(
+        f"{n_fail} failed of {gated} gated metrics ({len(rows)} compared)"
+    )
+    return "\n".join(lines)

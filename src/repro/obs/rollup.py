@@ -13,7 +13,13 @@ from typing import Iterable
 
 from repro.obs.trace import Span
 
-__all__ = ["self_wall_ns", "phase_wall_ns", "level_wall_ns"]
+__all__ = [
+    "self_wall_ns",
+    "phase_wall_ns",
+    "level_wall_ns",
+    "worker_busy_intervals",
+    "parallel_rollup",
+]
 
 
 def self_wall_ns(spans: Iterable[Span]) -> dict[int, int]:
@@ -64,3 +70,91 @@ def level_wall_ns(spans: Iterable[Span]) -> dict[int, int]:
             continue
         out[lvl] = out.get(lvl, 0) + self_ns[sp.sid]
     return out
+
+
+def worker_busy_intervals(
+    spans: Iterable[Span],
+) -> dict[int, list[tuple[int, int]]]:
+    """Merged busy ``(start_ns, end_ns)`` intervals per worker track.
+
+    A worker's busy time is the union of its per-task *root* spans —
+    adopted spans whose parent sits on a different track (the parent is
+    the main lane's dispatch span); inner solver spans are already
+    covered by their task root.  Overlapping or adjacent task spans are
+    coalesced so the interval list is disjoint and sorted.
+    """
+    spans = [sp for sp in spans if sp.end_ns is not None]
+    track_of = {sp.sid: sp.track for sp in spans}
+    raw: dict[int, list[tuple[int, int]]] = {}
+    for sp in spans:
+        if sp.track == 0:
+            continue
+        if sp.parent is not None and track_of.get(sp.parent) == sp.track:
+            continue
+        raw.setdefault(sp.track, []).append((sp.start_ns, sp.end_ns))
+    out: dict[int, list[tuple[int, int]]] = {}
+    for tr, ivals in raw.items():
+        ivals.sort()
+        merged: list[list[int]] = []
+        for start, end in ivals:
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        out[tr] = [(s, e) for s, e in merged]
+    return out
+
+
+def parallel_rollup(spans: Iterable[Span]) -> dict:
+    """Post-run utilization / parallel-efficiency summary of a traced
+    :class:`~repro.sched.executor.ParallelRootFinder` run.
+
+    The real-run counterpart of the simulator's makespan statistics:
+
+    * ``makespan_ns`` — the busy window across all worker lanes
+      (first task start to last task end);
+    * ``work_ns`` — total busy nanoseconds, the measured ``T1`` proxy;
+    * ``speedup`` / ``efficiency`` — ``work / makespan`` and that
+      divided by the worker count (perfect pipelining gives
+      efficiency 1.0);
+    * ``idle_tail_fraction`` — mean over workers of the trailing idle
+      stretch (after the worker's last task, before the makespan ends)
+      as a fraction of the makespan: the p=16-style droop of the
+      paper's Figures 9-13, measured on real processes;
+    * ``per_worker`` — ``{track: {busy_ns, tasks, utilization,
+      idle_tail_ns}}``.
+
+    Returns ``{}`` when the spans contain no worker lanes (sequential
+    or untraced run).
+    """
+    spans = list(spans)
+    busy = worker_busy_intervals(spans)
+    if not busy:
+        return {}
+    t_start = min(iv[0][0] for iv in busy.values())
+    t_end = max(iv[-1][1] for iv in busy.values())
+    makespan = max(t_end - t_start, 1)
+    per_worker: dict[int, dict] = {}
+    work = 0
+    idle_tail_total = 0
+    for tr, ivals in sorted(busy.items()):
+        busy_ns = sum(e - s for s, e in ivals)
+        idle_tail = t_end - ivals[-1][1]
+        work += busy_ns
+        idle_tail_total += idle_tail
+        per_worker[tr] = {
+            "busy_ns": busy_ns,
+            "tasks": len(ivals),
+            "utilization": busy_ns / makespan,
+            "idle_tail_ns": idle_tail,
+        }
+    n = len(per_worker)
+    return {
+        "workers": n,
+        "makespan_ns": makespan,
+        "work_ns": work,
+        "speedup": work / makespan,
+        "efficiency": work / (n * makespan),
+        "idle_tail_fraction": idle_tail_total / (n * makespan),
+        "per_worker": per_worker,
+    }

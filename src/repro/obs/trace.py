@@ -130,6 +130,10 @@ class Tracer:
         self.counter = counter
         self.sink = sink
         self.spans: list[Span] = []
+        #: timestamped counter samples ``(t_ns, name, value)`` — the
+        #: live-telemetry series (executor queue depth, in-flight
+        #: tasks) that become Chrome-trace ``"ph": "C"`` lanes.
+        self.counters: list[tuple[int, str, float]] = []
         self._stack: list[int] = []
         self._next_track = 1  # 0 is the main process
         self._track_by_key: dict[Any, int] = {}
@@ -181,6 +185,18 @@ class Tracer:
         """Emit an instantaneous structured event (no span is recorded)."""
         if self.sink is not None:
             self.sink.event(name, fields)
+
+    def sample(self, name: str, value: float, t_ns: int | None = None) -> None:
+        """Record one sample of a named counter time series.
+
+        Samples are event-driven (the caller samples at state changes,
+        not on a timer), cost one list append, and are exported as
+        Chrome-trace counter lanes by
+        :func:`repro.obs.chrometrace.spans_to_chrome`.
+        """
+        self.counters.append(
+            (t_ns if t_ns is not None else time.perf_counter_ns(), name, value)
+        )
 
     # -- worker-span merging ------------------------------------------------
     def export(self) -> list[dict[str, Any]]:
@@ -269,6 +285,9 @@ class NullTracer(Tracer):
         return _NULL_SPAN
 
     def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def sample(self, name: str, value: float, t_ns: int | None = None) -> None:
         pass
 
     def adopt(

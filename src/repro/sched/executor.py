@@ -41,6 +41,16 @@ the pool, and the parent merges them onto per-worker lanes
 (``Tracer.adopt(spans, key=pid)``).  Pool lifecycle shows up as
 ``pool.spawn`` / ``pool.close`` spans; fallbacks as
 ``executor_fallback`` events.
+
+Live telemetry rides along: every submit/complete transition samples
+queue depth and in-flight task count into the finder's
+:class:`~repro.obs.metrics.MetricsRegistry` and (when traced) into
+``Tracer.counters``, which export as Chrome-trace ``"ph": "C"``
+counter lanes next to the span lanes; reliability drift (fallbacks,
+per-task timeouts, worker failures) is counted in the same registry so
+the bench regression gate can watch it.  Post-run,
+:func:`repro.obs.rollup.parallel_rollup` turns the adopted worker
+spans into a utilization / idle-tail / parallel-efficiency summary.
 """
 
 from __future__ import annotations
@@ -61,6 +71,7 @@ from repro.core.tree import InterleavingTree
 if TYPE_CHECKING:  # runtime import is deferred: repro.core.tasks
     from repro.core.tasks import NodePlan  # imports repro.sched.graph
 from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.poly.dense import IntPoly
 from repro.poly.roots_bounds import root_bound_bits
@@ -224,6 +235,15 @@ class ParallelRootFinder:
         costs stay worker-local and return only through trace spans).
     tracer:
         Observability hook; see the module docstring.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` accumulating live
+        executor telemetry across every call this finder serves: the
+        ``executor.queue_depth`` / ``executor.in_flight`` gauges and
+        the ``executor.queue_depth.samples`` histogram (sampled at
+        every submit/complete event), plus the reliability counters
+        ``executor.fallbacks``, ``executor.task_timeouts``, and
+        ``executor.worker_failures`` the regression gate watches.  A
+        fresh registry is created per finder unless one is passed in.
     """
 
     mu: int
@@ -233,6 +253,7 @@ class ParallelRootFinder:
     task_timeout: float | None = None
     counter: CostCounter = NULL_COUNTER
     tracer: Tracer = NULL_TRACER
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     #: sequential degradations so far (repeated roots, timeouts, worker
     #: failures); parity tests assert it stays 0 on the happy path.
     fallback_count: int = field(default=0, init=False)
@@ -374,6 +395,7 @@ class ParallelRootFinder:
     def _sequential_scaled(self, p: IntPoly) -> list[int]:
         """Sequential degradation path: same parameters, same answer."""
         self.fallback_count += 1
+        self.metrics.counter("executor.fallbacks").inc()
         finder = RealRootFinder(
             mu_bits=self.mu, check_tree=self.check_tree,
             counter=self.counter, strategy=self.strategy, tracer=self.tracer,
@@ -409,6 +431,24 @@ class ParallelRootFinder:
         completed: list[tuple[int, int]] = []
         done = False
 
+        # Live telemetry: sampled at every submit/complete event (no
+        # timer thread — the dispatch loop *is* the state machine, so
+        # its transitions are exactly the moments the series changes).
+        procs = self.processes
+        depth_gauge = self.metrics.gauge("executor.queue_depth")
+        inflight_gauge = self.metrics.gauge("executor.in_flight")
+        depth_hist = self.metrics.histogram("executor.queue_depth.samples")
+
+        def sample() -> None:
+            inflight = pending if pending < procs else procs
+            depth = pending - inflight
+            depth_gauge.set(depth)
+            inflight_gauge.set(inflight)
+            depth_hist.observe(depth)
+            if capture:
+                tracer.sample("executor.queue_depth", depth)
+                tracer.sample("executor.in_flight", inflight)
+
         def submit(fn, payload) -> None:
             nonlocal pending
             try:
@@ -420,6 +460,7 @@ class ParallelRootFinder:
             except Exception as exc:  # pool broken/closed underneath us
                 raise _Degraded(f"dispatch failed: {exc!r}") from exc
             pending += 1
+            sample()
 
         def complete(label: tuple[int, int]) -> None:
             nonlocal done
@@ -489,11 +530,14 @@ class ParallelRootFinder:
             try:
                 item = results_q.get(timeout=self.task_timeout)
             except queue.Empty:
+                self.metrics.counter("executor.task_timeouts").inc()
                 raise _Degraded(
                     f"no task completion within {self.task_timeout}s"
                 ) from None
             pending -= 1
+            sample()
             if isinstance(item, BaseException):
+                self.metrics.counter("executor.worker_failures").inc()
                 raise _Degraded(f"worker failed: {item!r}")
             kind, label, idx, val, spans = item
             if spans:

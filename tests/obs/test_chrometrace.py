@@ -7,9 +7,10 @@ from repro.obs.chrometrace import (
     schedule_to_chrome,
     schedules_to_chrome,
     spans_to_chrome,
+    worker_busy_series,
     write_chrome_trace,
 )
-from repro.obs.trace import Tracer
+from repro.obs.trace import Span, Tracer
 from repro.core.tasks import build_task_graph
 from repro.poly.dense import IntPoly
 from repro.sched.simulator import simulate, speedup_curve
@@ -53,6 +54,68 @@ class TestSpansToChrome:
         cm.__enter__()
         trace = spans_to_chrome(tr.spans)
         assert all(e["ph"] != "X" for e in trace["traceEvents"])
+
+
+def _adopted_worker_spans():
+    """Main dispatch span plus two adopted worker-lane task spans."""
+    return [
+        Span(sid=1, name="dispatch", phase="", depth=0, parent=None,
+             start_ns=0, end_ns=1000, track=0),
+        Span(sid=2, name="task_a", phase="interval", depth=1, parent=1,
+             start_ns=100, end_ns=400, track=1),
+        Span(sid=3, name="inner", phase="interval.sieve", depth=2, parent=2,
+             start_ns=150, end_ns=300, track=1),
+        Span(sid=4, name="task_b", phase="interval", depth=1, parent=1,
+             start_ns=200, end_ns=900, track=2),
+    ]
+
+
+class TestCounterLanes:
+    def test_sampled_counters_become_counter_events(self):
+        tr = Tracer()
+        with tr.span("run"):
+            tr.sample("executor.queue_depth", 3)
+            tr.sample("executor.queue_depth", 0)
+            tr.sample("executor.in_flight", 2)
+        trace = spans_to_chrome(tr.spans, counters=tr.counters)
+        cs = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        depth = [e for e in cs if e["name"] == "executor.queue_depth"]
+        assert [e["args"]["value"] for e in depth] == [3, 0]
+        assert all(e["ts"] >= 0 for e in cs)
+        assert any(e["name"] == "executor.in_flight" for e in cs)
+
+    def test_counter_events_share_span_timebase(self):
+        tr = Tracer()
+        with tr.span("run"):
+            tr.sample("g", 1.0)
+        trace = spans_to_chrome(tr.spans, counters=tr.counters)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        cs = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert xs[0]["ts"] <= cs[0]["ts"] <= xs[0]["ts"] + xs[0]["dur"]
+
+    def test_worker_busy_lanes_from_adopted_spans(self):
+        trace = spans_to_chrome(_adopted_worker_spans())
+        busy = [e for e in trace["traceEvents"]
+                if e["ph"] == "C" and e["name"].endswith("busy")]
+        names = {e["name"] for e in busy}
+        assert names == {"worker-1 busy", "worker-2 busy"}
+        w1 = [(e["ts"], e["args"]["busy"]) for e in busy
+              if e["name"] == "worker-1 busy"]
+        # rising edge at task start, falling edge at task end (us units)
+        assert w1 == [(0.1, 1), (0.4, 0)]
+
+    def test_worker_busy_series_merges_nested_spans(self):
+        series = worker_busy_series(_adopted_worker_spans())
+        # the inner span on track 1 must not produce extra transitions
+        assert series[1] == [(100, 1), (400, 0)]
+        assert series[2] == [(200, 1), (900, 0)]
+
+    def test_counters_only_trace_has_timebase(self):
+        tr = Tracer()
+        tr.sample("lonely", 7.0)
+        trace = spans_to_chrome([], counters=tr.counters)
+        cs = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert len(cs) == 1 and cs[0]["ts"] == 0.0
 
 
 class TestScheduleToChrome:

@@ -41,6 +41,40 @@ class TestPrimitives:
     def test_empty_histogram_mean(self):
         assert Histogram("h").mean == 0.0
 
+    def test_empty_histogram_percentiles_are_none(self):
+        h = Histogram("h")
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.percentile(q) is None
+
+    def test_percentile_bucket_upper_bounds(self):
+        h = Histogram("h")
+        for v in (0, 0, 0, 100):
+            h.observe(v)
+        assert h.percentile(0.5) == 0
+        # 100 lives in the 64..127 bucket; its upper bound is clamped
+        # to the observed max.
+        assert h.percentile(0.9) == 100
+        assert h.percentile(1.0) == 100
+        h2 = Histogram("h2")
+        for v in (1, 2, 5):
+            h2.observe(v)
+        assert h2.percentile(0.5) == 3  # bucket {2,3} upper bound
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(1.5)
+
+    def test_gauge_set_add_interleavings(self):
+        g = Gauge("g")
+        g.add(2.0)          # add before any set starts from 0
+        assert g.value == 2.0
+        g.set(10.0)
+        g.add(-3.5)
+        g.add(1.0)
+        assert g.value == 7.5
+        g.set(0.0)
+        assert g.value == 0.0
+
 
 class TestRegistry:
     def test_get_or_create(self):
@@ -62,6 +96,25 @@ class TestRegistry:
         reg.gauge("g").set(1.0)
         reg.histogram("h").observe(3)
         json.dumps(reg.as_dict())
+
+    def test_snapshot_deterministic_across_creation_order(self):
+        import json
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, order in ((a, ("x", "m", "z")), (b, ("z", "x", "m"))):
+            for name in order:
+                reg.counter(name).inc()
+        assert a.names() == b.names() == ["m", "x", "z"]
+        assert json.dumps(a.as_dict(), sort_keys=True) == json.dumps(
+            b.as_dict(), sort_keys=True
+        )
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        snap = reg.as_dict()
+        reg.counter("c").inc(10)
+        assert snap["c"]["value"] == 1
 
 
 class TestRunMetrics:

@@ -1,0 +1,141 @@
+"""Tests for the benchmark-artifact schema and the regression gate."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.perf import (
+    SCHEMA,
+    BenchArtifact,
+    compare_artifacts,
+    env_fingerprint,
+    format_diff_table,
+    read_artifact,
+    validate_artifact,
+    write_artifact,
+)
+
+
+def _artifact(**metrics):
+    art = BenchArtifact(name="t", params={"seed": 11})
+    for k, v in metrics.items():
+        art.add_metric(k, v)
+    return art
+
+
+class TestBenchArtifact:
+    def test_round_trip_through_file(self, tmp_path):
+        art = _artifact(bit_cost=123, solves=7)
+        art.add_metric("wall_seconds", 0.25, kind="wall")
+        art.histograms["h"] = {"count": 2, "buckets": {"1": 2}}
+        art.phases["tree"] = {"bit_cost": 100, "wall_ns": 5000}
+        path = tmp_path / "BENCH_t.json"
+        write_artifact(str(path), art)
+        back = read_artifact(str(path))
+        assert back.to_dict() == art.to_dict()
+        assert back.metric("bit_cost") == 123
+        assert back.metrics["wall_seconds"]["kind"] == "wall"
+
+    def test_round_trip_through_file_object(self):
+        art = _artifact(x=1)
+        buf = io.StringIO()
+        write_artifact(buf, art)
+        d = json.loads(buf.getvalue())
+        assert d["schema"] == SCHEMA
+        assert BenchArtifact.from_dict(d).metric("x") == 1
+
+    def test_serialization_is_deterministic(self):
+        a, b = io.StringIO(), io.StringIO()
+        art1, art2 = _artifact(z=1, a=2), _artifact(a=2, z=1)
+        art1.created_unix = art2.created_unix = 1.0
+        write_artifact(a, art1)
+        write_artifact(b, art2)
+        assert a.getvalue() == b.getvalue()
+
+    def test_env_fingerprint_stamped(self):
+        fp = env_fingerprint()
+        assert set(fp) == {
+            "python", "implementation", "platform", "machine", "cpu_count"
+        }
+        assert _artifact().env == fp
+
+    def test_add_metric_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            _artifact().add_metric("x", 1, kind="speed")
+
+    def test_metric_missing_raises(self):
+        with pytest.raises(KeyError):
+            _artifact(a=1).metric("b")
+
+
+class TestValidate:
+    def test_valid_artifact_passes(self):
+        validate_artifact(_artifact(a=1).to_dict())
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.update(schema="other/9"),
+        lambda d: d.pop("name"),
+        lambda d: d.update(metrics={"a": 1}),
+        lambda d: d.update(metrics={"a": {"kind": "speed", "value": 1}}),
+        lambda d: d.update(metrics={"a": {"kind": "count"}}),
+        lambda d: d.update(tolerances={"a": "big"}),
+    ])
+    def test_malformed_artifacts_rejected(self, mutate):
+        d = _artifact(a=1).to_dict()
+        mutate(d)
+        with pytest.raises(ValueError):
+            validate_artifact(d)
+
+    def test_read_artifact_validates(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": SCHEMA}))
+        with pytest.raises(ValueError):
+            read_artifact(str(path))
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self):
+        base = _artifact(bit_cost=100, solves=5)
+        diffs = compare_artifacts(base, _artifact(bit_cost=100, solves=5))
+        assert [d.status for d in diffs] == ["ok", "ok"]
+        assert not any(d.failed for d in diffs)
+
+    def test_count_drift_fails_at_zero_tolerance(self):
+        base = _artifact(bit_cost=100)
+        diffs = compare_artifacts(base, _artifact(bit_cost=101))
+        assert diffs[0].status == "FAIL" and diffs[0].failed
+        assert diffs[0].rel_delta == pytest.approx(0.01)
+
+    def test_baseline_tolerance_overrides_default(self):
+        base = _artifact(bit_cost=100)
+        base.tolerances["bit_cost"] = 0.05
+        diffs = compare_artifacts(base, _artifact(bit_cost=103))
+        assert diffs[0].status == "ok"
+        diffs = compare_artifacts(base, _artifact(bit_cost=110))
+        assert diffs[0].status == "FAIL"
+
+    def test_wall_metrics_are_informational(self):
+        base = _artifact()
+        base.add_metric("wall_seconds", 1.0, kind="wall")
+        cur = _artifact()
+        cur.add_metric("wall_seconds", 50.0, kind="wall")
+        diffs = compare_artifacts(base, cur)
+        assert diffs[0].status == "info" and not diffs[0].failed
+
+    def test_metric_missing_from_current_fails(self):
+        diffs = compare_artifacts(_artifact(gone=1), _artifact())
+        assert diffs[0].status == "missing" and diffs[0].failed
+
+    def test_new_metric_never_fails(self):
+        diffs = compare_artifacts(_artifact(), _artifact(fresh=9))
+        assert diffs[0].status == "new" and not diffs[0].failed
+
+    def test_format_diff_table_lists_failures_first(self):
+        base = _artifact(aaa=1, zzz=2)
+        cur = _artifact(aaa=1, zzz=3)
+        text = format_diff_table(compare_artifacts(base, cur))
+        rows = [l for l in text.splitlines()
+                if l.startswith(("aaa", "zzz"))]
+        assert "zzz" in rows[0] and "FAIL" in rows[0]
+        assert "1 failed" in text.splitlines()[-1]

@@ -100,6 +100,34 @@ class TestParallelFinder:
         assert names.count("pool.close") == 1
         assert names.count("executor.dispatch") == 2
 
+    def test_telemetry_metrics_populated(self):
+        p = IntPoly.from_roots([-9, -2, 1, 6])
+        tracer = Tracer(counter=CostCounter())
+        with ParallelRootFinder(mu=12, processes=2, tracer=tracer) as par:
+            par.find_roots_scaled(p)
+            reg = par.metrics
+        names = reg.names()
+        assert "executor.queue_depth" in names
+        assert "executor.in_flight" in names
+        samples = reg.histogram("executor.queue_depth.samples")
+        assert samples.count > 0
+        # the dispatch loop drains completely, so both gauges end at 0
+        assert reg.gauge("executor.queue_depth").value == 0
+        assert reg.gauge("executor.in_flight").value == 0
+        # in-flight never exceeds the pool size by construction
+        assert samples.max is not None
+        # traced runs also stream the samples as counter events
+        sampled = {name for _t, name, _v in tracer.counters}
+        assert {"executor.queue_depth", "executor.in_flight"} <= sampled
+
+    def test_fallback_registers_in_metrics(self):
+        p = IntPoly.from_roots([-5, 2, 7])
+        finder = ParallelRootFinder(mu=10, processes=2)
+        ref = RealRootFinder(mu_bits=10).find_roots(p)
+        assert finder._sequential_scaled(p) == ref.scaled
+        assert finder.metrics.counter("executor.fallbacks").value == 1
+        assert finder.fallback_count == 1
+
     def test_dead_worker_is_replaced(self):
         p = IntPoly.from_roots([-6, -1, 3, 8])
         ref = RealRootFinder(mu_bits=12).find_roots(p)

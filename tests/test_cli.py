@@ -143,6 +143,86 @@ class TestReport:
         out = capsys.readouterr().out
         assert "cases" in out and "solves" in out
 
+    @pytest.mark.slow
+    def test_report_parallel_prints_rollup(self, capsys):
+        assert main(["report", "--roots=-6,-1,3,8", "--digits", "6",
+                     "--parallel", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "workers" in out and "efficiency" in out
+
+
+class TestBench:
+    _FAST = ["bench", "--degrees", "6,8", "--digits", "4",
+             "--processes", "0"]
+
+    def test_bench_writes_schema_valid_artifact(self, tmp_path, capsys):
+        from repro.obs.perf import read_artifact
+
+        out = str(tmp_path / "BENCH_t.json")
+        assert main(self._FAST + ["--name", "t", "--out", out]) == 0
+        art = read_artifact(out)
+        assert art.name == "t"
+        assert art.params["degrees"] == [6, 8]
+        assert art.metric("n6.mu4.bit_cost") > 0
+        assert art.metrics["wall_seconds"]["kind"] == "wall"
+        assert "interval.newton_iters" in art.histograms
+        assert "tree" in art.phases
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bench_check_passes_against_identical_run(self, tmp_path,
+                                                      capsys):
+        base = str(tmp_path / "base.json")
+        cur = str(tmp_path / "cur.json")
+        assert main(self._FAST + ["--out", base]) == 0
+        assert main(self._FAST + ["--out", cur, "--check", base]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+
+    def test_bench_check_fails_on_count_drift(self, tmp_path, capsys):
+        base = str(tmp_path / "base.json")
+        assert main(self._FAST + ["--out", base]) == 0
+        doc = json.loads(open(base).read())
+        doc["metrics"]["bit_cost"]["value"] += 1
+        with open(base, "w") as fh:
+            json.dump(doc, fh)
+        cur = str(tmp_path / "cur.json")
+        assert main(self._FAST + ["--out", cur, "--check", base]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "bit_cost" in out
+
+    def test_bench_default_output_location(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(self._FAST + ["--name", "loc"]) == 0
+        assert (tmp_path / "BENCH_loc.json").exists()
+
+    def test_bench_rejects_tiny_degrees(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--degrees", "1,8", "--processes", "0"])
+
+    @pytest.mark.slow
+    def test_bench_parallel_trace_has_counter_lanes(self, tmp_path,
+                                                    capsys):
+        from repro.obs.perf import read_artifact
+
+        out = str(tmp_path / "BENCH_p.json")
+        trace = str(tmp_path / "trace.json")
+        assert main(["bench", "--degrees", "6,8", "--digits", "4",
+                     "--processes", "2", "--out", out,
+                     "--chrome-trace", trace]) == 0
+        art = read_artifact(out)
+        assert art.metric("executor.fallbacks") == 0
+        assert "executor.queue_depth.samples" in art.histograms
+        events = json.loads(open(trace).read())["traceEvents"]
+        lanes = {e["name"] for e in events if e["ph"] == "C"}
+        assert "executor.queue_depth" in lanes
+        assert "executor.in_flight" in lanes
+        assert any(n.startswith("worker-") and n.endswith("busy")
+                   for n in lanes)
+        assert any(e["ph"] == "X" for e in events)
+        stdout = capsys.readouterr().out
+        assert "efficiency" in stdout
+
 
 class TestTraceFlags:
     """--trace / --chrome-trace on roots, eigvals, and speedup."""
