@@ -13,6 +13,9 @@ Commands:
 * ``batch`` — many polynomials through one persistent worker pool
   (:class:`repro.sched.executor.ParallelRootFinder.find_roots_many`),
   the service-style throughput path.
+* ``fuzz`` — seeded differential fuzzing: adversarial inputs through
+  every engine pair, bit-exact agreement asserted and every claim
+  closed by the exact Sturm certificate (:mod:`repro.verify`).
 
 ``roots``, ``eigvals``, and ``speedup`` accept ``--trace out.jsonl``
 (structured JSONL event log, see :mod:`repro.obs.events`) and
@@ -481,6 +484,35 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import run_fuzz
+
+    engines = None
+    if args.engines:
+        engines = tuple(x.strip() for x in args.engines.split(",") if x.strip())
+    families = None
+    if args.families:
+        families = [x.strip() for x in args.families.split(",") if x.strip()]
+    if args.budget < 1:
+        raise SystemExit("--budget must be >= 1")
+    try:
+        report = run_fuzz(
+            args.seed, args.budget,
+            engine_names=engines,
+            families=families,
+            processes=args.processes,
+            refine=not args.no_refine,
+            shrink=not args.no_shrink,
+            corpus_dir=args.corpus_dir,
+            log_path=args.log,
+            stop_after=args.stop_after if args.stop_after > 0 else None,
+        )
+    except ValueError as e:  # unknown engine/family names
+        raise SystemExit(str(e)) from e
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     ap = argparse.ArgumentParser(
@@ -575,6 +607,38 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--json", action="store_true")
     _add_trace_args(sp)
     sp.set_defaults(func=cmd_batch)
+
+    sp = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: every engine must agree bit for bit, "
+             "every claim certified by exact Sturm counts",
+    )
+    sp.add_argument("--seed", type=int, default=11,
+                    help="campaign seed (default 11)")
+    sp.add_argument("--budget", type=int, default=100,
+                    help="number of generated cases (default 100)")
+    sp.add_argument("--engines",
+                    help="comma-separated engine subset, e.g. "
+                         "'hybrid,newton,sturm' (default: all, including "
+                         "the process-pool engine)")
+    sp.add_argument("--families",
+                    help="comma-separated generator-family subset, e.g. "
+                         "'cluster,repeated' (default: all)")
+    sp.add_argument("--processes", type=int, default=2,
+                    help="pool size for the parallel engine (default 2)")
+    sp.add_argument("--stop-after", type=int, default=1, metavar="N",
+                    help="stop after N failing cases (0 = run the whole "
+                         "budget regardless; default 1)")
+    sp.add_argument("--no-refine", action="store_true",
+                    help="skip the refine_result round-trip checks")
+    sp.add_argument("--no-shrink", action="store_true",
+                    help="report findings unminimized")
+    sp.add_argument("--corpus-dir", metavar="DIR",
+                    help="write shrunk failing cases as corpus JSON here "
+                         "(e.g. tests/corpus)")
+    sp.add_argument("--log", metavar="PATH",
+                    help="write a structured JSONL findings log")
+    sp.set_defaults(func=cmd_fuzz)
 
     return ap
 

@@ -14,14 +14,70 @@ bits costs ~5 iterations).
 
 from __future__ import annotations
 
+import time
+
+from repro.core.certify import _sign_right_limit, _variations_right_limit
 from repro.core.rootfinder import RootResult
 from repro.core.sieve import HybridSolver, IntervalStats
 from repro.costmodel.counter import NULL_COUNTER, CostCounter
 from repro.poly.dense import IntPoly
 from repro.poly.eval import ScaledEvaluator
 from repro.poly.gcd import square_free_part
+from repro.poly.sturm import sturm_chain
 
-__all__ = ["refine_root", "refine_result"]
+__all__ = [
+    "EvenMultiplicityError",
+    "SharedCellError",
+    "refine_root",
+    "refine_result",
+]
+
+
+class EvenMultiplicityError(ValueError):
+    """The bracket holds a root of even multiplicity, so the polynomial
+    does not change sign across it.  Refine the *square-free part*
+    instead (or use :func:`refine_result`, which does so for you)."""
+
+
+class SharedCellError(ValueError):
+    """The bracket holds two or more distinct roots — the original
+    precision could not separate them.  Use :func:`refine_result`,
+    which detects shared cells and re-isolates at the finer grid."""
+
+
+def _diagnose_bad_bracket(
+    p: IntPoly, lo: int, hi: int, mu_to: int, counter: CostCounter
+) -> ValueError:
+    """Explain *why* the bracket shows no sign change (exact Sturm count).
+
+    Returns (never raises) the most actionable error for the caller to
+    raise: the half-open cell ``(lo, hi] * 2**-mu_to`` holds either no
+    root (stale/wrong approximation), one root of even multiplicity, or
+    several distinct roots sharing the cell.
+    """
+    sf = square_free_part(p, counter)
+    chain = sturm_chain(sf, counter)
+    k = (_variations_right_limit(chain, lo, mu_to, counter)
+         - _variations_right_limit(chain, hi, mu_to, counter))
+    if k == 0:
+        return ValueError(
+            "bracket does not isolate a root: the cell contains no root "
+            "of p at all — was the approximation produced at a different "
+            "precision, or for a different polynomial?"
+        )
+    if k >= 2:
+        return SharedCellError(
+            f"bracket does not isolate a root: the cell contains {k} "
+            "distinct roots — the source precision could not separate "
+            "them; use refine_result, which re-isolates shared cells"
+        )
+    # Exactly one distinct root, yet p has no sign change across the
+    # cell: the root's multiplicity is even.
+    return EvenMultiplicityError(
+        "bracket holds one root of even multiplicity, so p does not "
+        "change sign across it; refine the square-free part of p "
+        "instead (refine_result does this automatically)"
+    )
 
 
 def refine_root(
@@ -58,17 +114,17 @@ def refine_root(
         if v != 0:
             return 1 if v > 0 else -1
         dv = ev_dp.eval(y, counter)
-        if dv == 0:
-            raise ArithmeticError("p and p' vanish together")
-        return 1 if dv > 0 else -1
+        if dv != 0:
+            return 1 if dv > 0 else -1
+        # p and p' vanish together: a repeated root sits exactly on the
+        # probe point.  Continue the derivative walk — exact right-limit
+        # sign, same logic as the certification oracle — so the caller
+        # gets the actionable bad-bracket diagnosis instead of a crash.
+        return _sign_right_limit(p, y, mu_to, counter)
 
     sigma_a = sign_plus(lo)
     if sign_plus(hi) == sigma_a:
-        raise ValueError(
-            "bracket does not isolate a root — was the approximation "
-            "produced at a different precision, or is the cell shared "
-            "by several roots?"
-        )
+        raise _diagnose_bad_bracket(p, lo, hi, mu_to, counter)
     solver = HybridSolver(p, dp, mu_to, counter=counter, stats=stats)
     return solver.solve(lo, hi, sigma_a)
 
@@ -95,7 +151,9 @@ def refine_result(
         finder = RealRootFinder(mu_bits=mu_to, counter=counter)
         return finder.find_roots(p)
 
-    sf = p if result.degree == result.square_free_degree else square_free_part(p)
+    t0 = time.perf_counter()
+    sf = (p if result.degree == result.square_free_degree
+          else square_free_part(p, counter))
     if sf.leading_coefficient < 0:
         sf = -sf
     stats = IntervalStats()
@@ -111,5 +169,5 @@ def refine_result(
         square_free_degree=result.square_free_degree,
         counter=counter,
         stats=stats,
-        elapsed_seconds=0.0,
+        elapsed_seconds=time.perf_counter() - t0,
     )

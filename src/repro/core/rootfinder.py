@@ -32,7 +32,7 @@ from repro.core.remainder import (
     compute_remainder_sequence,
 )
 from repro.core.scaling import digits_to_bits, scaled_to_float
-from repro.core.sieve import IntervalStats
+from repro.core.sieve import STRATEGIES, IntervalStats
 from repro.core.tree import InterleavingTree
 from repro.poly.dense import IntPoly
 from repro.poly.gcd import square_free_decomposition
@@ -135,6 +135,10 @@ class RealRootFinder:
     ):
         if mu_bits < 1:
             raise ValueError("mu_bits must be >= 1")
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; known: {list(STRATEGIES)}"
+            )
         self.mu = mu_bits
         self.check_tree = check_tree
         self.keep_structures = keep_structures

@@ -244,6 +244,13 @@ class ParallelRootFinder:
         ``executor.fallbacks``, ``executor.task_timeouts``, and
         ``executor.worker_failures`` the regression gate watches.  A
         fresh registry is created per finder unless one is passed in.
+    faults:
+        Optional deterministic fault-injection plan (an object with an
+        ``intercept(dispatch_index, fn, payload, finder)`` method — see
+        :class:`repro.verify.faults.FaultPlan`).  Consulted once per
+        task submission, in dispatch order, and may replace the task
+        body; ``None`` (the default) is zero-overhead.  Test-only: the
+        production dispatch path never sets it.
     """
 
     mu: int
@@ -254,6 +261,7 @@ class ParallelRootFinder:
     counter: CostCounter = NULL_COUNTER
     tracer: Tracer = NULL_TRACER
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    faults: Any = None
     #: sequential degradations so far (repeated roots, timeouts, worker
     #: failures); parity tests assert it stays 0 on the happy path.
     fallback_count: int = field(default=0, init=False)
@@ -264,6 +272,13 @@ class ParallelRootFinder:
             raise ValueError("mu must be >= 1")
         if self.processes < 1:
             raise ValueError("processes must be >= 1")
+        from repro.core.sieve import STRATEGIES
+
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; "
+                f"known: {list(STRATEGIES)}"
+            )
 
     # -- pool lifecycle --------------------------------------------------
     def _ensure_pool(self):
@@ -449,8 +464,16 @@ class ParallelRootFinder:
                 tracer.sample("executor.queue_depth", depth)
                 tracer.sample("executor.in_flight", inflight)
 
+        dispatch_index = 0
+        start_pids = set(self.worker_pids())
+
         def submit(fn, payload) -> None:
-            nonlocal pending
+            nonlocal pending, dispatch_index
+            if self.faults is not None:
+                fn, payload = self.faults.intercept(
+                    dispatch_index, fn, payload, self
+                )
+            dispatch_index += 1
             try:
                 pool.apply_async(
                     fn, (payload,),
@@ -531,6 +554,11 @@ class ParallelRootFinder:
                 item = results_q.get(timeout=self.task_timeout)
             except queue.Empty:
                 self.metrics.counter("executor.task_timeouts").inc()
+                # A timeout with a changed worker-pid set means a worker
+                # died holding a task: the pool respawned the process but
+                # the in-flight task's result is gone for good.
+                if set(self.worker_pids()) != start_pids:
+                    self.metrics.counter("executor.worker_failures").inc()
                 raise _Degraded(
                     f"no task completion within {self.task_timeout}s"
                 ) from None

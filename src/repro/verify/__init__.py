@@ -1,0 +1,55 @@
+"""Differential verification: cross-engine fuzzing, shrinking, fault injection.
+
+Three pillars, one goal — turn "the engines should agree" into a
+machine-checked, attributed, replayable fact:
+
+* :mod:`repro.verify.generators` + :mod:`repro.verify.fuzz` — seeded
+  adversarial inputs run through every engine pair, every claim closed
+  by the exact Sturm certificate;
+* :mod:`repro.verify.shrink` — deterministic minimization of failures
+  and the committed ``tests/corpus/`` replayed by tier-1 forever;
+* :mod:`repro.verify.faults` — deterministic worker-death / timeout /
+  poisoned-task injection against the parallel executor.
+
+CLI entry point: ``repro fuzz`` (see docs/VERIFICATION.md).
+"""
+
+from repro.verify.faults import FaultPlan, InjectedFault
+from repro.verify.fuzz import (
+    ENGINE_NAMES,
+    EngineSet,
+    FuzzFinding,
+    FuzzReport,
+    check_case,
+    run_fuzz,
+)
+from repro.verify.generators import CASE_FAMILIES, FuzzCase, generate_cases, make_case
+from repro.verify.shrink import (
+    CORPUS_SCHEMA,
+    corpus_entry,
+    load_corpus_dir,
+    replay_corpus_entry,
+    shrink_case,
+    write_corpus_case,
+)
+
+__all__ = [
+    "ENGINE_NAMES",
+    "CASE_FAMILIES",
+    "CORPUS_SCHEMA",
+    "EngineSet",
+    "FaultPlan",
+    "FuzzCase",
+    "FuzzFinding",
+    "FuzzReport",
+    "InjectedFault",
+    "check_case",
+    "corpus_entry",
+    "generate_cases",
+    "load_corpus_dir",
+    "make_case",
+    "replay_corpus_entry",
+    "run_fuzz",
+    "shrink_case",
+    "write_corpus_case",
+]

@@ -1,0 +1,124 @@
+"""Deterministic fault injection for the parallel executor.
+
+The executor's reliability story — per-task timeouts, dead-worker
+respawn, graceful degradation to the certified sequential path — is
+only trustworthy if it is *exercised*.  This module injects three
+fault kinds at **chosen dispatch indices** (the executor numbers every
+``apply_async`` submission 0, 1, 2, ... within a call), so failure
+timing is reproducible rather than left to OS races:
+
+* **poisoned task** (``poison_at``): the task body raises
+  :class:`InjectedFault` inside the worker.  The pool routes the
+  exception back, the executor counts ``executor.worker_failures`` and
+  degrades to the sequential path.
+* **stalled task** (``stall_at``): the task body sleeps past the
+  executor's ``task_timeout``.  The dispatch loop times out, counts
+  ``executor.task_timeouts``, and degrades.
+* **worker death** (``kill_at``): the task body SIGKILLs *its own
+  worker process* mid-task — the deterministic rendering of "a worker
+  died while holding work".  The task's result never arrives, so the
+  run times out (``executor.task_timeouts``), the pid change is
+  detected (``executor.worker_failures``), and the run degrades.
+
+In every scenario the call still returns the exact, sequential-parity
+answer (the degradation path increments ``executor.fallbacks``); the
+fault-injection tests close the loop by certifying that answer with
+:func:`repro.core.certify.certify_roots`.
+
+Attach a plan via ``ParallelRootFinder(..., faults=FaultPlan(...))``;
+the executor calls :meth:`FaultPlan.intercept` once per submission.
+The replacement task bodies are module-level functions so they pickle
+into ``spawn`` workers.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "InjectedFault",
+    "FaultPlan",
+    "poison_worker",
+    "stall_worker",
+    "suicide_worker",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a poisoned task body — never by production code."""
+
+
+def poison_worker(args: Any) -> Any:
+    """Pool task body that fails immediately (picklable)."""
+    raise InjectedFault("poisoned task (fault injection)")
+
+
+def stall_worker(args: Any) -> Any:
+    """Pool task body that sleeps past any reasonable ``task_timeout``.
+
+    ``args = (seconds,)``.  Raises afterwards so that even an
+    over-generous timeout cannot mistake the stall for a result.
+    """
+    time.sleep(float(args[0]))
+    raise InjectedFault("stalled task woke up (fault injection)")
+
+
+def suicide_worker(args: Any) -> Any:
+    """Pool task body that SIGKILLs its own worker process.
+
+    The deterministic "worker died mid-task" scenario: the kill happens
+    *inside* the task, so the task is guaranteed in-flight (unlike
+    killing an arbitrary pool pid, which races with the dispatcher).
+    """
+    os.kill(os.getpid(), signal.SIGKILL)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic fault schedule keyed by dispatch index.
+
+    ``poison_at`` / ``stall_at`` / ``kill_at`` are collections of
+    submission indices (0-based, in executor dispatch order) whose task
+    bodies are replaced by the corresponding fault.  ``injected``
+    records ``(index, kind)`` for every replacement actually made, so
+    tests can assert the schedule fired.
+    """
+
+    poison_at: frozenset[int] = frozenset()
+    stall_at: frozenset[int] = frozenset()
+    kill_at: frozenset[int] = frozenset()
+    stall_seconds: float = 60.0
+    injected: list[tuple[int, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.poison_at = frozenset(self.poison_at)
+        self.stall_at = frozenset(self.stall_at)
+        self.kill_at = frozenset(self.kill_at)
+        overlap = (self.poison_at & self.stall_at) | \
+            (self.poison_at & self.kill_at) | (self.stall_at & self.kill_at)
+        if overlap:
+            raise ValueError(f"conflicting faults at indices {sorted(overlap)}")
+
+    def intercept(
+        self, index: int, fn: Callable, payload: Any, finder: Any
+    ) -> tuple[Callable, Any]:
+        """Executor hook: possibly replace one submission's task body.
+
+        Returns the ``(fn, payload)`` actually submitted.  Fault-free
+        indices pass through untouched.
+        """
+        if index in self.kill_at:
+            self.injected.append((index, "kill"))
+            return suicide_worker, payload
+        if index in self.poison_at:
+            self.injected.append((index, "poison"))
+            return poison_worker, payload
+        if index in self.stall_at:
+            self.injected.append((index, "stall"))
+            return stall_worker, (self.stall_seconds,)
+        return fn, payload

@@ -1,0 +1,362 @@
+"""The differential fuzzer: every engine must agree bit for bit.
+
+The paper's value proposition is *exactness*: every engine in this
+repository claims to return exactly ``ceil(2**mu * x)`` for every real
+root ``x``.  That claim is falsifiable, cheaply: run the same input
+through every engine pair and compare the integers.  This module does
+that systematically over the adversarial families of
+:mod:`repro.verify.generators`, and closes every case with the exact
+Sturm certificate (:func:`repro.core.certify.certify_roots`) so a
+disagreement is *attributed* — the engine whose claim fails the
+certificate is the guilty one — rather than merely detected.
+
+Engines under test:
+
+* ``hybrid`` / ``bisection`` / ``newton`` — the three sequential
+  interval-solver strategies of :class:`repro.core.rootfinder.RealRootFinder`;
+* ``parallel`` — :class:`repro.sched.executor.ParallelRootFinder` on a
+  persistent process pool (kept warm across the whole fuzz run);
+* ``sturm`` — the classical :class:`repro.baselines.sturm_bisect.SturmBisectFinder`.
+
+Each case additionally round-trips through
+:func:`repro.core.refine.refine_result` (``mu -> mu'``) and checks the
+refined output against a direct run at ``mu'`` *and* against the
+coarse grid (``ceil(s' / 2**(mu'-mu)) == s`` — the ``mu -> mu' -> mu``
+consistency law), then certifies the refined claim too.
+
+On failure, :func:`run_fuzz` minimizes the case with
+:mod:`repro.verify.shrink` and (optionally) emits a corpus file that
+the tier-1 suite replays forever.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.baselines.sturm_bisect import SturmBisectFinder
+from repro.core.certify import CertificationError, certify_roots
+from repro.core.refine import refine_result
+from repro.core.rootfinder import RealRootFinder
+from repro.core.scaling import ceil_div
+from repro.poly.dense import IntPoly
+from repro.verify.generators import FuzzCase, generate_cases
+
+__all__ = [
+    "ENGINE_NAMES",
+    "EngineSet",
+    "FuzzFinding",
+    "FuzzReport",
+    "check_case",
+    "run_fuzz",
+]
+
+#: Every comparable engine; ``hybrid`` doubles as the reference.
+ENGINE_NAMES = ("hybrid", "bisection", "newton", "parallel", "sturm")
+
+
+class EngineSet:
+    """Named engines sharing one persistent worker pool.
+
+    ``run(name, p, mu)`` returns the ascending scaled distinct-root
+    approximations the engine claims.  The ``parallel`` engine keeps a
+    single :class:`~repro.sched.executor.ParallelRootFinder` (and its
+    pool) warm for the whole fuzz run — the service-style shape — and
+    retargets its precision per call.  Use as a context manager (or
+    call :meth:`close`) to shut the pool down.
+    """
+
+    def __init__(self, names: Iterable[str] = ENGINE_NAMES,
+                 processes: int = 2, task_timeout: float | None = 60.0):
+        self.names = tuple(names)
+        unknown = [n for n in self.names if n not in ENGINE_NAMES]
+        if unknown:
+            raise ValueError(
+                f"unknown engines {unknown}; known: {list(ENGINE_NAMES)}"
+            )
+        self.processes = processes
+        self.task_timeout = task_timeout
+        self._parallel = None
+
+    def run(self, name: str, p: IntPoly, mu: int) -> list[int]:
+        """One engine's claimed scaled roots for ``(p, mu)``."""
+        if name in ("hybrid", "bisection", "newton"):
+            return RealRootFinder(mu_bits=mu, strategy=name).find_roots(p).scaled
+        if name == "sturm":
+            return SturmBisectFinder(mu=mu).find_roots_scaled(p)
+        if name == "parallel":
+            from repro.sched.executor import ParallelRootFinder
+
+            if self._parallel is None:
+                self._parallel = ParallelRootFinder(
+                    mu=mu, processes=self.processes,
+                    task_timeout=self.task_timeout,
+                )
+            else:
+                self._parallel.mu = mu  # retarget; the pool is mu-agnostic
+            return self._parallel.find_roots_scaled(p)
+        raise ValueError(f"unknown engine {name!r}")
+
+    def close(self) -> None:
+        """Shut the shared pool down (idempotent)."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    def __enter__(self) -> "EngineSet":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+
+@dataclass(frozen=True)
+class FuzzFinding:
+    """One verified failure: which engine broke which law on which case.
+
+    ``kind`` is one of ``"certification"`` (an engine's claim failed
+    the exact Sturm certificate), ``"disagreement"`` (bit-exact
+    mismatch against the certified reference), ``"refine"`` (a
+    refinement round-trip broke), or ``"error"`` (an engine raised).
+    ``engine`` names the guilty party as attributed by the
+    certificate.
+    """
+
+    case: FuzzCase
+    kind: str
+    engine: str
+    detail: str
+    expected: tuple[int, ...] | None = None
+    actual: tuple[int, ...] | None = None
+
+    def summary(self) -> str:
+        return f"[{self.kind}] {self.engine} on {self.case.label}: {self.detail}"
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "case": self.case.to_json(),
+            "kind": self.kind,
+            "engine": self.engine,
+            "detail": self.detail,
+        }
+        if self.expected is not None:
+            out["expected"] = list(self.expected)
+        if self.actual is not None:
+            out["actual"] = list(self.actual)
+        return out
+
+
+def _refine_shift(case: FuzzCase) -> int:
+    """Deterministic per-case precision jump for the refine round-trip."""
+    return 8 + 4 * (case.index % 9)
+
+
+def check_case(
+    case: FuzzCase,
+    engines: EngineSet,
+    *,
+    refine: bool = True,
+) -> list[FuzzFinding]:
+    """Run one case through every engine pair and the refine round-trip.
+
+    Returns the (possibly empty) list of verified findings.  The
+    ``hybrid`` sequential run is the reference; its claim is proved by
+    :func:`certify_roots` *before* any comparison, so a later mismatch
+    indicts the other engine — and the other engine's claim is itself
+    run through the certificate to confirm the attribution.
+    """
+    p, mu = case.poly, case.mu
+    findings: list[FuzzFinding] = []
+
+    try:
+        ref = RealRootFinder(mu_bits=mu).find_roots(p)
+    except Exception as exc:  # noqa: BLE001 — any crash is a finding
+        return [FuzzFinding(case, "error", "hybrid",
+                            f"reference run raised {exc!r}")]
+    try:
+        certify_roots(p, ref.scaled, ref.multiplicities, mu)
+    except CertificationError as exc:
+        return [FuzzFinding(case, "certification", "hybrid",
+                            f"reference claim refuted: {exc}",
+                            actual=tuple(ref.scaled))]
+
+    for name in engines.names:
+        if name == "hybrid":
+            continue  # the reference itself
+        try:
+            got = engines.run(name, p, mu)
+        except Exception as exc:  # noqa: BLE001
+            findings.append(FuzzFinding(case, "error", name,
+                                        f"engine raised {exc!r}"))
+            continue
+        if got == ref.scaled:
+            continue
+        # The reference is certified; certify the dissenting claim to
+        # confirm the attribution before reporting.
+        mults = (list(ref.multiplicities) if len(got) == len(ref.scaled)
+                 else [1] * len(got))
+        try:
+            certify_roots(p, got, mults, mu)
+            verdict = ("both claims certify — multiplicity assignment "
+                       "ambiguous (reference wins)")
+        except CertificationError as exc:
+            verdict = f"claim refuted exactly: {exc}"
+        findings.append(FuzzFinding(
+            case, "disagreement", name, verdict,
+            expected=tuple(ref.scaled), actual=tuple(got),
+        ))
+
+    if refine and ref.scaled:
+        shift = _refine_shift(case)
+        mu2 = mu + shift
+        try:
+            fine = refine_result(ref, p, mu2)
+        except Exception as exc:  # noqa: BLE001
+            findings.append(FuzzFinding(
+                case, "refine", "refine_result",
+                f"refining mu {mu} -> {mu2} raised {exc!r}"))
+            return findings
+        direct = RealRootFinder(mu_bits=mu2).find_roots(p)
+        if fine.scaled != direct.scaled:
+            findings.append(FuzzFinding(
+                case, "refine", "refine_result",
+                f"refined mu {mu} -> {mu2} disagrees with a direct run",
+                expected=tuple(direct.scaled), actual=tuple(fine.scaled)))
+        else:
+            back = [ceil_div(s, 1 << shift) for s in fine.scaled]
+            if back != ref.scaled:
+                findings.append(FuzzFinding(
+                    case, "refine", "refine_result",
+                    f"grid consistency broken: coarsening the mu={mu2} "
+                    f"answer does not reproduce the mu={mu} answer",
+                    expected=tuple(ref.scaled), actual=tuple(back)))
+            try:
+                certify_roots(p, fine.scaled, fine.multiplicities, mu2)
+            except CertificationError as exc:
+                findings.append(FuzzFinding(
+                    case, "refine", "refine_result",
+                    f"refined claim refuted exactly: {exc}",
+                    actual=tuple(fine.scaled)))
+    return findings
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` campaign."""
+
+    seed: int
+    budget: int
+    engines: tuple[str, ...]
+    cases_run: int = 0
+    per_family: dict[str, int] = field(default_factory=dict)
+    findings: list[FuzzFinding] = field(default_factory=list)
+    corpus_paths: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        fams = ", ".join(f"{k}:{v}" for k, v in sorted(self.per_family.items()))
+        head = (f"fuzz seed={self.seed}: {self.cases_run}/{self.budget} cases "
+                f"({fams}) on {'/'.join(self.engines)} in "
+                f"{self.elapsed_seconds:.1f}s — "
+                f"{len(self.findings)} finding(s)")
+        lines = [head] + ["  " + f.summary() for f in self.findings]
+        lines += [f"  shrunk repro written: {p}" for p in self.corpus_paths]
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    seed: int,
+    budget: int,
+    *,
+    engine_names: Iterable[str] | None = None,
+    families: list[str] | None = None,
+    processes: int = 2,
+    refine: bool = True,
+    shrink: bool = True,
+    corpus_dir: str | None = None,
+    log_path: str | None = None,
+    stop_after: int | None = 1,
+) -> FuzzReport:
+    """Run a seeded differential-fuzz campaign.
+
+    Deterministic from ``seed``/``budget``/``families``.  Findings are
+    minimized with :func:`repro.verify.shrink.shrink_case` (when
+    ``shrink``) and written as corpus files under ``corpus_dir`` (when
+    given).  ``log_path`` streams a JSONL findings log through
+    :class:`repro.obs.events.EventLog`.  ``stop_after`` bounds how many
+    *failing cases* are fully processed before the campaign stops
+    (``None`` = never stop early); agreement never stops a run.
+    """
+    names = tuple(engine_names) if engine_names else ENGINE_NAMES
+    report = FuzzReport(seed=seed, budget=budget, engines=names)
+    log = None
+    if log_path is not None:
+        from repro.obs.events import EventLog
+
+        log = EventLog(log_path)
+        log.run_header("fuzz", seed=seed, budget=budget,
+                       engines=list(names),
+                       families=families or "all")
+    t0 = time.perf_counter()
+    failing_cases = 0
+    try:
+        with EngineSet(names, processes=processes) as engines:
+            for case in generate_cases(seed, budget, families):
+                findings = check_case(case, engines, refine=refine)
+                report.cases_run += 1
+                report.per_family[case.family] = (
+                    report.per_family.get(case.family, 0) + 1
+                )
+                if log is not None:
+                    log.write({"ev": "fuzz_case", "case": case.to_json(),
+                               "ok": not findings})
+                if not findings:
+                    continue
+                failing_cases += 1
+                for finding in findings:
+                    shrunk_finding = finding
+                    if shrink:
+                        shrunk_finding = _shrink_finding(finding, engines,
+                                                         refine=refine)
+                    report.findings.append(shrunk_finding)
+                    if log is not None:
+                        log.write({"ev": "fuzz_finding",
+                                   **shrunk_finding.to_json()})
+                    if corpus_dir is not None:
+                        from repro.verify.shrink import write_corpus_case
+
+                        path = write_corpus_case(corpus_dir, shrunk_finding)
+                        report.corpus_paths.append(path)
+                if stop_after is not None and failing_cases >= stop_after:
+                    break
+    finally:
+        report.elapsed_seconds = time.perf_counter() - t0
+        if log is not None:
+            log.write({"ev": "run_end", "cases": report.cases_run,
+                       "findings": len(report.findings),
+                       "elapsed_seconds": report.elapsed_seconds})
+            log.close()
+    return report
+
+
+def _shrink_finding(finding: FuzzFinding, engines: EngineSet,
+                    *, refine: bool) -> FuzzFinding:
+    """Minimize a finding's case; keep the smallest same-kind failure."""
+    from repro.verify.shrink import shrink_case
+
+    def still_fails(candidate: FuzzCase) -> FuzzFinding | None:
+        for f in check_case(candidate, engines, refine=refine):
+            if f.kind == finding.kind and f.engine == finding.engine:
+                return f
+        return None
+
+    small = shrink_case(finding.case, lambda c: still_fails(c) is not None)
+    if small == finding.case:
+        return finding
+    return still_fails(small) or finding

@@ -1,0 +1,291 @@
+"""Seeded adversarial input generators for the differential fuzzer.
+
+Random smoke tests sample polynomials whose roots are comfortably
+separated; the bugs that survive them hide in near-degenerate
+separations (Kerber & Sagraloff, *Root Refinement for Real
+Polynomials*; Sagraloff, *On the Complexity of Real Root Isolation*).
+Each family here is engineered toward one such regime:
+
+``integer``
+    distinct integer roots — the benign control group;
+``cluster``
+    tight rational clusters at separation around ``2**-mu``: below,
+    at, and above the output grid, so shared cells and Case-1/2a
+    coincidences all occur;
+``repeated``
+    repeated roots of varying multiplicity (exercises the square-free
+    fallbacks and Yun's decomposition);
+``wilkinson``
+    Wilkinson-style ``(x-1)...(x-n)`` with optional shift/scale — the
+    classic ill-conditioned family (huge coefficients, unit
+    separations);
+``chebyshev``
+    Chebyshev ``T_n`` — all real roots, irrational, crowding toward
+    the interval ends;
+``charpoly``
+    characteristic polynomials of random symmetric integer matrices
+    (the paper's Section 5 workload; large coefficients);
+``grid``
+    roots lying exactly on the output grid ``k / 2**j`` (exact-hit
+    sign logic, the measure-zero events);
+``degenerate``
+    degrees 0-2, negative leading coefficients, huge linear
+    coefficients, double roots — every small-input special case;
+``mu_boundary``
+    precision at its floor (``mu`` of 1-3) where every cell is coarse.
+
+Everything is deterministic from ``(seed, index)``; a
+:class:`FuzzCase` is plain data that serializes to JSON so failures
+can be committed to the corpus and replayed forever.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.poly.dense import IntPoly
+
+__all__ = ["FuzzCase", "CASE_FAMILIES", "generate_cases", "make_case"]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One differential-fuzz input: a polynomial plus an output precision.
+
+    ``coeffs`` is the low-to-high coefficient tuple (plain ints, so a
+    case pickles and serializes); ``mu`` is the output precision in
+    bits; ``family``/``seed``/``index`` record provenance; ``note`` is
+    free-form (e.g. the intended separation regime).
+    """
+
+    family: str
+    seed: int
+    index: int
+    coeffs: tuple[int, ...]
+    mu: int
+    note: str = ""
+
+    @property
+    def poly(self) -> IntPoly:
+        return IntPoly(self.coeffs)
+
+    @property
+    def label(self) -> str:
+        p = self.poly
+        return (f"{self.family}[{self.seed}/{self.index}] "
+                f"deg={p.degree} mu={self.mu}"
+                + (f" ({self.note})" if self.note else ""))
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-data rendering (corpus files, JSONL findings log)."""
+        return {
+            "family": self.family,
+            "seed": self.seed,
+            "index": self.index,
+            "coeffs": list(self.coeffs),
+            "mu": self.mu,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "FuzzCase":
+        """Inverse of :meth:`to_json` (tolerates missing provenance)."""
+        return cls(
+            family=str(data.get("family", "corpus")),
+            seed=int(data.get("seed", 0)),
+            index=int(data.get("index", 0)),
+            coeffs=tuple(int(c) for c in data["coeffs"]),
+            mu=int(data["mu"]),
+            note=str(data.get("note", "")),
+        )
+
+    def replace(self, **changes: Any) -> "FuzzCase":
+        """A copy with some fields swapped (shrinker primitive)."""
+        from dataclasses import replace as _replace
+
+        return _replace(self, **changes)
+
+
+def make_case(poly: IntPoly, mu: int, family: str = "manual",
+              seed: int = 0, index: int = 0, note: str = "") -> FuzzCase:
+    """Wrap a polynomial + precision into a :class:`FuzzCase`."""
+    return FuzzCase(family=family, seed=seed, index=index,
+                    coeffs=tuple(poly.coeffs), mu=mu, note=note)
+
+
+def _from_rational_roots(pairs: list[tuple[int, int]]) -> IntPoly:
+    """``prod (den*x - num)`` — integer polynomial with the given roots."""
+    p = IntPoly.one()
+    for num, den in pairs:
+        p = p * IntPoly((-num, den))
+    return p
+
+
+# -- families ----------------------------------------------------------------
+
+def _gen_integer(rng: random.Random) -> tuple[IntPoly, int, str]:
+    k = rng.randint(1, 7)
+    roots = sorted(rng.sample(range(-40, 40), k))
+    mu = rng.choice((4, 8, 16, 32, 48))
+    return IntPoly.from_roots(roots), mu, f"{k} integer roots"
+
+
+def _gen_cluster(rng: random.Random) -> tuple[IntPoly, int, str]:
+    mu = rng.choice((4, 8, 12, 16))
+    # Separation 2**-(mu+off): off < 0 resolvable, off == 0 borderline,
+    # off > 0 genuinely shared cells.
+    off = rng.choice((-2, -1, 0, 1, 2, 4))
+    den = 1 << max(1, mu + off)
+    base = rng.randint(-5, 5)
+    k = rng.randint(2, 4)
+    start = rng.randint(-3, 3)
+    pairs = [(base * den + start + j, den) for j in range(k)]
+    p = _from_rational_roots(pairs)
+    # An optional far-away root keeps the tree non-trivial.
+    if rng.random() < 0.5:
+        p = p * IntPoly.from_roots([rng.choice((-17, 23))])
+    return p, mu, f"cluster sep=2^-{mu + off}"
+
+
+def _gen_repeated(rng: random.Random) -> tuple[IntPoly, int, str]:
+    roots = rng.sample(range(-12, 12), rng.randint(1, 3))
+    p = IntPoly.one()
+    mults = []
+    for r in roots:
+        m = rng.randint(1, 4)
+        mults.append(m)
+        for _ in range(m):
+            p = p * IntPoly((-r, 1))
+    mu = rng.choice((4, 8, 16, 24))
+    return p, mu, f"multiplicities {sorted(mults, reverse=True)}"
+
+
+def _gen_wilkinson(rng: random.Random) -> tuple[IntPoly, int, str]:
+    n = rng.randint(5, 11)
+    p = IntPoly.from_roots(list(range(1, n + 1)))
+    shift = rng.randint(-3, 3)
+    if shift:
+        p = p.compose_linear(1, shift)
+    mu = rng.choice((8, 16, 32))
+    return p, mu, f"wilkinson n={n} shift={shift}"
+
+
+def _chebyshev(n: int) -> IntPoly:
+    a, b = IntPoly.one(), IntPoly.x()
+    for _ in range(n - 1):
+        a, b = b, IntPoly((0, 2)) * b - a
+    return b if n >= 1 else a
+
+
+def _gen_chebyshev(rng: random.Random) -> tuple[IntPoly, int, str]:
+    n = rng.randint(3, 11)
+    p = _chebyshev(n)
+    # Optionally widen the root interval away from (-1, 1) so the
+    # scaled grid is exercised at both magnitudes: T_n(x/s).
+    s = rng.choice((1, 1, 2, 4))
+    if s > 1:
+        # p(x/s) cleared of denominators: s**n * sum c_j (x/s)**j.
+        p = IntPoly(tuple(c * s ** (p.degree - j)
+                          for j, c in enumerate(p.coeffs)))
+    mu = rng.choice((8, 16, 32, 48))
+    return p, mu, f"chebyshev n={n} scale={s}"
+
+
+def _gen_charpoly(rng: random.Random) -> tuple[IntPoly, int, str]:
+    from repro.charpoly.generator import characteristic_input
+
+    n = rng.randint(4, 9)
+    seed = rng.randint(0, 10_000)
+    bound = rng.choice((None, None, 3, 9))
+    inp = characteristic_input(n, seed, entry_bound=bound)
+    mu = rng.choice((8, 16, 24))
+    return inp.poly, mu, f"charpoly n={n} m={inp.coeff_bits}b"
+
+
+def _gen_grid(rng: random.Random) -> tuple[IntPoly, int, str]:
+    j = rng.randint(1, 6)
+    mu = j + rng.choice((0, 0, 1, 4))
+    den = 1 << j
+    k = rng.randint(1, 4)
+    nums = sorted(rng.sample(range(-5 * den, 5 * den), k))
+    p = _from_rational_roots([(num, den) for num in nums])
+    return p, mu, f"{k} exact grid roots at 2^-{j}, mu={mu}"
+
+
+def _gen_degenerate(rng: random.Random) -> tuple[IntPoly, int, str]:
+    kind = rng.choice(("const", "linear", "linear_big", "double",
+                       "quad_close", "quad_irrational"))
+    mu = rng.choice((1, 4, 16))
+    if kind == "const":
+        return IntPoly.constant(rng.choice((-7, -1, 3, 1 << 30))), mu, "degree 0"
+    if kind == "linear":
+        a = rng.choice((-9, -2, 2, 5))
+        b = rng.randint(-20, 20)
+        return IntPoly((b, a)), mu, "degree 1"
+    if kind == "linear_big":
+        a = rng.choice((1, -1)) * (rng.randint(1, 9) << 200)
+        b = rng.randint(-(1 << 205), 1 << 205)
+        return IntPoly((b, a)), mu, "degree 1, 200-bit coefficients"
+    if kind == "double":
+        r = rng.randint(-9, 9)
+        return IntPoly.from_roots([r, r]), mu, f"double root {r}"
+    if kind == "quad_close":
+        den = 1 << (mu + rng.choice((0, 1, 2)))
+        a = rng.randint(-3, 3) * den + rng.randint(-2, 2)
+        return _from_rational_roots([(a, den), (a + 1, den)]), mu, "close quad"
+    return IntPoly((-2, 0, 1)) * rng.choice((1, -1)), mu, "sqrt2 pair"
+
+
+def _gen_mu_boundary(rng: random.Random) -> tuple[IntPoly, int, str]:
+    mu = rng.randint(1, 3)
+    kind = rng.choice(("integer", "rational", "cluster"))
+    if kind == "integer":
+        roots = sorted(rng.sample(range(-6, 6), rng.randint(2, 5)))
+        return IntPoly.from_roots(roots), mu, f"mu={mu} integer"
+    if kind == "rational":
+        den = rng.choice((3, 5, 7))
+        nums = sorted(rng.sample(range(-12, 12), rng.randint(2, 4)))
+        return _from_rational_roots([(n, den) for n in nums]), mu, f"mu={mu} /{den}"
+    den = 64
+    a = rng.randint(-64, 64)
+    return _from_rational_roots([(a, den), (a + 3, den)]), mu, f"mu={mu} shared cell"
+
+
+#: name -> generator drawing one ``(poly, mu, note)`` from an ``rng``.
+CASE_FAMILIES: dict[str, Callable[[random.Random], tuple[IntPoly, int, str]]] = {
+    "integer": _gen_integer,
+    "cluster": _gen_cluster,
+    "repeated": _gen_repeated,
+    "wilkinson": _gen_wilkinson,
+    "chebyshev": _gen_chebyshev,
+    "charpoly": _gen_charpoly,
+    "grid": _gen_grid,
+    "degenerate": _gen_degenerate,
+    "mu_boundary": _gen_mu_boundary,
+}
+
+
+def generate_cases(
+    seed: int,
+    budget: int,
+    families: list[str] | None = None,
+) -> Iterator[FuzzCase]:
+    """Yield ``budget`` deterministic cases, round-robin over families.
+
+    Case ``index`` is derived only from ``(seed, index)`` — shrinking
+    one case or re-running a subset never perturbs the others.
+    """
+    names = list(families) if families else list(CASE_FAMILIES)
+    unknown = [n for n in names if n not in CASE_FAMILIES]
+    if unknown:
+        raise ValueError(
+            f"unknown fuzz families {unknown}; known: {sorted(CASE_FAMILIES)}"
+        )
+    for index in range(budget):
+        family = names[index % len(names)]
+        rng = random.Random(f"repro-fuzz-{seed}-{family}-{index}")
+        poly, mu, note = CASE_FAMILIES[family](rng)
+        yield FuzzCase(family=family, seed=seed, index=index,
+                       coeffs=tuple(poly.coeffs), mu=mu, note=note)

@@ -1,0 +1,216 @@
+"""Deterministic minimization of failing fuzz cases + the replay corpus.
+
+A raw fuzz failure is an arbitrary-degree polynomial with huge
+coefficients at some precision; the *useful* artifact is the smallest
+case that still fails the same way.  :func:`shrink_case` runs a greedy
+fixed-point loop over root-preserving and structure-reducing
+transformations (all exact — this codebase never rounds):
+
+* drop the precision ``mu`` (binary descent, then minus one);
+* replace the polynomial by its square-free part (same distinct roots);
+* replace the polynomial by its derivative (degree minus one; still
+  all-real-rooted, by Rolle's theorem);
+* strip integer content (same roots, smaller coefficients);
+* halve every coefficient (may destroy real-rootedness — the failure
+  predicate simply rejects such candidates).
+
+The shrunk case is then committed to the **corpus**: one JSON file per
+historical failure under ``tests/corpus/``, replayed by the tier-1
+suite on every run.  A corpus entry either expects full cross-engine
+``agreement`` (a fixed regression) or a specific typed error from a
+named operation (a contract the fix introduced).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Callable
+
+from repro.poly.dense import IntPoly
+from repro.verify.generators import FuzzCase
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "shrink_case",
+    "corpus_entry",
+    "write_corpus_case",
+    "load_corpus_dir",
+    "replay_corpus_entry",
+]
+
+CORPUS_SCHEMA = "repro.fuzz-corpus/1"
+
+
+def _candidates(case: FuzzCase) -> list[FuzzCase]:
+    """Ordered smaller variants of a case (most aggressive first)."""
+    p = case.poly
+    out: list[FuzzCase] = []
+    seen_mu = set()
+    for mu2 in (1, case.mu // 2, case.mu - 1):
+        if 1 <= mu2 < case.mu and mu2 not in seen_mu:
+            seen_mu.add(mu2)
+            out.append(case.replace(mu=mu2))
+    if p.degree >= 2:
+        from repro.poly.gcd import square_free_part
+
+        sf = square_free_part(p)
+        if sf.degree < p.degree:
+            out.append(case.replace(coeffs=tuple(sf.coeffs)))
+        out.append(case.replace(coeffs=tuple(p.derivative().coeffs)))
+    content, prim = p.primitive_part()
+    if content > 1:
+        out.append(case.replace(coeffs=tuple(prim.coeffs)))
+    if p.height() > 8:
+        halved = IntPoly(tuple(c // 2 for c in p.coeffs))
+        if not halved.is_zero() and halved.degree == p.degree:
+            out.append(case.replace(coeffs=tuple(halved.coeffs)))
+    return out
+
+
+def shrink_case(
+    case: FuzzCase,
+    fails: Callable[[FuzzCase], bool],
+    *,
+    max_steps: int = 64,
+) -> FuzzCase:
+    """Greedy deterministic minimization.
+
+    ``fails(candidate)`` must return True when the candidate still
+    exhibits the original failure; it must be total (candidates that
+    crash differently should simply return False).  The input case is
+    assumed failing.  Terminates after at most ``max_steps`` accepted
+    reductions (each strictly reduces degree, coefficients, or ``mu``,
+    so the loop is finite regardless).
+    """
+    cur = case
+    for _ in range(max_steps):
+        for cand in _candidates(cur):
+            ok = False
+            try:
+                ok = fails(cand)
+            except Exception:  # noqa: BLE001 — a crashing candidate is rejected
+                ok = False
+            if ok:
+                cur = cand.replace(note=(case.note + " [shrunk]").strip())
+                break
+        else:
+            return cur
+    return cur
+
+
+# -- corpus ------------------------------------------------------------------
+
+def corpus_entry(
+    case: FuzzCase,
+    *,
+    expect: Any = "agreement",
+    finding: dict[str, Any] | None = None,
+    note: str = "",
+) -> dict[str, Any]:
+    """Build one corpus record.
+
+    ``expect`` is either the string ``"agreement"`` — replay must
+    produce zero findings across every engine pair — or an object
+    ``{"op": "refine_root", "scaled": v, "mu_to": m, "raises": "ErrType"}``
+    asserting that the named operation raises the named error type.
+    ``finding`` preserves the original failure for provenance.
+    """
+    entry: dict[str, Any] = {
+        "schema": CORPUS_SCHEMA,
+        "case": case.to_json(),
+        "expect": expect,
+    }
+    if finding:
+        entry["finding"] = finding
+    if note:
+        entry["note"] = note
+    return entry
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-") or "case"
+
+
+def write_corpus_case(
+    corpus_dir: str,
+    finding: "Any",
+    *,
+    name: str | None = None,
+) -> str:
+    """Write one shrunk finding as a corpus file; returns the path.
+
+    ``finding`` is a :class:`repro.verify.fuzz.FuzzFinding`.  The file
+    is named from the failure kind, guilty engine, and case provenance
+    so re-runs overwrite rather than accumulate.
+    """
+    case = finding.case
+    entry = corpus_entry(case, expect="agreement",
+                         finding={"kind": finding.kind,
+                                  "engine": finding.engine,
+                                  "detail": finding.detail})
+    stem = name or _slug(
+        f"{finding.kind}-{finding.engine}-{case.family}"
+        f"-s{case.seed}-i{case.index}"
+    )
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, f"{stem}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_corpus_dir(corpus_dir: str) -> list[tuple[str, dict[str, Any]]]:
+    """Load every ``*.json`` corpus entry, sorted by filename."""
+    out: list[tuple[str, dict[str, Any]]] = []
+    if not os.path.isdir(corpus_dir):
+        return out
+    for fname in sorted(os.listdir(corpus_dir)):
+        if not fname.endswith(".json"):
+            continue
+        path = os.path.join(corpus_dir, fname)
+        with open(path, encoding="utf-8") as fh:
+            entry = json.load(fh)
+        if entry.get("schema") != CORPUS_SCHEMA:
+            raise ValueError(f"{path}: unknown corpus schema "
+                             f"{entry.get('schema')!r}")
+        out.append((path, entry))
+    return out
+
+
+def replay_corpus_entry(entry: dict[str, Any], engines: "Any") -> list:
+    """Replay one corpus entry; return the list of violations (empty = pass).
+
+    ``engines`` is a :class:`repro.verify.fuzz.EngineSet`.  For
+    ``expect == "agreement"`` this is exactly the fuzzer's
+    :func:`~repro.verify.fuzz.check_case`.  For a typed-error
+    expectation the named operation is invoked and must raise the
+    named exception type.
+    """
+    from repro.verify.fuzz import check_case
+
+    case = FuzzCase.from_json(entry["case"])
+    expect = entry.get("expect", "agreement")
+    if expect == "agreement":
+        return check_case(case, engines)
+    if isinstance(expect, dict) and expect.get("op") == "refine_root":
+        import builtins
+
+        import repro.core.refine as refine_mod
+
+        err_name = expect["raises"]
+        err_type = getattr(refine_mod, err_name,
+                           getattr(builtins, err_name, None))
+        if err_type is None:
+            return [f"unknown error type {err_name!r} in corpus expectation"]
+        try:
+            refine_mod.refine_root(case.poly, int(expect["scaled"]),
+                                   case.mu, int(expect["mu_to"]))
+        except err_type:
+            return []
+        except Exception as exc:  # noqa: BLE001
+            return [f"expected {err_name}, got {exc!r}"]
+        return [f"expected {err_name}, but refine_root succeeded"]
+    return [f"unknown corpus expectation {expect!r}"]

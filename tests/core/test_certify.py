@@ -2,8 +2,13 @@
 
 import pytest
 
-from repro.core.certify import CertificationError, certify_roots
+from repro.core.certify import (
+    CertificationError,
+    _sign_right_limit,
+    certify_roots,
+)
 from repro.core.rootfinder import RealRootFinder
+from repro.costmodel.counter import NULL_COUNTER
 from repro.poly.dense import IntPoly
 
 
@@ -75,3 +80,52 @@ class TestRejectsWrong:
         bad = [res.scaled[0], res.scaled[0]]
         with pytest.raises(CertificationError):
             certify_roots(p, bad, [1, 1], 6)
+
+
+class TestEndpointDegeneracy:
+    """The guard path: a chain member vanishing exactly at a probe point
+    is resolved by the exact derivative walk (no epsilon probing)."""
+
+    def test_sign_right_limit_at_simple_root(self):
+        # x - 1 at the point 1: vanishes, derivative is +1.
+        assert _sign_right_limit(IntPoly((-1, 1)), 1, 0, NULL_COUNTER) == 1
+        assert _sign_right_limit(IntPoly((1, -1)), 1, 0, NULL_COUNTER) == -1
+
+    def test_sign_right_limit_walks_past_repeated_vanishing(self):
+        # x**3 at 0: p, p', p'' all vanish; the walk reaches p''' = 6.
+        p = IntPoly((0, 0, 0, 1))
+        assert _sign_right_limit(p, 0, 4, NULL_COUNTER) == 1
+        assert _sign_right_limit(-p, 0, 4, NULL_COUNTER) == -1
+
+    def test_sign_right_limit_zero_polynomial_member(self):
+        assert _sign_right_limit(IntPoly.zero(), 3, 2, NULL_COUNTER) == 0
+
+    def test_chain_member_vanishes_at_probe_point(self):
+        # p = x**3 - 3x at mu=0 claims cells with probe points
+        # {-2, -1, 0, 1, 2}: the chain's second member p' = 3x**2 - 3
+        # vanishes at the probes -1 and 1, and p itself at the probe 0.
+        # Certification must resolve all three exactly.
+        p = IntPoly((0, -3, 0, 1))
+        certify_roots(p, [-1, 0, 2], [1, 1, 1], 0)
+
+    def test_root_exactly_on_probe_grid(self):
+        # Root 1 at mu=1 claims cell (1/2, 1]; the probe point 1 is the
+        # root itself, so chain[0] vanishes there.
+        p = IntPoly.from_roots([1, 3])
+        res = RealRootFinder(mu_bits=1).find_roots(p)
+        assert res.scaled[0] == 2  # ceil(2 * 1)
+        certify_roots(p, res.scaled, res.multiplicities, 1)
+
+    def test_repeated_root_on_probe_grid(self):
+        # Triple root at 0: square-free part x vanishes at the probe 0.
+        p = IntPoly((0, 0, 0, 1))
+        certify_roots(p, [0], [3], 4)
+
+    def test_degenerate_probe_still_rejects_wrong_claim(self):
+        # Same degenerate geometry, but a false claim: a shifted cell
+        # whose count is wrong must still be refuted.
+        p = IntPoly.from_roots([1, 3])
+        res = RealRootFinder(mu_bits=1).find_roots(p)
+        bad = [res.scaled[0] - 1, res.scaled[1]]
+        with pytest.raises(CertificationError):
+            certify_roots(p, bad, res.multiplicities, 1)

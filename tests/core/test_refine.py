@@ -1,12 +1,20 @@
 """Tests for incremental precision refinement."""
 
+import dataclasses
 from fractions import Fraction
 
 import pytest
 
-from repro.core.refine import refine_result, refine_root
+from repro.core.refine import (
+    EvenMultiplicityError,
+    SharedCellError,
+    refine_result,
+    refine_root,
+)
 from repro.core.rootfinder import RealRootFinder
+from repro.costmodel.counter import CostCounter
 from repro.poly.dense import IntPoly
+from repro.poly.gcd import square_free_part
 
 from tests.conftest import rational_rooted, scaled_ceil
 
@@ -34,6 +42,83 @@ class TestRefineRoot:
         p = IntPoly.from_roots([3, 10])
         with pytest.raises(ValueError):
             refine_root(p, 5 << 6, 6, 20)  # no root in (4, 5] cell
+
+
+class TestBadBracketDiagnosis:
+    """The bad-bracket error must say *why*: no root at all, a root of
+    even multiplicity, or a cell shared by several roots."""
+
+    def test_no_root_is_plain_value_error(self):
+        p = IntPoly.from_roots([3, 10])
+        with pytest.raises(ValueError, match="contains no root") as exc:
+            refine_root(p, 5 << 6, 6, 20)
+        assert not isinstance(exc.value, (EvenMultiplicityError,
+                                          SharedCellError))
+
+    def test_even_multiplicity_off_grid(self):
+        # double root at 1/3: p never changes sign around it
+        p = IntPoly((-1, 3)) * IntPoly((-1, 3)) * IntPoly((-7, 1))
+        with pytest.raises(EvenMultiplicityError, match="square-free"):
+            refine_root(p, 6, 4, 20)  # ceil(16/3) = 6
+
+    def test_even_multiplicity_on_grid(self):
+        # double root exactly at 2: p and p' both vanish at the probe
+        # point, which used to crash with ArithmeticError
+        p = IntPoly.from_roots([2, 2, 7])
+        with pytest.raises(EvenMultiplicityError):
+            refine_root(p, 2 << 4, 4, 20)
+
+    def test_shared_cell(self):
+        p = IntPoly((-1, 4096)) * IntPoly((-3, 4096))
+        res = RealRootFinder(mu_bits=4).find_roots(p)
+        assert res.scaled[0] == res.scaled[1] == 1
+        with pytest.raises(SharedCellError, match="refine_result"):
+            refine_root(p, 1, 4, 20)
+
+    def test_diagnosis_errors_are_value_errors(self):
+        # back-compat: callers catching ValueError keep working
+        assert issubclass(EvenMultiplicityError, ValueError)
+        assert issubclass(SharedCellError, ValueError)
+
+    def test_refine_result_handles_even_multiplicity(self):
+        # the actionable advice actually works: refine_result refines
+        # the same polynomial refine_root refuses
+        p = IntPoly((-1, 3)) * IntPoly((-1, 3)) * IntPoly((-7, 1))
+        res = RealRootFinder(mu_bits=4).find_roots(p)
+        fine = refine_result(res, p, 30)
+        assert fine.scaled == [scaled_ceil(Fraction(1, 3), 30), 7 << 30]
+
+
+class TestAccountingFixes:
+    def test_square_free_cost_is_counted(self):
+        """The gcd inside refine_result must bill the caller's counter:
+        total cost == (square-free gcd cost) + (refinement-only cost)."""
+        p = IntPoly.from_roots([2, 2, 7])
+        res = RealRootFinder(mu_bits=10).find_roots(p)
+        c_all = CostCounter()
+        fine = refine_result(res, p, 50, counter=c_all)
+        assert fine.scaled == [2 << 50, 7 << 50]
+
+        c_gcd = CostCounter()
+        sf = square_free_part(p, c_gcd)
+        c_refine = CostCounter()
+        res_sf = dataclasses.replace(res, degree=sf.degree,
+                                     square_free_degree=sf.degree)
+        refine_result(res_sf, sf, 50, counter=c_refine)
+        assert c_gcd.mul_count > 0
+        assert c_all.mul_count == c_gcd.mul_count + c_refine.mul_count
+
+    def test_elapsed_seconds_is_measured(self):
+        p = IntPoly.from_roots([-11, -2, 3, 9, 17])
+        res = RealRootFinder(mu_bits=16).find_roots(p)
+        fine = refine_result(res, p, 512)
+        assert fine.elapsed_seconds > 0.0
+
+    def test_elapsed_seconds_on_shared_cell_rerun(self):
+        p = IntPoly((-1, 4096)) * IntPoly((-3, 4096))
+        res = RealRootFinder(mu_bits=4).find_roots(p)
+        fine = refine_result(res, p, 20)
+        assert fine.elapsed_seconds > 0.0
 
 
 class TestRefineResult:

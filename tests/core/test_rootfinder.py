@@ -51,6 +51,11 @@ class TestBasicRoots:
         with pytest.raises(ValueError):
             RealRootFinder(mu_bits=8).find_roots(IntPoly.zero())
 
+    def test_unknown_strategy_rejected_at_construction(self):
+        # Fail fast, not lazily inside the solver on the first gap.
+        with pytest.raises(ValueError, match="unknown strategy"):
+            RealRootFinder(mu_bits=8, strategy="bogus")
+
     def test_negative_leading_coefficient_normalized(self):
         res = RealRootFinder(mu_bits=10).find_roots(-IntPoly.from_roots([1, 5]))
         assert res.as_floats() == [1.0, 5.0]

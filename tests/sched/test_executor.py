@@ -74,6 +74,10 @@ class TestParallelFinder:
         par = ParallelRootFinder(mu=8, processes=2)
         assert par.find_roots_scaled(IntPoly((-10, 4))) == [int(2.5 * 256)]
 
+    def test_unknown_strategy_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            ParallelRootFinder(mu=8, strategy="bogus")
+
     def test_traced_run_adopts_worker_spans(self):
         p = IntPoly.from_roots([-7, -1, 2, 8])
         mu = 12

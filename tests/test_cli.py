@@ -301,6 +301,61 @@ class TestTraceFlags:
         assert all(e["makespan"] > 0 for e in scheds)
 
 
+class TestFuzz:
+    def test_clean_campaign(self, capsys):
+        assert main(["fuzz", "--seed", "11", "--budget", "8",
+                     "--engines", "hybrid,sturm"]) == 0
+        out = capsys.readouterr().out
+        assert "8/8 cases" in out
+        assert "0 finding(s)" in out
+
+    def test_family_subset_and_log(self, tmp_path, capsys):
+        log = tmp_path / "fuzz.jsonl"
+        assert main(["fuzz", "--seed", "3", "--budget", "4",
+                     "--engines", "hybrid,newton",
+                     "--families", "degenerate,integer",
+                     "--log", str(log)]) == 0
+        from repro.obs.events import read_events, validate_events
+
+        events = read_events(str(log))
+        validate_events(events)
+        assert sum(e["ev"] == "fuzz_case" for e in events) == 4
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit, match="unknown engines"):
+            main(["fuzz", "--budget", "1", "--engines", "hybrid,bogus"])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit, match="unknown fuzz families"):
+            main(["fuzz", "--budget", "1", "--engines", "hybrid",
+                  "--families", "bogus"])
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(SystemExit, match="budget"):
+            main(["fuzz", "--budget", "0"])
+
+    def test_findings_exit_nonzero(self, monkeypatch, tmp_path, capsys):
+        from repro.baselines.sturm_bisect import SturmBisectFinder
+
+        original = SturmBisectFinder.find_roots_scaled
+
+        def mutated(self, p):
+            out = original(self, p)
+            if out:
+                out[-1] += 1
+            return out
+
+        monkeypatch.setattr(SturmBisectFinder, "find_roots_scaled", mutated)
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--seed", "11", "--budget", "10",
+                     "--engines", "hybrid,sturm",
+                     "--corpus-dir", str(corpus)]) == 1
+        out = capsys.readouterr().out
+        assert "[disagreement] sturm" in out
+        assert "shrunk repro written" in out
+        assert list(corpus.glob("*.json"))
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

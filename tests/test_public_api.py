@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.charpoly",
     "repro.baselines",
     "repro.bench",
+    "repro.verify",
 ]
 
 MODULES = [
@@ -69,6 +70,10 @@ MODULES = [
     "repro.bench.workloads",
     "repro.bench.runner",
     "repro.bench.report",
+    "repro.verify.generators",
+    "repro.verify.fuzz",
+    "repro.verify.shrink",
+    "repro.verify.faults",
     "repro.cli",
 ]
 

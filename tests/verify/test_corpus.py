@@ -1,0 +1,38 @@
+"""Tier-1 replay of the committed fuzz corpus.
+
+Every file under ``tests/corpus/`` is a minimized historical failure
+(or a regression contract for a typed error).  Replaying them on every
+run is the cheap end of the fuzzing pipeline: once a bug's shrunk
+repro is committed, it can never silently return.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.verify.fuzz import EngineSet
+from repro.verify.shrink import load_corpus_dir, replay_corpus_entry
+
+CORPUS_DIR = pathlib.Path(__file__).resolve().parents[1] / "corpus"
+ENTRIES = load_corpus_dir(str(CORPUS_DIR))
+
+
+@pytest.fixture(scope="module")
+def engines():
+    # Sequential engines only: the pool path has its own parity suite
+    # (tests/sched/) and fault suite (tests/verify/test_faults.py);
+    # keeping tier-1 corpus replay pool-free keeps it fast and hermetic.
+    with EngineSet(("hybrid", "bisection", "newton", "sturm")) as e:
+        yield e
+
+
+def test_corpus_is_committed():
+    assert ENTRIES, f"no corpus files found under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path,entry", ENTRIES, ids=[pathlib.Path(p).stem for p, _ in ENTRIES]
+)
+def test_corpus_entry_replays_clean(path, entry, engines):
+    violations = replay_corpus_entry(entry, engines)
+    assert violations == [], f"{path}: {violations}"

@@ -1,0 +1,106 @@
+"""Fault-injection tests: the executor's degradation path under
+deterministic worker death, task timeout, and poisoned tasks.
+
+Every scenario must (a) still return the exact sequential-parity
+answer, (b) pass the exact Sturm certificate, and (c) increment
+exactly the right ``executor.*`` reliability counters.
+"""
+
+import pytest
+
+from repro.core.certify import certify_roots
+from repro.core.rootfinder import RealRootFinder
+from repro.poly.dense import IntPoly
+from repro.sched.executor import ParallelRootFinder
+from repro.verify.faults import FaultPlan, InjectedFault, poison_worker
+
+P = IntPoly.from_roots([-5, -1, 2, 7, 11])
+MU = 16
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return RealRootFinder(mu_bits=MU).find_roots(P)
+
+
+def _counters(finder):
+    return {
+        name: finder.metrics.counter(f"executor.{name}").value
+        for name in ("fallbacks", "task_timeouts", "worker_failures")
+    }
+
+
+def _run_with(plan, reference):
+    with ParallelRootFinder(mu=MU, processes=2, task_timeout=2.0,
+                            faults=plan) as finder:
+        got = finder.find_roots_scaled(P)
+        assert got == reference.scaled
+        certify_roots(P, got, reference.multiplicities, MU)
+        return finder.fallback_count, _counters(finder)
+
+
+class TestFaultScenarios:
+    def test_poisoned_task(self, reference):
+        plan = FaultPlan(poison_at={1})
+        fallbacks, counters = _run_with(plan, reference)
+        assert plan.injected == [(1, "poison")]
+        assert fallbacks == 1
+        assert counters == {"fallbacks": 1, "task_timeouts": 0,
+                            "worker_failures": 1}
+
+    def test_stalled_task(self, reference):
+        plan = FaultPlan(stall_at={2}, stall_seconds=30.0)
+        fallbacks, counters = _run_with(plan, reference)
+        assert plan.injected == [(2, "stall")]
+        assert fallbacks == 1
+        assert counters == {"fallbacks": 1, "task_timeouts": 1,
+                            "worker_failures": 0}
+
+    def test_killed_worker(self, reference):
+        plan = FaultPlan(kill_at={0})
+        fallbacks, counters = _run_with(plan, reference)
+        assert plan.injected == [(0, "kill")]
+        assert fallbacks == 1
+        # The in-flight task died with its worker: the run times out,
+        # and the changed worker-pid set is detected as a failure.
+        assert counters == {"fallbacks": 1, "task_timeouts": 1,
+                            "worker_failures": 1}
+
+    def test_fault_free_plan_is_inert(self, reference):
+        plan = FaultPlan()
+        fallbacks, counters = _run_with(plan, reference)
+        assert plan.injected == []
+        assert fallbacks == 0
+        assert counters == {"fallbacks": 0, "task_timeouts": 0,
+                            "worker_failures": 0}
+
+    def test_finder_stays_usable_after_fault(self, reference):
+        plan = FaultPlan(poison_at={0})
+        with ParallelRootFinder(mu=MU, processes=2, task_timeout=2.0,
+                                faults=plan) as finder:
+            assert finder.find_roots_scaled(P) == reference.scaled
+            finder.faults = None  # second call: healthy pool, no faults
+            assert finder.find_roots_scaled(P) == reference.scaled
+            assert finder.fallback_count == 1
+
+
+class TestFaultPlan:
+    def test_overlapping_indices_rejected(self):
+        with pytest.raises(ValueError, match="conflicting faults"):
+            FaultPlan(poison_at={1}, kill_at={1})
+
+    def test_intercept_pass_through(self):
+        plan = FaultPlan(poison_at={3})
+        fn, payload = plan.intercept(0, poison_worker, "payload", None)
+        assert (fn, payload) == (poison_worker, "payload")
+        assert plan.injected == []
+
+    def test_poison_worker_raises(self):
+        with pytest.raises(InjectedFault):
+            poison_worker(("anything",))
+
+    def test_stall_worker_raises_after_sleep(self):
+        from repro.verify.faults import stall_worker
+
+        with pytest.raises(InjectedFault):
+            stall_worker((0.0,))

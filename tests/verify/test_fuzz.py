@@ -1,0 +1,79 @@
+"""Tests for the differential fuzzer (sequential engines — fast path).
+
+The process-pool engine is exercised by tests/verify/test_faults.py
+and the corpus replay; here the focus is the comparison/attribution
+logic itself.
+"""
+
+import pytest
+
+from repro.obs.events import read_events, validate_events
+from repro.poly.dense import IntPoly
+from repro.verify.fuzz import ENGINE_NAMES, EngineSet, check_case, run_fuzz
+from repro.verify.generators import make_case
+
+SEQ_ENGINES = ("hybrid", "bisection", "newton", "sturm")
+
+
+@pytest.fixture(scope="module")
+def engines():
+    with EngineSet(SEQ_ENGINES) as e:
+        yield e
+
+
+class TestEngineSet:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engines"):
+            EngineSet(("hybrid", "bogus"))
+
+    def test_all_sequential_engines_agree(self, engines):
+        p = IntPoly.from_roots([-7, -1, 2, 9]) * IntPoly((-2, 0, 1))
+        runs = {name: engines.run(name, p, 16) for name in SEQ_ENGINES}
+        assert len({tuple(v) for v in runs.values()}) == 1, runs
+
+
+class TestCheckCase:
+    def test_agreement_on_adversarial_samples(self, engines):
+        from repro.verify.generators import generate_cases
+
+        for case in generate_cases(2, 12):
+            assert check_case(case, engines) == []
+
+    def test_refine_round_trip_runs(self, engines):
+        case = make_case(IntPoly.from_roots([-3, 1, 8]), 8)
+        assert check_case(case, engines, refine=True) == []
+
+    def test_degree_zero_and_one(self, engines):
+        for p in (IntPoly.constant(5), IntPoly((-3, 2))):
+            assert check_case(make_case(p, 8), engines) == []
+
+
+class TestRunFuzz:
+    def test_clean_campaign(self, tmp_path):
+        log = tmp_path / "fuzz.jsonl"
+        report = run_fuzz(11, 10, engine_names=SEQ_ENGINES,
+                          log_path=str(log))
+        assert report.ok
+        assert report.cases_run == 10
+        assert sum(report.per_family.values()) == 10
+        assert "0 finding(s)" in report.summary()
+        events = read_events(str(log))
+        validate_events(events)
+        assert [e["ev"] for e in events][0] == "run"
+        assert sum(e["ev"] == "fuzz_case" for e in events) == 10
+        assert events[-1]["ev"] == "run_end"
+
+    def test_family_subset_campaign(self):
+        report = run_fuzz(4, 6, engine_names=("hybrid", "sturm"),
+                          families=["degenerate", "mu_boundary"])
+        assert report.ok
+        assert set(report.per_family) == {"degenerate", "mu_boundary"}
+
+    def test_engines_recorded(self):
+        report = run_fuzz(1, 2, engine_names=("hybrid", "newton"))
+        assert report.engines == ("hybrid", "newton")
+        assert report.elapsed_seconds > 0.0
+
+    def test_default_engine_names(self):
+        assert set(SEQ_ENGINES) < set(ENGINE_NAMES)
+        assert "parallel" in ENGINE_NAMES

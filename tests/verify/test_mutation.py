@@ -1,0 +1,98 @@
+"""Mutation test: a deliberately broken engine must be caught, blamed,
+shrunk, and reproduced from its corpus file.
+
+This is the end-to-end proof that the harness can actually do its job:
+we break the ``sturm`` baseline (off-by-one on its last reported
+root), run a seeded campaign, and walk the finding through every stage
+of the pipeline.
+"""
+
+import pytest
+
+from repro.baselines.sturm_bisect import SturmBisectFinder
+from repro.verify.fuzz import EngineSet, check_case, run_fuzz
+from repro.verify.generators import make_case
+from repro.verify.shrink import load_corpus_dir, replay_corpus_entry
+from repro.poly.dense import IntPoly
+
+ENGINES = ("hybrid", "sturm")
+
+
+@pytest.fixture
+def broken_sturm(monkeypatch):
+    """Off-by-one mutation: the last reported root is bumped one cell up."""
+    original = SturmBisectFinder.find_roots_scaled
+
+    def mutated(self, p):
+        out = original(self, p)
+        if out:
+            out[-1] += 1
+        return out
+
+    monkeypatch.setattr(SturmBisectFinder, "find_roots_scaled", mutated)
+    return original
+
+
+class TestMutationCaught:
+    def test_campaign_catches_blames_shrinks_and_replays(
+        self, broken_sturm, monkeypatch, tmp_path
+    ):
+        corpus = tmp_path / "corpus"
+        report = run_fuzz(11, 30, engine_names=ENGINES,
+                          corpus_dir=str(corpus), stop_after=1)
+
+        # Caught and blamed: the exact certificate refutes the mutant.
+        assert not report.ok
+        finding = report.findings[0]
+        assert finding.kind == "disagreement"
+        assert finding.engine == "sturm"
+        assert "refuted exactly" in finding.detail
+        assert finding.expected != finding.actual
+
+        # Shrunk: the committed repro is no bigger than the original
+        # seeded case (generators never emit degree-1 inputs for the
+        # families a finding can come from, so real shrinkage happens).
+        case = finding.case
+        assert "[shrunk]" in case.note
+        assert case.mu == 1
+
+        # Reproduced from the corpus file while the bug is live...
+        entries = load_corpus_dir(str(corpus))
+        assert len(entries) == 1
+        _path, entry = entries[0]
+        with EngineSet(ENGINES) as engines:
+            assert replay_corpus_entry(entry, engines) != []
+
+        # ...and green again once the mutation is reverted.
+        monkeypatch.setattr(
+            SturmBisectFinder, "find_roots_scaled", broken_sturm
+        )
+        with EngineSet(ENGINES) as engines:
+            assert replay_corpus_entry(entry, engines) == []
+
+    def test_attribution_names_the_guilty_engine(self, broken_sturm):
+        case = make_case(IntPoly.from_roots([-3, 1, 8]), 8)
+        with EngineSet(ENGINES) as engines:
+            findings = check_case(case, engines, refine=False)
+        assert [f.engine for f in findings] == ["sturm"]
+        assert findings[0].kind == "disagreement"
+
+    def test_broken_reference_is_self_reported(self, monkeypatch):
+        """If the *reference* itself lies, certification catches it
+        before any comparison — the harness never trusts hybrid blindly."""
+        from repro.core.rootfinder import RealRootFinder
+
+        original = RealRootFinder.find_roots
+
+        def mutated(self, p):
+            result = original(self, p)
+            if result.scaled:
+                result.scaled[-1] += 1
+            return result
+
+        monkeypatch.setattr(RealRootFinder, "find_roots", mutated)
+        case = make_case(IntPoly.from_roots([-3, 1, 8]), 8)
+        with EngineSet(("hybrid",)) as engines:
+            findings = check_case(case, engines, refine=False)
+        assert [f.kind for f in findings] == ["certification"]
+        assert findings[0].engine == "hybrid"

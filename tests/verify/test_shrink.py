@@ -1,0 +1,125 @@
+"""Tests for deterministic case minimization and the replay corpus."""
+
+import json
+
+import pytest
+
+from repro.poly.dense import IntPoly
+from repro.verify.fuzz import EngineSet, FuzzFinding
+from repro.verify.generators import make_case
+from repro.verify.shrink import (
+    CORPUS_SCHEMA,
+    corpus_entry,
+    load_corpus_dir,
+    replay_corpus_entry,
+    shrink_case,
+    write_corpus_case,
+)
+
+
+def _eval_at(p: IntPoly, x: int) -> int:
+    return sum(c * x ** j for j, c in enumerate(p.coeffs))
+
+
+class TestShrinkCase:
+    def test_shrinks_degree_and_mu(self):
+        p = IntPoly.from_roots([6, 6, 6, 1])
+        case = make_case(p, 32)
+        small = shrink_case(case, lambda c: _eval_at(c.poly, 6) == 0)
+        assert _eval_at(small.poly, 6) == 0
+        assert small.poly.degree < p.degree
+        assert small.mu < case.mu
+
+    def test_fixed_point_when_nothing_shrinks(self):
+        case = make_case(IntPoly((-6, 1)), 1)  # degree 1, mu 1: minimal
+        assert shrink_case(case, lambda c: True) == case
+
+    def test_deterministic(self):
+        p = IntPoly.from_roots([6, 6, 2]) * IntPoly.constant(12)
+        case = make_case(p, 16)
+        fails = lambda c: _eval_at(c.poly, 6) == 0  # noqa: E731
+        assert shrink_case(case, fails) == shrink_case(case, fails)
+
+    def test_crashing_candidates_rejected(self):
+        p = IntPoly.from_roots([6, 3])
+        case = make_case(p, 8)
+
+        def fails(c):
+            if c.mu < 8:
+                raise RuntimeError("candidate crashed differently")
+            return _eval_at(c.poly, 6) == 0
+
+        small = shrink_case(case, fails)
+        assert small.mu == 8  # mu reductions all crashed -> kept
+        assert _eval_at(small.poly, 6) == 0
+
+    def test_marks_note(self):
+        p = IntPoly.from_roots([6, 6])
+        small = shrink_case(make_case(p, 16), lambda c: True)
+        assert "[shrunk]" in small.note
+
+
+class TestCorpus:
+    def _finding(self):
+        case = make_case(IntPoly.from_roots([-3, 1, 8]), 8,
+                         family="integer", seed=11, index=4)
+        return FuzzFinding(case, "disagreement", "sturm", "demo detail")
+
+    def test_write_load_round_trip(self, tmp_path):
+        path = write_corpus_case(str(tmp_path), self._finding())
+        entries = load_corpus_dir(str(tmp_path))
+        assert len(entries) == 1
+        loaded_path, entry = entries[0]
+        assert loaded_path == path
+        assert entry["schema"] == CORPUS_SCHEMA
+        assert entry["expect"] == "agreement"
+        assert entry["finding"]["engine"] == "sturm"
+
+    def test_filename_is_stable(self, tmp_path):
+        a = write_corpus_case(str(tmp_path), self._finding())
+        b = write_corpus_case(str(tmp_path), self._finding())
+        assert a == b
+        assert len(load_corpus_dir(str(tmp_path))) == 1
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text(
+            json.dumps({"schema": "other/9", "case": {}, "expect": "agreement"})
+        )
+        with pytest.raises(ValueError, match="unknown corpus schema"):
+            load_corpus_dir(str(tmp_path))
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert load_corpus_dir(str(tmp_path / "nope")) == []
+
+    def test_replay_agreement(self):
+        entry = corpus_entry(make_case(IntPoly.from_roots([2, 9]), 8))
+        with EngineSet(("hybrid", "sturm")) as engines:
+            assert replay_corpus_entry(entry, engines) == []
+
+    def test_replay_typed_error(self):
+        # The S3 regression shape: even-multiplicity cell refinement.
+        p = IntPoly.from_roots([2, 2, 7])
+        entry = corpus_entry(
+            make_case(p, 4),
+            expect={"op": "refine_root", "scaled": 2 << 4, "mu_to": 20,
+                    "raises": "EvenMultiplicityError"},
+        )
+        with EngineSet(("hybrid",)) as engines:
+            assert replay_corpus_entry(entry, engines) == []
+
+    def test_replay_typed_error_mismatch_reported(self):
+        p = IntPoly.from_roots([2, 9])  # refine succeeds: no error raised
+        entry = corpus_entry(
+            make_case(p, 4),
+            expect={"op": "refine_root", "scaled": 2 << 4, "mu_to": 20,
+                    "raises": "EvenMultiplicityError"},
+        )
+        with EngineSet(("hybrid",)) as engines:
+            violations = replay_corpus_entry(entry, engines)
+        assert violations and "succeeded" in violations[0]
+
+    def test_replay_unknown_expectation_reported(self):
+        entry = corpus_entry(make_case(IntPoly.from_roots([1]), 4),
+                             expect={"op": "wat"})
+        with EngineSet(("hybrid",)) as engines:
+            assert replay_corpus_entry(entry, engines)
