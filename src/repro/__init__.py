@@ -22,6 +22,8 @@ Subpackages:
 - :mod:`repro.analysis` — the paper's Section 4 bounds and predictions;
 - :mod:`repro.obs` — tracing spans, JSONL run logs, Chrome-trace export,
   and metrics for real and simulated runs;
+- :mod:`repro.resilience` — retry policies, circuit breaker,
+  deadlines/bit budgets with partial results, batch checkpoints;
 - :mod:`repro.charpoly` — workload generation (Berkowitz char polys);
 - :mod:`repro.baselines` — Sturm/bisection and Aberth comparators;
 - :mod:`repro.bench` — experiment drivers for every table and figure.
@@ -33,6 +35,7 @@ from repro.core.certify import certify_roots, CertificationError
 from repro.core.scaling import digits_to_bits
 from repro.costmodel.counter import CostCounter
 from repro.obs.trace import Tracer
+from repro.resilience import Budget, BudgetExceeded, PartialResult
 
 __version__ = "1.0.0"
 
@@ -45,5 +48,8 @@ __all__ = [
     "digits_to_bits",
     "CostCounter",
     "Tracer",
+    "Budget",
+    "BudgetExceeded",
+    "PartialResult",
     "__version__",
 ]

@@ -4,6 +4,9 @@ Commands:
 
 * ``roots`` — approximate all real roots of a polynomial given by its
   coefficients (low to high) or by ``--roots`` for a quick demo.
+  ``--deadline-seconds`` / ``--bit-budget`` bound the run; on overrun
+  the roots completed so far are reported (exit code 3, certifiable
+  with ``--certify``) instead of nothing.
 * ``eigvals`` — exact eigenvalues of a random symmetric 0-1 matrix (the
   paper's workload) or of a matrix read from a file.
 * ``speedup`` — record the task DAG for one input and print the
@@ -12,7 +15,10 @@ Commands:
   style tracing).
 * ``batch`` — many polynomials through one persistent worker pool
   (:class:`repro.sched.executor.ParallelRootFinder.find_roots_many`),
-  the service-style throughput path.
+  the service-style throughput path.  ``--checkpoint FILE`` streams
+  completed results to a JSONL checkpoint as they finish; a rerun with
+  the same file resumes the batch without re-solving
+  (docs/RESILIENCE.md).
 * ``fuzz`` — seeded differential fuzzing: adversarial inputs through
   every engine pair, bit-exact agreement asserted and every claim
   closed by the exact Sturm certificate (:mod:`repro.verify`).
@@ -128,14 +134,58 @@ class _TraceSession:
                     f"cannot write --chrome-trace file: {e}") from e
 
 
+def _budget_from_args(args: argparse.Namespace):
+    """A :class:`repro.resilience.budget.Budget` from the ``--deadline-
+    seconds`` / ``--bit-budget`` flags, or ``None`` when neither is set."""
+    deadline = getattr(args, "deadline_seconds", None)
+    bit_budget = getattr(args, "bit_budget", None)
+    if deadline is None and bit_budget is None:
+        return None
+    from repro.resilience import Budget
+
+    try:
+        return Budget(deadline_seconds=deadline, max_bit_ops=bit_budget)
+    except ValueError as e:
+        raise SystemExit(str(e)) from e
+
+
 def cmd_roots(args: argparse.Namespace) -> int:
+    from repro.resilience import BudgetExceeded
+
     p = _poly_from_args(args)
     mu = _mu_bits(args)
     session = _TraceSession(args, "roots", degree=p.degree, mu_bits=mu,
                             strategy=args.strategy)
     finder = RealRootFinder(mu_bits=mu, strategy=args.strategy,
-                            counter=session.counter, tracer=session.tracer)
-    result = finder.find_roots(p)
+                            counter=session.counter, tracer=session.tracer,
+                            budget=_budget_from_args(args))
+    try:
+        result = finder.find_roots(p)
+    except BudgetExceeded as e:
+        session.finish()
+        part = e.partial
+        if args.json:
+            print(json.dumps({
+                "mu_bits": mu,
+                "partial": True,
+                "reason": e.reason,
+                "phase": part.phase,
+                "elapsed_seconds": part.elapsed_seconds,
+                "bit_cost": part.bit_cost,
+                "scaled": [str(s) for s in part.scaled],
+                "floats": part.as_floats(),
+            }))
+        else:
+            print(f"budget exceeded ({e.reason}) in phase {part.phase!r}: "
+                  f"{len(part)} certified roots completed")
+            for f in part.as_floats():
+                print(f"  {f:+.{min(17, max(6, mu // 4))}f}")
+        if args.certify and part.scaled:
+            from repro.core.certify import certify_roots
+
+            certify_roots(p, part.scaled, None, mu, partial=True)
+            print("partial result certified exact.", file=sys.stderr)
+        return 3
     session.finish(stats=result.stats)
     if args.json:
         print(json.dumps({
@@ -269,6 +319,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     mu = _mu_bits(args)
     counter = CostCounter()
     if args.parallel:
+        from repro.obs.metrics import reliability_rollup
         from repro.obs.rollup import parallel_rollup
         from repro.obs.trace import Tracer
         from repro.sched.executor import ParallelRootFinder
@@ -280,10 +331,17 @@ def cmd_report(args: argparse.Namespace) -> int:
             scaled = finder.find_roots_scaled(p)
             elapsed = time.perf_counter() - t0
             fallbacks = finder.fallback_count
+            reliability = reliability_rollup(finder.metrics)
         print(f"{len(scaled)} roots, wall {elapsed:.3f}s "
               f"(parent-side costs only; {fallbacks} fallbacks)")
         print(counter.report())
         _print_parallel_rollup(parallel_rollup(tracer.spans))
+        fired = {k: v for k, v in reliability.items() if v}
+        print("\nreliability: clean run (all executor counters zero)"
+              if not fired else
+              "\nreliability: " + ", ".join(
+                  f"{k.removeprefix('executor.')}={v}"
+                  for k, v in sorted(fired.items())))
         return 0
     result = RealRootFinder(mu_bits=mu, counter=counter).find_roots(p)
     print(f"{len(result)} roots, wall {result.elapsed_seconds:.3f}s")
@@ -348,17 +406,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             finder.find_roots_scaled(inp.poly)
             parallel_wall = time.perf_counter() - t0
             reg = finder.metrics
-            artifact.add_metric(
-                "executor.fallbacks", reg.counter("executor.fallbacks").value
-            )
-            artifact.add_metric(
-                "executor.task_timeouts",
-                reg.counter("executor.task_timeouts").value,
-            )
-            artifact.add_metric(
-                "executor.worker_failures",
-                reg.counter("executor.worker_failures").value,
-            )
+            from repro.obs.metrics import reliability_rollup
+
+            # The whole reliability vocabulary, zero-filled: the gate
+            # compares the shared names against the baseline and reports
+            # newly-added ones informationally.
+            for name, value in reliability_rollup(reg).items():
+                artifact.add_metric(name, value)
             artifact.histograms["executor.queue_depth.samples"] = (
                 reg.histogram("executor.queue_depth.samples").as_dict()
             )
@@ -442,6 +496,18 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
     polys = _batch_polys(args)
     mu = _mu_bits(args)
+    checkpoint = None
+    if args.checkpoint:
+        from repro.resilience import BatchCheckpoint, CheckpointMismatch
+
+        try:
+            checkpoint = BatchCheckpoint(args.checkpoint, mu, args.strategy)
+        except (OSError, CheckpointMismatch) as e:
+            raise SystemExit(f"cannot use --checkpoint: {e}") from e
+        if args.fault_exit_after:
+            # Hidden fault-injection hook (see BatchCheckpoint.kill_after):
+            # the resume tests use it to die deterministically mid-batch.
+            checkpoint.kill_after = args.fault_exit_after
     session = _TraceSession(args, "batch", count=len(polys), mu_bits=mu,
                             processes=args.processes)
     kwargs = {}
@@ -451,9 +517,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
     with ParallelRootFinder(mu=mu, processes=args.processes,
                             strategy=args.strategy,
                             task_timeout=args.timeout, **kwargs) as finder:
-        results = finder.find_roots_many(polys)
+        try:
+            results = finder.find_roots_many(polys, checkpoint=checkpoint)
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
         elapsed = time.perf_counter() - t0
         fallbacks = finder.fallback_count
+    resumed = checkpoint.hits if checkpoint is not None else 0
     session.finish()
     if args.json:
         print(json.dumps({
@@ -462,6 +533,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
             "processes": args.processes,
             "elapsed_seconds": elapsed,
             "fallbacks": fallbacks,
+            "resumed": resumed,
             "results": [
                 {"scaled": [str(s) for s in scaled],
                  "floats": [scaled_to_float(s, mu) for s in scaled]}
@@ -469,10 +541,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
             ],
         }))
     else:
+        resumed_note = (f", {resumed} resumed from checkpoint"
+                        if checkpoint is not None else "")
         print(f"{len(polys)} polynomials on a pool of {args.processes} "
               f"processes: {elapsed:.3f}s total "
               f"({elapsed / len(polys):.3f}s/poly, "
-              f"{fallbacks} sequential fallbacks)")
+              f"{fallbacks} sequential fallbacks{resumed_note})")
         for k, (p, scaled) in enumerate(zip(polys, results)):
             if scaled:
                 vals = ", ".join(
@@ -527,6 +601,13 @@ def build_parser() -> argparse.ArgumentParser:
                     default="hybrid")
     sp.add_argument("--certify", action="store_true",
                     help="prove the answer with exact Sturm counts")
+    sp.add_argument("--deadline-seconds", type=float, default=None,
+                    metavar="S",
+                    help="wall-clock budget: report the roots completed "
+                         "so far (exit 3) instead of running past S seconds")
+    sp.add_argument("--bit-budget", type=int, default=None, metavar="OPS",
+                    help="bit-operation budget (counted model cost); "
+                         "partial results as with --deadline-seconds")
     sp.add_argument("--json", action="store_true")
     _add_trace_args(sp)
     sp.set_defaults(func=cmd_roots)
@@ -602,8 +683,14 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--strategy", choices=("hybrid", "bisection", "newton"),
                     default="hybrid")
     sp.add_argument("--timeout", type=float, default=None,
-                    help="seconds to wait per task before finishing "
-                         "sequentially")
+                    help="seconds to wait per task before retrying it "
+                         "elsewhere")
+    sp.add_argument("--checkpoint", metavar="PATH",
+                    help="streaming JSONL checkpoint: completed results "
+                         "are appended as they finish, and a rerun with "
+                         "the same file resumes without re-solving")
+    sp.add_argument("--fault-exit-after", type=int, default=0,
+                    help=argparse.SUPPRESS)  # test hook: SIGKILL mid-batch
     sp.add_argument("--json", action="store_true")
     _add_trace_args(sp)
     sp.set_defaults(func=cmd_batch)

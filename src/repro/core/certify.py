@@ -68,9 +68,11 @@ def _variations_right_limit(
 def certify_roots(
     p: IntPoly,
     scaled: list[int],
-    multiplicities: list[int],
+    multiplicities: list[int] | None,
     mu: int,
     counter: CostCounter = NULL_COUNTER,
+    *,
+    partial: bool = False,
 ) -> None:
     """Raise :class:`CertificationError` unless the result is correct.
 
@@ -78,14 +80,29 @@ def certify_roots(
     :class:`repro.core.rootfinder.RootResult` conventions: ascending
     ``ceil(2**mu * x)`` values for the distinct roots, multiplicities
     summing to ``deg(p)``.
+
+    With ``partial=True`` (the shape of
+    :class:`repro.resilience.budget.PartialResult` — a budget-bounded
+    run cut short) the claim is weaker and the checks match: ``scaled``
+    is *some prefix-by-count subset* of the distinct real roots, so the
+    completeness checks (distinct-count equality, multiplicity sum) are
+    skipped — ``multiplicities`` may be ``None`` — while every claimed
+    cell is still certified to hold exactly the claimed number of
+    distinct roots, and the claim may not exceed the true distinct
+    count.  A wrong root in a partial result still fails loudly.
     """
     if p.is_zero():
         raise CertificationError("zero polynomial")
-    if len(scaled) != len(multiplicities):
+    if multiplicities is None:
+        if not partial:
+            raise CertificationError(
+                "multiplicities required for a full certification"
+            )
+    elif len(scaled) != len(multiplicities):
         raise CertificationError("scaled/multiplicity length mismatch")
     if sorted(scaled) != list(scaled):
         raise CertificationError("approximations not ascending")
-    if sum(multiplicities) != p.degree:
+    if not partial and sum(multiplicities) != p.degree:
         raise CertificationError(
             f"multiplicities sum to {sum(multiplicities)}, degree is {p.degree}"
         )
@@ -93,7 +110,13 @@ def certify_roots(
     sf = square_free_part(p, counter)
     chain = sturm_chain(sf, counter)
     n_distinct = variations_at_neg_inf(chain) - variations_at_pos_inf(chain)
-    if n_distinct != len(scaled):
+    if partial:
+        if len(scaled) > n_distinct:
+            raise CertificationError(
+                f"partial result claims {len(scaled)} distinct roots, "
+                f"Sturm says only {n_distinct} exist"
+            )
+    elif n_distinct != len(scaled):
         raise CertificationError(
             f"claimed {len(scaled)} distinct roots, Sturm says {n_distinct}"
         )

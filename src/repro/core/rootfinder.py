@@ -37,6 +37,7 @@ from repro.core.tree import InterleavingTree
 from repro.poly.dense import IntPoly
 from repro.poly.gcd import square_free_decomposition
 from repro.poly.roots_bounds import root_bound_bits
+from repro.resilience.budget import Budget
 
 __all__ = ["RealRootFinder", "RootResult", "merge_sorted"]
 
@@ -121,6 +122,16 @@ class RealRootFinder:
         hierarchical wall-time/bit-cost spans for every phase and
         structured interval-case events.  Defaults to the zero-overhead
         :data:`repro.obs.trace.NULL_TRACER`.
+    budget:
+        Optional :class:`repro.resilience.budget.Budget` bounding a
+        :meth:`find_roots` call by wall-clock deadline and/or bit-cost
+        ceiling.  Checked cooperatively at phase boundaries and between
+        top-level interval problems; an overrun raises
+        :class:`repro.resilience.budget.BudgetExceeded` whose
+        ``partial`` carries the (certified-root-compatible, ascending)
+        approximations already completed.  The bit axis reads this
+        finder's ``counter``; one is created automatically if a bit
+        ceiling is set without a counter.
     """
 
     def __init__(
@@ -132,6 +143,7 @@ class RealRootFinder:
         counter: CostCounter | None = None,
         strategy: str = "hybrid",
         tracer: Tracer | None = None,
+        budget: Budget | None = None,
     ):
         if mu_bits < 1:
             raise ValueError("mu_bits must be >= 1")
@@ -145,6 +157,11 @@ class RealRootFinder:
         self.counter = counter if counter is not None else NULL_COUNTER
         self.strategy = strategy
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.budget = budget
+        if (budget is not None and budget.max_bit_ops is not None
+                and self.counter is NULL_COUNTER):
+            # The bit ceiling needs a real counter to read.
+            self.counter = CostCounter()
 
     @classmethod
     def from_digits(cls, mu_digits: int, **kwargs) -> "RealRootFinder":
@@ -173,6 +190,10 @@ class RealRootFinder:
             )
 
         stats = IntervalStats()
+        budget = self.budget
+        if budget is not None:
+            budget.start(self.counter)
+            budget.check(phase="remainder", mu=self.mu, degree=p.degree)
         with self.tracer.span(
             "find_roots", degree=p.degree, mu=self.mu, strategy=self.strategy
         ):
@@ -197,13 +218,29 @@ class RealRootFinder:
 
     # -- square-free main path ------------------------------------------------
     def _solve_square_free(
-        self, p: IntPoly, seq: RemainderSequence, stats: IntervalStats
+        self,
+        p: IntPoly,
+        seq: RemainderSequence,
+        stats: IntervalStats,
+        partial_base: list[int] | None = None,
     ) -> tuple[list[int], InterleavingTree]:
+        """Solve one square-free polynomial through the full pipeline.
+
+        ``partial_base`` (multiplicity path only) is the ascending list
+        of already-certified roots of the *original* input from earlier
+        Yun factors; budget overruns report it merged with whatever
+        this factor has completed.
+        """
         counter = self.counter
         tracer = self.tracer
+        budget = self.budget
+        base = partial_base or []
         if p.degree == 1:
             return [solve_linear_scaled(p, self.mu)], InterleavingTree(seq)
 
+        if budget is not None:
+            budget.check(scaled=base, phase="tree", mu=self.mu,
+                         degree=p.degree)
         tree = InterleavingTree(seq)
         with tracer.span("tree.compute_polynomials", phase="tree",
                          degree=p.degree):
@@ -221,6 +258,12 @@ class RealRootFinder:
                 node.roots_scaled = [solve_linear_scaled(poly, self.mu)]
                 continue
             assert node.left is not None and node.right is not None
+            if budget is not None:
+                # Intermediate nodes' gap results are roots of remainder-
+                # sequence polynomials, not of p — only the root node's
+                # completed gaps are reportable partial roots.
+                budget.check(scaled=base, phase="interval", mu=self.mu,
+                             degree=p.degree)
             with tracer.span("node.intervals", phase="interval",
                              i=node.i, j=node.j, level=node.level,
                              degree=node.degree):
@@ -234,7 +277,27 @@ class RealRootFinder:
                     strategy=self.strategy, tracer=tracer,
                     label=f"[{node.i},{node.j}]",
                 )
-                node.roots_scaled = solver.solve_all(inter)
+                if budget is not None and node is tree.root:
+                    # Budget-aware rendering of ``solver.solve_all``:
+                    # identical operations in identical order (so the
+                    # answer is bit-identical), with a cooperative check
+                    # between gaps — each completed gap here is one more
+                    # certified root of p available as a partial result.
+                    ys = [-solver.sentinel] + inter + [solver.sentinel]
+                    sg = solver.preinterval_signs(ys)
+                    s_inf = poly.sign_at_neg_inf()
+                    out: list[int] = []
+                    for g in range(node.degree):
+                        budget.check(
+                            scaled=merge_sorted(base, out),
+                            phase="interval.gap", mu=self.mu, degree=p.degree,
+                        )
+                        out.append(solver.solve_gap(
+                            g, ys[g], ys[g + 1], sg[g], sg[g + 1], s_inf
+                        ))
+                    node.roots_scaled = out
+                else:
+                    node.roots_scaled = solver.solve_all(inter)
 
         assert tree.root.roots_scaled is not None
         return tree.root.roots_scaled, tree
@@ -243,6 +306,9 @@ class RealRootFinder:
     def _find_roots_with_multiplicity(
         self, p: IntPoly, stats: IntervalStats, t0: float
     ) -> RootResult:
+        budget = self.budget
+        if budget is not None:
+            budget.check(phase="square_free", mu=self.mu, degree=p.degree)
         with self.tracer.span("square_free_decomposition", phase="remainder",
                               degree=p.degree):
             factors = square_free_decomposition(p, self.counter)
@@ -257,11 +323,19 @@ class RealRootFinder:
             sf_degree += fac.degree
             if fac.degree == 0:
                 continue
+            # Roots of every Yun factor are roots of p, so the sorted
+            # accumulation so far is a reportable partial result.
+            base = sorted(s for s, _ in pairs)
+            if budget is not None:
+                budget.check(scaled=base, phase="square_free.factor",
+                             mu=self.mu, degree=p.degree)
             with self.tracer.span("factor", degree=fac.degree, multiplicity=m):
                 sub_seq = compute_remainder_sequence(
                     fac, self.counter, self.tracer
                 )
-                scaled, sub_tree = self._solve_square_free(fac, sub_seq, stats)
+                scaled, sub_tree = self._solve_square_free(
+                    fac, sub_seq, stats, partial_base=base
+                )
             pairs.extend((s, m) for s in scaled)
             if tree is None:
                 tree, seq = sub_tree, sub_seq

@@ -68,6 +68,28 @@ class NodePlan:
     #: (empty children contribute no roots and no dependency).
     children: tuple[tuple[int, int], ...]
 
+    # -- logical task identities ----------------------------------------
+    # The executor keys retries, deduplication of late/stale results,
+    # and per-node degradation by *logical* task, not by submission
+    # attempt: one PREINTERVAL key per interleaving point, one INTERVAL
+    # key per gap.
+    def sign_task(self, t: int) -> tuple[str, tuple[int, int], int]:
+        """Logical key of this node's PREINTERVAL task ``t``
+        (``0 <= t <= degree``)."""
+        return ("sign", self.label, t)
+
+    def gap_task(self, gap: int) -> tuple[str, tuple[int, int], int]:
+        """Logical key of this node's INTERVAL task ``gap``
+        (``0 <= gap < degree``)."""
+        return ("gap", self.label, gap)
+
+    @property
+    def n_tasks(self) -> int:
+        """Pool tasks this node contributes: ``degree + 1`` endpoint
+        signs plus ``degree`` gap solves (0 for in-parent linear
+        nodes)."""
+        return 0 if self.degree == 1 else 2 * self.degree + 1
+
 
 def build_interval_plan(tree) -> list[NodePlan]:
     """Flatten a computed :class:`~repro.core.tree.InterleavingTree`

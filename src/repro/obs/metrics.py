@@ -14,7 +14,33 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "run_metrics"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "run_metrics",
+    "EXECUTOR_COUNTERS",
+    "reliability_rollup",
+]
+
+#: The executor's reliability counter vocabulary (see docs/RESILIENCE.md
+#: for the glossary).  :func:`reliability_rollup` reports every name,
+#: zero-filled, so reports and bench artifacts have a stable shape
+#: whether or not a given run exercised the fault paths.
+EXECUTOR_COUNTERS = (
+    "executor.fallbacks",
+    "executor.retries",
+    "executor.task_timeouts",
+    "executor.worker_failures",
+    "executor.inline_tasks",
+    "executor.stale_results",
+    "executor.breaker_open",
+    "executor.breaker_half_open",
+    "executor.breaker_close",
+    "executor.checkpoint_hits",
+    "executor.teardown_timeouts",
+)
 
 
 @dataclass
@@ -158,6 +184,22 @@ class MetricsRegistry:
     def as_dict(self) -> dict[str, dict[str, Any]]:
         """JSON-safe dump of every metric."""
         return {name: m.as_dict() for name, m in sorted(self._metrics.items())}
+
+
+def reliability_rollup(registry: MetricsRegistry) -> dict[str, int]:
+    """The executor's reliability counters as a flat, zero-filled dict.
+
+    Pulls every :data:`EXECUTOR_COUNTERS` name out of ``registry``
+    (0 when the counter never fired), giving ``repro report`` and the
+    bench artifacts a stable executor-health block: all-zero means the
+    run was clean; anything else names exactly which degradation path
+    fired and how often.
+    """
+    out: dict[str, int] = {}
+    for name in EXECUTOR_COUNTERS:
+        m = registry._metrics.get(name)
+        out[name] = m.value if isinstance(m, Counter) else 0
+    return out
 
 
 def run_metrics(result: Any, registry: MetricsRegistry | None = None

@@ -1,0 +1,175 @@
+"""Streaming JSONL checkpoints for batch root-finding runs.
+
+``repro batch --checkpoint FILE`` streams every completed polynomial's
+result to ``FILE`` as it finishes (one fsync'd JSON line per
+polynomial), so a batch run killed at any point — OOM, deploy, SIGKILL
+— resumes where it stopped: on restart the checkpoint is loaded and
+already-solved polynomials are answered from it without re-solving.
+
+File format (``repro.batch-checkpoint/1``)::
+
+    {"schema": "repro.batch-checkpoint/1", "mu_bits": 53, "strategy": "hybrid"}
+    {"key": "<sha256>", "index": 0, "scaled": ["-768", "0", "512"]}
+    ...
+
+* The header pins the parameters the results depend on; resuming with
+  a different ``mu``/``strategy`` raises :class:`CheckpointMismatch`
+  (silently mixing precisions would corrupt the batch).
+* ``key`` is a content hash of the polynomial *and* the parameters
+  (:func:`poly_key`), so entries are valid regardless of input order
+  and duplicates in the input re-use one entry.
+* ``scaled`` values are decimal strings — exact at any magnitude, safe
+  for JSON readers that lack bignums.
+* A truncated final line (the process died mid-write) is detected and
+  dropped on load; every complete line is recovered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import IO, Iterable, Sequence
+
+__all__ = ["BatchCheckpoint", "CheckpointMismatch", "poly_key"]
+
+SCHEMA = "repro.batch-checkpoint/1"
+
+
+class CheckpointMismatch(ValueError):
+    """The checkpoint file was written with different run parameters."""
+
+
+def poly_key(coeffs: Iterable[int], mu: int, strategy: str) -> str:
+    """Content hash identifying one (polynomial, mu, strategy) job.
+
+    Canonical: coefficients low to high as decimal strings, so the key
+    is stable across sessions and integer magnitudes.
+    """
+    payload = json.dumps(
+        [[str(c) for c in coeffs], mu, strategy], separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+class BatchCheckpoint:
+    """Append-only JSONL checkpoint for one batch configuration.
+
+    Opening an existing file loads every complete entry and validates
+    the header against ``mu_bits``/``strategy``; opening a fresh path
+    writes the header.  :meth:`record` appends, flushes, and fsyncs one
+    line per result — the durability unit is one polynomial.
+
+    Attributes
+    ----------
+    hits:
+        Results answered from the checkpoint this session (incremented
+        by :meth:`get` callers via :meth:`hit`).
+    dropped_lines:
+        Malformed lines skipped on load (normally 0 or 1 — a line
+        truncated by the kill).
+    kill_after:
+        Fault-injection hook (test-only, mirrors
+        :class:`repro.verify.faults.FaultPlan`): after this many
+        entries have been recorded *this session*, the process
+        SIGKILLs itself — the deterministic rendering of "the batch
+        run died mid-flight" that the resume tests replay.
+    """
+
+    def __init__(self, path: str, mu_bits: int, strategy: str):
+        self.path = path
+        self.mu_bits = mu_bits
+        self.strategy = strategy
+        self.entries: dict[str, list[int]] = {}
+        self.hits = 0
+        self.dropped_lines = 0
+        self.kill_after: int | None = None
+        self._recorded = 0
+        existing = os.path.exists(path) and os.path.getsize(path) > 0
+        if existing:
+            self._load()
+        self._fh: IO[str] = open(path, "a")
+        if not existing:
+            self._fh.write(json.dumps({
+                "schema": SCHEMA, "mu_bits": mu_bits, "strategy": strategy,
+            }) + "\n")
+            self._sync()
+
+    # -- lifecycle -------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path) as fh:
+            lines = fh.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        records = []
+        for line in lines:
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                self.dropped_lines += 1
+        if not records:
+            return
+        header = records[0]
+        if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+            raise CheckpointMismatch(
+                f"{self.path}: not a {SCHEMA} checkpoint"
+            )
+        if (header.get("mu_bits") != self.mu_bits
+                or header.get("strategy") != self.strategy):
+            raise CheckpointMismatch(
+                f"{self.path}: checkpoint was written with "
+                f"mu_bits={header.get('mu_bits')} "
+                f"strategy={header.get('strategy')!r}, this run uses "
+                f"mu_bits={self.mu_bits} strategy={self.strategy!r}"
+            )
+        for rec in records[1:]:
+            if not (isinstance(rec, dict) and "key" in rec
+                    and isinstance(rec.get("scaled"), list)):
+                self.dropped_lines += 1
+                continue
+            self.entries[rec["key"]] = [int(s) for s in rec["scaled"]]
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "BatchCheckpoint":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    # -- the batch-loop API ----------------------------------------------
+    def key_for(self, coeffs: Iterable[int]) -> str:
+        """The :func:`poly_key` under this checkpoint's parameters."""
+        return poly_key(coeffs, self.mu_bits, self.strategy)
+
+    def get(self, key: str) -> list[int] | None:
+        """The recorded result for ``key``, or ``None`` if not solved."""
+        scaled = self.entries.get(key)
+        return None if scaled is None else list(scaled)
+
+    def hit(self) -> None:
+        """Count one result answered from the checkpoint."""
+        self.hits += 1
+
+    def record(self, key: str, index: int, scaled: Sequence[int]) -> None:
+        """Durably append one completed result (no-op if already
+        recorded — duplicates in the input share an entry)."""
+        if key in self.entries:
+            return
+        self.entries[key] = list(scaled)
+        self._fh.write(json.dumps({
+            "key": key, "index": index, "scaled": [str(s) for s in scaled],
+        }) + "\n")
+        self._sync()
+        self._recorded += 1
+        if self.kill_after is not None and self._recorded >= self.kill_after:
+            os.kill(os.getpid(), 9)  # SIGKILL: no cleanup, as in a real kill
+
+    def _sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())

@@ -22,12 +22,21 @@ design, three things changed:
   gaps, halving endpoint evaluations vs. the old
   ``solve_gap_standalone`` per-gap dispatch (Sagraloff's point that
   evaluation counts dominate applies squarely here).
-* **Robustness** — per-task ``task_timeout`` with graceful, logged
-  degradation to the sequential path; dead workers are respawned by the
-  pool's maintenance thread, and a broken/terminated pool is replaced
-  on the next call.  The same guards as
-  :class:`repro.core.rootfinder.RealRootFinder` apply to degenerate
-  inputs (zero polynomial, constants, repeated roots).
+* **Resilience** (:mod:`repro.resilience`) — every submission is a
+  *logical task* that survives its attempts: a timed-out, poisoned, or
+  killed attempt is retried on a fresh worker with exponential backoff
+  (:class:`~repro.resilience.retry.RetryPolicy`), a task that exhausts
+  its retries runs **in the parent process** (per-node sequential
+  degradation — completed sign/gap results are kept, nothing is
+  recomputed), and a :class:`~repro.resilience.breaker.CircuitBreaker`
+  trips after consecutive pool failures to route whole stretches of
+  work in-parent for a cool-down before probing the pool again.  The
+  old whole-polynomial sequential fallback remains only for a broken
+  pool (dispatch failure / stalled scheduler).  A
+  :class:`~repro.resilience.budget.Budget` bounds a call by wall clock
+  and parent-side bit cost, raising
+  :class:`~repro.resilience.budget.BudgetExceeded` with the certified
+  roots completed so far.
 
 The root bound is :func:`repro.poly.roots_bounds.root_bound_bits` — the
 same helper the sequential finder uses — so both paths pose *identical*
@@ -39,28 +48,34 @@ captures its own spans (with per-task bit costs from a worker-local
 :class:`~repro.costmodel.counter.CostCounter`), ships them back through
 the pool, and the parent merges them onto per-worker lanes
 (``Tracer.adopt(spans, key=pid)``).  Pool lifecycle shows up as
-``pool.spawn`` / ``pool.close`` spans; fallbacks as
+``pool.spawn`` / ``pool.close`` spans; reliability transitions as
+``executor_retry`` / ``executor_node_fallback`` / ``breaker_*`` /
 ``executor_fallback`` events.
 
 Live telemetry rides along: every submit/complete transition samples
 queue depth and in-flight task count into the finder's
 :class:`~repro.obs.metrics.MetricsRegistry` and (when traced) into
 ``Tracer.counters``, which export as Chrome-trace ``"ph": "C"``
-counter lanes next to the span lanes; reliability drift (fallbacks,
-per-task timeouts, worker failures) is counted in the same registry so
-the bench regression gate can watch it.  Post-run,
-:func:`repro.obs.rollup.parallel_rollup` turns the adopted worker
-spans into a utilization / idle-tail / parallel-efficiency summary.
+counter lanes next to the span lanes.  Reliability drift is counted in
+the same registry (see :data:`repro.obs.metrics.EXECUTOR_COUNTERS` and
+the glossary in docs/RESILIENCE.md) so the bench regression gate can
+watch it.  Post-run, :func:`repro.obs.rollup.parallel_rollup` turns the
+adopted worker spans into a utilization / idle-tail /
+parallel-efficiency summary.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing as mp
 import os
 import queue
 import signal
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
+from functools import partial as _partial
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.interval import IntervalProblemSolver, solve_linear_scaled
@@ -70,11 +85,20 @@ from repro.core.tree import InterleavingTree
 
 if TYPE_CHECKING:  # runtime import is deferred: repro.core.tasks
     from repro.core.tasks import NodePlan  # imports repro.sched.graph
+    from repro.resilience.checkpoint import BatchCheckpoint
 from repro.costmodel.counter import NULL_COUNTER, CostCounter
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.poly.dense import IntPoly
 from repro.poly.roots_bounds import root_bound_bits
+from repro.resilience.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.budget import Budget
+from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "ParallelRootFinder",
@@ -93,7 +117,8 @@ class _Degraded(Exception):
 #: Worker-local solver cache: repeated tasks against the same node
 #: polynomial (same call, or the same input across batched calls) skip
 #: re-deriving the derivative and evaluators.  Bounded so long-lived
-#: service pools do not accumulate stale polynomials.
+#: service pools do not accumulate stale polynomials.  The parent
+#: process shares this cache for in-parent (degraded) task execution.
 _SOLVER_CACHE: dict[tuple, IntervalProblemSolver] = {}
 _SOLVER_CACHE_MAX = 8
 
@@ -207,10 +232,13 @@ class ParallelRootFinder:
 
     Degenerate inputs behave exactly like the sequential finder:
     ``ValueError`` on the zero polynomial, ``[]`` for constants, and a
-    square-free-decomposition fallback for repeated roots.  Worker
-    failures and per-task timeouts degrade to the sequential path
-    (counted in :attr:`fallback_count`, logged via the tracer), so a
-    call always returns the exact answer.
+    square-free-decomposition fallback for repeated roots.  A failed or
+    timed-out task is retried on a fresh worker (``retry``), then — if
+    retries are exhausted or the circuit breaker is open — executed in
+    the parent process, keeping every result already computed; only a
+    broken pool degrades the whole call to the sequential path
+    (counted in :attr:`fallback_count`, logged via the tracer).  A call
+    always returns the exact answer.
 
     Parameters
     ----------
@@ -227,9 +255,30 @@ class ParallelRootFinder:
         ``newton``), applied inside every worker.  May be changed
         between calls; the pool is strategy-agnostic.
     task_timeout:
-        Seconds to wait for *some* task completion before declaring the
-        pool wedged and finishing sequentially (``None`` = wait
-        forever).
+        Per-task deadline in seconds, measured from each submission
+        (``None`` = wait forever).  An attempt that misses its deadline
+        is abandoned (a late result is discarded as stale) and the
+        logical task is retried or run in-parent.
+    retry:
+        :class:`~repro.resilience.retry.RetryPolicy` for failed/timed-
+        out tasks (default: 2 retries, exponential backoff).  Pass
+        ``RetryPolicy(max_retries=0)`` to degrade straight to in-parent
+        execution.
+    breaker:
+        :class:`~repro.resilience.breaker.CircuitBreaker` guarding the
+        pool, shared across every call this finder serves.  After
+        ``failure_threshold`` consecutive task failures it opens and
+        task bodies run in-parent until the cool-down elapses and a
+        probe task succeeds.  State transitions increment the
+        ``executor.breaker_*`` counters and emit ``breaker_*`` tracer
+        events.
+    budget:
+        Optional :class:`~repro.resilience.budget.Budget`.  Checked
+        cooperatively at phase boundaries and once per dispatch-loop
+        event; an overrun raises
+        :class:`~repro.resilience.budget.BudgetExceeded` carrying the
+        top-level roots already completed.  The bit-cost axis sees the
+        parent-side counter only (worker costs stay worker-local).
     counter:
         Parent-side cost counter for the remainder/tree phases (worker
         costs stay worker-local and return only through trace spans).
@@ -241,16 +290,19 @@ class ParallelRootFinder:
         ``executor.queue_depth`` / ``executor.in_flight`` gauges and
         the ``executor.queue_depth.samples`` histogram (sampled at
         every submit/complete event), plus the reliability counters
-        ``executor.fallbacks``, ``executor.task_timeouts``, and
-        ``executor.worker_failures`` the regression gate watches.  A
+        (``executor.fallbacks``, ``executor.retries``,
+        ``executor.task_timeouts``, ``executor.worker_failures``,
+        ``executor.inline_tasks``, ``executor.stale_results``,
+        ``executor.breaker_*``, ...) the regression gate watches.  A
         fresh registry is created per finder unless one is passed in.
     faults:
         Optional deterministic fault-injection plan (an object with an
         ``intercept(dispatch_index, fn, payload, finder)`` method — see
         :class:`repro.verify.faults.FaultPlan`).  Consulted once per
-        task submission, in dispatch order, and may replace the task
-        body; ``None`` (the default) is zero-overhead.  Test-only: the
-        production dispatch path never sets it.
+        pool submission (retries consume fresh indices), and may
+        replace the task body; ``None`` (the default) is zero-overhead.
+        In-parent execution always runs the *original* task body.
+        Test-only: the production dispatch path never sets it.
     """
 
     mu: int
@@ -258,12 +310,16 @@ class ParallelRootFinder:
     check_tree: bool = True
     strategy: str = "hybrid"
     task_timeout: float | None = None
+    retry: RetryPolicy | None = None
+    breaker: CircuitBreaker | None = None
+    budget: Budget | None = None
     counter: CostCounter = NULL_COUNTER
     tracer: Tracer = NULL_TRACER
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     faults: Any = None
-    #: sequential degradations so far (repeated roots, timeouts, worker
-    #: failures); parity tests assert it stays 0 on the happy path.
+    #: whole-polynomial sequential degradations so far (repeated roots,
+    #: broken pool); parity tests assert it stays 0 on the happy path
+    #: *and* under single-task faults (those are absorbed by retries).
     fallback_count: int = field(default=0, init=False)
     _pool: Any = field(default=None, init=False, repr=False)
 
@@ -279,6 +335,27 @@ class ParallelRootFinder:
                 f"unknown strategy {self.strategy!r}; "
                 f"known: {list(STRATEGIES)}"
             )
+        if self.retry is None:
+            self.retry = RetryPolicy()
+        if self.breaker is None:
+            self.breaker = CircuitBreaker()
+        self.breaker.on_transition = self._on_breaker_transition
+        if (self.budget is not None and self.budget.max_bit_ops is not None
+                and self.counter is NULL_COUNTER):
+            # The bit ceiling needs a real counter to read.
+            self.counter = CostCounter()
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        name = {
+            BREAKER_OPEN: "executor.breaker_open",
+            BREAKER_HALF_OPEN: "executor.breaker_half_open",
+            BREAKER_CLOSED: "executor.breaker_close",
+        }[new]
+        self.metrics.counter(name).inc()
+        self.tracer.event(
+            f"breaker_{new}", previous=old,
+            consecutive_failures=self.breaker.consecutive_failures,
+        )
 
     # -- pool lifecycle --------------------------------------------------
     def _ensure_pool(self):
@@ -294,31 +371,44 @@ class ParallelRootFinder:
             return []
         return sorted(w.pid for w in self._pool._pool)
 
-    def close(self) -> None:
+    def close(self, join_timeout: float = 5.0) -> None:
         """Shut the pool down cleanly (idempotent).
 
-        The finder stays usable: the next call simply spawns a fresh
-        pool.
+        The join is bounded: a worker still chewing on an abandoned
+        (timed-out) task must not wedge the caller, so after
+        ``join_timeout`` seconds the pool is torn down hard instead
+        (``executor_close_timeout`` event).  The finder stays usable:
+        the next call simply spawns a fresh pool.
         """
         if self._pool is None:
             return
         pool, self._pool = self._pool, None
         with self.tracer.span("pool.close", phase="pool"):
             pool.close()
-            pool.join()
+            t = threading.Thread(target=pool.join, daemon=True)
+            t.start()
+            t.join(timeout=join_timeout)
+            if t.is_alive():
+                self.tracer.event("executor_close_timeout",
+                                  timeout=join_timeout)
+                self._hard_teardown(pool)
 
     def _discard_pool(self) -> None:
         """Hard-kill a wedged pool; the next call respawns."""
         if self._pool is None:
             return
         pool, self._pool = self._pool, None
+        self._hard_teardown(pool)
+
+    def _hard_teardown(self, pool: Any) -> None:
         # terminate() can itself block forever: a worker SIGKILLed while
         # blocked in the inqueue's recv dies holding the queue read-lock
         # (a POSIX semaphore — no owner, never released), and
         # Pool._terminate drains the inqueue under that same lock.  Run
         # the teardown in a daemon thread with a bounded join; if it
         # wedges, SIGKILL the workers directly and abandon the pool
-        # (its daemonic processes are reaped at interpreter exit).
+        # (its daemonic processes are reaped at interpreter exit, and
+        # the daemon teardown thread cannot keep the interpreter alive).
         pids = [w.pid for w in pool._pool if w.pid]
 
         def _teardown() -> None:
@@ -332,6 +422,9 @@ class ParallelRootFinder:
         t.start()
         t.join(timeout=5.0)
         if t.is_alive():
+            self.metrics.counter("executor.teardown_timeouts").inc()
+            self.tracer.event("executor_teardown_timeout",
+                              pids=pids, timeout=5.0)
             for pid in pids:
                 try:
                     os.kill(pid, signal.SIGKILL)
@@ -356,6 +449,7 @@ class ParallelRootFinder:
         """Scaled mu-approximations of all distinct real roots, ascending
         (exact; bit-identical to the sequential finder)."""
         tracer = self.tracer
+        budget = self.budget
         if p.is_zero():
             raise ValueError("the zero polynomial has every number as a root")
         if p.leading_coefficient < 0:
@@ -364,17 +458,24 @@ class ParallelRootFinder:
             return []
         if p.degree == 1:
             return [solve_linear_scaled(p, self.mu)]
+        if budget is not None:
+            budget.start(self.counter)
+            budget.check(phase="remainder", mu=self.mu, degree=p.degree)
         try:
             seq = compute_remainder_sequence(p, self.counter, tracer)
         except NotSquareFreeError:
             tracer.event("executor_fallback", reason="not_square_free",
                          degree=p.degree)
             return self._sequential_scaled(p)
+        if budget is not None:
+            budget.check(phase="tree", mu=self.mu, degree=p.degree)
         with tracer.span("tree.compute_polynomials", phase="tree",
                          degree=p.degree):
             tree = InterleavingTree(seq)
             tree.compute_polynomials(self.counter, check=self.check_tree,
                                      tracer=tracer)
+        if budget is not None:
+            budget.check(phase="interval", mu=self.mu, degree=p.degree)
         # Deferred import (cycle: repro.core.tasks -> repro.sched.graph
         # -> repro.sched package -> this module).
         from repro.core.tasks import build_interval_plan
@@ -391,39 +492,80 @@ class ParallelRootFinder:
             self._discard_pool()
             return self._sequential_scaled(p)
 
-    def find_roots_many(self, polys: Sequence[IntPoly]) -> list[list[int]]:
+    def find_roots_many(
+        self,
+        polys: Sequence[IntPoly],
+        checkpoint: "BatchCheckpoint | None" = None,
+    ) -> list[list[int]]:
         """Batched throughput API: solve many polynomials on one warm pool.
 
         The pool is spawned once (if not already live) and stays warm
         across the whole batch — the service-style shape where per-call
         pool startup would otherwise dominate.  Results are in input
         order, each exactly what :meth:`find_roots_scaled` returns.
+
+        ``checkpoint`` (a :class:`~repro.resilience.checkpoint.
+        BatchCheckpoint`) makes the batch resumable: every completed
+        polynomial is durably appended as it finishes, and polynomials
+        already present are answered from the checkpoint without
+        re-solving (counted in ``executor.checkpoint_hits``).  If the
+        run dies — including via a
+        :class:`~repro.resilience.budget.BudgetExceeded` bubbling up —
+        a rerun with the same checkpoint continues where it stopped.
         """
         out: list[list[int]] = []
         with self.tracer.span("executor.batch", phase="interval",
                               count=len(polys)):
             for p in polys:
-                out.append(self.find_roots_scaled(p))
+                key = None
+                if checkpoint is not None:
+                    key = checkpoint.key_for(p.coeffs)
+                    cached = checkpoint.get(key)
+                    if cached is not None:
+                        checkpoint.hit()
+                        self.metrics.counter("executor.checkpoint_hits").inc()
+                        self.tracer.event("checkpoint_hit", index=len(out),
+                                          degree=p.degree)
+                        out.append(cached)
+                        continue
+                scaled = self.find_roots_scaled(p)
+                if checkpoint is not None and key is not None:
+                    checkpoint.record(key, len(out), scaled)
+                out.append(scaled)
         return out
 
     # -- internals -------------------------------------------------------
     def _sequential_scaled(self, p: IntPoly) -> list[int]:
-        """Sequential degradation path: same parameters, same answer."""
+        """Whole-polynomial degradation path: same parameters, same
+        answer (used only when the pooled run cannot complete at all)."""
         self.fallback_count += 1
         self.metrics.counter("executor.fallbacks").inc()
         finder = RealRootFinder(
             mu_bits=self.mu, check_tree=self.check_tree,
             counter=self.counter, strategy=self.strategy, tracer=self.tracer,
+            budget=self.budget,
         )
         return finder.find_roots(p).scaled
 
     def _run_plan(self, plan: "list[NodePlan]", r_bits: int) -> list[int]:
-        """Dependency-driven dispatch of one plan over the shared pool."""
+        """Dependency-driven dispatch of one plan over the shared pool.
+
+        Every PREINTERVAL/INTERVAL submission is a *logical task* keyed
+        by ``NodePlan.sign_task`` / ``NodePlan.gap_task``.  Attempts
+        against the pool may time out or fail; the logical task then
+        retries with backoff, and finally runs in-parent.  Late results
+        from abandoned attempts are discarded as stale, so each logical
+        task completes exactly once.
+        """
         pool = self._ensure_pool()
         tracer = self.tracer
         capture = tracer.enabled
         mu = self.mu
         strategy = self.strategy
+        retry = self.retry
+        breaker = self.breaker
+        budget = self.budget
+        clock = time.monotonic
         sentinel = 1 << (r_bits + mu)
 
         by_label = {node.label: node for node in plan}
@@ -434,6 +576,7 @@ class ParallelRootFinder:
             for child in node.children:
                 parent_of[child] = node.label
         root_label = plan[-1].label  # postorder: the root closes the plan
+        root_degree = by_label[root_label].degree
 
         roots: dict[tuple[int, int], list] = {}
         ys: dict[tuple[int, int], list[int]] = {}
@@ -442,9 +585,19 @@ class ParallelRootFinder:
         gaps_left: dict[tuple[int, int], int] = {}
 
         results_q: queue.Queue = queue.Queue()
-        pending = 0
         completed: list[tuple[int, int]] = []
         done = False
+
+        # Logical-task bookkeeping (see docstring).
+        body: dict[tuple, tuple[Any, tuple]] = {}      # original task bodies
+        attempts: dict[tuple, int] = {}                # pool attempts made
+        live: dict[int, tuple[tuple, float | None]] = {}  # tid -> (key, deadline)
+        done_keys: set[tuple] = set()
+        retry_due: list[tuple[float, int, tuple]] = []  # heap of resubmissions
+        inline_q: deque = deque()
+        retry_seq = 0
+        pool_successes = 0
+        timeouts_this_call = 0
 
         # Live telemetry: sampled at every submit/complete event (no
         # timer thread — the dispatch loop *is* the state machine, so
@@ -455,6 +608,7 @@ class ParallelRootFinder:
         depth_hist = self.metrics.histogram("executor.queue_depth.samples")
 
         def sample() -> None:
+            pending = len(live)
             inflight = pending if pending < procs else procs
             depth = pending - inflight
             depth_gauge.set(depth)
@@ -465,25 +619,69 @@ class ParallelRootFinder:
                 tracer.sample("executor.in_flight", inflight)
 
         dispatch_index = 0
+        task_seq = 0
         start_pids = set(self.worker_pids())
 
-        def submit(fn, payload) -> None:
-            nonlocal pending, dispatch_index
+        def enqueue(tid: int, item: Any) -> None:
+            # Runs on the pool's result-handler thread; Queue is safe.
+            results_q.put((tid, item))
+
+        def dispatch(key: tuple) -> None:
+            """One attempt at a logical task: pool if the breaker
+            admits it, in-parent otherwise."""
+            nonlocal dispatch_index, task_seq
+            if key in done_keys:
+                return
+            if not breaker.allow():
+                inline_q.append(key)
+                return
+            fn, payload = body[key]
             if self.faults is not None:
                 fn, payload = self.faults.intercept(
                     dispatch_index, fn, payload, self
                 )
             dispatch_index += 1
+            attempts[key] += 1
+            tid = task_seq
+            task_seq += 1
+            deadline = (clock() + self.task_timeout
+                        if self.task_timeout is not None else None)
+            live[tid] = (key, deadline)
             try:
                 pool.apply_async(
                     fn, (payload,),
-                    callback=results_q.put,
-                    error_callback=results_q.put,
+                    callback=_partial(enqueue, tid),
+                    error_callback=_partial(enqueue, tid),
                 )
             except Exception as exc:  # pool broken/closed underneath us
                 raise _Degraded(f"dispatch failed: {exc!r}") from exc
-            pending += 1
             sample()
+
+        def submit(fn, payload, key: tuple) -> None:
+            body[key] = (fn, payload)
+            attempts[key] = 0
+            dispatch(key)
+
+        def task_failed(key: tuple, reason: str) -> None:
+            nonlocal retry_seq
+            breaker.record_failure()
+            if key in done_keys:
+                return
+            n = attempts[key]
+            if n <= retry.max_retries:
+                self.metrics.counter("executor.retries").inc()
+                tracer.event("executor_retry", task=key[0],
+                             node=list(key[1]), index=key[2],
+                             attempt=n, reason=reason)
+                retry_seq += 1
+                heapq.heappush(
+                    retry_due, (clock() + retry.delay(n), retry_seq, key)
+                )
+            else:
+                tracer.event("executor_node_fallback", task=key[0],
+                             node=list(key[1]), index=key[2],
+                             attempts=n, reason=reason)
+                inline_q.append(key)
 
         def complete(label: tuple[int, int]) -> None:
             nonlocal done
@@ -511,7 +709,8 @@ class ParallelRootFinder:
             roots[node.label] = [None] * L
             for t, y in enumerate(ys_node):
                 submit(sign_worker, (node.label, t, y, node.coeffs, mu,
-                                     r_bits, strategy, capture))
+                                     r_bits, strategy, capture),
+                       node.sign_task(t))
 
         def on_sign(label: tuple[int, int], t: int, s: int) -> None:
             node = by_label[label]
@@ -526,13 +725,58 @@ class ParallelRootFinder:
                     submit(gap_worker, (label, gap, ys_node[gap],
                                         ys_node[gap + 1], sg[gap], sg[gap + 1],
                                         node.sign_at_neg_inf, node.coeffs,
-                                        mu, r_bits, strategy, capture))
+                                        mu, r_bits, strategy, capture),
+                           node.gap_task(gap))
 
         def on_gap(label: tuple[int, int], gap: int, val: int) -> None:
             roots[label][gap] = val
             gaps_left[label] -= 1
             if gaps_left[label] == 0:
                 complete(label)
+
+        def deliver(item: tuple) -> None:
+            kind, label, idx, val, spans = item
+            done_keys.add((kind, label, idx))
+            if spans:
+                # Lane per OS process: spans carry the producing pid
+                # (in-parent execution lands on the parent's own lane).
+                pid = spans[0].get("attrs", {}).get("pid")
+                tracer.adopt(spans, key=pid)
+            if kind == "sign":
+                on_sign(label, idx, val)
+            else:
+                on_gap(label, idx, val)
+
+        def run_inline(key: tuple) -> None:
+            """Per-node sequential degradation: execute the original
+            task body in the parent process.  Exact by construction —
+            the body is the same code the worker would have run."""
+            if key in done_keys:
+                return
+            self.metrics.counter("executor.inline_tasks").inc()
+            fn, payload = body[key]
+            deliver(fn(payload))
+
+        def expire(now: float) -> None:
+            nonlocal timeouts_this_call, start_pids
+            expired = [tid for tid, (_k, dl) in live.items()
+                       if dl is not None and dl <= now]
+            for tid in expired:
+                key, _dl = live.pop(tid)
+                self.metrics.counter("executor.task_timeouts").inc()
+                timeouts_this_call += 1
+                # A timeout with a changed worker-pid set means a worker
+                # died holding this task: the pool respawned the process
+                # but the in-flight attempt's result is gone for good.
+                pids = set(self.worker_pids())
+                if pids != start_pids:
+                    self.metrics.counter("executor.worker_failures").inc()
+                    start_pids = pids
+                tracer.event("executor_task_timeout", task=key[0],
+                             node=list(key[1]), index=key[2],
+                             timeout=self.task_timeout)
+                sample()
+                task_failed(key, "timeout")
 
         for node in plan:  # seed: nodes with no root-producing children
             if waiting[node.label] == 0:
@@ -548,33 +792,61 @@ class ParallelRootFinder:
                         start_node(by_label[parent])
             if done:
                 break
-            if pending == 0:
+            if budget is not None:
+                partial_roots = [v for v in roots.get(root_label, ())
+                                 if v is not None]
+                budget.check(scaled=partial_roots, phase="executor.interval",
+                             mu=mu, degree=root_degree)
+            if inline_q:
+                run_inline(inline_q.popleft())
+                continue
+            now = clock()
+            expire(now)
+            while retry_due and retry_due[0][0] <= now:
+                _due, _seq, key = heapq.heappop(retry_due)
+                dispatch(key)
+            if inline_q or completed:
+                continue
+            if not live and not retry_due:
                 raise _Degraded("scheduler stalled with no pending tasks")
+            wake: list[float] = [dl for (_k, dl) in live.values()
+                                 if dl is not None]
+            if retry_due:
+                wake.append(retry_due[0][0])
+            wait = max(0.0, min(wake) - now) if wake else None
             try:
-                item = results_q.get(timeout=self.task_timeout)
+                tid, item = results_q.get(timeout=wait)
             except queue.Empty:
-                self.metrics.counter("executor.task_timeouts").inc()
-                # A timeout with a changed worker-pid set means a worker
-                # died holding a task: the pool respawned the process but
-                # the in-flight task's result is gone for good.
-                if set(self.worker_pids()) != start_pids:
-                    self.metrics.counter("executor.worker_failures").inc()
-                raise _Degraded(
-                    f"no task completion within {self.task_timeout}s"
-                ) from None
-            pending -= 1
+                continue  # deadlines/retries are re-examined at the top
+            rec = live.pop(tid, None)
             sample()
+            if rec is None:
+                # Result of an abandoned (timed-out) attempt arriving
+                # late: the logical task already moved on.  Discard.
+                self.metrics.counter("executor.stale_results").inc()
+                continue
+            key, _dl = rec
             if isinstance(item, BaseException):
                 self.metrics.counter("executor.worker_failures").inc()
-                raise _Degraded(f"worker failed: {item!r}")
-            kind, label, idx, val, spans = item
-            if spans:
-                # Lane per OS worker: spans carry the worker pid.
-                pid = spans[0].get("attrs", {}).get("pid")
-                tracer.adopt(spans, key=pid)
-            if kind == "sign":
-                on_sign(label, idx, val)
-            else:
-                on_gap(label, idx, val)
+                tracer.event("executor_task_error", task=key[0],
+                             node=list(key[1]), index=key[2],
+                             error=repr(item))
+                task_failed(key, "error")
+                continue
+            pool_successes += 1
+            breaker.record_success()
+            if key in done_keys:
+                self.metrics.counter("executor.stale_results").inc()
+                continue
+            deliver(item)
+
+        if timeouts_this_call and pool_successes == 0:
+            # Every pool interaction this call ended in a timeout: the
+            # pool is likely wedged (e.g. a worker died holding the
+            # shared queue lock).  Discard it so the next call starts
+            # from a fresh pool instead of timing out again.
+            tracer.event("executor_pool_suspect",
+                         timeouts=timeouts_this_call)
+            self._discard_pool()
 
         return roots[root_label]

@@ -17,13 +17,26 @@ timing is reproducible rather than left to OS races:
 * **worker death** (``kill_at``): the task body SIGKILLs *its own
   worker process* mid-task — the deterministic rendering of "a worker
   died while holding work".  The task's result never arrives, so the
-  run times out (``executor.task_timeouts``), the pid change is
-  detected (``executor.worker_failures``), and the run degrades.
+  task times out (``executor.task_timeouts``) and the pid change is
+  detected (``executor.worker_failures``).
+* **slow task** (``slow_at``): the task body sleeps ``slow_seconds``
+  and then runs the *real* task — deterministic latency injection.
+  Below the executor's ``task_timeout`` it exercises the
+  nothing-should-happen path (no timeout, no retry); above it, the
+  retry resubmits while the slow original eventually returns a late
+  result the executor must discard as stale
+  (``executor.stale_results``).
 
-In every scenario the call still returns the exact, sequential-parity
-answer (the degradation path increments ``executor.fallbacks``); the
-fault-injection tests close the loop by certifying that answer with
-:func:`repro.core.certify.certify_roots`.
+Since PR 5 the executor owns a resilience layer
+(:mod:`repro.resilience`): a faulted task is **retried** on a fresh
+worker (``executor.retries``), repeated failures trip a circuit
+breaker (``executor.breaker_open``) that routes task bodies to the
+parent process, and only a broken pool degrades the whole call
+(``executor.fallbacks``).  In every scenario the call still returns
+the exact, sequential-parity answer; the fault-matrix tests close the
+loop by certifying that answer with
+:func:`repro.core.certify.certify_roots` and asserting the exact
+counter increments.
 
 Attach a plan via ``ParallelRootFinder(..., faults=FaultPlan(...))``;
 the executor calls :meth:`FaultPlan.intercept` once per submission.
@@ -45,6 +58,7 @@ __all__ = [
     "poison_worker",
     "stall_worker",
     "suicide_worker",
+    "slow_worker",
 ]
 
 
@@ -67,6 +81,18 @@ def stall_worker(args: Any) -> Any:
     raise InjectedFault("stalled task woke up (fault injection)")
 
 
+def slow_worker(args: Any) -> Any:
+    """Pool task body that injects latency, then runs the real task.
+
+    ``args = (seconds, fn, payload)``.  Unlike :func:`stall_worker` the
+    answer it eventually produces is *correct* — the interesting part
+    is when it arrives relative to the executor's per-task deadline.
+    """
+    seconds, fn, payload = args
+    time.sleep(float(seconds))
+    return fn(payload)
+
+
 def suicide_worker(args: Any) -> Any:
     """Pool task body that SIGKILLs its own worker process.
 
@@ -82,25 +108,32 @@ def suicide_worker(args: Any) -> Any:
 class FaultPlan:
     """Deterministic fault schedule keyed by dispatch index.
 
-    ``poison_at`` / ``stall_at`` / ``kill_at`` are collections of
-    submission indices (0-based, in executor dispatch order) whose task
-    bodies are replaced by the corresponding fault.  ``injected``
-    records ``(index, kind)`` for every replacement actually made, so
-    tests can assert the schedule fired.
+    ``poison_at`` / ``stall_at`` / ``kill_at`` / ``slow_at`` are
+    collections of submission indices (0-based, in executor dispatch
+    order — retries consume fresh indices) whose task bodies are
+    replaced by the corresponding fault.  ``injected`` records
+    ``(index, kind)`` for every replacement actually made, so tests can
+    assert the schedule fired.
     """
 
     poison_at: frozenset[int] = frozenset()
     stall_at: frozenset[int] = frozenset()
     kill_at: frozenset[int] = frozenset()
+    slow_at: frozenset[int] = frozenset()
     stall_seconds: float = 60.0
+    slow_seconds: float = 0.5
     injected: list[tuple[int, str]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.poison_at = frozenset(self.poison_at)
         self.stall_at = frozenset(self.stall_at)
         self.kill_at = frozenset(self.kill_at)
-        overlap = (self.poison_at & self.stall_at) | \
-            (self.poison_at & self.kill_at) | (self.stall_at & self.kill_at)
+        self.slow_at = frozenset(self.slow_at)
+        sets = [self.poison_at, self.stall_at, self.kill_at, self.slow_at]
+        overlap: frozenset[int] = frozenset()
+        for i, a in enumerate(sets):
+            for b in sets[i + 1:]:
+                overlap |= a & b
         if overlap:
             raise ValueError(f"conflicting faults at indices {sorted(overlap)}")
 
@@ -121,4 +154,7 @@ class FaultPlan:
         if index in self.stall_at:
             self.injected.append((index, "stall"))
             return stall_worker, (self.stall_seconds,)
+        if index in self.slow_at:
+            self.injected.append((index, "slow"))
+            return slow_worker, (self.slow_seconds, fn, payload)
         return fn, payload

@@ -1,0 +1,127 @@
+"""Unit tests for the circuit breaker's state machine, driven by a fake
+clock so every transition is deterministic."""
+
+import pytest
+
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make(clock, threshold=3, cooldown=10.0, transitions=None):
+    b = CircuitBreaker(failure_threshold=threshold,
+                       cooldown_seconds=cooldown, clock=clock)
+    if transitions is not None:
+        b.on_transition = lambda old, new: transitions.append((old, new))
+    return b
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, clock):
+        b = make(clock)
+        assert b.state == BREAKER_CLOSED
+        assert b.allow() and b.allow()
+
+    def test_success_resets_the_streak(self, clock):
+        b = make(clock, threshold=3)
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == BREAKER_CLOSED  # never 3 consecutive
+
+    def test_threshold_consecutive_failures_trip_it(self, clock):
+        transitions = []
+        b = make(clock, threshold=3, transitions=transitions)
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == BREAKER_OPEN
+        assert transitions == [(BREAKER_CLOSED, BREAKER_OPEN)]
+
+
+class TestOpen:
+    def test_blocks_until_cooldown(self, clock):
+        b = make(clock, threshold=1, cooldown=10.0)
+        b.record_failure()
+        assert not b.allow()
+        clock.advance(9.9)
+        assert not b.allow()
+
+    def test_cooldown_expiry_half_opens_with_one_probe(self, clock):
+        transitions = []
+        b = make(clock, threshold=1, cooldown=10.0, transitions=transitions)
+        b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()  # the probe
+        assert b.state == BREAKER_HALF_OPEN
+        assert not b.allow()  # only one probe at a time
+        assert transitions == [(BREAKER_CLOSED, BREAKER_OPEN),
+                               (BREAKER_OPEN, BREAKER_HALF_OPEN)]
+
+
+class TestHalfOpen:
+    def _half_open(self, clock, transitions=None):
+        b = make(clock, threshold=1, cooldown=5.0, transitions=transitions)
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allow()
+        return b
+
+    def test_probe_success_closes(self, clock):
+        transitions = []
+        b = self._half_open(clock, transitions)
+        b.record_success()
+        assert b.state == BREAKER_CLOSED
+        assert transitions[-1] == (BREAKER_HALF_OPEN, BREAKER_CLOSED)
+        assert b.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        b = self._half_open(clock)
+        clock.advance(4.0)
+        b.record_failure()
+        assert b.state == BREAKER_OPEN
+        clock.advance(4.9)  # cool-down restarted at the probe failure
+        assert not b.allow()
+        clock.advance(0.1)
+        assert b.allow()
+        assert b.state == BREAKER_HALF_OPEN
+
+    def test_probe_slot_frees_after_close(self, clock):
+        b = self._half_open(clock)
+        b.record_success()
+        assert b.allow() and b.allow()  # closed again: no probe gating
+
+
+class TestValidationAndCallback:
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=-1.0)
+
+    def test_no_callback_on_same_state(self, clock):
+        transitions = []
+        b = make(clock, threshold=3, transitions=transitions)
+        b.record_failure()
+        b.record_success()
+        assert transitions == []

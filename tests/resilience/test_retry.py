@@ -1,0 +1,41 @@
+"""Unit tests for the retry policy's deterministic backoff schedule."""
+
+import pytest
+
+from repro.resilience import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        r = RetryPolicy()
+        assert r.max_retries == 2
+        assert r.delay(1) == pytest.approx(0.05)
+        assert r.delay(2) == pytest.approx(0.10)
+
+    def test_exponential_then_capped(self):
+        r = RetryPolicy(max_retries=10, backoff_base=0.5,
+                        backoff_factor=2.0, backoff_max=3.0)
+        assert [r.delay(a) for a in (1, 2, 3, 4, 5)] == [
+            0.5, 1.0, 2.0, 3.0, 3.0  # capped at backoff_max
+        ]
+
+    def test_zero_retries_allowed(self):
+        assert RetryPolicy(max_retries=0).max_retries == 0
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=1.0, backoff_max=0.5)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RetryPolicy().max_retries = 5

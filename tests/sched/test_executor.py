@@ -138,9 +138,11 @@ class TestParallelFinder:
         # task_timeout bounds the post-kill call: if the victim died
         # holding the inqueue read-lock (a ~50/50 race — an idle worker
         # blocks in recv *inside* the lock), the respawned worker can
-        # never read tasks and only the timeout fallback saves the call.
+        # never read tasks; every attempt then times out, the breaker
+        # trips, and the tasks complete in-parent (per-node degradation)
+        # while the wedged pool is discarded for the next call.
         with ParallelRootFinder(mu=12, processes=2,
-                                task_timeout=15.0) as par:
+                                task_timeout=3.0) as par:
             assert par.find_roots_scaled(p) == ref.scaled
             victim = par.worker_pids()[0]
             os.kill(victim, signal.SIGKILL)
@@ -153,6 +155,7 @@ class TestParallelFinder:
                 time.sleep(0.05)
             assert victim not in par.worker_pids()
             # The exact answer comes back either way: pipelined on the
-            # respawned pool, or sequentially if the lock was orphaned.
+            # respawned pool, or in-parent if the lock was orphaned —
+            # the whole-polynomial fallback is never needed.
             assert par.find_roots_scaled(p) == ref.scaled
-            assert par.fallback_count in (0, 1)
+            assert par.fallback_count == 0

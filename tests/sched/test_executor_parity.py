@@ -83,14 +83,18 @@ def test_pool_reused_across_calls():
 
 
 @pytest.mark.slow
-def test_timeout_falls_back_to_sequential():
+def test_timeout_degrades_per_node_not_whole_poly():
     p = IntPoly.from_roots([-7, -2, 4, 9])
     # No pool worker can possibly finish within 0.1ms of dispatch (the
-    # spawned interpreters are still booting), so the timeout triggers
-    # deterministically and the call must still return the exact answer.
+    # spawned interpreters are still booting), so every attempt times
+    # out deterministically.  The degradation ladder finishes each task
+    # in-parent — never the whole-polynomial sequential fallback — and
+    # the call must still return the exact answer.
     with ParallelRootFinder(mu=MU, processes=2, task_timeout=1e-4) as f:
         assert f.find_roots_scaled(p) == sequential_scaled(p)
-        assert f.fallback_count == 1
+        assert f.fallback_count == 0
+        assert f.metrics.counter("executor.task_timeouts").value > 0
+        assert f.metrics.counter("executor.inline_tasks").value > 0
         assert f.worker_pids() == [], "wedged pool is discarded"
 
 

@@ -1,0 +1,27 @@
+"""Hang guard for the executor suites.
+
+These tests drive a real multiprocessing pool through injected faults
+(stalls, SIGKILLed workers, orphaned queue locks), so the worst failure
+mode is not a wrong answer but a *hang*.  ``faulthandler`` arms a
+per-test watchdog that dumps every thread's traceback and hard-exits
+if a single test exceeds ``REPRO_TEST_TIMEOUT`` seconds (default 180;
+0 disables) — no third-party timeout plugin required.
+"""
+
+import faulthandler
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    timeout = float(os.environ.get("REPRO_TEST_TIMEOUT", "180"))
+    if timeout <= 0:
+        yield
+        return
+    faulthandler.dump_traceback_later(timeout, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
