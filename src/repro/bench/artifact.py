@@ -32,6 +32,7 @@ __all__ = [
     "bench_artifact",
     "add_sequential_metrics",
     "add_parallel_metrics",
+    "add_parallel_rollup",
     "artifact_path",
     "save_bench_artifact",
 ]
@@ -117,6 +118,27 @@ def add_parallel_metrics(
         artifact.add_metric(f"{stem}.critical_path", r.critical_path)
         for p, makespan in sorted(r.makespans.items()):
             artifact.add_metric(f"{stem}.makespan.p{p}", makespan)
+    return artifact
+
+
+def add_parallel_rollup(
+    artifact: BenchArtifact, rollup: Mapping[str, Any]
+) -> BenchArtifact:
+    """Attach a real-run executor rollup to the artifact.
+
+    ``rollup`` is :func:`repro.obs.rollup.parallel_rollup`'s dict (an
+    empty one is a no-op — the run degraded to sequential).  Stores the
+    whole rollup in the artifact's ``parallel`` section (the
+    lane-level input for ``repro diff``) and derives the two
+    informational wall metrics the gate tracks.
+    """
+    if not rollup:
+        return artifact
+    artifact.parallel = dict(rollup)
+    artifact.add_metric("parallel.efficiency", rollup["efficiency"],
+                        kind="wall")
+    artifact.add_metric("parallel.idle_tail_fraction",
+                        rollup["idle_tail_fraction"], kind="wall")
     return artifact
 
 

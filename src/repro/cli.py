@@ -22,12 +22,21 @@ Commands:
 * ``fuzz`` — seeded differential fuzzing: adversarial inputs through
   every engine pair, bit-exact agreement asserted and every claim
   closed by the exact Sturm certificate (:mod:`repro.verify`).
+* ``runs`` — list/show records of the append-only cross-run
+  performance ledger (:mod:`repro.obs.ledger`); ``bench`` appends a
+  record per run by default, ``roots``/``batch`` with ``--ledger``.
+* ``diff`` — phase/histogram/worker-lane diff of two runs, each named
+  by a ledger run-id prefix or a ``BENCH_*.json`` artifact path
+  (:mod:`repro.obs.tracediff`).
 
 ``roots``, ``eigvals``, and ``speedup`` accept ``--trace out.jsonl``
 (structured JSONL event log, see :mod:`repro.obs.events`) and
 ``--chrome-trace out.json`` (Chrome trace-event timeline, loadable in
 Perfetto; real spans for ``roots``/``eigvals``, simulated
-per-processor lanes for ``speedup``).  See docs/OBSERVABILITY.md.
+per-processor lanes for ``speedup``).  ``roots``/``bench``/``batch``
+also accept ``--profile out.folded`` — an opt-in sampling profile in
+collapsed-stack form (:mod:`repro.obs.profile`).  See
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -87,6 +96,75 @@ def _add_trace_args(sp: argparse.ArgumentParser) -> None:
                     help="write a structured JSONL event log of the run")
     sp.add_argument("--chrome-trace", metavar="PATH",
                     help="write a Chrome trace-event JSON (open in Perfetto)")
+
+
+def _add_profile_arg(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument("--profile", metavar="PATH",
+                    help="sample the run and write a collapsed-stack "
+                         "profile (flamegraph.pl / speedscope input)")
+
+
+def _write_profile(path: str, folded: dict) -> None:
+    """Write one collapsed-stack profile, reporting on stderr."""
+    from repro.obs.profile import write_collapsed
+
+    try:
+        write_collapsed(path, folded)
+    except OSError as e:
+        raise SystemExit(f"cannot write --profile file: {e}") from e
+    print(f"profile: wrote {path} ({len(folded)} stacks, "
+          f"{sum(folded.values())} samples)", file=sys.stderr)
+
+
+def _ledger_append(record, tier: str = "local") -> None:
+    """Append one run record to the ledger, reporting on stderr.
+
+    Ledger trouble (read-only results dir, ...) must not fail the run
+    that produced the answer, so failures are warnings.
+    """
+    from repro.obs.ledger import Ledger
+
+    try:
+        path = Ledger().append(record, tier=tier)
+    except OSError as e:
+        print(f"warning: could not append to run ledger: {e}",
+              file=sys.stderr)
+        return
+    print(f"ledger: appended run {record.run_id} to {path}",
+          file=sys.stderr)
+
+
+def _run_record(command: str, params: dict, name: str = "",
+                counter: CostCounter | None = None, tracer=None,
+                registry=None):
+    """A :class:`repro.obs.ledger.RunRecord` for a non-bench command.
+
+    Folds whatever observability the run had: per-phase bit costs from
+    ``counter``, per-phase walls and the parallel rollup from
+    ``tracer``'s spans, reliability counters from ``registry``.
+    """
+    from repro.obs.ledger import RunRecord
+
+    rec = RunRecord(command=command, name=name, params=params)
+    if counter is not None:
+        rec.add_metric("bit_cost", counter.total_bit_cost)
+        rec.add_metric("mul_count", counter.mul_count)
+        for ph, st in counter.stats.items():
+            if st.op_count or st.total_bit_cost:
+                rec.phases[ph] = {"bit_cost": st.total_bit_cost,
+                                  "wall_ns": 0}
+    if tracer is not None:
+        from repro.obs.rollup import parallel_rollup, phase_wall_ns
+
+        for ph, ns in phase_wall_ns(tracer.spans).items():
+            rec.phases.setdefault(ph, {"bit_cost": 0, "wall_ns": 0})
+            rec.phases[ph]["wall_ns"] = ns
+        rec.parallel = parallel_rollup(tracer.spans) or {}
+    if registry is not None:
+        from repro.obs.metrics import reliability_rollup
+
+        rec.reliability = reliability_rollup(registry)
+    return rec
 
 
 class _TraceSession:
@@ -156,12 +234,25 @@ def cmd_roots(args: argparse.Namespace) -> int:
     mu = _mu_bits(args)
     session = _TraceSession(args, "roots", degree=p.degree, mu_bits=mu,
                             strategy=args.strategy)
+    counter = session.counter
+    if args.ledger and counter is None:
+        counter = CostCounter()  # the ledger entry needs real costs
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
     finder = RealRootFinder(mu_bits=mu, strategy=args.strategy,
-                            counter=session.counter, tracer=session.tracer,
+                            counter=counter, tracer=session.tracer,
                             budget=_budget_from_args(args))
     try:
         result = finder.find_roots(p)
     except BudgetExceeded as e:
+        if profiler is not None:
+            from repro.obs.profile import collapse
+
+            profiler.stop()
+            _write_profile(args.profile, collapse(profiler.drain()))
         session.finish()
         part = e.partial
         if args.json:
@@ -186,7 +277,21 @@ def cmd_roots(args: argparse.Namespace) -> int:
             certify_roots(p, part.scaled, None, mu, partial=True)
             print("partial result certified exact.", file=sys.stderr)
         return 3
+    if profiler is not None:
+        from repro.obs.profile import collapse
+
+        profiler.stop()
+        _write_profile(args.profile, collapse(profiler.drain()))
     session.finish(stats=result.stats)
+    if args.ledger:
+        rec = _run_record(
+            "roots", {"degree": p.degree, "mu_bits": mu,
+                      "strategy": args.strategy},
+            counter=counter, tracer=session.tracer,
+        )
+        rec.add_metric("wall_seconds", result.elapsed_seconds, kind="wall")
+        rec.add_metric("n_roots", len(result))
+        _ledger_append(rec)
     if args.json:
         print(json.dumps({
             "mu_bits": mu,
@@ -358,6 +463,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.artifact import (
+        add_parallel_rollup,
         add_sequential_metrics,
         artifact_path,
         bench_artifact,
@@ -366,8 +472,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.workloads import square_free_characteristic_input
     from repro.obs.perf import (
         compare_artifacts,
-        format_diff_table,
         read_artifact,
+        render_gate_report,
         write_artifact,
     )
     from repro.obs.rollup import parallel_rollup
@@ -382,6 +488,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     session = _TraceSession(args, "bench", **params)
     artifact = bench_artifact(args.name, params)
 
+    seq_profiler = None
+    if args.profile and args.processes == 0:
+        # No parallel stage to profile: sample the sequential loop.
+        from repro.obs.profile import SamplingProfiler
+
+        seq_profiler = SamplingProfiler().start()
     records = []
     for n in degrees:
         inp = square_free_characteristic_input(n, args.seed)
@@ -390,7 +502,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"  n={n:<3d} mu={args.digits}d: {rec.n_roots} roots, "
               f"bit cost {rec.total_bit_cost}, wall {rec.wall_seconds:.3f}s")
     add_sequential_metrics(artifact, records)
+    if seq_profiler is not None:
+        from repro.obs.profile import collapse
 
+        seq_profiler.stop()
+        _write_profile(args.profile, collapse(seq_profiler.drain()))
+
+    registry = None
     if args.processes > 0:
         # Parallel telemetry stage: the largest pinned input through the
         # real executor, always traced so the utilization rollup and
@@ -405,7 +523,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                                 tracer=tracer) as finder:
             finder.find_roots_scaled(inp.poly)
             parallel_wall = time.perf_counter() - t0
-            reg = finder.metrics
+            reg = registry = finder.metrics
             from repro.obs.metrics import reliability_rollup
 
             # The whole reliability vocabulary, zero-filled: the gate
@@ -419,12 +537,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
         artifact.add_metric("parallel.wall_seconds", parallel_wall,
                             kind="wall")
         rollup = parallel_rollup(tracer.spans)
-        if rollup:
-            artifact.add_metric("parallel.efficiency", rollup["efficiency"],
-                                kind="wall")
-            artifact.add_metric("parallel.idle_tail_fraction",
-                                rollup["idle_tail_fraction"], kind="wall")
+        add_parallel_rollup(artifact, rollup)
         _print_parallel_rollup(rollup)
+
+        if args.profile:
+            # Profiled re-run of the same pinned stage on a fresh pool:
+            # the wall delta against the unprofiled run above is the
+            # profiler's measured overhead (informational, not gated).
+            prof_counter = CostCounter()
+            prof_tracer = Tracer(counter=prof_counter)
+            t0 = time.perf_counter()
+            with ParallelRootFinder(mu=digits_to_bits(args.digits),
+                                    processes=args.processes,
+                                    counter=prof_counter,
+                                    tracer=prof_tracer,
+                                    profile=True) as pfinder:
+                pfinder.find_roots_scaled(inp.poly)
+                profiled_wall = time.perf_counter() - t0
+                folded = pfinder.profile_collapsed()
+            overhead = ((profiled_wall - parallel_wall) / parallel_wall
+                        if parallel_wall > 0 else 0.0)
+            artifact.add_metric("profile.overhead_fraction", overhead,
+                                kind="wall")
+            print(f"profile: overhead {overhead:+.1%} "
+                  f"({parallel_wall:.3f}s -> {profiled_wall:.3f}s)")
+            _write_profile(args.profile, folded)
 
     out = args.out if args.out else artifact_path(args.name)
     try:
@@ -435,6 +572,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"\nwrote {out} ({len(artifact.metrics)} metrics, "
           f"{len(artifact.histograms)} histograms)")
 
+    if args.ledger:
+        from repro.obs.ledger import record_from_artifact
+
+        _ledger_append(
+            record_from_artifact(artifact, command="bench",
+                                 registry=registry),
+            tier=args.ledger_tier,
+        )
+
     if args.check:
         try:
             baseline = read_artifact(args.check)
@@ -442,7 +588,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             raise SystemExit(f"cannot read baseline {args.check}: {e}") from e
         diffs = compare_artifacts(baseline, artifact)
         print(f"\nregression gate vs {args.check}:")
-        print(format_diff_table(diffs))
+        print(render_gate_report(baseline, artifact, diffs))
         if any(d.failed for d in diffs):
             return 1
     return 0
@@ -513,10 +659,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
     kwargs = {}
     if session.tracer is not None:
         kwargs = {"counter": session.counter, "tracer": session.tracer}
+    elif args.ledger:
+        kwargs = {"counter": CostCounter()}
     t0 = time.perf_counter()
     with ParallelRootFinder(mu=mu, processes=args.processes,
                             strategy=args.strategy,
-                            task_timeout=args.timeout, **kwargs) as finder:
+                            task_timeout=args.timeout,
+                            profile=bool(args.profile), **kwargs) as finder:
         try:
             results = finder.find_roots_many(polys, checkpoint=checkpoint)
         finally:
@@ -524,6 +673,19 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 checkpoint.close()
         elapsed = time.perf_counter() - t0
         fallbacks = finder.fallback_count
+        if args.profile:
+            _write_profile(args.profile, finder.profile_collapsed())
+        if args.ledger:
+            rec = _run_record(
+                "batch", {"count": len(polys), "mu_bits": mu,
+                          "processes": args.processes,
+                          "strategy": args.strategy},
+                counter=kwargs.get("counter"), tracer=session.tracer,
+                registry=finder.metrics,
+            )
+            rec.add_metric("wall_seconds", elapsed, kind="wall")
+            rec.add_metric("fallbacks", fallbacks)
+            _ledger_append(rec)
     resumed = checkpoint.hits if checkpoint is not None else 0
     session.finish()
     if args.json:
@@ -555,6 +717,80 @@ def cmd_batch(args: argparse.Namespace) -> int:
             else:
                 vals = "(no real roots reported)"
             print(f"  [{k}] degree {p.degree}: {vals}")
+    return 0
+
+
+def _rec_summary_value(rec, names: tuple[str, ...]):
+    for name in names:
+        if name in rec.metrics:
+            return rec.metrics[name]["value"]
+    return None
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import Ledger
+
+    led = Ledger()
+    if args.action == "show":
+        try:
+            rec = led.get(args.run_id, tier=args.tier)
+        except (KeyError, ValueError) as e:
+            raise SystemExit(str(e)) from e
+        print(json.dumps(rec.to_dict(), indent=2, sort_keys=True))
+        return 0
+    recs = led.query(command=args.filter_command, name=args.filter_name,
+                     tier=args.tier, limit=args.limit)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in recs]))
+        return 0
+    if not recs:
+        print("no ledger records (run `repro bench` or use --ledger)")
+        return 0
+    print(f"{'run id':<26} {'command':<8} {'name':<10} "
+          f"{'when (UTC)':<20} {'bit cost':>14} {'wall s':>8}")
+    print("-" * 92)
+    for r in recs:
+        when = time.strftime("%Y-%m-%d %H:%M:%S",
+                             time.gmtime(r.time_unix))
+        cost = _rec_summary_value(r, ("bit_cost",))
+        wall = _rec_summary_value(r, ("wall_seconds",))
+        print(f"{r.run_id:<26} {r.command:<8} {r.name or '-':<10} "
+              f"{when:<20} "
+              f"{cost if cost is not None else '-':>14} "
+              f"{f'{wall:.3f}' if wall is not None else '-':>8}")
+    return 0
+
+
+def _load_run_ref(ref: str):
+    """Resolve a ``repro diff`` operand: an artifact path or a ledger
+    run-id prefix."""
+    import os
+
+    if os.path.exists(ref):
+        from repro.obs.perf import read_artifact
+
+        try:
+            return read_artifact(ref)
+        except (OSError, ValueError, KeyError) as e:
+            raise SystemExit(f"cannot read artifact {ref}: {e}") from e
+    from repro.obs.ledger import Ledger
+
+    try:
+        return Ledger().get(ref)
+    except (KeyError, ValueError) as e:
+        raise SystemExit(str(e)) from e
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.tracediff import diff_runs
+
+    a = _load_run_ref(args.run_a)
+    b = _load_run_ref(args.run_b)
+    td = diff_runs(a, b)
+    if args.json:
+        print(json.dumps(td.to_dict(), sort_keys=True))
+    else:
+        print(td.format_table())
     return 0
 
 
@@ -609,7 +845,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="bit-operation budget (counted model cost); "
                          "partial results as with --deadline-seconds")
     sp.add_argument("--json", action="store_true")
+    sp.add_argument("--ledger", action="store_true",
+                    help="append this run to the local run ledger "
+                         "(see `repro runs`)")
     _add_trace_args(sp)
+    _add_profile_arg(sp)
     sp.set_defaults(func=cmd_roots)
 
     sp = sub.add_parser("eigvals", help="exact symmetric-matrix eigenvalues")
@@ -658,8 +898,18 @@ def build_parser() -> argparse.ArgumentParser:
                          "benchmarks/results/BENCH_<name>.json)")
     sp.add_argument("--check", metavar="BASELINE",
                     help="compare against a baseline artifact; exit 1 when "
-                         "a gated metric leaves its tolerance band")
+                         "a gated metric leaves its tolerance band "
+                         "(failures are phase-attributed via the trace diff)")
+    sp.add_argument("--ledger", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="append the run to the run ledger (default on; "
+                         "--no-ledger disables)")
+    sp.add_argument("--ledger-tier", choices=("local", "committed"),
+                    default="local",
+                    help="ledger tier to append to (default local; "
+                         "'committed' curates a trajectory point into git)")
     _add_trace_args(sp)
+    _add_profile_arg(sp)
     sp.set_defaults(func=cmd_bench)
 
     sp = sub.add_parser(
@@ -692,8 +942,44 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--fault-exit-after", type=int, default=0,
                     help=argparse.SUPPRESS)  # test hook: SIGKILL mid-batch
     sp.add_argument("--json", action="store_true")
+    sp.add_argument("--ledger", action="store_true",
+                    help="append this run to the local run ledger "
+                         "(see `repro runs`)")
     _add_trace_args(sp)
+    _add_profile_arg(sp)
     sp.set_defaults(func=cmd_batch)
+
+    sp = sub.add_parser(
+        "runs", help="query the append-only cross-run performance ledger"
+    )
+    runs_sub = sp.add_subparsers(dest="action", required=True)
+    lp = runs_sub.add_parser("list", help="list ledger records, newest first")
+    lp.add_argument("--command", dest="filter_command", metavar="CMD",
+                    help="only records of this command (roots/bench/batch)")
+    lp.add_argument("--name", dest="filter_name", metavar="NAME",
+                    help="only records with this bench name")
+    lp.add_argument("--limit", type=int, default=20,
+                    help="most recent N records (default 20)")
+    lp.add_argument("--tier", choices=("all", "local", "committed"),
+                    default="all")
+    lp.add_argument("--json", action="store_true",
+                    help="full records as a JSON array")
+    lp.set_defaults(func=cmd_runs)
+    gp = runs_sub.add_parser("show", help="dump one record as JSON")
+    gp.add_argument("run_id", help="run id (unique prefixes allowed)")
+    gp.add_argument("--tier", choices=("all", "local", "committed"),
+                    default="all")
+    gp.set_defaults(func=cmd_runs)
+
+    sp = sub.add_parser(
+        "diff",
+        help="phase/histogram/worker-lane diff of two runs (ledger run "
+             "ids or BENCH_*.json artifact paths)",
+    )
+    sp.add_argument("run_a", help="baseline: run-id prefix or artifact path")
+    sp.add_argument("run_b", help="candidate: run-id prefix or artifact path")
+    sp.add_argument("--json", action="store_true")
+    sp.set_defaults(func=cmd_diff)
 
     sp = sub.add_parser(
         "fuzz",

@@ -6,8 +6,13 @@ JSONL run logs (:mod:`repro.obs.events`), Chrome trace-event export for
 both real runs and simulated schedules (:mod:`repro.obs.chrometrace`),
 a counter/gauge/histogram registry (:mod:`repro.obs.metrics`), span
 rollups including the real-run utilization/parallel-efficiency summary
-(:mod:`repro.obs.rollup`), and versioned benchmark artifacts with a
-regression gate (:mod:`repro.obs.perf`).
+(:mod:`repro.obs.rollup`), versioned benchmark artifacts with a
+regression gate (:mod:`repro.obs.perf`), the append-only cross-run
+performance ledger (:mod:`repro.obs.ledger`), phase/lane trace diffing
+with regression attribution (:mod:`repro.obs.tracediff`), an opt-in
+sampling profiler with collapsed-stack/flamegraph output
+(:mod:`repro.obs.profile`), and Prometheus/OpenMetrics text exposition
+of any metrics registry (:mod:`repro.obs.export`).
 
 Quickstart::
 
@@ -49,9 +54,14 @@ from repro.obs.perf import (
     env_fingerprint,
     format_diff_table,
     read_artifact,
+    render_gate_report,
     validate_artifact,
     write_artifact,
 )
+from repro.obs.ledger import Ledger, RunRecord, record_from_artifact
+from repro.obs.tracediff import TraceDiff, diff_runs
+from repro.obs.profile import SamplingProfiler, collapse, write_collapsed
+from repro.obs.export import render_openmetrics, write_openmetrics
 from repro.obs.rollup import (
     level_wall_ns,
     parallel_rollup,
@@ -84,8 +94,19 @@ __all__ = [
     "env_fingerprint",
     "format_diff_table",
     "read_artifact",
+    "render_gate_report",
     "validate_artifact",
     "write_artifact",
+    "Ledger",
+    "RunRecord",
+    "record_from_artifact",
+    "TraceDiff",
+    "diff_runs",
+    "SamplingProfiler",
+    "collapse",
+    "write_collapsed",
+    "render_openmetrics",
+    "write_openmetrics",
     "self_wall_ns",
     "phase_wall_ns",
     "level_wall_ns",

@@ -42,6 +42,38 @@ def _meta(pid: int, tid: int, name: str, what: str) -> dict[str, Any]:
             "args": {"name": name}}
 
 
+def _sort_meta(pid: int, tid: int, index: int) -> dict[str, Any]:
+    """Pin a lane's display position: viewers otherwise fall back to
+    first-appearance order, which depends on dict iteration."""
+    return {"ph": "M", "pid": pid, "tid": tid, "name": "thread_sort_index",
+            "args": {"sort_index": index}}
+
+
+def _track_labels(spans: Iterable[Span]) -> dict[int, str]:
+    """Stable, human-readable lane names keyed by track index.
+
+    The main process is ``main``; each worker lane is named by its
+    track index and — when the adopted spans carry a ``pid`` attr — the
+    worker's OS pid, so two traces of the same pool line up by worker
+    index while remaining identifiable (``worker-2 (pid 4711)``).
+    """
+    labels: dict[int, str] = {}
+    pids: dict[int, int] = {}
+    for sp in spans:
+        if sp.track != 0 and sp.track not in pids:
+            pid = sp.attrs.get("pid")
+            if pid is not None:
+                pids[sp.track] = pid
+    for tr in sorted({sp.track for sp in spans}):
+        if tr == 0:
+            labels[tr] = "main"
+        elif tr in pids:
+            labels[tr] = f"worker-{tr} (pid {pids[tr]})"
+        else:
+            labels[tr] = f"worker-{tr}"
+    return labels
+
+
 def worker_busy_series(
     spans: Iterable[Span],
 ) -> dict[int, list[tuple[int, int]]]:
@@ -70,12 +102,17 @@ def spans_to_chrome(
     process_name: str = "repro",
     counters: Iterable[tuple[int, str, float]] | None = None,
     worker_busy: bool = True,
+    profile: Iterable[tuple[int, tuple[str, ...]]] | None = None,
 ) -> dict[str, Any]:
     """Convert traced spans to a Chrome trace-event object.
 
     Each span track (main process, adopted workers) becomes one thread
-    lane.  Span ``args`` carry the phase, attrs, and the span's bit
-    cost so the cost currency is inspectable next to wall time.
+    lane with a stable human-readable name (``main``, ``worker-<track>
+    (pid N)``) and an explicit ``thread_sort_index`` pinned to the
+    worker index, so lane order is deterministic instead of
+    dict-iteration-dependent.  Span ``args`` carry the phase, attrs,
+    and the span's bit cost so the cost currency is inspectable next to
+    wall time.
 
     ``counters`` are ``(t_ns, name, value)`` samples (e.g.
     ``Tracer.counters`` filled by the executor's live telemetry); each
@@ -84,17 +121,26 @@ def spans_to_chrome(
     from adopted task spans (:func:`worker_busy_series`) are appended
     as ``worker-<track> busy`` counters — together these put queue
     depth and worker utilization next to the span timeline.
+
+    ``profile`` folds timestamped sampling-profiler samples
+    (:class:`repro.obs.profile.SamplingProfiler` ``(t_ns, stack)``
+    pairs, same clock as the spans) into a dedicated ``profiler`` lane
+    of instant events, hot stacks inspectable under the spans.
     """
     spans = [sp for sp in spans if sp.end_ns is not None]
     events: list[dict[str, Any]] = [_meta(pid, 0, process_name, "process_name")]
-    tracks = sorted({sp.track for sp in spans})
-    for tr in tracks:
-        label = "main" if tr == 0 else f"worker-{tr}"
-        events.append(_meta(pid, tr, label, "thread_name"))
+    labels = _track_labels(spans)
+    for index, tr in enumerate(sorted(labels)):
+        events.append(_meta(pid, tr, labels[tr], "thread_name"))
+        events.append(_sort_meta(pid, tr, index))
     counters = list(counters) if counters is not None else []
+    profile = list(profile) if profile is not None else []
     t0 = min(
         (sp.start_ns for sp in spans),
-        default=min((t for t, _, _ in counters), default=0),
+        default=min(
+            (t for t, _, _ in counters),
+            default=min((t for t, _ in profile), default=0),
+        ),
     )
     for sp in spans:
         args: dict[str, Any] = {"phase": sp.phase, **sp.attrs}
@@ -125,6 +171,14 @@ def spans_to_chrome(
                     "name": f"worker-{tr} busy", "cat": "telemetry",
                     "ts": (t_ns - t0) / 1000.0, "args": {"busy": busy},
                 })
+    if profile:
+        from repro.obs.profile import profile_chrome_events
+
+        prof_tid = max(labels, default=0) + 1
+        events.append(_meta(pid, prof_tid, "profiler", "thread_name"))
+        events.append(_sort_meta(pid, prof_tid, len(labels)))
+        events.extend(profile_chrome_events(profile, t0, pid=pid,
+                                            tid=prof_tid))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -129,14 +129,34 @@ class EventLog:
 
 
 def read_events(path: str) -> list[dict[str, Any]]:
-    """Parse a JSONL event log back into a list of dicts."""
+    """Parse a JSONL event log back into a list of dicts.
+
+    A syntactically broken line fails with its file position
+    (``path:lineno``) and a truncated copy of the offending text, so a
+    corrupted log points at itself.
+    """
     out = []
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                out.append(json.loads(line))
+        for lineno, line in enumerate(fh, 1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                out.append(json.loads(stripped))
+            except json.JSONDecodeError as e:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid JSON ({e.msg}): "
+                    f"{_truncated(stripped)}"
+                ) from e
     return out
+
+
+def _truncated(payload: Any, limit: int = 120) -> str:
+    """A bounded rendering of one event for error messages."""
+    text = payload if isinstance(payload, str) else json.dumps(
+        payload, separators=(",", ":"), default=repr
+    )
+    return text if len(text) <= limit else text[: limit - 3] + "..."
 
 
 def validate_events(events: Iterable[dict[str, Any]]) -> None:
@@ -147,33 +167,58 @@ def validate_events(events: Iterable[dict[str, Any]]) -> None:
     footer with per-phase totals is present, the cost deltas of the
     *top-level* spans sum exactly to those totals — i.e. the trace
     accounts for every charged bit operation.
+
+    Every structural failure is reported with the offending event's
+    line number (events are one per line in an :class:`EventLog` file)
+    and a truncated copy of its payload.
     """
     events = list(events)
     if not events:
         raise ValueError("empty event log")
     if events[0].get("ev") != "run":
-        raise ValueError("first event must be the 'run' header")
+        raise ValueError(
+            "first event must be the 'run' header "
+            f"(line 1: {_truncated(events[0])})"
+        )
 
     opened: dict[int, dict[str, Any]] = {}
+    open_line: dict[int, int] = {}
     closed: dict[int, dict[str, Any]] = {}
-    for ev in events:
+    for lineno, ev in enumerate(events, 1):
         kind = ev.get("ev")
         if kind == "span_open":
             if ev["id"] in opened:
-                raise ValueError(f"span {ev['id']} opened twice")
+                raise ValueError(
+                    f"span {ev['id']} opened twice "
+                    f"(line {lineno}: {_truncated(ev)}; first opened at "
+                    f"line {open_line[ev['id']]})"
+                )
             opened[ev["id"]] = ev
+            open_line[ev["id"]] = lineno
         elif kind == "span_close":
             if ev["id"] not in opened:
-                raise ValueError(f"span {ev['id']} closed but never opened")
+                raise ValueError(
+                    f"span {ev['id']} closed but never opened "
+                    f"(line {lineno}: {_truncated(ev)})"
+                )
             if ev["id"] in closed:
-                raise ValueError(f"span {ev['id']} closed twice")
+                raise ValueError(
+                    f"span {ev['id']} closed twice "
+                    f"(line {lineno}: {_truncated(ev)})"
+                )
             closed[ev["id"]] = ev
     unclosed = set(opened) - set(closed)
     if unclosed:
-        raise ValueError(f"spans never closed: {sorted(unclosed)}")
+        first = min(unclosed, key=lambda sid: open_line[sid])
+        raise ValueError(
+            f"spans never closed: {sorted(unclosed)} (span {first} opened "
+            f"at line {open_line[first]}: {_truncated(opened[first])})"
+        )
 
-    footers = [ev for ev in events if ev.get("ev") == "run_end"]
-    if footers and "phases" in footers[-1]:
+    footers = [(n, ev) for n, ev in enumerate(events, 1)
+               if ev.get("ev") == "run_end"]
+    if footers and "phases" in footers[-1][1]:
+        footer_line, footer = footers[-1]
         totals: dict[str, list[int]] = {}
         for sid, ev in closed.items():
             if opened[sid].get("parent") is not None:
@@ -183,10 +228,12 @@ def validate_events(events: Iterable[dict[str, Any]]) -> None:
                 for k in range(6):
                     acc[k] += vals[k]
         expect = {
-            ph: vals for ph, vals in footers[-1]["phases"].items()
+            ph: vals for ph, vals in footer["phases"].items()
             if any(vals)
         }
         if totals != expect:
             raise ValueError(
-                f"span costs do not sum to counter totals: {totals} != {expect}"
+                f"span costs do not sum to counter totals: "
+                f"{totals} != {expect} "
+                f"(footer at line {footer_line}: {_truncated(footer)})"
             )

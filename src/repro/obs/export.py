@@ -1,0 +1,147 @@
+"""Prometheus / OpenMetrics text-format export of a metrics registry.
+
+This is the scrape surface for the planned ``repro serve`` daemon:
+any :class:`repro.obs.metrics.MetricsRegistry` renders to the
+OpenMetrics text exposition format (:func:`render_openmetrics`) or to a
+JSON-safe snapshot dict (:func:`snapshot`), so external scrapers and
+dashboards can watch the executor's live counters without knowing
+anything about the repo's internals.
+
+Mapping rules:
+
+* metric names are sanitized to ``[a-zA-Z_][a-zA-Z0-9_]*`` and
+  prefixed with a namespace (``executor.queue_depth`` becomes
+  ``repro_executor_queue_depth``);
+* :class:`~repro.obs.metrics.Counter` renders as an OpenMetrics
+  ``counter`` with the mandatory ``_total`` sample suffix;
+* :class:`~repro.obs.metrics.Gauge` renders as a ``gauge``;
+* :class:`~repro.obs.metrics.Histogram` renders as a ``histogram``
+  with **cumulative** ``_bucket{le="..."}`` samples.  The registry's
+  power-of-two buckets (bucket ``k`` counts observations with
+  ``bit_length() == k``) map to upper bounds ``le="0"``, ``le="1"``,
+  ``le="3"``, ``le="7"``, ... — strictly increasing, so cumulative
+  counts are monotone by construction — plus the required
+  ``le="+Inf"`` / ``_sum`` / ``_count`` samples.
+
+Every metric gets ``# HELP`` and ``# TYPE`` lines and the exposition
+ends with ``# EOF`` as OpenMetrics requires.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import IO, Any, Mapping
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "sanitize_metric_name",
+    "render_openmetrics",
+    "snapshot",
+    "write_openmetrics",
+    "CONTENT_TYPE",
+]
+
+#: HTTP ``Content-Type`` for the OpenMetrics text exposition format —
+#: what the daemon's ``/metrics`` endpoint will serve.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str, namespace: str = "repro") -> str:
+    """OpenMetrics-legal metric name: namespaced, ``[a-zA-Z0-9_]`` only.
+
+    Dots and any other illegal characters become underscores;
+    ``namespace`` (itself sanitized) is prepended with an underscore.
+    A name that would start with a digit gains a leading underscore.
+    """
+    out = _INVALID.sub("_", name)
+    if namespace:
+        out = f"{_INVALID.sub('_', namespace)}_{out}"
+    if out[:1].isdigit():
+        out = "_" + out
+    return out
+
+
+def _fmt(v: float) -> str:
+    """Sample value rendering: integers without a trailing ``.0``."""
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v)
+
+
+def _bucket_upper(k: int) -> int:
+    """Upper bound of power-of-two bucket ``k`` (``bit_length() == k``)."""
+    return 0 if k == 0 else (1 << k) - 1
+
+
+def _render_histogram(name: str, h: Histogram, lines: list[str]) -> None:
+    cumulative = 0
+    for k in sorted(h.buckets):
+        cumulative += h.buckets[k]
+        lines.append(
+            f'{name}_bucket{{le="{_bucket_upper(k)}"}} {cumulative}'
+        )
+    lines.append(f'{name}_bucket{{le="+Inf"}} {h.count}')
+    lines.append(f"{name}_sum {h.total}")
+    lines.append(f"{name}_count {h.count}")
+
+
+def render_openmetrics(
+    registry: MetricsRegistry,
+    namespace: str = "repro",
+    help_texts: Mapping[str, str] | None = None,
+) -> str:
+    """The registry in OpenMetrics text exposition format.
+
+    Metrics render in sorted-name order, each with its ``# HELP`` /
+    ``# TYPE`` preamble (``help_texts`` may override the default help
+    string per *original* metric name); the exposition is terminated by
+    the mandatory ``# EOF`` line.
+    """
+    lines: list[str] = []
+    for raw in registry.names():
+        m = registry._metrics[raw]
+        name = sanitize_metric_name(raw, namespace)
+        help_text = (help_texts or {}).get(raw) or f"repro metric {raw}"
+        lines.append(f"# HELP {name} {help_text}")
+        if isinstance(m, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}_total {_fmt(float(m.value))}")
+        elif isinstance(m, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(m.value)}")
+        elif isinstance(m, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            _render_histogram(name, m, lines)
+        else:  # pragma: no cover - registry only holds the three kinds
+            raise TypeError(f"cannot export metric type {type(m).__name__}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(registry: MetricsRegistry) -> dict[str, Any]:
+    """JSON-safe point-in-time dump of the registry.
+
+    The dict API the daemon will mount next to the text endpoint:
+    ``{"time_unix": ..., "metrics": {name: as_dict()}}`` — every metric
+    kind keeps its full shape (histogram buckets included), unlike the
+    flattened text format.
+    """
+    return {"time_unix": time.time(), "metrics": registry.as_dict()}
+
+
+def write_openmetrics(
+    path_or_file: str | IO[str],
+    registry: MetricsRegistry,
+    namespace: str = "repro",
+) -> None:
+    """Serialize :func:`render_openmetrics` output to a path or file."""
+    payload = render_openmetrics(registry, namespace=namespace)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    else:
+        path_or_file.write(payload)

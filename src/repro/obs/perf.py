@@ -20,14 +20,22 @@ An artifact carries four sections:
 * ``histograms`` / ``phases`` — the interval-solver iteration
   distributions (sieve steps / bisections / Newton iterations per
   solve) and the per-phase bit-cost / wall rollups, kept for plotting
-  and drill-down (not gated).
+  and drill-down (not gated);
+* ``parallel`` — the executor's
+  :func:`repro.obs.rollup.parallel_rollup` (makespan, efficiency,
+  per-worker lanes) when the bench ran a pool stage, so
+  :mod:`repro.obs.tracediff` can attribute regressions to worker
+  lanes as well as phases.
 
 The gate (:func:`compare_artifacts`) applies per-metric tolerance
 bands: a baseline may override the default band for any metric via its
 ``tolerances`` section; otherwise ``count`` metrics must match within
 ``DEFAULT_COUNT_RTOL`` and ``wall`` metrics never fail.
 :func:`format_diff_table` renders the comparison the way the paper's
-tables juxtapose predicted and observed columns.
+tables juxtapose predicted and observed columns, and
+:func:`render_gate_report` appends the :mod:`repro.obs.tracediff`
+phase-attribution table whenever the gate fails — the failure names
+the regressed *phase*, not just the metric.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ __all__ = [
     "validate_artifact",
     "compare_artifacts",
     "format_diff_table",
+    "render_gate_report",
     "read_artifact",
     "write_artifact",
 ]
@@ -96,6 +105,8 @@ class BenchArtifact:
     metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
     histograms: dict[str, dict[str, Any]] = field(default_factory=dict)
     phases: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: executor parallel rollup (``{}`` when the run had no pool stage).
+    parallel: dict[str, Any] = field(default_factory=dict)
     env: dict[str, Any] = field(default_factory=env_fingerprint)
     tolerances: dict[str, float] = field(default_factory=dict)
     created_unix: float = field(default_factory=time.time)
@@ -114,7 +125,7 @@ class BenchArtifact:
     # -- (de)serialization --------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe dump (inverse of :meth:`from_dict`)."""
-        return {
+        out = {
             "schema": SCHEMA,
             "name": self.name,
             "created_unix": self.created_unix,
@@ -125,6 +136,11 @@ class BenchArtifact:
             "phases": dict(self.phases),
             "tolerances": dict(self.tolerances),
         }
+        if self.parallel:
+            # Optional section: absent for sequential runs and in
+            # pre-existing artifacts, so the schema tag is unchanged.
+            out["parallel"] = dict(self.parallel)
+        return out
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "BenchArtifact":
@@ -136,6 +152,7 @@ class BenchArtifact:
             metrics={k: dict(v) for k, v in d["metrics"].items()},
             histograms=dict(d.get("histograms", {})),
             phases=dict(d.get("phases", {})),
+            parallel=dict(d.get("parallel", {})),
             env=dict(d.get("env", {})),
             tolerances=dict(d.get("tolerances", {})),
             created_unix=d.get("created_unix", 0.0),
@@ -304,3 +321,26 @@ def format_diff_table(diffs: Iterable[MetricDiff]) -> str:
         f"{n_fail} failed of {gated} gated metrics ({len(rows)} compared)"
     )
     return "\n".join(lines)
+
+
+def render_gate_report(
+    baseline: BenchArtifact,
+    current: BenchArtifact,
+    diffs: Iterable[MetricDiff],
+) -> str:
+    """The full gate output: diff table, plus attribution on failure.
+
+    When any metric breaches its band, the
+    :mod:`repro.obs.tracediff` decomposition of the two artifacts is
+    appended so the failure names the dominant *phase* (and worker
+    lane) behind each regressed metric — "remainder bit-cost +12%"
+    instead of a bare metric name.
+    """
+    diffs = list(diffs)
+    out = [format_diff_table(diffs)]
+    if any(d.failed for d in diffs):
+        from repro.obs.tracediff import attribute, diff_runs
+
+        out.append("")
+        out.append(attribute(diffs, diff_runs(baseline, current)))
+    return "\n".join(out)

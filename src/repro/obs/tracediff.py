@@ -1,0 +1,381 @@
+"""Phase-level and worker-lane diffing of two runs: regression attribution.
+
+The bench gate (:func:`repro.obs.perf.compare_artifacts`) says *that* a
+gated metric moved; this module says *which phase or worker moved it*.
+Given any two run-shaped objects — :class:`repro.obs.perf.BenchArtifact`
+or :class:`repro.obs.ledger.RunRecord`, both carrying ``phases`` /
+``histograms`` / ``parallel`` sections — :func:`diff_runs` produces a
+:class:`TraceDiff` with:
+
+* **phase deltas** — per-phase bit-cost and exclusive-wall changes
+  (the paper's per-phase cost decomposition, differenced);
+* **histogram deltas** — solver-iteration distribution shifts
+  (sieve/bisection/Newton counts, queue-depth samples);
+* **worker-lane deltas** — per-lane busy time, task count, and
+  idle-tail changes from the parallel rollups, plus the headline
+  makespan/efficiency/idle-tail movement.
+
+:func:`attribute` joins a failed gate result to the trace diff: for
+every failing metric it names the dominant phase mover
+("``remainder`` bit-cost +12.3%"), failures first — the table ``repro
+bench --check`` prints instead of a bare metric name.  ``repro diff A
+B`` exposes the same comparison standalone for any two artifacts or
+ledger run ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.obs.perf import MetricDiff
+
+__all__ = [
+    "PhaseDelta",
+    "HistogramDelta",
+    "LaneDelta",
+    "TraceDiff",
+    "diff_phases",
+    "diff_histograms",
+    "diff_parallel",
+    "diff_runs",
+    "attribute",
+]
+
+
+def _rel(a: float | None, b: float | None) -> float | None:
+    """Relative change b vs a (None when not computable)."""
+    if a is None or b is None:
+        return None
+    if a == 0:
+        return 0.0 if b == 0 else float("inf")
+    return (b - a) / abs(a)
+
+
+def _fmt_rel(delta: float | None) -> str:
+    if delta is None:
+        return "-"
+    if delta == float("inf"):
+        return "+inf"
+    return f"{delta:+.1%}"
+
+
+def _fmt_int(v: float | None) -> str:
+    return "-" if v is None else f"{int(v)}"
+
+
+@dataclass
+class PhaseDelta:
+    """One phase's bit-cost / wall movement between two runs."""
+
+    name: str
+    bit_cost_a: int | None
+    bit_cost_b: int | None
+    wall_ns_a: int | None
+    wall_ns_b: int | None
+
+    @property
+    def bit_rel(self) -> float | None:
+        """Relative bit-cost change (None when either side is absent)."""
+        return _rel(self.bit_cost_a, self.bit_cost_b)
+
+    @property
+    def wall_rel(self) -> float | None:
+        """Relative exclusive-wall change."""
+        return _rel(self.wall_ns_a, self.wall_ns_b)
+
+    @property
+    def bit_abs(self) -> int:
+        """Absolute bit-cost movement (0 when not computable)."""
+        if self.bit_cost_a is None or self.bit_cost_b is None:
+            return self.bit_cost_b or self.bit_cost_a or 0
+        return abs(self.bit_cost_b - self.bit_cost_a)
+
+
+@dataclass
+class HistogramDelta:
+    """One histogram's summary-statistic movement between two runs."""
+
+    name: str
+    count_a: int
+    count_b: int
+    total_a: int
+    total_b: int
+    mean_a: float
+    mean_b: float
+    max_a: int | None
+    max_b: int | None
+
+    @property
+    def total_rel(self) -> float | None:
+        """Relative change of the summed observations."""
+        return _rel(self.total_a, self.total_b)
+
+    @property
+    def moved(self) -> bool:
+        """True when any summary statistic changed."""
+        return (self.count_a != self.count_b or self.total_a != self.total_b
+                or self.max_a != self.max_b)
+
+
+@dataclass
+class LaneDelta:
+    """One worker lane's movement between two parallel rollups."""
+
+    lane: int
+    busy_ns_a: int | None
+    busy_ns_b: int | None
+    tasks_a: int | None
+    tasks_b: int | None
+    idle_tail_ns_a: int | None
+    idle_tail_ns_b: int | None
+
+    @property
+    def busy_rel(self) -> float | None:
+        """Relative busy-time change."""
+        return _rel(self.busy_ns_a, self.busy_ns_b)
+
+
+@dataclass
+class TraceDiff:
+    """The full A-vs-B decomposition of two runs (see module docs)."""
+
+    phases: list[PhaseDelta] = field(default_factory=list)
+    histograms: list[HistogramDelta] = field(default_factory=list)
+    lanes: list[LaneDelta] = field(default_factory=list)
+    #: headline parallel numbers: name -> (a, b); present only when both
+    #: runs carried a parallel rollup.
+    parallel: dict[str, tuple[float | None, float | None]] = field(
+        default_factory=dict
+    )
+
+    def phase_movers(self) -> list[PhaseDelta]:
+        """Phases ordered by absolute bit-cost movement, biggest first
+        (ties broken by wall movement, then name)."""
+        return sorted(
+            self.phases,
+            key=lambda d: (-d.bit_abs, -(abs(d.wall_rel or 0.0)), d.name),
+        )
+
+    def dominant_phase(self, kind: str = "count") -> PhaseDelta | None:
+        """The phase that moved most on the axis matching a metric kind
+        (``count`` -> bit cost, ``wall`` -> exclusive wall); ``None``
+        when no phase moved at all."""
+        if kind == "wall":
+            ranked = sorted(
+                self.phases,
+                key=lambda d: -abs((d.wall_ns_b or 0) - (d.wall_ns_a or 0)),
+            )
+            if ranked and (ranked[0].wall_ns_a != ranked[0].wall_ns_b):
+                return ranked[0]
+            return None
+        movers = self.phase_movers()
+        if movers and movers[0].bit_abs:
+            return movers[0]
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dump (``repro diff --json``)."""
+        return {
+            "phases": [{
+                "name": d.name, "bit_cost": [d.bit_cost_a, d.bit_cost_b],
+                "wall_ns": [d.wall_ns_a, d.wall_ns_b],
+                "bit_rel": d.bit_rel, "wall_rel": d.wall_rel,
+            } for d in self.phase_movers()],
+            "histograms": [{
+                "name": d.name, "count": [d.count_a, d.count_b],
+                "total": [d.total_a, d.total_b], "max": [d.max_a, d.max_b],
+            } for d in self.histograms],
+            "lanes": [{
+                "lane": d.lane, "busy_ns": [d.busy_ns_a, d.busy_ns_b],
+                "tasks": [d.tasks_a, d.tasks_b],
+                "idle_tail_ns": [d.idle_tail_ns_a, d.idle_tail_ns_b],
+            } for d in self.lanes],
+            "parallel": {k: list(v) for k, v in self.parallel.items()},
+        }
+
+    def format_table(self) -> str:
+        """Readable A-vs-B decomposition, biggest phase movers first."""
+        lines: list[str] = []
+        header = (f"{'phase':28s} {'bit_cost A':>14s} {'bit_cost B':>14s} "
+                  f"{'delta':>8s} {'wall A(ms)':>10s} {'wall B(ms)':>10s} "
+                  f"{'delta':>8s}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for d in self.phase_movers():
+            wall_a = "-" if d.wall_ns_a is None else f"{d.wall_ns_a / 1e6:.2f}"
+            wall_b = "-" if d.wall_ns_b is None else f"{d.wall_ns_b / 1e6:.2f}"
+            lines.append(
+                f"{d.name or '(glue)':28s} {_fmt_int(d.bit_cost_a):>14s} "
+                f"{_fmt_int(d.bit_cost_b):>14s} {_fmt_rel(d.bit_rel):>8s} "
+                f"{wall_a:>10s} {wall_b:>10s} {_fmt_rel(d.wall_rel):>8s}"
+            )
+        moved = [d for d in self.histograms if d.moved]
+        if moved:
+            lines.append("")
+            lines.append("histogram deltas:")
+            for d in moved:
+                lines.append(
+                    f"  {d.name}: count {d.count_a}->{d.count_b}, "
+                    f"total {d.total_a}->{d.total_b} "
+                    f"({_fmt_rel(d.total_rel)}), max {d.max_a}->{d.max_b}"
+                )
+        if self.parallel:
+            lines.append("")
+            lines.append("parallel rollup:")
+            for key, (a, b) in sorted(self.parallel.items()):
+                a_s = "-" if a is None else f"{a:.4g}"
+                b_s = "-" if b is None else f"{b:.4g}"
+                lines.append(f"  {key}: {a_s} -> {b_s} ({_fmt_rel(_rel(a, b))})")
+        if self.lanes:
+            lines.append("")
+            lines.append("worker lanes:")
+            for d in self.lanes:
+                busy_a = ("-" if d.busy_ns_a is None
+                          else f"{d.busy_ns_a / 1e6:.2f}ms")
+                busy_b = ("-" if d.busy_ns_b is None
+                          else f"{d.busy_ns_b / 1e6:.2f}ms")
+                lines.append(
+                    f"  worker-{d.lane}: busy {busy_a} -> {busy_b} "
+                    f"({_fmt_rel(d.busy_rel)}), tasks "
+                    f"{d.tasks_a if d.tasks_a is not None else '-'} -> "
+                    f"{d.tasks_b if d.tasks_b is not None else '-'}, "
+                    f"idle tail "
+                    f"{_fmt_int(d.idle_tail_ns_a)} -> "
+                    f"{_fmt_int(d.idle_tail_ns_b)} ns"
+                )
+        return "\n".join(lines)
+
+
+def diff_phases(
+    a: Mapping[str, Mapping[str, Any]],
+    b: Mapping[str, Mapping[str, Any]],
+) -> list[PhaseDelta]:
+    """Per-phase deltas of two ``{phase: {bit_cost, wall_ns}}`` rollups.
+
+    Phases present on only one side still appear (the other side's
+    values are ``None``): a phase that vanished or newly appeared is
+    itself an attribution signal.
+    """
+    out: list[PhaseDelta] = []
+    for name in sorted(set(a) | set(b)):
+        pa, pb = a.get(name), b.get(name)
+        out.append(PhaseDelta(
+            name=name,
+            bit_cost_a=None if pa is None else pa.get("bit_cost"),
+            bit_cost_b=None if pb is None else pb.get("bit_cost"),
+            wall_ns_a=None if pa is None else pa.get("wall_ns"),
+            wall_ns_b=None if pb is None else pb.get("wall_ns"),
+        ))
+    return out
+
+
+def diff_histograms(
+    a: Mapping[str, Mapping[str, Any]],
+    b: Mapping[str, Mapping[str, Any]],
+) -> list[HistogramDelta]:
+    """Summary-statistic deltas of two ``Histogram.as_dict`` maps
+    (histograms present on both sides only — a histogram that exists
+    once cannot be differenced)."""
+    out: list[HistogramDelta] = []
+    for name in sorted(set(a) & set(b)):
+        ha, hb = a[name], b[name]
+        out.append(HistogramDelta(
+            name=name,
+            count_a=ha.get("count", 0), count_b=hb.get("count", 0),
+            total_a=ha.get("total", 0), total_b=hb.get("total", 0),
+            mean_a=ha.get("mean", 0.0), mean_b=hb.get("mean", 0.0),
+            max_a=ha.get("max"), max_b=hb.get("max"),
+        ))
+    return out
+
+
+def diff_parallel(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> tuple[dict[str, tuple[float | None, float | None]], list[LaneDelta]]:
+    """Headline + per-lane deltas of two ``parallel_rollup`` dicts.
+
+    Returns ``(summary, lanes)`` — both empty when either side has no
+    rollup (a sequential run has no lanes to attribute).
+    """
+    if not a or not b:
+        return {}, []
+    summary = {
+        key: (a.get(key), b.get(key))
+        for key in ("workers", "makespan_ns", "work_ns", "speedup",
+                    "efficiency", "idle_tail_fraction")
+    }
+    lanes: list[LaneDelta] = []
+    pw_a = a.get("per_worker", {})
+    pw_b = b.get("per_worker", {})
+    # JSON round-trips dict keys to strings; normalize to int lanes.
+    pw_a = {int(k): v for k, v in pw_a.items()}
+    pw_b = {int(k): v for k, v in pw_b.items()}
+    for lane in sorted(set(pw_a) | set(pw_b)):
+        wa, wb = pw_a.get(lane), pw_b.get(lane)
+        lanes.append(LaneDelta(
+            lane=lane,
+            busy_ns_a=None if wa is None else wa.get("busy_ns"),
+            busy_ns_b=None if wb is None else wb.get("busy_ns"),
+            tasks_a=None if wa is None else wa.get("tasks"),
+            tasks_b=None if wb is None else wb.get("tasks"),
+            idle_tail_ns_a=None if wa is None else wa.get("idle_tail_ns"),
+            idle_tail_ns_b=None if wb is None else wb.get("idle_tail_ns"),
+        ))
+    return summary, lanes
+
+
+def diff_runs(a: Any, b: Any) -> TraceDiff:
+    """The full decomposition of two run-shaped objects.
+
+    ``a`` and ``b`` are duck-typed: anything with ``phases`` /
+    ``histograms`` / ``parallel`` mapping attributes works — both
+    :class:`~repro.obs.perf.BenchArtifact` and
+    :class:`~repro.obs.ledger.RunRecord` qualify.
+    """
+    summary, lanes = diff_parallel(
+        getattr(a, "parallel", {}) or {}, getattr(b, "parallel", {}) or {}
+    )
+    return TraceDiff(
+        phases=diff_phases(a.phases, b.phases),
+        histograms=diff_histograms(a.histograms, b.histograms),
+        lanes=lanes,
+        parallel=summary,
+    )
+
+
+def attribute(diffs: Iterable[MetricDiff], td: TraceDiff) -> str:
+    """The failures-first attribution table for a failed gate run.
+
+    For every failing metric, names the dominant phase mover on the
+    metric's axis ("``n25.mu8.bit_cost`` count +12.0% -> phase
+    ``remainder`` bit-cost +12.3%"); non-failing rows are omitted.
+    Falls back to the raw phase movers when the runs carried no phase
+    rollup to attribute with.
+    """
+    failed = [d for d in diffs if d.failed]
+    lines = ["attribution (dominant phase per failed metric):"]
+    for d in sorted(failed, key=lambda d: d.name):
+        dom = td.dominant_phase(d.kind)
+        if dom is None:
+            lines.append(
+                f"  {d.name}: {d.kind} "
+                f"{_fmt_rel(d.rel_delta)} — no phase rollup to attribute"
+            )
+        elif d.kind == "wall":
+            lines.append(
+                f"  {d.name}: wall {_fmt_rel(d.rel_delta)} -> phase "
+                f"{dom.name!r} wall {_fmt_rel(dom.wall_rel)} "
+                f"({_fmt_int(dom.wall_ns_a)} -> {_fmt_int(dom.wall_ns_b)} ns)"
+            )
+        else:
+            lines.append(
+                f"  {d.name}: {d.kind} {_fmt_rel(d.rel_delta)} -> phase "
+                f"{dom.name!r} bit-cost {_fmt_rel(dom.bit_rel)} "
+                f"({_fmt_int(dom.bit_cost_a)} -> {_fmt_int(dom.bit_cost_b)})"
+            )
+    if not failed:
+        lines = ["attribution: no failing metrics"]
+    lines.append("")
+    lines.append(td.format_table())
+    return "\n".join(lines)

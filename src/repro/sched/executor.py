@@ -52,6 +52,15 @@ the pool, and the parent merges them onto per-worker lanes
 ``executor_retry`` / ``executor_node_fallback`` / ``breaker_*`` /
 ``executor_fallback`` events.
 
+Opt-in sampling profiling (``profile=True``) rides the same transport:
+each pool task lazily starts a worker-global
+:class:`repro.obs.profile.SamplingProfiler` from its task wrapper,
+drains the sampled stacks at task end, and ships them back *collapsed*
+(``{"stack;stack;leaf": count}``) alongside the trace spans; the parent
+merges every worker's fold plus its own dispatch-thread samples into
+:meth:`ParallelRootFinder.profile_collapsed` — ready for
+``flamegraph.pl`` or :func:`repro.obs.profile.write_collapsed`.
+
 Live telemetry rides along: every submit/complete transition samples
 queue depth and in-flight task count into the finder's
 :class:`~repro.obs.metrics.MetricsRegistry` and (when traced) into
@@ -66,6 +75,7 @@ parallel-efficiency summary.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import multiprocessing as mp
 import os
@@ -151,24 +161,69 @@ def _traced_solver(
     return solver, tracer, pid
 
 
+#: Worker-global sampling profiler, lazily started by the first
+#: profiled task this worker runs and reused (the timer thread keeps
+#: running between tasks; each task drops the idle-time samples).
+_WORKER_PROFILER: Any = None
+
+
+def _worker_profile_begin() -> Any:
+    """Start (or reuse) this process's sampling profiler for one task.
+
+    Samples accumulated since the previous task — pool-idle stacks —
+    are discarded so each task ships only its own stacks; ``start()``
+    also records an anchor sample, so even a task shorter than one
+    sampling interval produces a non-empty profile.
+    """
+    global _WORKER_PROFILER
+    from repro.obs.profile import SamplingProfiler
+
+    if _WORKER_PROFILER is None:
+        _WORKER_PROFILER = SamplingProfiler()
+    _WORKER_PROFILER.drain()
+    if _WORKER_PROFILER.running:
+        _WORKER_PROFILER.sample_once()  # per-task anchor on reuse
+    else:
+        _WORKER_PROFILER.start()  # takes its own anchor sample
+    return _WORKER_PROFILER
+
+
+def _with_profile(spans: list[dict] | None, prof: Any) -> list[dict] | None:
+    """Append this task's collapsed profile to the span export.
+
+    The profile rides in the same ``spans`` list the tracer ships back
+    through the pool, as a dict *without* a ``"sid"`` key — the
+    parent's ``deliver`` splits it off before adopting the spans.
+    """
+    if prof is None:
+        return spans
+    from repro.obs.profile import collapse
+
+    entry = {"profile": collapse(prof.drain()), "pid": os.getpid()}
+    return (list(spans) if spans else []) + [entry]
+
+
 def sign_worker(args: tuple) -> tuple:
     """Pool worker: one PREINTERVAL task — the sign of a node polynomial
     just right of one interleaving point.
 
-    ``args = (label, t, y, coeffs, mu, r_bits, strategy, trace)``;
-    returns ``("sign", label, t, sign, spans)`` where ``spans`` is the
-    worker tracer's export when ``trace`` is truthy (else ``None``).
-    Module-level so it pickles.
+    ``args = (label, t, y, coeffs, mu, r_bits, strategy, trace[,
+    profile])``; returns ``("sign", label, t, sign, spans)`` where
+    ``spans`` is the worker tracer's export when ``trace`` is truthy
+    (else ``None``), with the task's collapsed stack profile appended
+    when ``profile`` is truthy.  Module-level so it pickles.
     """
-    label, t, y, coeffs, mu, r_bits, strategy, trace = args
+    label, t, y, coeffs, mu, r_bits, strategy, trace = args[:8]
+    prof = _worker_profile_begin() if len(args) > 8 and args[8] else None
     if not trace:
         solver = _cached_solver(coeffs, mu, r_bits, strategy)
-        return ("sign", label, t, solver.preinterval_sign(y), None)
+        s = solver.preinterval_sign(y)
+        return ("sign", label, t, s, _with_profile(None, prof))
     solver, tracer, pid = _traced_solver(coeffs, mu, r_bits, strategy)
     with tracer.span("sign", phase="interval.preinterval",
                      node=list(label), t=t, pid=pid):
         s = solver.preinterval_sign(y)
-    return ("sign", label, t, s, tracer.export())
+    return ("sign", label, t, s, _with_profile(tracer.export(), prof))
 
 
 def gap_worker(args: tuple) -> tuple:
@@ -176,21 +231,22 @@ def gap_worker(args: tuple) -> tuple:
     both endpoint signs (shared with the adjacent gaps' tasks).
 
     ``args = (label, gap, left, right, s_left, s_right, sign_at_neg_inf,
-    coeffs, mu, r_bits, strategy, trace)``; returns
-    ``("gap", label, gap, scaled_root, spans)``.  Module-level so it
-    pickles.
+    coeffs, mu, r_bits, strategy, trace[, profile])``; returns
+    ``("gap", label, gap, scaled_root, spans)`` (profile handling as in
+    :func:`sign_worker`).  Module-level so it pickles.
     """
     (label, gap, left, right, s_left, s_right, s_inf,
-     coeffs, mu, r_bits, strategy, trace) = args
+     coeffs, mu, r_bits, strategy, trace) = args[:12]
+    prof = _worker_profile_begin() if len(args) > 12 and args[12] else None
     if not trace:
         solver = _cached_solver(coeffs, mu, r_bits, strategy)
         val = solver.solve_gap(gap, left, right, s_left, s_right, s_inf)
-        return ("gap", label, gap, val, None)
+        return ("gap", label, gap, val, _with_profile(None, prof))
     solver, tracer, pid = _traced_solver(coeffs, mu, r_bits, strategy)
     with tracer.span("gap", phase="interval",
                      node=list(label), gap=gap, pid=pid):
         val = solver.solve_gap(gap, left, right, s_left, s_right, s_inf)
-    return ("gap", label, gap, val, tracer.export())
+    return ("gap", label, gap, val, _with_profile(tracer.export(), prof))
 
 
 def solve_gap_worker(args: tuple) -> tuple[int, int, list[dict] | None]:
@@ -303,6 +359,16 @@ class ParallelRootFinder:
         replace the task body; ``None`` (the default) is zero-overhead.
         In-parent execution always runs the *original* task body.
         Test-only: the production dispatch path never sets it.
+    profile:
+        Enable sampling profiling: each pool task runs under its
+        worker's :class:`~repro.obs.profile.SamplingProfiler` and ships
+        its collapsed stacks back with the result, and the parent
+        samples its own dispatch thread.  Read the merged result via
+        :meth:`profile_collapsed` / :attr:`profile_samples`.  Off by
+        default — the profiler costs a few percent of wall time.
+    profile_interval:
+        Sampling period in seconds for the parent-side profiler
+        (workers use the module default).
     """
 
     mu: int
@@ -317,6 +383,15 @@ class ParallelRootFinder:
     tracer: Tracer = NULL_TRACER
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     faults: Any = None
+    profile: bool = False
+    profile_interval: float = 0.005
+    #: parent-side timestamped profiler samples (``(t_ns, stack)``,
+    #: same clock as tracer spans) — feed to ``spans_to_chrome``'s
+    #: ``profile`` argument for a profiler lane in the Chrome trace.
+    profile_samples: list = field(default_factory=list, init=False,
+                                  repr=False)
+    _profile_folded: dict = field(default_factory=dict, init=False,
+                                  repr=False)
     #: whole-polynomial sequential degradations so far (repeated roots,
     #: broken pool); parity tests assert it stays 0 on the happy path
     #: *and* under single-task faults (those are absorbed by retries).
@@ -483,8 +558,9 @@ class ParallelRootFinder:
         r_bits = root_bound_bits(p)
         plan = build_interval_plan(tree)
         try:
-            with tracer.span("executor.dispatch", phase="interval",
-                             degree=p.degree, nodes=len(plan)):
+            with self._parent_profiler(), \
+                    tracer.span("executor.dispatch", phase="interval",
+                                degree=p.degree, nodes=len(plan)):
                 return self._run_plan(plan, r_bits)
         except _Degraded as exc:
             tracer.event("executor_fallback", reason=str(exc),
@@ -547,6 +623,41 @@ class ParallelRootFinder:
         )
         return finder.find_roots(p).scaled
 
+    @contextlib.contextmanager
+    def _parent_profiler(self):
+        """Sample the parent dispatch thread while profiling is on."""
+        if not self.profile:
+            yield
+            return
+        from repro.obs.profile import SamplingProfiler
+
+        prof = SamplingProfiler(interval=self.profile_interval)
+        prof.start()
+        try:
+            yield
+        finally:
+            prof.stop()
+            self.profile_samples.extend(prof.drain())
+
+    def _merge_profile(self, folded: Any) -> None:
+        for stack, n in (folded or {}).items():
+            self._profile_folded[stack] = (
+                self._profile_folded.get(stack, 0) + n
+            )
+
+    def profile_collapsed(self) -> dict[str, int]:
+        """Merged collapsed-stack profile of every profiled call so far.
+
+        Worker-side task folds plus the parent dispatch thread's
+        samples, in flamegraph.pl's collapsed format
+        (``{"root;child;leaf": count}``).  Empty unless the finder was
+        constructed with ``profile=True`` and has run.
+        """
+        from repro.obs.profile import collapse, merge_collapsed
+
+        return merge_collapsed(self._profile_folded,
+                               collapse(self.profile_samples))
+
     def _run_plan(self, plan: "list[NodePlan]", r_bits: int) -> list[int]:
         """Dependency-driven dispatch of one plan over the shared pool.
 
@@ -560,6 +671,7 @@ class ParallelRootFinder:
         pool = self._ensure_pool()
         tracer = self.tracer
         capture = tracer.enabled
+        profiled = self.profile
         mu = self.mu
         strategy = self.strategy
         retry = self.retry
@@ -709,7 +821,7 @@ class ParallelRootFinder:
             roots[node.label] = [None] * L
             for t, y in enumerate(ys_node):
                 submit(sign_worker, (node.label, t, y, node.coeffs, mu,
-                                     r_bits, strategy, capture),
+                                     r_bits, strategy, capture, profiled),
                        node.sign_task(t))
 
         def on_sign(label: tuple[int, int], t: int, s: int) -> None:
@@ -725,7 +837,8 @@ class ParallelRootFinder:
                     submit(gap_worker, (label, gap, ys_node[gap],
                                         ys_node[gap + 1], sg[gap], sg[gap + 1],
                                         node.sign_at_neg_inf, node.coeffs,
-                                        mu, r_bits, strategy, capture),
+                                        mu, r_bits, strategy, capture,
+                                        profiled),
                            node.gap_task(gap))
 
         def on_gap(label: tuple[int, int], gap: int, val: int) -> None:
@@ -737,6 +850,13 @@ class ParallelRootFinder:
         def deliver(item: tuple) -> None:
             kind, label, idx, val, spans = item
             done_keys.add((kind, label, idx))
+            if spans:
+                # Profile entries ride the span list but are not spans
+                # (no "sid"): split them off before adopting.
+                for entry in spans:
+                    if "sid" not in entry:
+                        self._merge_profile(entry.get("profile"))
+                spans = [sp for sp in spans if "sid" in sp]
             if spans:
                 # Lane per OS process: spans carry the producing pid
                 # (in-parent execution lands on the parent's own lane).

@@ -41,3 +41,11 @@ def scaled_ceil(f: Fraction, mu: int) -> int:
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path_factory, monkeypatch):
+    """Keep test runs from appending to the repository's run ledger."""
+    monkeypatch.setenv(
+        "REPRO_LEDGER_DIR", str(tmp_path_factory.mktemp("ledger"))
+    )

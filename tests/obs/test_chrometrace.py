@@ -172,3 +172,48 @@ class TestScheduleToChrome:
         buf = io.StringIO()
         write_chrome_trace(buf, schedule_to_chrome(result))
         assert json.loads(buf.getvalue())["traceEvents"]
+
+
+class TestLaneOrderingAndProfile:
+    def test_thread_sort_index_pins_lane_order(self):
+        trace = spans_to_chrome(_adopted_worker_spans())
+        sorts = [e for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_sort_index"]
+        by_tid = {e["tid"]: e["args"]["sort_index"] for e in sorts}
+        # main (track 0) first, then workers in track order
+        assert by_tid == {0: 0, 1: 1, 2: 2}
+
+    def test_worker_lane_names_carry_pid_when_known(self):
+        spans = _adopted_worker_spans()
+        spans[1] = Span(sid=2, name="task_a", phase="interval", depth=1,
+                        parent=1, start_ns=100, end_ns=400, track=1,
+                        attrs={"pid": 4242})
+        trace = spans_to_chrome(spans)
+        names = {e["args"]["name"]
+                 for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "worker-1 (pid 4242)" in names
+        assert "worker-2" in names  # no pid attr -> plain label
+
+    def test_profile_lane_appended_after_workers(self):
+        samples = [(150, ("m:f", "m:g")), (250, ("m:f",))]
+        trace = spans_to_chrome(_adopted_worker_spans(), profile=samples)
+        events = trace["traceEvents"]
+        prof_names = [e for e in events
+                      if e["ph"] == "M" and e["name"] == "thread_name"
+                      and e["args"]["name"] == "profiler"]
+        assert len(prof_names) == 1
+        prof_tid = prof_names[0]["tid"]
+        assert prof_tid > 2  # after every worker lane
+        instants = [e for e in events
+                    if e["ph"] == "i" and e["tid"] == prof_tid]
+        assert len(instants) == 2
+        assert instants[0]["args"]["stack"] == "m:f;m:g"
+        # same timebase as the spans: first span starts at ts 0
+        assert instants[0]["ts"] == (150 - 0) / 1000.0
+
+    def test_profile_only_trace_has_own_timebase(self):
+        samples = [(5_000, ("m:f",)), (6_000, ("m:f",))]
+        trace = spans_to_chrome([], profile=samples)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert [e["ts"] for e in instants] == [0.0, 1.0]

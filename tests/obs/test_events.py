@@ -121,3 +121,67 @@ class TestValidator:
             {"ev": "run_end", "phases": {"p": [1, 10, 0, 0, 0, 0]}},
         ]
         validate_events(evs)
+
+
+class TestValidatorDiagnostics:
+    """Error messages point at the offending line with its payload."""
+
+    def _base(self):
+        return [{"ev": "run", "command": "t"}]
+
+    def test_read_events_names_file_line_and_payload(self, tmp_path):
+        path = str(tmp_path / "broken.jsonl")
+        junk = '{"ev": "span_open", "id": '
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"ev": "run", "command": "t"}\n')
+            fh.write(junk + "\n")
+        with pytest.raises(ValueError) as exc:
+            read_events(path)
+        msg = str(exc.value)
+        assert f"{path}:2:" in msg
+        assert "invalid JSON" in msg and junk.strip() in msg
+
+    def test_read_events_truncates_long_payloads(self, tmp_path):
+        path = str(tmp_path / "broken.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"pad": "' + "x" * 500 + "\n")
+        with pytest.raises(ValueError) as exc:
+            read_events(path)
+        msg = str(exc.value)
+        assert "..." in msg
+        assert "x" * 500 not in msg  # payload was bounded
+
+    def test_close_without_open_names_line(self):
+        evs = self._base() + [{"ev": "span_close", "id": 5}]
+        with pytest.raises(ValueError, match=r"line 2"):
+            validate_events(evs)
+
+    def test_open_twice_names_both_lines(self):
+        evs = self._base() + [
+            {"ev": "span_open", "id": 0, "parent": None},
+            {"ev": "span_open", "id": 0, "parent": None},
+        ]
+        with pytest.raises(ValueError) as exc:
+            validate_events(evs)
+        msg = str(exc.value)
+        assert "line 3" in msg and "line 2" in msg
+
+    def test_unclosed_span_names_opening_line_and_payload(self):
+        evs = self._base() + [
+            {"ev": "span_open", "id": 7, "parent": None,
+             "name": "tree.build"},
+        ]
+        with pytest.raises(ValueError) as exc:
+            validate_events(evs)
+        msg = str(exc.value)
+        assert "opened at line 2" in msg and "tree.build" in msg
+
+    def test_cost_mismatch_names_footer_line(self):
+        evs = self._base() + [
+            {"ev": "span_open", "id": 0, "parent": None},
+            {"ev": "span_close", "id": 0,
+             "phases": {"p": [1, 10, 0, 0, 0, 0]}},
+            {"ev": "run_end", "phases": {"p": [2, 20, 0, 0, 0, 0]}},
+        ]
+        with pytest.raises(ValueError, match=r"footer at line 4"):
+            validate_events(evs)

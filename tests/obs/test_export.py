@@ -1,0 +1,172 @@
+"""Format-validation tests for the OpenMetrics exposition export.
+
+The round-trip check here is the acceptance gate for the export
+module: render a registry holding every metric kind, then *parse the
+text back* and verify the structural invariants OpenMetrics requires
+(HELP/TYPE preambles, counter ``_total`` suffix, strictly increasing
+``le`` bounds with monotone cumulative bucket counts, ``_sum`` /
+``_count`` consistency, terminal ``# EOF``).
+"""
+
+import io
+import math
+
+import pytest
+
+from repro.obs.export import (
+    CONTENT_TYPE,
+    render_openmetrics,
+    sanitize_metric_name,
+    snapshot,
+    write_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("executor.retries").inc(3)
+    reg.counter("executor.fallbacks")  # zero-valued counter stays exported
+    reg.gauge("executor.queue_depth").set(2.5)
+    h = reg.histogram("interval.sieve_evals")
+    for v in (0, 1, 1, 3, 8, 900):
+        h.observe(v)
+    return reg
+
+
+def _parse(text: str):
+    """Parse an exposition into {family: {help, type, samples}}.
+
+    ``samples`` maps sample name -> list of (labels-dict, float value).
+    """
+    families: dict = {}
+    lines = text.splitlines()
+    for line in lines:
+        if line == "# EOF":
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"samples": {}})["help"] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(name, {"samples": {}})["type"] = kind
+        else:
+            sample, _, value = line.rpartition(" ")
+            labels = {}
+            if "{" in sample:
+                sample, _, labelpart = sample.partition("{")
+                for item in labelpart.rstrip("}").split(","):
+                    k, _, v = item.partition("=")
+                    labels[k] = v.strip('"')
+            # attach to the family whose name prefixes the sample
+            fam = max((f for f in families if sample.startswith(f)),
+                      key=len)
+            families[fam]["samples"].setdefault(sample, []).append(
+                (labels, float(value))
+            )
+    return families
+
+
+class TestExpositionFormat:
+    def test_ends_with_eof_newline(self):
+        text = render_openmetrics(_registry())
+        assert text.endswith("# EOF\n")
+
+    def test_every_family_has_help_and_type(self):
+        families = _parse(render_openmetrics(_registry()))
+        assert len(families) == 4
+        for name, fam in families.items():
+            assert fam.get("help"), f"{name} lacks HELP"
+            assert fam.get("type") in ("counter", "gauge", "histogram")
+
+    def test_counter_total_suffix(self):
+        families = _parse(render_openmetrics(_registry()))
+        fam = families["repro_executor_retries"]
+        assert fam["type"] == "counter"
+        assert list(fam["samples"]) == ["repro_executor_retries_total"]
+        assert fam["samples"]["repro_executor_retries_total"][0][1] == 3.0
+
+    def test_zero_counter_exported(self):
+        families = _parse(render_openmetrics(_registry()))
+        samples = families["repro_executor_fallbacks"]["samples"]
+        assert samples["repro_executor_fallbacks_total"][0][1] == 0.0
+
+    def test_gauge_plain_sample(self):
+        families = _parse(render_openmetrics(_registry()))
+        fam = families["repro_executor_queue_depth"]
+        assert fam["type"] == "gauge"
+        assert fam["samples"]["repro_executor_queue_depth"][0][1] == 2.5
+
+    def test_histogram_buckets_cumulative_and_consistent(self):
+        families = _parse(render_openmetrics(_registry()))
+        fam = families["repro_interval_sieve_evals"]
+        assert fam["type"] == "histogram"
+        s = fam["samples"]
+        buckets = s["repro_interval_sieve_evals_bucket"]
+        uppers = [b[0]["le"] for b in buckets]
+        assert uppers[-1] == "+Inf"
+        finite = [int(u) for u in uppers[:-1]]
+        assert finite == sorted(set(finite)), "le bounds must increase"
+        counts = [b[1] for b in buckets]
+        assert counts == sorted(counts), "cumulative counts must be monotone"
+        count = s["repro_interval_sieve_evals_count"][0][1]
+        total = s["repro_interval_sieve_evals_sum"][0][1]
+        assert buckets[-1][1] == count == 6
+        assert total == 0 + 1 + 1 + 3 + 8 + 900
+        # every finite upper bound really is a power-of-two bucket edge
+        assert all(u == 0 or math.log2(u + 1).is_integer() for u in finite)
+
+    def test_bucket_membership_matches_bit_length(self):
+        """An observation of v lands in the bucket whose le >= v."""
+        reg = MetricsRegistry()
+        h = reg.histogram("x")
+        h.observe(7)   # bit_length 3 -> le="7"
+        h.observe(8)   # bit_length 4 -> le="15"
+        families = _parse(render_openmetrics(reg))
+        buckets = families["repro_x"]["samples"]["repro_x_bucket"]
+        by_le = {b[0]["le"]: b[1] for b in buckets}
+        assert by_le["7"] == 1
+        assert by_le["15"] == 2  # cumulative
+
+
+class TestSanitize:
+    def test_dots_and_dashes(self):
+        assert (sanitize_metric_name("executor.queue-depth")
+                == "repro_executor_queue_depth")
+
+    def test_custom_namespace_sanitized_too(self):
+        assert sanitize_metric_name("x", namespace="my.ns") == "my_ns_x"
+
+    def test_leading_digit_guard(self):
+        assert sanitize_metric_name("9lives", namespace="") == "_9lives"
+
+    def test_content_type_is_openmetrics(self):
+        assert "openmetrics-text" in CONTENT_TYPE
+
+
+class TestSnapshotAndWrite:
+    def test_snapshot_shape(self):
+        snap = snapshot(_registry())
+        assert set(snap) == {"time_unix", "metrics"}
+        assert snap["metrics"]["executor.retries"]["value"] == 3
+        assert snap["metrics"]["interval.sieve_evals"]["type"] == "histogram"
+
+    def test_write_to_file_object_and_path(self, tmp_path):
+        reg = _registry()
+        buf = io.StringIO()
+        write_openmetrics(buf, reg)
+        path = str(tmp_path / "metrics.txt")
+        write_openmetrics(path, reg)
+        with open(path, encoding="utf-8") as fh:
+            assert fh.read() == buf.getvalue() == render_openmetrics(reg)
+
+    def test_help_text_override(self):
+        text = render_openmetrics(
+            _registry(), help_texts={"executor.retries": "task retries"}
+        )
+        assert "# HELP repro_executor_retries task retries" in text
+
+    def test_empty_registry_is_just_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"

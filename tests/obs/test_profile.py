@@ -1,0 +1,122 @@
+"""Tests for the sampling profiler and collapsed-stack tooling."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    DEFAULT_INTERVAL,
+    SamplingProfiler,
+    collapse,
+    merge_collapsed,
+    profile_chrome_events,
+    read_collapsed,
+    write_collapsed,
+)
+
+
+def _burn(seconds: float) -> None:
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < seconds:
+        sum(i * i for i in range(200))
+
+
+class TestSamplingProfiler:
+    def test_anchor_sample_on_start(self):
+        prof = SamplingProfiler()
+        prof.start()
+        prof.stop()
+        samples = prof.drain()
+        assert len(samples) >= 1  # the anchor, even with zero dwell time
+        t_ns, stack = samples[0]
+        assert isinstance(t_ns, int) and stack
+        assert all(":" in frame for frame in stack)
+
+    def test_samples_accumulate_under_load(self):
+        prof = SamplingProfiler(interval=0.001)
+        with prof:
+            _burn(0.05)
+        samples = prof.drain()
+        assert len(samples) > 3
+        # stacks are root-first: this test function appears before _burn
+        joined = [";".join(stack) for _, stack in samples]
+        assert any("_burn" in s for s in joined)
+
+    def test_drain_clears(self):
+        prof = SamplingProfiler()
+        prof.start()
+        prof.stop()
+        assert prof.drain()
+        assert prof.drain() == []
+
+    def test_restartable(self):
+        prof = SamplingProfiler()
+        prof.start()
+        prof.stop()
+        first = prof.drain()
+        prof.start()
+        prof.stop()
+        assert first and prof.drain()
+
+    def test_start_idempotent(self):
+        prof = SamplingProfiler()
+        prof.start()
+        thread = prof._thread
+        prof.start()
+        assert prof._thread is thread
+        prof.stop()
+        assert not prof.running
+
+    def test_can_target_another_thread(self):
+        done = threading.Event()
+
+        def victim():
+            while not done.wait(0.001):
+                pass
+
+        t = threading.Thread(target=victim, daemon=True)
+        t.start()
+        prof = SamplingProfiler(interval=0.001, thread_id=t.ident)
+        with prof:
+            time.sleep(0.03)
+        done.set()
+        t.join(timeout=1.0)
+        assert any("victim" in ";".join(stack)
+                   for _, stack in prof.drain())
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)
+
+    def test_default_interval_is_low_overhead(self):
+        assert DEFAULT_INTERVAL >= 0.001  # <= 1 kHz keeps overhead < 5%
+
+
+class TestCollapsed:
+    def test_collapse_counts(self):
+        samples = [(1, ("a:f", "b:g")), (2, ("a:f", "b:g")), (3, ("a:f",))]
+        assert collapse(samples) == {"a:f;b:g": 2, "a:f": 1}
+
+    def test_merge(self):
+        assert merge_collapsed({"a": 1}, {"a": 2, "b": 5}) == {"a": 3, "b": 5}
+        assert merge_collapsed() == {}
+
+    def test_write_read_roundtrip(self, tmp_path):
+        folded = {"main;work;inner": 7, "main;idle": 2}
+        path = str(tmp_path / "x.folded")
+        write_collapsed(path, folded)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        assert lines == sorted(lines)  # deterministic output order
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+        assert read_collapsed(path) == folded
+
+    def test_chrome_instant_events(self):
+        samples = [(1_000, ("a:f", "b:g")), (2_000, ("a:f",))]
+        events = profile_chrome_events(samples, t0=1_000, pid=3, tid=42)
+        assert [e["ph"] for e in events] == ["i", "i"]
+        assert events[0]["name"] == "b:g"  # leaf frame names the event
+        assert events[0]["args"]["stack"] == "a:f;b:g"
+        assert events[0]["ts"] == 0.0 and events[1]["ts"] == 1.0
+        assert all(e["pid"] == 3 and e["tid"] == 42 for e in events)

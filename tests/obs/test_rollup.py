@@ -94,3 +94,39 @@ class TestParallelRollup:
         assert 0 < r["efficiency"] <= 1.0
         assert 0 <= r["idle_tail_fraction"] < 1.0
         assert r["work_ns"] <= r["workers"] * r["makespan_ns"]
+
+
+class TestRollupEdgeCases:
+    def test_empty_span_list(self):
+        assert worker_busy_intervals([]) == {}
+        assert parallel_rollup([]) == {}
+
+    def test_single_worker_single_task(self):
+        spans = [_span(1, None, 0, 100, 0), _span(2, 1, 0, 100, 1)]
+        r = parallel_rollup(spans)
+        assert r["workers"] == 1
+        assert r["makespan_ns"] == 100
+        assert r["speedup"] == pytest.approx(1.0)
+        assert r["efficiency"] == pytest.approx(1.0)
+        assert r["per_worker"][1]["tasks"] == 1
+        assert r["idle_tail_fraction"] == pytest.approx(0.0)
+
+    def test_zero_length_task_span(self):
+        spans = [_span(1, None, 0, 100, 0), _span(2, 1, 50, 50, 1)]
+        r = parallel_rollup(spans)
+        assert r["workers"] == 1
+        assert r["work_ns"] == 0
+        assert r["efficiency"] == pytest.approx(0.0)
+
+    def test_histogram_percentile_extremes_single_sample(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("x")
+        assert h.percentile(0.5) is None  # empty histogram
+        h.observe(5)
+        assert h.percentile(0.0) == 5
+        assert h.percentile(1.0) == 5
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)

@@ -1,0 +1,159 @@
+"""Tests for phase/worker trace diffing and gate attribution."""
+
+from repro.obs.perf import BenchArtifact, MetricDiff
+from repro.obs.tracediff import (
+    TraceDiff,
+    attribute,
+    diff_histograms,
+    diff_parallel,
+    diff_phases,
+    diff_runs,
+)
+
+
+def _artifact(name, bit_costs, parallel=None) -> BenchArtifact:
+    a = BenchArtifact(name=name)
+    a.phases = {
+        ph: {"bit_cost": c, "wall_ns": c * 10} for ph, c in bit_costs.items()
+    }
+    a.parallel = parallel or {}
+    return a
+
+
+class TestDiffPhases:
+    def test_union_of_phases(self):
+        deltas = diff_phases(
+            {"tree": {"bit_cost": 100, "wall_ns": 10}},
+            {"tree": {"bit_cost": 150, "wall_ns": 20},
+             "sieve": {"bit_cost": 5, "wall_ns": 1}},
+        )
+        assert [d.name for d in deltas] == ["sieve", "tree"]
+        tree = deltas[1]
+        assert tree.bit_rel == 0.5
+        assert tree.wall_rel == 1.0
+
+    def test_one_sided_phase_has_none_and_counts_as_mover(self):
+        (d,) = diff_phases({}, {"new": {"bit_cost": 40, "wall_ns": None}})
+        assert d.bit_cost_a is None and d.bit_cost_b == 40
+        assert d.bit_rel is None
+        assert d.bit_abs == 40  # vanishing/appearing is a signal
+
+    def test_zero_baseline_rel_is_inf(self):
+        (d,) = diff_phases(
+            {"p": {"bit_cost": 0}}, {"p": {"bit_cost": 3}}
+        )
+        assert d.bit_rel == float("inf")
+
+
+class TestDiffHistograms:
+    def test_intersection_only(self):
+        a = {"x": {"count": 2, "total": 10, "mean": 5.0, "max": 8},
+             "only_a": {"count": 1, "total": 1, "mean": 1.0, "max": 1}}
+        b = {"x": {"count": 2, "total": 14, "mean": 7.0, "max": 12}}
+        (d,) = diff_histograms(a, b)
+        assert d.name == "x"
+        assert d.total_rel == 0.4
+        assert d.moved
+
+    def test_unmoved_histogram(self):
+        h = {"count": 2, "total": 10, "mean": 5.0, "max": 8}
+        (d,) = diff_histograms({"x": h}, {"x": dict(h)})
+        assert not d.moved
+
+
+class TestDiffParallel:
+    def test_empty_side_yields_nothing(self):
+        assert diff_parallel({}, {"workers": 2}) == ({}, [])
+        assert diff_parallel({"workers": 2}, {}) == ({}, [])
+
+    def test_summary_and_lanes(self):
+        a = {"workers": 2, "makespan_ns": 100, "efficiency": 0.9,
+             "per_worker": {1: {"busy_ns": 80, "tasks": 3,
+                                "idle_tail_ns": 5}}}
+        # JSON round-trip stringifies lane keys; must still line up
+        b = {"workers": 2, "makespan_ns": 120, "efficiency": 0.7,
+             "per_worker": {"1": {"busy_ns": 60, "tasks": 2,
+                                  "idle_tail_ns": 30},
+                            "2": {"busy_ns": 10, "tasks": 1,
+                                  "idle_tail_ns": 0}}}
+        summary, lanes = diff_parallel(a, b)
+        assert summary["makespan_ns"] == (100, 120)
+        assert summary["efficiency"] == (0.9, 0.7)
+        assert [l.lane for l in lanes] == [1, 2]
+        assert lanes[0].busy_ns_a == 80 and lanes[0].busy_ns_b == 60
+        assert lanes[0].busy_rel == -0.25
+        assert lanes[1].busy_ns_a is None and lanes[1].tasks_b == 1
+
+
+class TestTraceDiff:
+    def _td(self) -> TraceDiff:
+        a = _artifact("a", {"remainder": 1000, "tree": 200, "glue": 50})
+        b = _artifact("b", {"remainder": 1400, "tree": 210, "glue": 50})
+        return diff_runs(a, b)
+
+    def test_phase_movers_biggest_first(self):
+        movers = self._td().phase_movers()
+        assert [d.name for d in movers] == ["remainder", "tree", "glue"]
+
+    def test_dominant_phase_by_kind(self):
+        td = self._td()
+        assert td.dominant_phase("count").name == "remainder"
+        assert td.dominant_phase("wall").name == "remainder"
+
+    def test_dominant_phase_none_when_static(self):
+        a = _artifact("a", {"tree": 100})
+        td = diff_runs(a, _artifact("b", {"tree": 100}))
+        assert td.dominant_phase("count") is None
+        assert td.dominant_phase("wall") is None
+
+    def test_to_dict_json_shape(self):
+        d = self._td().to_dict()
+        assert set(d) == {"phases", "histograms", "lanes", "parallel"}
+        assert d["phases"][0]["name"] == "remainder"
+        assert d["phases"][0]["bit_cost"] == [1000, 1400]
+
+    def test_format_table_lists_all_phases(self):
+        text = self._td().format_table()
+        for ph in ("remainder", "tree", "glue"):
+            assert ph in text
+        assert "+40.0%" in text
+
+    def test_diff_runs_tolerates_missing_parallel_attr(self):
+        class Bare:
+            phases = {"p": {"bit_cost": 1}}
+            histograms: dict = {}
+
+        td = diff_runs(Bare(), Bare())
+        assert td.parallel == {} and td.lanes == []
+
+
+class TestAttribute:
+    def _diffs(self, failed=True):
+        rtol = 0.05 if failed else None
+        return [
+            MetricDiff(name="bit_cost", kind="count",
+                       baseline=1250, current=1660, rtol=rtol),
+            MetricDiff(name="ok_metric", kind="count",
+                       baseline=100, current=100, rtol=0.05),
+        ]
+
+    def test_failures_first_with_dominant_phase(self):
+        a = _artifact("a", {"remainder": 1000, "tree": 250})
+        b = _artifact("b", {"remainder": 1400, "tree": 260})
+        text = attribute(self._diffs(), diff_runs(a, b))
+        first, second = text.splitlines()[:2]
+        assert first.startswith("attribution")
+        assert "bit_cost" in second and "'remainder'" in second
+        assert "+40.0%" in second
+        assert "ok_metric" not in text  # passing rows omitted
+        assert "phase" in text  # full table follows
+
+    def test_no_failing_metrics(self):
+        td = diff_runs(_artifact("a", {"p": 1}), _artifact("b", {"p": 1}))
+        text = attribute(self._diffs(failed=False), td)
+        assert text.splitlines()[0] == "attribution: no failing metrics"
+
+    def test_no_phase_rollup_fallback(self):
+        td = diff_runs(_artifact("a", {}), _artifact("b", {}))
+        text = attribute(self._diffs(), td)
+        assert "no phase rollup to attribute" in text

@@ -159,3 +159,28 @@ class TestParallelFinder:
             # the whole-polynomial fallback is never needed.
             assert par.find_roots_scaled(p) == ref.scaled
             assert par.fallback_count == 0
+
+
+class TestProfiledRun:
+    def test_profiled_parallel_run_collects_stacks(self):
+        p = IntPoly.from_roots([-7, -1, 2, 8])
+        mu = 12
+        tracer = Tracer(counter=CostCounter())
+        with ParallelRootFinder(mu=mu, processes=2, tracer=tracer,
+                                profile=True) as par:
+            ref = RealRootFinder(mu_bits=mu).find_roots(p)
+            assert par.find_roots_scaled(p) == ref.scaled
+            folded = par.profile_collapsed()
+        # the dispatcher's anchor sample alone guarantees stacks even
+        # on a machine too fast to catch a worker mid-task
+        assert folded
+        assert all(isinstance(s, str) and isinstance(n, int) and n >= 1
+                   for s, n in folded.items())
+        # profile payloads never leak into the adopted span list
+        assert all(hasattr(s, "sid") for s in tracer.spans)
+
+    def test_profile_off_by_default_costs_nothing(self):
+        with ParallelRootFinder(mu=10, processes=2) as par:
+            par.find_roots_scaled(IntPoly.from_roots([-4, 1, 5]))
+            assert par.profile_collapsed() == {}
+            assert par.profile_samples == []

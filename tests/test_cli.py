@@ -388,3 +388,133 @@ class TestRobustness:
         with pytest.raises(SystemExit, match="could not parse"):
             main(["speedup", "--roots=1,2", "--digits", "4",
                   "--processors", "two"])
+
+
+class TestRegressionAttribution:
+    """`bench --check` failure names the regressed phase (tracediff)."""
+
+    _FAST = ["bench", "--degrees", "6,8", "--digits", "6",
+             "--processes", "0", "--no-ledger"]
+
+    def test_seeded_regression_is_phase_attributed(self, tmp_path, capsys):
+        base = str(tmp_path / "base.json")
+        assert main(self._FAST + ["--out", base]) == 0
+        # Seed a regression: deflate the baseline's headline bit cost
+        # and the remainder phase so the current run reads ~+13% on both.
+        doc = json.loads(open(base).read())
+        doc["metrics"]["bit_cost"]["value"] = int(
+            doc["metrics"]["bit_cost"]["value"] * 0.88
+        )
+        doc["phases"]["remainder"]["bit_cost"] = int(
+            doc["phases"]["remainder"]["bit_cost"] * 0.88
+        )
+        with open(base, "w") as fh:
+            json.dump(doc, fh)
+        cur = str(tmp_path / "cur.json")
+        assert main(self._FAST + ["--out", cur, "--check", base]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "attribution (dominant phase per failed metric):" in out
+        # the dominant mover named on the failing metric's line
+        attr_line = next(line for line in out.splitlines()
+                         if line.strip().startswith("bit_cost:"))
+        assert "'remainder'" in attr_line
+        # the full phase table follows for context
+        assert "bit_cost A" in out
+
+
+class TestLedgerCLI:
+    _FAST = ["bench", "--degrees", "6,8", "--digits", "4",
+             "--processes", "0"]
+
+    def _run_ids(self, capsys):
+        assert main(["runs", "list", "--json"]) == 0
+        return [r["run_id"] for r in json.loads(capsys.readouterr().out)]
+
+    def test_bench_appends_by_default(self, tmp_path, capsys):
+        assert main(self._FAST + ["--out", str(tmp_path / "b.json")]) == 0
+        capsys.readouterr()
+        ids = self._run_ids(capsys)
+        assert len(ids) == 1
+
+    def test_no_ledger_suppresses(self, tmp_path, capsys):
+        assert main(self._FAST + ["--no-ledger",
+                                  "--out", str(tmp_path / "b.json")]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list"]) == 0
+        assert "no ledger records" in capsys.readouterr().out
+
+    def test_roots_ledger_opt_in(self, capsys):
+        assert main(["roots", "--roots=1,5", "--digits", "4",
+                     "--ledger"]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--json"]) == 0
+        (rec,) = json.loads(capsys.readouterr().out)
+        assert rec["command"] == "roots"
+        assert rec["metrics"]["bit_cost"]["value"] > 0
+        assert rec["params"]["degree"] == 2
+
+    def test_runs_list_and_show(self, tmp_path, capsys):
+        assert main(self._FAST + ["--name", "led",
+                                  "--out", str(tmp_path / "b.json")]) == 0
+        capsys.readouterr()
+        (run_id,) = self._run_ids(capsys)
+        assert main(["runs", "list"]) == 0
+        table = capsys.readouterr().out
+        assert run_id in table and "bench" in table
+        assert main(["runs", "show", run_id[:12]]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["run_id"] == run_id
+        assert shown["name"] == "led"
+        assert "remainder" in shown["phases"]
+
+    def test_runs_show_unknown_id_errors(self):
+        with pytest.raises(SystemExit):
+            main(["runs", "show", "zzz-does-not-exist"])
+
+    def test_diff_artifacts_and_ledger_refs(self, tmp_path, capsys):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        assert main(self._FAST + ["--no-ledger", "--out", a]) == 0
+        assert main(self._FAST + ["--no-ledger", "--out", b]) == 0
+        capsys.readouterr()
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "remainder" in out
+        # ledger-ref operand resolves through the same command
+        assert main(self._FAST + ["--out", a]) == 0
+        capsys.readouterr()
+        (run_id,) = self._run_ids(capsys)
+        assert main(["diff", run_id[:12], b]) == 0
+        assert "remainder" in capsys.readouterr().out
+
+    def test_diff_json_shape(self, tmp_path, capsys):
+        a = str(tmp_path / "a.json")
+        assert main(self._FAST + ["--no-ledger", "--out", a]) == 0
+        capsys.readouterr()
+        assert main(["diff", a, a, "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert set(d) == {"phases", "histograms", "lanes", "parallel"}
+        assert all(p["bit_rel"] == 0.0 for p in d["phases"])
+
+
+class TestProfileCLI:
+    def test_roots_profile_writes_collapsed_stacks(self, tmp_path, capsys):
+        from repro.obs.profile import read_collapsed
+
+        out = str(tmp_path / "roots.folded")
+        assert main(["roots", "--roots=1,5", "--digits", "4",
+                     "--profile", out]) == 0
+        folded = read_collapsed(out)
+        assert folded and all(v >= 1 for v in folded.values())
+        assert "profile: wrote" in capsys.readouterr().err
+
+    def test_bench_sequential_profile(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.folded")
+        assert main(["bench", "--degrees", "6,8", "--digits", "4",
+                     "--processes", "0", "--no-ledger",
+                     "--out", str(tmp_path / "b.json"),
+                     "--profile", out]) == 0
+        from repro.obs.profile import read_collapsed
+
+        assert read_collapsed(out)

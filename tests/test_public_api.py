@@ -58,6 +58,11 @@ MODULES = [
     "repro.obs.chrometrace",
     "repro.obs.metrics",
     "repro.obs.rollup",
+    "repro.obs.perf",
+    "repro.obs.ledger",
+    "repro.obs.tracediff",
+    "repro.obs.profile",
+    "repro.obs.export",
     "repro.analysis.bounds",
     "repro.analysis.predict",
     "repro.analysis.sizes",
