@@ -22,6 +22,14 @@ Commands:
 * ``fuzz`` — seeded differential fuzzing: adversarial inputs through
   every engine pair, bit-exact agreement asserted and every claim
   closed by the exact Sturm certificate (:mod:`repro.verify`).
+* ``serve`` — the long-running multi-tenant daemon: one shared
+  persistent worker pool behind a stdin-JSONL or HTTP JSON front-end,
+  with a content-addressed result cache, per-request budgets, request
+  priorities, and backpressure (:mod:`repro.serve`, docs/SERVING.md).
+* ``loadtest`` — replay thousands of seeded mixed-degree requests
+  against a live daemon, verify every answer bit-for-bit, and write a
+  gateable ``BENCH_<name>.json`` with latency percentiles and
+  throughput (:mod:`repro.serve.loadtest`).
 * ``runs`` — list/show records of the append-only cross-run
   performance ledger (:mod:`repro.obs.ledger`); ``bench`` appends a
   record per run by default, ``roots``/``batch`` with ``--ledger``.
@@ -720,6 +728,130 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_root_server(args: argparse.Namespace):
+    from repro.serve.server import RootServer
+
+    try:
+        return RootServer(
+            mu=_mu_bits(args),
+            processes=args.processes,
+            strategy=args.strategy,
+            max_pending=args.max_pending,
+            max_deadline_seconds=args.max_deadline_seconds,
+            cache_bytes=args.cache_bytes,
+            cache_dir=args.cache_dir,
+        )
+    except ValueError as e:
+        raise SystemExit(str(e)) from e
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if (args.http is None) == (not args.stdio):
+        raise SystemExit("choose one front-end: --stdio or --http PORT")
+    server = _make_root_server(args)
+    try:
+        if args.stdio:
+            from repro.serve.stdio import serve_stdio
+
+            return asyncio.run(serve_stdio(server, sys.stdin, sys.stdout))
+        from repro.serve.http import serve_http
+
+        return asyncio.run(serve_http(server, args.host, args.http))
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.bench.artifact import artifact_path
+    from repro.obs.perf import (
+        compare_artifacts,
+        read_artifact,
+        render_gate_report,
+        write_artifact,
+    )
+    from repro.serve.loadtest import (
+        HttpClient,
+        InprocessClient,
+        StdioClient,
+        build_artifact,
+        expected_answers,
+        generate_requests,
+        run_loadtest,
+    )
+
+    # --bits has a real default here (16), so --digits wins when given.
+    mu = args.bits if args.digits is None else digits_to_bits(args.digits)
+    degrees = _parse_int_list(args.degrees, "--degrees")
+    if any(d < 1 for d in degrees):
+        raise SystemExit("--degrees must be >= 1")
+    if not 0.0 <= args.duplicate_fraction < 1.0:
+        raise SystemExit("--duplicate-fraction must be in [0, 1)")
+    if args.requests < 1 or args.concurrency < 1:
+        raise SystemExit("--requests and --concurrency must be >= 1")
+    params = {
+        "mode": args.mode, "requests": args.requests, "seed": args.seed,
+        "degrees": degrees, "duplicate_fraction": args.duplicate_fraction,
+        "mu_bits": mu, "processes": args.processes,
+        "concurrency": args.concurrency,
+    }
+    requests = generate_requests(args.requests, args.seed, degrees,
+                                 args.duplicate_fraction, mu)
+    print(f"loadtest: {len(requests)} requests "
+          f"({len({tuple(r['coeffs']) for r in requests})} unique), "
+          f"computing ground truth...", file=sys.stderr)
+    expected = expected_answers(requests)
+
+    async def _run():
+        if args.mode == "stdio":
+            client = StdioClient(mu, args.processes,
+                                 max_pending=max(args.requests, 64))
+        elif args.mode == "inprocess":
+            client = InprocessClient(mu=mu, processes=args.processes,
+                                     max_pending=max(args.requests, 64))
+        elif args.mode == "http":
+            if not args.url:
+                raise SystemExit("--mode http needs --url host:port")
+            host, _, port = args.url.rpartition(":")
+            host = host.removeprefix("http://").strip("/") or "127.0.0.1"
+            client = HttpClient(host, int(port))
+        else:  # pragma: no cover - argparse choices guard this
+            raise SystemExit(f"unknown mode {args.mode!r}")
+        async with client:
+            return await run_loadtest(client, requests, expected,
+                                      concurrency=args.concurrency)
+
+    report = asyncio.run(_run())
+    print(report.summary())
+
+    artifact = build_artifact(args.name, params, report)
+    out = args.out if args.out else artifact_path(args.name)
+    try:
+        write_artifact(out, artifact)
+    except OSError as e:
+        raise SystemExit(f"cannot write artifact: {e}") from e
+    print(f"wrote {out} ({len(artifact.metrics)} metrics)")
+
+    failed = report.incorrect > 0 or report.errors > 0
+    if failed:
+        print("loadtest FAILED: "
+              f"{report.incorrect} incorrect, {report.errors} errors",
+              file=sys.stderr)
+    if args.check:
+        try:
+            baseline = read_artifact(args.check)
+        except (OSError, ValueError, KeyError) as e:
+            raise SystemExit(f"cannot read baseline {args.check}: {e}") from e
+        diffs = compare_artifacts(baseline, artifact)
+        print(f"\nregression gate vs {args.check}:")
+        print(render_gate_report(baseline, artifact, diffs))
+        failed = failed or any(d.failed for d in diffs)
+    return 1 if failed else 0
+
+
 def _rec_summary_value(rec, names: tuple[str, ...]):
     for name in names:
         if name in rec.metrics:
@@ -1012,6 +1144,83 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--log", metavar="PATH",
                     help="write a structured JSONL findings log")
     sp.set_defaults(func=cmd_fuzz)
+
+    sp = sub.add_parser(
+        "serve",
+        help="multi-tenant root-finding daemon over one persistent pool "
+             "(stdin-JSONL or HTTP JSON; see docs/SERVING.md)",
+    )
+    front = sp.add_mutually_exclusive_group(required=True)
+    front.add_argument("--stdio", action="store_true",
+                       help="serve JSON Lines on stdin/stdout")
+    front.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="serve HTTP on PORT (0 picks a free port)")
+    sp.add_argument("--host", default="127.0.0.1",
+                    help="bind address for --http (default 127.0.0.1)")
+    sp.add_argument("--digits", type=int, default=15,
+                    help="default output precision in decimal digits "
+                         "(requests may override with \"bits\")")
+    sp.add_argument("--bits", type=int, default=None,
+                    help="default output precision in bits")
+    sp.add_argument("--processes", type=int, default=2,
+                    help="worker-pool size (default 2)")
+    sp.add_argument("--strategy", choices=("hybrid", "bisection", "newton"),
+                    default="hybrid",
+                    help="default interval-solver strategy")
+    sp.add_argument("--max-pending", type=int, default=64,
+                    help="admission threshold: shed new requests with a "
+                         "429-style reply when queue depth reaches this "
+                         "(default 64)")
+    sp.add_argument("--max-deadline-seconds", type=float, default=None,
+                    metavar="S",
+                    help="fairness cap on every request's deadline (also "
+                         "assigned to requests without one)")
+    sp.add_argument("--cache-bytes", type=int, default=None,
+                    help="in-memory result-cache budget in bytes "
+                         "(default 64 MiB)")
+    sp.add_argument("--cache-dir", metavar="DIR", default=None,
+                    help="persistent result-cache directory (default: "
+                         "$REPRO_CACHE_DIR if set, else memory-only)")
+    sp.set_defaults(func=cmd_serve)
+
+    sp = sub.add_parser(
+        "loadtest",
+        help="replay seeded mixed-degree traffic against a live daemon, "
+             "verify bit-for-bit, write a gateable BENCH artifact",
+    )
+    sp.add_argument("--mode", choices=("stdio", "inprocess", "http"),
+                    default="stdio",
+                    help="transport: spawn a live `repro serve --stdio` "
+                         "subprocess (default), drive the server "
+                         "in-process, or POST to --url")
+    sp.add_argument("--url", metavar="HOST:PORT",
+                    help="target for --mode http")
+    sp.add_argument("--requests", type=int, default=1000,
+                    help="number of requests to replay (default 1000)")
+    sp.add_argument("--seed", type=int, default=11,
+                    help="request-stream seed (default 11)")
+    sp.add_argument("--degrees", default="2,3,4,5,6,8",
+                    help="degree mix, comma-separated (default 2,3,4,5,6,8)")
+    sp.add_argument("--duplicate-fraction", type=float, default=0.3,
+                    help="fraction of requests repeating an earlier "
+                         "polynomial (default 0.3)")
+    sp.add_argument("--digits", type=int, default=None,
+                    help="output precision in decimal digits")
+    sp.add_argument("--bits", type=int, default=16,
+                    help="output precision in bits (default 16)")
+    sp.add_argument("--processes", type=int, default=2,
+                    help="daemon worker-pool size (default 2)")
+    sp.add_argument("--concurrency", type=int, default=32,
+                    help="max in-flight client requests (default 32)")
+    sp.add_argument("--name", default="serve",
+                    help="artifact name (default serve)")
+    sp.add_argument("--out", metavar="PATH",
+                    help="artifact path (default "
+                         "benchmarks/results/BENCH_<name>.json)")
+    sp.add_argument("--check", metavar="BASELINE",
+                    help="compare against a baseline artifact; exit 1 when "
+                         "a gated metric leaves its tolerance band")
+    sp.set_defaults(func=cmd_loadtest)
 
     return ap
 

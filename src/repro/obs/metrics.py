@@ -73,7 +73,12 @@ class Gauge:
     def add(self, delta: float) -> None:
         """Adjust the current value by ``delta`` (may be negative) —
         the natural form for level-style gauges (queue depth, in-flight
-        tasks) updated at enter/exit sites."""
+        tasks) updated at enter/exit sites.
+
+        Boundary contract: a fresh gauge starts at ``0.0``, so ``add``
+        before any ``set`` counts from zero, and the running value is
+        *not* clamped — mismatched enter/exit sites show up as a
+        negative level instead of being silently hidden."""
         self.value += delta
 
     def as_dict(self) -> dict[str, Any]:
@@ -117,22 +122,32 @@ class Histogram:
     def percentile(self, q: float) -> int | None:
         """Upper bound of the bucket holding the ``q``-quantile.
 
-        ``q`` is a fraction in ``[0, 1]``.  The answer is exact up to
-        the power-of-two bucketing (the true value ``v`` satisfies
-        ``v.bit_length() == answer.bit_length()``), clamped to the
-        observed maximum; an empty histogram returns ``None``.
+        ``q`` is a fraction in ``[0, 1]``.  Boundary behavior is part
+        of the contract (the server's p50/p99 reporting depends on it):
+
+        * empty histogram — ``None`` for every ``q``;
+        * ``q == 0`` — the exact observed minimum (*not* the upper
+          bound of the minimum's bucket);
+        * ``q == 1`` — the exact observed maximum;
+        * one observation — that observation, for every ``q``;
+        * otherwise — the upper bound of the bucket holding the
+          ``q``-quantile, clamped into ``[min, max]``; the true value
+          ``v`` satisfies ``v.bit_length() == answer.bit_length()``.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         if self.count == 0:
             return None
+        assert self.min is not None and self.max is not None
+        if q == 0.0 or self.count == 1:
+            return self.min
         rank = max(1, math.ceil(self.count * q))
         seen = 0
         for b in sorted(self.buckets):
             seen += self.buckets[b]
             if seen >= rank:
                 upper = 0 if b == 0 else (1 << b) - 1
-                return min(upper, self.max)
+                return max(min(upper, self.max), self.min)
         return self.max
 
     def as_dict(self) -> dict[str, Any]:

@@ -97,7 +97,12 @@ class Budget:
         executor that is the parent-side remainder/tree work (worker
         costs stay worker-local).
     clock:
-        Injectable monotonic clock, for deterministic tests.
+        Injectable monotonic clock, for deterministic tests.  The
+        default is ``time.monotonic`` — the same timebase the
+        executor's dispatch loop and task deadlines use — never
+        ``time.time``, whose NTP/wall-clock steps would make a
+        deadline fire early or never when mixed with monotonic
+        readings.
     """
 
     deadline_seconds: float | None = None
@@ -150,12 +155,21 @@ class Budget:
 
     def over(self) -> str | None:
         """The exceeded axis (``"deadline"`` / ``"bit_budget"``), else
-        ``None``.  Never raises; :meth:`check` wraps it."""
+        ``None``.  Never raises; :meth:`check` wraps it.
+
+        A positive deadline is inclusive — elapsed time must *exceed*
+        it to trip — but ``deadline_seconds=0`` ("no time at all")
+        trips at the first check after :meth:`start` even when a
+        coarse clock still reads an elapsed time of exactly 0.0; with
+        strict ``>`` a zero deadline could never fire on such ties.
+        """
         if self._t0 is None:
             return None
-        if (self.deadline_seconds is not None
-                and self.elapsed_seconds() > self.deadline_seconds):
-            return "deadline"
+        if self.deadline_seconds is not None:
+            elapsed = self.elapsed_seconds()
+            if (elapsed > self.deadline_seconds
+                    or (self.deadline_seconds == 0 and elapsed >= 0.0)):
+                return "deadline"
         if (self.max_bit_ops is not None
                 and self.spent_bit_ops() > self.max_bit_ops):
             return "bit_budget"

@@ -43,11 +43,24 @@ class CheckpointMismatch(ValueError):
 def poly_key(coeffs: Iterable[int], mu: int, strategy: str) -> str:
     """Content hash identifying one (polynomial, mu, strategy) job.
 
-    Canonical: coefficients low to high as decimal strings, so the key
-    is stable across sessions and integer magnitudes.
+    The key is **injective** on distinct jobs: the payload is a
+    JSON-canonical array ``[[coeffs as decimal strings], mu, strategy]``
+    (compact separators, ``ensure_ascii``), so no ad-hoc delimiter
+    exists for an adversarial strategy string to collide with, and the
+    list structure keeps coefficient digits from bleeding into ``mu``
+    (``([1, 23], mu=4)`` and ``([1, 2], mu=34)`` serialize differently).
+    Inputs are normalized first — ``int(c)`` / ``int(mu)`` so numeric
+    look-alikes (``True`` vs ``1``) cannot alias distinct keys — which
+    leaves the encoding of every existing integer-coefficient
+    checkpoint unchanged.  This same key addresses the ``repro serve``
+    result cache, where a collision would serve one client another
+    polynomial's roots.
     """
+    if not isinstance(strategy, str):
+        raise TypeError(f"strategy must be str, got {type(strategy).__name__}")
     payload = json.dumps(
-        [[str(c) for c in coeffs], mu, strategy], separators=(",", ":")
+        [[str(int(c)) for c in coeffs], int(mu), strategy],
+        separators=(",", ":"),
     )
     return hashlib.sha256(payload.encode("ascii")).hexdigest()
 

@@ -369,6 +369,13 @@ class ParallelRootFinder:
     profile_interval:
         Sampling period in seconds for the parent-side profiler
         (workers use the module default).
+    sample_hook:
+        Optional callable ``(queue_depth, in_flight)`` invoked at every
+        dispatch-loop telemetry sample (the same submit/complete sites
+        that update the ``executor.queue_depth`` gauge).  This is how
+        ``repro serve`` reads the executor's live backlog for admission
+        control without polling the registry.  Exceptions are swallowed
+        — a telemetry consumer must never break dispatch.
     """
 
     mu: int
@@ -385,6 +392,7 @@ class ParallelRootFinder:
     faults: Any = None
     profile: bool = False
     profile_interval: float = 0.005
+    sample_hook: Any = None
     #: parent-side timestamped profiler samples (``(t_ns, stack)``,
     #: same clock as tracer spans) — feed to ``spans_to_chrome``'s
     #: ``profile`` argument for a profiler lane in the Chrome trace.
@@ -726,6 +734,11 @@ class ParallelRootFinder:
             depth_gauge.set(depth)
             inflight_gauge.set(inflight)
             depth_hist.observe(depth)
+            if self.sample_hook is not None:
+                try:
+                    self.sample_hook(depth, inflight)
+                except Exception:
+                    pass
             if capture:
                 tracer.sample("executor.queue_depth", depth)
                 tracer.sample("executor.in_flight", inflight)

@@ -1,0 +1,53 @@
+"""``repro serve``: the asyncio root-finding daemon and its clients.
+
+One shared persistent :class:`repro.sched.executor.ParallelRootFinder`
+behind two front-ends — newline-delimited JSON on stdin/stdout
+(:func:`repro.serve.stdio.serve_stdio`) and a minimal HTTP/1.1 JSON
+API (:mod:`repro.serve.http`) — with:
+
+* admission control and per-request fairness through
+  :class:`repro.resilience.budget.Budget` (deadline / bit-budget per
+  request; an overrun returns the certified partial result, the
+  protocol rendering of the CLI's exit-code-3 contract);
+* a content-addressed result cache
+  (:class:`repro.serve.cache.ResultCache`) keyed by
+  :func:`repro.resilience.checkpoint.poly_key` — in-memory LRU bounded
+  by byte size with an optional disk tier under ``REPRO_CACHE_DIR``;
+* request priorities and backpressure: when queue-depth telemetry
+  (admitted requests plus the executor's own backlog) crosses the
+  admission threshold, new requests are shed with a structured
+  429-style reply instead of growing the queue without bound;
+* a load-test driver (:mod:`repro.serve.loadtest`) that replays
+  thousands of mixed-degree requests against a live daemon, verifies
+  every answer bit-for-bit against the sequential finder, and folds
+  p50/p99 latency and throughput into the ``BenchArtifact`` regression
+  gate.
+
+See docs/SERVING.md for the protocol and operational contract.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    error_response,
+    metrics_response,
+    ok_response,
+    overloaded_response,
+    parse_request,
+    partial_response,
+)
+from repro.serve.server import RootServer
+
+__all__ = [
+    "ResultCache",
+    "RootServer",
+    "Request",
+    "ProtocolError",
+    "parse_request",
+    "ok_response",
+    "partial_response",
+    "error_response",
+    "overloaded_response",
+    "metrics_response",
+]

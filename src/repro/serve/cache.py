@@ -1,0 +1,179 @@
+"""Content-addressed result cache for the root-finding daemon.
+
+Keys are :func:`repro.resilience.checkpoint.poly_key` digests — the
+injective content hash of ``(coeffs, mu, strategy)`` — so two requests
+share an entry exactly when the algorithm would produce bit-identical
+output for both.  Values are the exact scaled roots; partial and error
+results are never cached (a budget trip is a property of one request's
+budget, not of the polynomial).
+
+Two tiers:
+
+* **memory** — an LRU bounded by the *byte size* of the stored JSON
+  payloads (root magnitudes vary by orders of magnitude across
+  precisions, so an entry-count bound would be meaningless);
+* **disk** (optional) — one small JSON file per key under a cache
+  directory (``REPRO_CACHE_DIR`` or an explicit path), written through
+  on every insert and consulted on a memory miss, so a restarted daemon
+  keeps its history.  Files are written atomically (temp + rename) and
+  a corrupt or truncated file reads as a miss, never an error.
+
+Telemetry lands in the owning server's
+:class:`~repro.obs.metrics.MetricsRegistry`: ``cache.hits`` /
+``cache.misses`` / ``cache.evictions`` / ``cache.disk_hits`` counters
+and the ``cache.bytes`` / ``cache.entries`` gauges.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ResultCache", "DEFAULT_MAX_BYTES"]
+
+#: Default in-memory budget: plenty for ~10^5 small-degree results,
+#: small enough to be invisible next to the worker pool's footprint.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+_SCHEMA = "repro.serve-cache/1"
+
+
+class ResultCache:
+    """Byte-bounded LRU of exact results, with an optional disk tier.
+
+    Parameters
+    ----------
+    max_bytes:
+        In-memory budget.  An entry is charged its key length plus its
+        JSON payload length; least-recently-used entries are evicted
+        until the budget holds.  An entry larger than the whole budget
+        is served but never admitted (it would evict everything for one
+        tenant's monster polynomial).
+    disk_dir:
+        Directory for the persistent tier; created on first use.
+        ``None`` reads ``REPRO_CACHE_DIR`` from the environment, and an
+        empty value disables the tier.
+    metrics:
+        Registry receiving the ``cache.*`` counters and gauges (a
+        private one is created when omitted, so the cache always
+        counts).
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        disk_dir: str | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.max_bytes = max_bytes
+        if disk_dir is None:
+            disk_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        self.disk_dir = disk_dir
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._entries: "OrderedDict[str, tuple[list[int], int]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        """Current in-memory charge."""
+        return self._bytes
+
+    # -- the cache API ---------------------------------------------------
+    def get(self, key: str) -> list[int] | None:
+        """The cached scaled roots for ``key``, or ``None``.
+
+        A memory hit refreshes recency; a memory miss consults the disk
+        tier and promotes a found entry back into memory.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.metrics.counter("cache.hits").inc()
+            return list(entry[0])
+        scaled = self._disk_get(key)
+        if scaled is not None:
+            self.metrics.counter("cache.hits").inc()
+            self.metrics.counter("cache.disk_hits").inc()
+            self._admit(key, scaled)
+            return list(scaled)
+        self.metrics.counter("cache.misses").inc()
+        return None
+
+    def put(self, key: str, scaled: Sequence[int]) -> None:
+        """Insert (or refresh) one exact result under ``key``."""
+        scaled = [int(s) for s in scaled]
+        self._admit(key, scaled)
+        if self.disk_dir:
+            self._disk_put(key, scaled)
+
+    # -- memory tier -----------------------------------------------------
+    @staticmethod
+    def _payload(scaled: list[int]) -> str:
+        return json.dumps([str(s) for s in scaled], separators=(",", ":"))
+
+    def _admit(self, key: str, scaled: list[int]) -> None:
+        nbytes = len(key) + len(self._payload(scaled))
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        if nbytes > self.max_bytes:
+            self._update_gauges()
+            return
+        self._entries[key] = (list(scaled), nbytes)
+        self._bytes += nbytes
+        while self._bytes > self.max_bytes and self._entries:
+            _, (_, freed) = self._entries.popitem(last=False)
+            self._bytes -= freed
+            self.metrics.counter("cache.evictions").inc()
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        self.metrics.gauge("cache.bytes").set(self._bytes)
+        self.metrics.gauge("cache.entries").set(len(self._entries))
+
+    # -- disk tier -------------------------------------------------------
+    def _disk_path(self, key: str) -> str:
+        assert self.disk_dir is not None
+        return os.path.join(self.disk_dir, key[:2], key + ".json")
+
+    def _disk_get(self, key: str) -> list[int] | None:
+        if not self.disk_dir:
+            return None
+        try:
+            with open(self._disk_path(key), encoding="utf-8") as fh:
+                data = json.load(fh)
+            if (not isinstance(data, dict) or data.get("schema") != _SCHEMA
+                    or not isinstance(data.get("scaled"), list)):
+                return None
+            return [int(s) for s in data["scaled"]]
+        except (OSError, ValueError):
+            return None  # absent, torn, or corrupt: a plain miss
+
+    def _disk_put(self, key: str, scaled: list[int]) -> None:
+        path = self._disk_path(key)
+        tmp = path + ".tmp"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump({"schema": _SCHEMA, "key": key,
+                           "scaled": [str(s) for s in scaled]}, fh)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full cache dir must not fail the request
+            # that produced the answer.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

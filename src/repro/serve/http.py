@@ -1,0 +1,189 @@
+"""Minimal asyncio HTTP/1.1 front-end (stdlib only, no frameworks).
+
+Routes:
+
+* ``POST /solve`` — one request object in the body, one response
+  object back; the HTTP status is the response's ``code`` (200 ok,
+  206 partial, 429 overloaded with a ``Retry-After`` header, 400/503
+  errors);
+* ``GET /metrics`` — OpenMetrics text exposition of the shared
+  registry (:func:`repro.obs.export.render_openmetrics`);
+* ``GET /metrics.json`` — the same registry as a JSON snapshot;
+* ``GET /healthz`` — liveness + the current queue depth.
+
+Connections are keep-alive (``Connection: close`` honored); request
+bodies are capped at 1 MiB (413 beyond).  This is a lab daemon, not an
+internet-facing proxy — TLS, auth, and HTTP/2 are out of scope by
+design; front it with a real proxy if it ever leaves localhost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Any
+
+from repro.obs.export import CONTENT_TYPE, render_openmetrics
+from repro.serve.protocol import HTTP_REASONS
+from repro.serve.server import RootServer
+
+__all__ = ["start_http_server", "serve_http", "MAX_BODY_BYTES"]
+
+MAX_BODY_BYTES = 1 << 20
+
+_JSON = "application/json"
+
+
+def _response_bytes(code: int, body: bytes, content_type: str,
+                    extra: dict[str, str] | None = None,
+                    close: bool = False) -> bytes:
+    reason = HTTP_REASONS.get(code, "Unknown")
+    head = [
+        f"HTTP/1.1 {code} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    for k, v in (extra or {}).items():
+        head.append(f"{k}: {v}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_bytes(obj: Any) -> bytes:
+    return json.dumps(obj).encode("utf-8")
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one request: ``(method, path, headers, body)`` or ``None``
+    at EOF / on an unparseable preamble."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    try:
+        method, path, _version = request_line.decode("ascii").split(None, 2)
+    except ValueError:
+        return None
+    headers: dict[str, str] = {}
+    while True:
+        hline = await reader.readline()
+        if hline in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, _, value = hline.decode("ascii").partition(":")
+        except UnicodeDecodeError:
+            return None
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length", "0")
+    try:
+        n = int(length)
+    except ValueError:
+        return None
+    if n < 0 or n > MAX_BODY_BYTES:
+        return method, path, headers, None  # handler answers 413
+    body = await reader.readexactly(n) if n else b""
+    return method, path, headers, body
+
+
+async def _handle_connection(server: RootServer,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    try:
+        while True:
+            parsed = await _read_request(reader)
+            if parsed is None:
+                break
+            method, path, headers, body = parsed
+            close = headers.get("connection", "").lower() == "close"
+            if body is None:
+                out = _response_bytes(
+                    413, _json_bytes({"status": "error", "code": 413,
+                                      "error": "body too large"}),
+                    _JSON, close=True)
+                writer.write(out)
+                await writer.drain()
+                break
+            writer.write(await _route(server, method, path, body,
+                                      close=close))
+            await writer.drain()
+            if close:
+                break
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _route(server: RootServer, method: str, path: str,
+                 body: bytes, *, close: bool) -> bytes:
+    path = path.split("?", 1)[0]
+    if method == "POST" and path in ("/solve", "/"):
+        try:
+            obj = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as e:
+            return _response_bytes(
+                400, _json_bytes({"status": "error", "code": 400,
+                                  "error": f"not valid JSON: {e}"}),
+                _JSON, close=close)
+        resp = await server.submit(obj)
+        extra = None
+        if resp.get("status") == "overloaded":
+            extra = {"Retry-After":
+                     str(int(resp.get("retry_after_seconds", 1)) or 1)}
+        return _response_bytes(int(resp.get("code", 200)),
+                               _json_bytes(resp), _JSON, extra=extra,
+                               close=close)
+    if method == "GET" and path == "/metrics":
+        text = render_openmetrics(server.metrics)
+        return _response_bytes(200, text.encode("utf-8"), CONTENT_TYPE,
+                               close=close)
+    if method == "GET" and path == "/metrics.json":
+        return _response_bytes(200, _json_bytes(server.metrics_snapshot()),
+                               _JSON, close=close)
+    if method == "GET" and path == "/healthz":
+        return _response_bytes(
+            200, _json_bytes({"status": "ok",
+                              "queue_depth": server.queue_depth(),
+                              "limit": server.max_pending}),
+            _JSON, close=close)
+    return _response_bytes(
+        404, _json_bytes({"status": "error", "code": 404,
+                          "error": f"no route {method} {path}"}),
+        _JSON, close=close)
+
+
+async def start_http_server(server: RootServer, host: str = "127.0.0.1",
+                            port: int = 0) -> asyncio.AbstractServer:
+    """Start the root server and bind the HTTP listener; returns the
+    asyncio server (``port=0`` picks a free port — read it from
+    ``sockets[0].getsockname()``)."""
+    await server.start()
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(server, r, w), host, port
+    )
+
+
+async def serve_http(server: RootServer, host: str, port: int) -> int:
+    """Run the HTTP front-end until cancelled (Ctrl-C); returns 0.
+
+    The root server is closed — pool workers joined — on the way out.
+    """
+    aio = await start_http_server(server, host, port)
+    bound = aio.sockets[0].getsockname()
+    print(f"repro serve: http://{bound[0]}:{bound[1]} "
+          f"(POST /solve, GET /metrics)", file=sys.stderr, flush=True)
+    try:
+        async with aio:
+            await aio.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()
+    return 0

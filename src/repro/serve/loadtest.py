@@ -1,0 +1,406 @@
+"""``repro loadtest``: replay mixed-degree traffic against a live daemon.
+
+The driver generates a seeded request stream (mixed degrees, a tunable
+duplicate fraction so the cache has something to hit), plays it through
+one of three transports —
+
+* ``stdio`` (default) — spawns a real ``repro serve --stdio`` daemon as
+  a subprocess and pipelines JSONL over its pipes: the full
+  serialize/parse/schedule path, exactly what production embedding
+  looks like;
+* ``http`` — POSTs against a running HTTP daemon (``--url``);
+* ``inprocess`` — drives a :class:`~repro.serve.server.RootServer`
+  object directly (no transport cost; isolates server overhead);
+
+— then **verifies every answer bit-for-bit** against the sequential
+:class:`~repro.core.rootfinder.RealRootFinder` and folds the outcome
+into a :class:`~repro.obs.perf.BenchArtifact`:
+
+* exactly-gated ``count`` metrics: request/unique/completed/ok tallies,
+  ``loadtest.incorrect`` (must stay 0), and ``loadtest.cache_hits`` —
+  deterministic because the server's single solve lane answers a
+  duplicate strictly after its first occurrence, so
+  ``hits == requests - unique`` independent of timing;
+* informational ``wall`` metrics: p50/p99/mean latency (exact
+  percentiles over the full latency list — the power-of-two histogram
+  is too coarse for a gate report), throughput, and cache hit rate.
+
+``repro loadtest --check baseline.json`` applies the same tolerance-
+band gate as ``repro bench --check``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.bench.workloads import random_real_rooted
+from repro.core.rootfinder import RealRootFinder
+from repro.obs.perf import BenchArtifact
+from repro.poly.dense import IntPoly
+from repro.resilience.checkpoint import poly_key
+
+__all__ = [
+    "generate_requests",
+    "expected_answers",
+    "exact_percentile",
+    "LoadtestReport",
+    "InprocessClient",
+    "StdioClient",
+    "HttpClient",
+    "run_loadtest",
+    "build_artifact",
+]
+
+
+# -- workload ----------------------------------------------------------------
+
+def generate_requests(
+    n: int,
+    seed: int,
+    degrees: Sequence[int],
+    duplicate_fraction: float,
+    mu: int,
+    strategy: str = "hybrid",
+) -> list[dict[str, Any]]:
+    """A seeded stream of ``n`` solve requests over ``degrees``.
+
+    Each request is either a fresh polynomial (degrees cycled; two
+    thirds irrational-rooted via :func:`random_real_rooted`, one third
+    integer-rooted) or, with probability ``duplicate_fraction``, an
+    exact repeat of an earlier one — the traffic the result cache is
+    for.  Fully deterministic for one ``(n, seed, degrees,
+    duplicate_fraction)`` tuple.
+    """
+    if not degrees:
+        raise ValueError("degrees must be nonempty")
+    rng = random.Random(seed)
+    uniques: list[list[int]] = []
+    reqs: list[dict[str, Any]] = []
+    fresh = 0
+    for i in range(n):
+        if uniques and rng.random() < duplicate_fraction:
+            coeffs = rng.choice(uniques)
+        else:
+            deg = degrees[fresh % len(degrees)]
+            if fresh % 3 == 2:
+                roots = rng.sample(range(-3 * deg - 3, 3 * deg + 4), deg)
+                p = IntPoly.from_roots(roots)
+            else:
+                p = random_real_rooted(deg, seed * 1000 + fresh)
+            coeffs = list(p.coeffs)
+            uniques.append(coeffs)
+            fresh += 1
+        reqs.append({"id": i, "coeffs": coeffs, "bits": mu,
+                     "strategy": strategy})
+    return reqs
+
+
+def expected_answers(
+    requests: Sequence[dict[str, Any]]
+) -> dict[str, list[str]]:
+    """Ground truth per unique key, from the sequential finder.
+
+    Maps each request's :func:`poly_key` to the decimal-string scaled
+    roots the daemon must return byte-for-byte.
+    """
+    out: dict[str, list[str]] = {}
+    for r in requests:
+        key = poly_key(r["coeffs"], r["bits"], r.get("strategy", "hybrid"))
+        if key in out:
+            continue
+        result = RealRootFinder(
+            mu_bits=r["bits"], strategy=r.get("strategy", "hybrid")
+        ).find_roots(IntPoly(r["coeffs"]))
+        out[key] = [str(s) for s in result.scaled]
+    return out
+
+
+def exact_percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending list (exact, no
+    bucketing); raises on an empty list."""
+    if not sorted_values:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    rank = max(1, math.ceil(len(sorted_values) * q))
+    return sorted_values[rank - 1]
+
+
+# -- transports --------------------------------------------------------------
+
+class InprocessClient:
+    """Drive a :class:`RootServer` object directly (no transport)."""
+
+    def __init__(self, **server_kwargs: Any):
+        from repro.serve.server import RootServer
+
+        self.server = RootServer(**server_kwargs)
+
+    async def __aenter__(self) -> "InprocessClient":
+        await self.server.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.server.aclose()
+
+    async def request(self, obj: dict[str, Any]) -> dict[str, Any]:
+        return await self.server.submit(obj)
+
+
+class StdioClient:
+    """Spawn a live ``repro serve --stdio`` daemon and pipeline JSONL
+    over its pipes, matching responses to requests by ``id``."""
+
+    def __init__(self, mu: int, processes: int, strategy: str = "hybrid",
+                 max_pending: int = 4096, extra_args: Sequence[str] = ()):
+        self._argv = [
+            sys.executable, "-m", "repro", "serve", "--stdio",
+            "--bits", str(mu), "--processes", str(processes),
+            "--strategy", strategy, "--max-pending", str(max_pending),
+            *extra_args,
+        ]
+        self._proc: Any = None
+        self._reader_task: Any = None
+        self._futures: dict[Any, asyncio.Future] = {}
+
+    async def __aenter__(self) -> "StdioClient":
+        self._proc = await asyncio.create_subprocess_exec(
+            *self._argv,
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        if self._proc.returncode is None:
+            await self._send({"op": "shutdown", "id": "__shutdown__"})
+            await self._proc.wait()
+        await self._reader_task
+        for fut in self._futures.values():
+            if not fut.done():
+                fut.set_exception(ConnectionError("daemon exited"))
+
+    async def _send(self, obj: dict[str, Any]) -> None:
+        self._proc.stdin.write((json.dumps(obj) + "\n").encode())
+        await self._proc.stdin.drain()
+
+    async def _read_loop(self) -> None:
+        while True:
+            line = await self._proc.stdout.readline()
+            if not line:
+                break
+            try:
+                resp = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            fut = self._futures.pop(resp.get("id"), None)
+            if fut is not None and not fut.done():
+                fut.set_result(resp)
+
+    async def request(self, obj: dict[str, Any]) -> dict[str, Any]:
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._futures[obj["id"]] = fut
+        await self._send(obj)
+        return await fut
+
+    async def metrics(self) -> dict[str, Any]:
+        """The daemon's barrier metrics snapshot (see stdio protocol)."""
+        return await self.request({"op": "metrics", "id": "__metrics__"})
+
+
+class HttpClient:
+    """POST each request to a running HTTP daemon (one connection per
+    request, ``Connection: close`` — simple and proxy-shaped)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    async def __aenter__(self) -> "HttpClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        return None
+
+    async def request(self, obj: dict[str, Any]) -> dict[str, Any]:
+        body = json.dumps(obj).encode()
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                b"POST /solve HTTP/1.1\r\n"
+                b"Host: " + self.host.encode() + b"\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        if not head:
+            raise ConnectionError("empty HTTP response")
+        return json.loads(payload)
+
+
+# -- the run -----------------------------------------------------------------
+
+@dataclass
+class LoadtestReport:
+    """Everything one load-test run measured."""
+
+    requests: int
+    unique: int
+    completed: int = 0
+    ok: int = 0
+    cache_hits: int = 0
+    partial: int = 0
+    overloaded: int = 0
+    errors: int = 0
+    incorrect: int = 0
+    wall_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of driver wall time."""
+        return (self.completed / self.wall_seconds
+                if self.wall_seconds > 0 else 0.0)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits as a fraction of completed requests."""
+        return self.cache_hits / self.completed if self.completed else 0.0
+
+    def percentile_seconds(self, q: float) -> float:
+        """Exact latency percentile (seconds) over every completed
+        request."""
+        return exact_percentile(sorted(self.latencies), q)
+
+    def summary(self) -> str:
+        """One human-readable block, the CLI's output."""
+        lines = [
+            f"{self.completed}/{self.requests} completed "
+            f"({self.unique} unique) in {self.wall_seconds:.2f}s "
+            f"= {self.throughput_rps:.1f} req/s",
+            f"  ok {self.ok}  cached {self.cache_hits} "
+            f"({self.cache_hit_rate:.1%})  partial {self.partial}  "
+            f"overloaded {self.overloaded}  errors {self.errors}  "
+            f"INCORRECT {self.incorrect}",
+        ]
+        if self.latencies:
+            lat = sorted(self.latencies)
+            lines.append(
+                f"  latency p50 {exact_percentile(lat, 0.5) * 1e3:.1f}ms  "
+                f"p99 {exact_percentile(lat, 0.99) * 1e3:.1f}ms  "
+                f"max {lat[-1] * 1e3:.1f}ms"
+            )
+        return "\n".join(lines)
+
+
+async def run_loadtest(
+    client: Any,
+    requests: Sequence[dict[str, Any]],
+    expected: dict[str, list[str]],
+    concurrency: int = 32,
+) -> LoadtestReport:
+    """Replay ``requests`` through ``client`` and verify every answer.
+
+    ``concurrency`` caps in-flight requests client-side (a semaphore
+    releasing in FIFO order, so the duplicate-after-leader ordering
+    that makes cache hits deterministic is preserved).  ``client`` is
+    any object with ``async request(obj) -> dict`` — already entered.
+    """
+    report = LoadtestReport(
+        requests=len(requests),
+        unique=len({poly_key(r["coeffs"], r["bits"],
+                             r.get("strategy", "hybrid"))
+                    for r in requests}),
+    )
+    sem = asyncio.Semaphore(concurrency)
+    responses: list[dict[str, Any] | None] = [None] * len(requests)
+    latencies: list[float] = [0.0] * len(requests)
+
+    async def one(i: int, obj: dict[str, Any]) -> None:
+        async with sem:
+            t0 = time.monotonic()
+            try:
+                responses[i] = await client.request(obj)
+            except (ConnectionError, OSError) as e:
+                responses[i] = {"status": "error", "code": 0,
+                                "error": str(e)}
+            latencies[i] = time.monotonic() - t0
+
+    t0 = time.monotonic()
+    await asyncio.gather(*(one(i, r) for i, r in enumerate(requests)))
+    report.wall_seconds = time.monotonic() - t0
+
+    for r, resp, lat in zip(requests, responses, latencies):
+        if resp is None:
+            report.errors += 1
+            continue
+        report.completed += 1
+        report.latencies.append(lat)
+        status = resp.get("status")
+        if status == "ok":
+            report.ok += 1
+            if resp.get("cached"):
+                report.cache_hits += 1
+            key = poly_key(r["coeffs"], r["bits"],
+                           r.get("strategy", "hybrid"))
+            if resp.get("scaled") != expected[key]:
+                report.incorrect += 1
+        elif status == "partial":
+            report.partial += 1
+        elif status == "overloaded":
+            report.overloaded += 1
+        else:
+            report.errors += 1
+    return report
+
+
+def build_artifact(name: str, params: dict[str, Any],
+                   report: LoadtestReport) -> BenchArtifact:
+    """Fold a report into the bench-artifact schema.
+
+    Outcome tallies are ``count`` metrics (exactly gated by default —
+    they are deterministic for a pinned request stream); latency and
+    throughput are ``wall`` metrics (informational).
+    """
+    artifact = BenchArtifact(name=name, params=dict(params))
+    artifact.add_metric("loadtest.requests", report.requests)
+    artifact.add_metric("loadtest.unique", report.unique)
+    artifact.add_metric("loadtest.completed", report.completed)
+    artifact.add_metric("loadtest.ok", report.ok)
+    artifact.add_metric("loadtest.cache_hits", report.cache_hits)
+    artifact.add_metric("loadtest.incorrect", report.incorrect)
+    artifact.add_metric("loadtest.partial", report.partial)
+    artifact.add_metric("loadtest.overloaded", report.overloaded)
+    artifact.add_metric("loadtest.errors", report.errors)
+    if report.latencies:
+        artifact.add_metric("loadtest.p50_seconds",
+                            report.percentile_seconds(0.5), kind="wall")
+        artifact.add_metric("loadtest.p99_seconds",
+                            report.percentile_seconds(0.99), kind="wall")
+        artifact.add_metric(
+            "loadtest.mean_seconds",
+            sum(report.latencies) / len(report.latencies), kind="wall")
+    artifact.add_metric("loadtest.wall_seconds", report.wall_seconds,
+                        kind="wall")
+    artifact.add_metric("loadtest.throughput_rps", report.throughput_rps,
+                        kind="wall")
+    artifact.add_metric("loadtest.cache_hit_rate", report.cache_hit_rate,
+                        kind="wall")
+    return artifact

@@ -1,0 +1,305 @@
+"""The daemon's core: one shared finder behind an asyncio admission lane.
+
+Concurrency model
+-----------------
+
+Front-ends (stdio / HTTP) call :meth:`RootServer.submit` concurrently;
+admitted requests enter a priority queue and a **single** dispatcher
+coroutine drains it, running each solve on a one-thread executor.  The
+dispatcher is therefore the only code that touches the shared
+:class:`~repro.sched.executor.ParallelRootFinder` — per-request
+``mu`` / ``strategy`` / :class:`~repro.resilience.budget.Budget`
+assignments need no locking, and the finder's worker pool stays warm
+across every request.  Parallelism lives *inside* a solve (the pool
+workers), not across solves; for the daemon's mixed small-degree
+traffic the solve lane is the fairness mechanism — one tenant's
+monster polynomial is bounded by its budget, not by starving others
+out of pool workers.
+
+Determinism of the cache
+------------------------
+
+The cache is consulted by the dispatcher immediately before solving,
+so for same-priority traffic a duplicate enqueued behind its first
+occurrence always hits — ``cache.hits == total - unique`` regardless
+of client timing, which is what lets the load-test gate pin the hit
+count as an exactly-gated metric.  Only complete ``ok`` results are
+cached; partials and errors are never stored.
+
+Backpressure
+------------
+
+:meth:`queue_depth` is admitted-but-unanswered requests plus the
+executor's own queued-task backlog (delivered by the finder's
+``sample_hook`` — the live ``executor.queue_depth`` telemetry).  When
+it reaches ``max_pending``, new requests are shed at admission with a
+structured 429-style reply (``server.rejected`` counts them) instead
+of growing the queue without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.obs.metrics import MetricsRegistry
+from repro.poly.dense import IntPoly
+from repro.resilience import Budget, BudgetExceeded
+from repro.resilience.checkpoint import poly_key
+from repro.sched.executor import ParallelRootFinder
+from repro.serve.cache import ResultCache
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    error_response,
+    metrics_response,
+    ok_response,
+    overloaded_response,
+    parse_request,
+    partial_response,
+)
+
+__all__ = ["RootServer"]
+
+
+class RootServer:
+    """Admission control + cache + one shared pool, as an asyncio object.
+
+    Parameters
+    ----------
+    mu:
+        Default output precision in bits (requests may override with
+        ``"bits"``).
+    processes:
+        Worker-pool size of the shared finder.
+    strategy:
+        Default interval-solver strategy.
+    max_pending:
+        Admission threshold: requests arriving while
+        :meth:`queue_depth` is at or above this are shed with an
+        ``overloaded`` reply.
+    max_deadline_seconds:
+        Fairness cap applied to every request's deadline (and assigned
+        to requests that brought none) — see
+        :func:`repro.serve.protocol.parse_request`.
+    cache:
+        A :class:`~repro.serve.cache.ResultCache`; built from
+        ``cache_bytes`` / ``cache_dir`` when omitted.
+    cache_bytes / cache_dir:
+        Configuration for the default cache (ignored when ``cache`` is
+        passed).  ``cache_dir=None`` honors ``REPRO_CACHE_DIR``.
+    metrics:
+        Shared registry; the finder's executor telemetry, the cache
+        counters, and the ``server.*`` metrics all land here, so one
+        ``/metrics`` scrape shows the whole daemon.
+    finder:
+        Injectable finder (tests); constructed from the parameters
+        above when omitted.
+    """
+
+    def __init__(
+        self,
+        mu: int = 53,
+        processes: int = 2,
+        strategy: str = "hybrid",
+        *,
+        max_pending: int = 64,
+        max_deadline_seconds: float | None = None,
+        cache: ResultCache | None = None,
+        cache_bytes: int | None = None,
+        cache_dir: str | None = None,
+        metrics: MetricsRegistry | None = None,
+        finder: ParallelRootFinder | None = None,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.mu = mu
+        self.strategy = strategy
+        self.max_pending = max_pending
+        self.max_deadline_seconds = max_deadline_seconds
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if cache is None:
+            kwargs: dict[str, Any] = {"metrics": self.metrics}
+            if cache_bytes is not None:
+                kwargs["max_bytes"] = cache_bytes
+            cache = ResultCache(disk_dir=cache_dir, **kwargs)
+        self.cache = cache
+        if finder is None:
+            finder = ParallelRootFinder(
+                mu=mu, processes=processes, strategy=strategy,
+                counter=CostCounter(), metrics=self.metrics,
+            )
+        self.finder = finder
+        # Executor queue-depth telemetry, delivered synchronously from
+        # the dispatch loop's sample() sites (solve-thread side; a
+        # plain int store is atomic under the GIL).
+        self._executor_backlog = 0
+        finder.sample_hook = self._on_executor_sample
+
+        self._queue: asyncio.PriorityQueue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._solve_lane: ThreadPoolExecutor | None = None
+        self._outstanding: set[asyncio.Future] = set()
+        self._pending = 0
+        self._seq = 0
+        self._accepting = False
+        self._closed = False
+
+    # -- telemetry -------------------------------------------------------
+    def _on_executor_sample(self, depth: int, in_flight: int) -> None:
+        self._executor_backlog = depth
+
+    def queue_depth(self) -> int:
+        """Admitted-but-unanswered requests plus the executor backlog —
+        the number the admission threshold watches."""
+        return self._pending + self._executor_backlog
+
+    def metrics_snapshot(self, rid: Any = None) -> dict[str, Any]:
+        """A :func:`repro.serve.protocol.metrics_response` for ``rid``."""
+        return metrics_response(self.metrics, rid)
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> "RootServer":
+        """Bind to the running loop and start the dispatcher (idempotent)."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if self._dispatcher is None:
+            self._queue = asyncio.PriorityQueue()
+            self._solve_lane = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-solve"
+            )
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+            self._accepting = True
+        return self
+
+    async def drain(self) -> None:
+        """Wait until every admitted request has been answered."""
+        while self._outstanding:
+            await asyncio.wait(set(self._outstanding))
+
+    async def aclose(self) -> None:
+        """Stop accepting, drain in-flight requests, release the pool.
+
+        The shared finder's workers are joined (no orphaned pool
+        processes); the server object cannot be restarted afterwards.
+        """
+        if self._closed:
+            return
+        self._accepting = False
+        await self.drain()
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._solve_lane is not None:
+            self._solve_lane.shutdown(wait=True)
+            self._solve_lane = None
+        self.finder.close()
+
+    # -- the request path ------------------------------------------------
+    async def submit(self, obj: Any) -> dict[str, Any]:
+        """One request object in, one response object out.
+
+        Never raises for bad input — every failure mode has a response
+        shape (see :mod:`repro.serve.protocol`).
+        """
+        self.metrics.counter("server.requests").inc()
+        rid = obj.get("id") if isinstance(obj, dict) else None
+        if not self._accepting:
+            self.metrics.counter("server.errors").inc()
+            return error_response(rid, "server is draining", code=503)
+        try:
+            req = parse_request(
+                obj, default_mu=self.mu, default_strategy=self.strategy,
+                max_deadline_seconds=self.max_deadline_seconds,
+            )
+        except ProtocolError as e:
+            self.metrics.counter("server.bad_requests").inc()
+            return error_response(rid, str(e))
+        depth = self.queue_depth()
+        if depth >= self.max_pending:
+            self.metrics.counter("server.rejected").inc()
+            return overloaded_response(
+                req.id, queue_depth=depth, limit=self.max_pending
+            )
+
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        self._outstanding.add(fut)
+        self._pending += 1
+        self.metrics.gauge("server.pending").set(self._pending)
+        self._seq += 1
+        # PriorityQueue pops the smallest tuple: higher priority first,
+        # FIFO (by admission sequence) within a priority level.
+        self._queue.put_nowait((-req.priority, self._seq, req, fut))
+        try:
+            return await fut
+        finally:
+            self._pending -= 1
+            self.metrics.gauge("server.pending").set(self._pending)
+            self._outstanding.discard(fut)
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            _, _, req, fut = await self._queue.get()
+            if fut.done():  # client gone (transport dropped the future)
+                continue
+            key = poly_key(req.coeffs, req.mu, req.strategy)
+            t0 = time.monotonic()
+            cached = self.cache.get(key)
+            if cached is not None:
+                resp = ok_response(req, cached, cached=True,
+                                   elapsed_seconds=time.monotonic() - t0)
+                self.metrics.counter("server.ok").inc()
+            else:
+                resp = await loop.run_in_executor(
+                    self._solve_lane, self._solve_blocking, req
+                )
+                if resp["status"] == "ok":
+                    self.cache.put(key, [int(s) for s in resp["scaled"]])
+            self.metrics.histogram("server.latency_us").observe(
+                max(0, int((time.monotonic() - t0) * 1e6))
+            )
+            if not fut.done():
+                fut.set_result(resp)
+
+    def _solve_blocking(self, req: Request) -> dict[str, Any]:
+        """Runs on the solve lane: the only code driving the finder."""
+        finder = self.finder
+        finder.mu = req.mu
+        finder.strategy = req.strategy
+        budget = None
+        if req.deadline_seconds is not None or req.max_bit_ops is not None:
+            budget = Budget(deadline_seconds=req.deadline_seconds,
+                            max_bit_ops=req.max_bit_ops)
+            if req.max_bit_ops is not None and finder.counter is NULL_COUNTER:
+                finder.counter = CostCounter()  # the bit ceiling reads it
+        finder.budget = budget
+        t0 = time.monotonic()
+        try:
+            scaled = finder.find_roots_scaled(IntPoly(req.coeffs))
+        except BudgetExceeded as e:
+            self.metrics.counter("server.partial").inc()
+            return partial_response(req, e)
+        except Exception as e:
+            self.metrics.counter("server.errors").inc()
+            return error_response(
+                req.id, f"{type(e).__name__}: {e}", code=500
+            )
+        finally:
+            finder.budget = None
+        self.metrics.counter("server.ok").inc()
+        return ok_response(req, scaled, cached=False,
+                           elapsed_seconds=time.monotonic() - t0)

@@ -1,0 +1,96 @@
+"""JSON-Lines front-end: one request per stdin line, one response per
+stdout line.
+
+The shape embeddings and batch pipelines want: spawn
+``repro serve --stdio``, write request lines, read response lines —
+no sockets, no ports, works over SSH.  Responses may interleave out of
+input order (requests are pipelined through the server's priority
+queue); match them by ``id``.
+
+Control lines:
+
+* ``{"op": "ping"[, "id": ...]}`` — liveness probe, answered inline;
+* ``{"op": "metrics"[, "id": ...]}`` — **barrier**: waits for every
+  request already read to be answered, then emits the snapshot — so a
+  replay file ending in a metrics line observes the counters of
+  everything before it, deterministically;
+* ``{"op": "shutdown"[, "id": ...]}`` — drain in-flight requests,
+  acknowledge, and exit cleanly.  EOF on stdin behaves the same,
+  minus the acknowledgement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import IO, Any
+
+from repro.serve.protocol import (
+    control_op,
+    error_response,
+    shutdown_response,
+)
+from repro.serve.server import RootServer
+
+__all__ = ["serve_stdio"]
+
+
+async def serve_stdio(server: RootServer, in_fh: IO[str],
+                      out_fh: IO[str]) -> int:
+    """Serve JSONL requests from ``in_fh`` to ``out_fh`` until EOF or a
+    shutdown op; returns the process exit code (0).
+
+    The server is started if needed and **always** closed on the way
+    out — the pool's workers are joined before the function returns.
+    """
+    await server.start()
+    loop = asyncio.get_running_loop()
+    write_lock = asyncio.Lock()
+    tasks: set[asyncio.Task] = set()
+
+    async def emit(resp: dict[str, Any]) -> None:
+        async with write_lock:
+            out_fh.write(json.dumps(resp) + "\n")
+            out_fh.flush()
+
+    async def handle(obj: Any) -> None:
+        await emit(await server.submit(obj))
+
+    try:
+        while True:
+            line = await loop.run_in_executor(None, in_fh.readline)
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                await emit(error_response(None, f"not valid JSON: {e}"))
+                continue
+            op = control_op(obj)
+            rid = obj.get("id") if isinstance(obj, dict) else None
+            if op == "ping":
+                await emit({"id": rid, "status": "ok", "code": 200,
+                            "op": "ping"})
+            elif op == "metrics":
+                if tasks:  # the barrier: snapshot after the backlog
+                    await asyncio.gather(*tasks)
+                await emit(server.metrics_snapshot(rid))
+            elif op == "shutdown":
+                if tasks:
+                    await asyncio.gather(*tasks)
+                await emit(shutdown_response(rid))
+                break
+            elif op is not None:
+                await emit(error_response(rid, f"unknown op {op!r}"))
+            else:
+                t = asyncio.ensure_future(handle(obj))
+                tasks.add(t)
+                t.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks)
+    finally:
+        await server.aclose()
+    return 0

@@ -64,6 +64,33 @@ class TestPrimitives:
         with pytest.raises(ValueError):
             Histogram("h").percentile(1.5)
 
+    def test_percentile_q0_is_exact_min_not_bucket_upper(self):
+        # Regression: q=0 used to return the upper bound of the
+        # minimum's bucket (3 for min=2), a max-clamp-style surprise.
+        h = Histogram("h")
+        for v in (2, 100):
+            h.observe(v)
+        assert h.percentile(0.0) == 2
+        assert h.percentile(1.0) == 100
+
+    def test_percentile_single_sample_every_q(self):
+        h = Histogram("h")
+        h.observe(5)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 5
+
+    def test_percentile_clamped_into_min_max(self):
+        h = Histogram("h")
+        for v in (9, 10, 11, 1000):
+            h.observe(v)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert 9 <= h.percentile(q) <= 1000
+
+    def test_percentile_empty_documented_none(self):
+        h = Histogram("h")
+        assert h.percentile(0.0) is None
+        assert h.percentile(1.0) is None
+
     def test_gauge_set_add_interleavings(self):
         g = Gauge("g")
         g.add(2.0)          # add before any set starts from 0

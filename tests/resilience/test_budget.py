@@ -46,6 +46,36 @@ class TestBudgetUnit:
             [1, 2], "interval", 8, 3)
         assert part.elapsed_seconds == pytest.approx(5.01)
 
+    def test_zero_deadline_trips_on_coarse_clock_tie(self):
+        # Regression: with strict `>` a deadline of 0 never fired while
+        # a coarse clock kept reading elapsed == 0.0 exactly.
+        clock = FakeClock()  # frozen at 0.0: the coarsest possible clock
+        b = Budget(deadline_seconds=0.0, clock=clock).start()
+        assert b.elapsed_seconds() == 0.0
+        assert b.over() == "deadline"
+        with pytest.raises(BudgetExceeded) as ei:
+            b.check(phase="remainder")
+        assert ei.value.reason == "deadline"
+
+    def test_positive_deadline_boundary_stays_inclusive(self):
+        # The zero-case fix must not change the documented `elapsed
+        # must exceed` contract for positive deadlines.
+        clock = FakeClock()
+        b = Budget(deadline_seconds=2.0, clock=clock).start()
+        clock.t = 2.0
+        assert b.over() is None
+        clock.t = 2.0000001
+        assert b.over() == "deadline"
+
+    def test_default_clock_is_monotonic(self):
+        # Audit: the budget and the executor dispatch loop
+        # (sched/executor.py `clock = time.monotonic`) must share one
+        # timebase; mixing time.time in would let wall-clock steps
+        # fire deadlines early or never.
+        import time
+
+        assert Budget().clock is time.monotonic
+
     def test_bit_axis_measures_delta_since_start(self):
         counter = CostCounter()
         with counter.phase("warmup"):

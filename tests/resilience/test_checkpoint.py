@@ -33,6 +33,52 @@ class TestPolyKey:
         assert poly_key([big], 16, "hybrid") != poly_key([big + 1], 16,
                                                          "hybrid")
 
+    def test_no_digit_bleed_between_coeffs_and_mu(self):
+        # ([1, 23], mu=4) vs ([1, 2], mu=34): a flat join like
+        # "1 23 4" / "1 2 34" would collide; the JSON-canonical list
+        # structure must keep the fields apart.
+        assert poly_key([1, 23], 4, "hybrid") != poly_key([1, 2], 34,
+                                                          "hybrid")
+        assert poly_key([12], 3, "hybrid") != poly_key([1], 23, "hybrid")
+
+    def test_no_digit_bleed_between_adjacent_coeffs(self):
+        assert poly_key([1, 23], 16, "h") != poly_key([12, 3], 16, "h")
+        assert poly_key([1, -2], 16, "h") != poly_key([1], -216, "h")
+
+    def test_adversarial_strategy_strings_cannot_collide(self):
+        # A strategy containing the payload's own delimiters (quotes,
+        # commas, brackets) must hash differently from the job whose
+        # fields it tries to imitate.
+        k_plain = poly_key([1, 2], 16, "hybrid")
+        k_spoof = poly_key([1], 16, '2"],16,"hybrid')
+        assert k_plain != k_spoof
+        assert (poly_key([1], 2, 'a","b')
+                != poly_key([1], 2, 'a"') != poly_key([1], 2, "a"))
+
+    def test_non_ascii_strategy_is_hashable_and_distinct(self):
+        assert poly_key([1], 16, "hybrideé") != poly_key([1], 16,
+                                                              "hybridee")
+
+    def test_bool_coefficients_normalize_to_ints(self):
+        # json would render True as "True" != "1"; int-normalization
+        # keeps numeric look-alikes on one key.
+        assert poly_key([True, 0], 16, "h") == poly_key([1, 0], 16, "h")
+        assert poly_key([1, 0], True, "h") == poly_key([1, 0], 1, "h")
+
+    def test_non_string_strategy_rejected(self):
+        with pytest.raises(TypeError, match="strategy"):
+            poly_key([1, 2], 16, None)
+
+    def test_existing_integer_keys_unchanged(self):
+        # The hardening must keep every old checkpoint readable: the
+        # canonical payload for plain int inputs is byte-identical, so
+        # the digest is pinned here against the pre-fix encoding.
+        import hashlib
+
+        payload = '[["1","-2","3"],16,"hybrid"]'
+        expected = hashlib.sha256(payload.encode("ascii")).hexdigest()
+        assert poly_key([1, -2, 3], 16, "hybrid") == expected
+
 
 class TestCheckpointFile:
     def test_round_trip(self, tmp_path):

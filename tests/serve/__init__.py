@@ -1,0 +1,1 @@
+"""Tests for the root-finding daemon (``repro.serve``)."""

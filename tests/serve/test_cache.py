@@ -1,0 +1,140 @@
+"""ResultCache: byte-bounded LRU semantics and the disk tier."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.cache import ResultCache
+
+
+def counters(cache):
+    m = cache.metrics
+    return {n: m.counter(n).value
+            for n in ("cache.hits", "cache.misses", "cache.evictions",
+                      "cache.disk_hits")}
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        c = ResultCache(disk_dir="")
+        assert c.get("k1") is None
+        c.put("k1", [3, -7])
+        assert c.get("k1") == [3, -7]
+        assert counters(c) == {"cache.hits": 1, "cache.misses": 1,
+                               "cache.evictions": 0, "cache.disk_hits": 0}
+
+    def test_returned_list_is_a_copy(self):
+        c = ResultCache(disk_dir="")
+        c.put("k", [1, 2])
+        got = c.get("k")
+        got.append(99)
+        assert c.get("k") == [1, 2]
+
+    def test_byte_accounting(self):
+        c = ResultCache(disk_dir="")
+        c.put("ab", [10])       # 2 + len('["10"]') = 8
+        assert c.bytes_used == 2 + len(json.dumps(["10"],
+                                                  separators=(",", ":")))
+        assert len(c) == 1
+        c.put("ab", [10, 11])   # refresh replaces the old charge
+        assert len(c) == 1
+        assert c.bytes_used == 2 + len(
+            json.dumps(["10", "11"], separators=(",", ":")))
+
+    def test_lru_eviction_order(self):
+        # Each entry charges 8 bytes (2-char key + '["10"]'); budget
+        # holds exactly two.
+        c = ResultCache(max_bytes=16, disk_dir="")
+        c.put("k1", [10])
+        c.put("k2", [20])
+        assert c.get("k1") == [10]          # k1 is now most recent
+        c.put("k3", [30])                   # evicts k2, the LRU
+        assert c.get("k2") is None
+        assert c.get("k1") == [10]
+        assert c.get("k3") == [30]
+        assert counters(c)["cache.evictions"] == 1
+        assert c.metrics.gauge("cache.entries").value == 2
+        assert c.metrics.gauge("cache.bytes").value == c.bytes_used
+
+    def test_oversize_entry_never_admitted(self):
+        c = ResultCache(max_bytes=10, disk_dir="")
+        c.put("k", [1])                     # 1 + len('["1"]') = 6: fits
+        c.put("kb", [10 ** 40])             # payload alone exceeds budget
+        assert c.get("kb") is None
+        assert c.get("k") == [1]            # the small entry survived
+        assert c.bytes_used <= c.max_bytes
+        assert counters(c)["cache.evictions"] == 0
+
+    def test_zero_budget_caches_nothing(self):
+        c = ResultCache(max_bytes=0, disk_dir="")
+        c.put("k", [1])
+        assert len(c) == 0
+        assert c.get("k") is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_bytes=-1)
+
+
+class TestDiskTier:
+    def test_write_through_and_reload(self, tmp_path):
+        d = str(tmp_path / "cache")
+        c1 = ResultCache(disk_dir=d)
+        c1.put("deadbeef", [5, -9])
+        # A fresh cache (daemon restart) finds the entry on disk.
+        c2 = ResultCache(disk_dir=d)
+        assert c2.get("deadbeef") == [5, -9]
+        got = counters(c2)
+        assert got["cache.hits"] == 1 and got["cache.disk_hits"] == 1
+        # ... and promoted it into memory: next hit is memory-tier.
+        assert c2.get("deadbeef") == [5, -9]
+        assert counters(c2)["cache.disk_hits"] == 1
+
+    def test_sharded_layout(self, tmp_path):
+        d = str(tmp_path)
+        ResultCache(disk_dir=d).put("deadbeef", [1])
+        assert os.path.exists(os.path.join(d, "de", "deadbeef.json"))
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        d = str(tmp_path)
+        c = ResultCache(disk_dir=d)
+        c.put("deadbeef", [1])
+        path = os.path.join(d, "de", "deadbeef.json")
+        with open(path, "w") as fh:
+            fh.write('{"schema": "repro.serve-cache/1", "scaled": [truncat')
+        fresh = ResultCache(disk_dir=d)
+        assert fresh.get("deadbeef") is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        d = str(tmp_path)
+        path = os.path.join(d, "de", "deadbeef.json")
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as fh:
+            json.dump({"schema": "other/9", "scaled": ["1"]}, fh)
+        assert ResultCache(disk_dir=d).get("deadbeef") is None
+
+    def test_unwritable_dir_does_not_fail_put(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the cache dir should be")
+        c = ResultCache(disk_dir=str(blocked))
+        c.put("deadbeef", [4])              # must not raise
+        assert c.get("deadbeef") == [4]     # memory tier still serves
+
+    def test_env_var_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        c = ResultCache()
+        assert c.disk_dir == str(tmp_path)
+        c.put("deadbeef", [7])
+        assert os.path.exists(tmp_path / "de" / "deadbeef.json")
+
+    def test_empty_env_disables_tier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert ResultCache().disk_dir is None
+
+    def test_shared_registry(self, tmp_path):
+        reg = MetricsRegistry()
+        c = ResultCache(disk_dir="", metrics=reg)
+        c.get("nope")
+        assert reg.counter("cache.misses").value == 1

@@ -1,0 +1,187 @@
+"""The loadtest driver: workload determinism, scoring, artifact shape."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.perf import compare_artifacts
+from repro.resilience.checkpoint import poly_key
+from repro.serve.loadtest import (
+    LoadtestReport,
+    build_artifact,
+    exact_percentile,
+    expected_answers,
+    generate_requests,
+    run_loadtest,
+)
+
+
+class TestGenerateRequests:
+    def test_deterministic(self):
+        a = generate_requests(50, seed=7, degrees=[2, 3],
+                              duplicate_fraction=0.3, mu=16)
+        b = generate_requests(50, seed=7, degrees=[2, 3],
+                              duplicate_fraction=0.3, mu=16)
+        assert a == b
+        c = generate_requests(50, seed=8, degrees=[2, 3],
+                              duplicate_fraction=0.3, mu=16)
+        assert a != c
+
+    def test_shape_and_ids(self):
+        reqs = generate_requests(20, seed=1, degrees=[2],
+                                 duplicate_fraction=0.0, mu=12)
+        assert [r["id"] for r in reqs] == list(range(20))
+        assert all(r["bits"] == 12 for r in reqs)
+        assert all(r["strategy"] == "hybrid" for r in reqs)
+        # duplicate_fraction=0 means every polynomial is a fresh draw
+        # (rare accidental collisions are possible and handled — the
+        # report counts unique polynomials by actual key, not by draw).
+        assert len({tuple(r["coeffs"]) for r in reqs}) >= 18
+
+    def test_duplicates_present(self):
+        reqs = generate_requests(100, seed=3, degrees=[2, 3],
+                                 duplicate_fraction=0.5, mu=16)
+        unique = len({tuple(r["coeffs"]) for r in reqs})
+        assert unique < 100    # the cache has something to hit
+
+    def test_degrees_respected(self):
+        reqs = generate_requests(30, seed=2, degrees=[2, 4],
+                                 duplicate_fraction=0.0, mu=16)
+        degs = {len(r["coeffs"]) - 1 for r in reqs}
+        assert degs == {2, 4}
+
+    def test_empty_degrees_rejected(self):
+        with pytest.raises(ValueError):
+            generate_requests(5, 1, [], 0.0, 16)
+
+
+class TestExactPercentile:
+    def test_boundaries(self):
+        vals = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert exact_percentile(vals, 0.0) == 1.0
+        assert exact_percentile(vals, 1.0) == 5.0
+        assert exact_percentile(vals, 0.5) == 3.0
+        assert exact_percentile([7.0], 0.99) == 7.0
+
+    def test_nearest_rank(self):
+        vals = [float(i) for i in range(1, 11)]
+        assert exact_percentile(vals, 0.99) == 10.0
+        assert exact_percentile(vals, 0.90) == 9.0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            exact_percentile([], 0.5)
+        with pytest.raises(ValueError):
+            exact_percentile([1.0], 1.5)
+
+
+class ScriptedClient:
+    """Returns canned responses keyed by request id."""
+
+    def __init__(self, responses):
+        self.responses = responses
+
+    async def request(self, obj):
+        return self.responses[obj["id"]]
+
+
+class TestRunLoadtest:
+    def test_scoring(self):
+        reqs = [{"id": i, "coeffs": [-6, 1, 1], "bits": 4}
+                for i in range(5)]
+        key = poly_key([-6, 1, 1], 4, "hybrid")
+        expected = {key: ["-48", "32"]}
+        responses = {
+            0: {"status": "ok", "cached": False, "scaled": ["-48", "32"]},
+            1: {"status": "ok", "cached": True, "scaled": ["-48", "32"]},
+            2: {"status": "ok", "cached": True, "scaled": ["-48", "99"]},
+            3: {"status": "partial", "exit_code": 3, "scaled": []},
+            4: {"status": "overloaded", "code": 429},
+        }
+        report = asyncio.run(run_loadtest(
+            ScriptedClient(responses), reqs, expected, concurrency=2))
+        assert report.requests == 5 and report.unique == 1
+        assert report.completed == 5
+        assert report.ok == 3
+        assert report.cache_hits == 2
+        assert report.incorrect == 1    # id 2's wrong payload
+        assert report.partial == 1 and report.overloaded == 1
+        assert report.errors == 0
+        assert len(report.latencies) == 5
+        assert report.cache_hit_rate == pytest.approx(0.4)
+        assert "INCORRECT 1" in report.summary()
+
+    def test_client_failure_counts_as_error(self):
+        class DyingClient:
+            async def request(self, obj):
+                raise ConnectionError("gone")
+
+        reqs = [{"id": 0, "coeffs": [-2, 0, 1], "bits": 4}]
+        report = asyncio.run(run_loadtest(DyingClient(), reqs, {}))
+        assert report.errors == 1 and report.ok == 0
+
+
+class TestBuildArtifact:
+    def _report(self):
+        return LoadtestReport(
+            requests=10, unique=6, completed=10, ok=9, cache_hits=4,
+            partial=1, overloaded=0, errors=0, incorrect=0,
+            wall_seconds=2.0, latencies=[0.01 * (i + 1) for i in range(10)],
+        )
+
+    def test_kinds(self):
+        art = build_artifact("serve", {"seed": 1}, self._report())
+        counts = {n for n, m in art.metrics.items()
+                  if m["kind"] == "count"}
+        walls = {n for n, m in art.metrics.items() if m["kind"] == "wall"}
+        assert {"loadtest.requests", "loadtest.unique",
+                "loadtest.completed", "loadtest.ok",
+                "loadtest.cache_hits", "loadtest.incorrect",
+                "loadtest.partial", "loadtest.overloaded",
+                "loadtest.errors"} == counts
+        assert {"loadtest.p50_seconds", "loadtest.p99_seconds",
+                "loadtest.mean_seconds", "loadtest.wall_seconds",
+                "loadtest.throughput_rps",
+                "loadtest.cache_hit_rate"} == walls
+
+    def test_gates_exactly_on_counts(self):
+        base = build_artifact("serve", {}, self._report())
+        drifted = self._report()
+        drifted.cache_hits = 3          # one lost hit must fail the gate
+        drifted.wall_seconds = 9.0      # wall drift must NOT fail it
+        cur = build_artifact("serve", {}, drifted)
+        diffs = compare_artifacts(base, cur)
+        failed = {d.name for d in diffs if d.failed}
+        assert "loadtest.cache_hits" in failed
+        assert "loadtest.wall_seconds" not in failed
+
+    def test_identical_reports_pass(self):
+        base = build_artifact("serve", {}, self._report())
+        cur = build_artifact("serve", {}, self._report())
+        assert not any(d.failed for d in compare_artifacts(base, cur))
+
+
+@pytest.mark.slow
+class TestInprocessRun:
+    def test_small_run_is_exact(self):
+        """A real end-to-end loadtest: every answer byte-exact, cache
+        hits exactly requests - unique."""
+        from repro.serve.loadtest import InprocessClient
+
+        reqs = generate_requests(24, seed=11, degrees=[2, 3],
+                                 duplicate_fraction=0.4, mu=16)
+        expected = expected_answers(reqs)
+
+        async def go():
+            async with InprocessClient(mu=16, processes=2,
+                                       max_pending=4096,
+                                       cache_dir="") as client:
+                return await run_loadtest(client, reqs, expected,
+                                          concurrency=8)
+
+        report = asyncio.run(go())
+        assert report.completed == 24
+        assert report.incorrect == 0
+        assert report.errors == 0 and report.overloaded == 0
+        assert report.cache_hits == report.requests - report.unique
+        assert report.throughput_rps > 0

@@ -1,0 +1,169 @@
+"""The JSONL front-end: in-memory protocol walk plus a live daemon."""
+
+import asyncio
+import io
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve.server import RootServer
+from repro.serve.stdio import serve_stdio
+
+from tests.serve.test_server import FakeFinder
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+EXAMPLE_FILE = os.path.join(REPO_ROOT, "examples", "serve_requests.jsonl")
+
+
+def daemon_env():
+    """Subprocess env that can import repro from the source tree."""
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_stdio(lines):
+    """Feed request lines to serve_stdio over StringIO pipes; returns
+    (exit_code, responses, server)."""
+    server = RootServer(mu=16, finder=FakeFinder(), cache_dir="")
+    in_fh = io.StringIO("".join(line + "\n" for line in lines))
+    out_fh = io.StringIO()
+
+    code = asyncio.run(serve_stdio(server, in_fh, out_fh))
+    resps = [json.loads(line) for line in
+             out_fh.getvalue().splitlines() if line]
+    return code, resps, server
+
+
+class TestStdioProtocol:
+    def test_full_session(self):
+        code, resps, server = run_stdio([
+            json.dumps({"op": "ping", "id": "p"}),
+            json.dumps({"id": 1, "coeffs": [-6, 1, 1]}),
+            json.dumps({"id": 2, "coeffs": [-6, 1, 1]}),
+            json.dumps({"op": "metrics", "id": "m"}),
+            json.dumps({"op": "shutdown", "id": "s"}),
+        ])
+        assert code == 0
+        by_id = {r["id"]: r for r in resps}
+        assert by_id["p"]["op"] == "ping"
+        assert by_id[1]["status"] == "ok" and by_id[1]["cached"] is False
+        assert by_id[2]["status"] == "ok" and by_id[2]["cached"] is True
+        # The metrics barrier: the snapshot observes both solves.
+        m = by_id["m"]
+        assert m["status"] == "metrics"
+        assert m["metrics"]["server.ok"]["value"] == 2
+        assert m["metrics"]["cache.hits"]["value"] == 1
+        assert by_id["s"]["status"] == "shutdown"
+        # Everything before shutdown was answered; finder released.
+        assert server.finder.closed is True
+
+    def test_metrics_barrier_precedes_snapshot(self):
+        """A metrics line after N solves always reports all N."""
+        lines = [json.dumps({"id": i, "coeffs": [-(i + 2), 0, 1]})
+                 for i in range(6)]
+        lines.append(json.dumps({"op": "metrics", "id": "m"}))
+        code, resps, _ = run_stdio(lines)
+        assert code == 0
+        m = next(r for r in resps if r.get("status") == "metrics")
+        assert m["metrics"]["server.requests"]["value"] == 6
+        assert m["metrics"]["server.ok"]["value"] == 6
+
+    def test_garbage_lines_answered_inline(self):
+        code, resps, _ = run_stdio([
+            "this is not json",
+            json.dumps({"op": "dance", "id": "d"}),
+            json.dumps({"id": 1, "coeffs": [-2, 0, 1]}),
+        ])
+        assert code == 0
+        assert any(r["status"] == "error" and "not valid JSON" in r["error"]
+                   for r in resps)
+        unknown = next(r for r in resps if r.get("id") == "d")
+        assert unknown["status"] == "error" and "dance" in unknown["error"]
+        assert any(r.get("id") == 1 and r["status"] == "ok" for r in resps)
+
+    def test_eof_drains_without_shutdown_line(self):
+        code, resps, server = run_stdio([
+            json.dumps({"id": 1, "coeffs": [-2, 0, 1]}),
+        ])
+        assert code == 0
+        assert resps[-1]["status"] == "ok"
+        assert server.finder.closed is True
+
+    def test_blank_lines_skipped(self):
+        code, resps, _ = run_stdio(["", "  ",
+                                    json.dumps({"op": "ping", "id": 1})])
+        assert code == 0
+        assert len(resps) == 1
+
+
+@pytest.mark.slow
+class TestLiveDaemon:
+    def test_replay_example_file(self):
+        """Boot the real daemon, replay the committed example request
+        file, and check the cache worked — the CI smoke, as a test."""
+        with open(EXAMPLE_FILE, encoding="utf-8") as fh:
+            lines = [line for line in fh.read().splitlines() if line]
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--stdio",
+             "--bits", "16", "--processes", "2"],
+            input="\n".join(lines) + "\n",
+            capture_output=True, text=True, timeout=150,
+            cwd=REPO_ROOT, env=daemon_env(),
+        )
+        assert proc.returncode == 0, proc.stderr
+        resps = [json.loads(line) for line in proc.stdout.splitlines()]
+        by_id = {r.get("id"): r for r in resps}
+
+        solves = [json.loads(line) for line in lines
+                  if "coeffs" in line or "roots" in line]
+        assert len(resps) == len(lines)    # every line answered
+        oks = [by_id[s["id"]] for s in solves]
+        assert all(r["status"] == "ok" for r in oks)
+
+        # Duplicates in the file hit the cache, byte-identically.
+        seen = {}
+        hits = 0
+        for s, r in zip(solves, oks):
+            key = json.dumps(s["coeffs"])
+            if key in seen:
+                assert r["scaled"] == seen[key]
+                hits += 1
+            else:
+                seen[key] = r["scaled"]
+        assert hits > 0
+        cached = sum(bool(r.get("cached")) for r in oks)
+        assert cached == hits
+
+        # The trailing metrics barrier saw every solve.
+        m = next(r for r in resps if r.get("status") == "metrics")
+        assert m["metrics"]["cache.hits"]["value"] == hits
+        assert m["metrics"]["server.ok"]["value"] == len(oks)
+
+    def test_answers_match_repro_roots(self):
+        """Byte-exact parity between the daemon and the one-shot CLI."""
+        coeffs = [-6, 1, 1]
+        daemon = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--stdio",
+             "--bits", "16", "--processes", "2"],
+            input=json.dumps({"id": 1, "coeffs": coeffs}) + "\n",
+            capture_output=True, text=True, timeout=150,
+            cwd=REPO_ROOT, env=daemon_env(),
+        )
+        assert daemon.returncode == 0, daemon.stderr
+        served = json.loads(daemon.stdout.splitlines()[0])
+        oneshot = subprocess.run(
+            [sys.executable, "-m", "repro", "roots",
+             "--coeffs=-6,1,1", "--bits", "16", "--json"],
+            capture_output=True, text=True, timeout=150,
+            cwd=REPO_ROOT, env=daemon_env(),
+        )
+        assert oneshot.returncode == 0, oneshot.stderr
+        direct = json.loads(oneshot.stdout)
+        assert served["scaled"] == direct["scaled"]
+        assert served["mu_bits"] == direct["mu_bits"]

@@ -518,3 +518,63 @@ class TestProfileCLI:
         from repro.obs.profile import read_collapsed
 
         assert read_collapsed(out)
+
+
+class TestServeCLI:
+    def test_front_end_required(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_front_ends_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--stdio", "--http", "0"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--stdio"])
+        assert args.stdio is True and args.http is None
+        assert args.processes == 2 and args.max_pending == 64
+        assert args.cache_dir is None and args.cache_bytes is None
+        assert args.max_deadline_seconds is None
+
+    def test_bad_max_pending_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--stdio", "--max-pending", "0"])
+
+
+class TestLoadtestCLI:
+    def test_bad_arguments_rejected(self):
+        for argv in (
+            ["loadtest", "--mode", "inprocess", "--requests", "2",
+             "--duplicate-fraction", "1.0"],
+            ["loadtest", "--mode", "inprocess", "--requests", "2",
+             "--degrees", "0,2"],
+            ["loadtest", "--mode", "inprocess", "--requests", "0"],
+            ["loadtest", "--mode", "http", "--requests", "2",
+             "--degrees", "2"],    # http needs --url
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    @pytest.mark.slow
+    def test_inprocess_run_writes_gateable_artifact(self, tmp_path,
+                                                    capsys, monkeypatch):
+        from repro.obs.perf import read_artifact
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        base_args = ["loadtest", "--mode", "inprocess", "--requests", "16",
+                     "--seed", "11", "--degrees", "2,3",
+                     "--duplicate-fraction", "0.4", "--bits", "16",
+                     "--processes", "2"]
+        out = str(tmp_path / "BENCH_serve.json")
+        assert main(base_args + ["--out", out]) == 0
+        assert "INCORRECT 0" in capsys.readouterr().out
+        art = read_artifact(out)
+        m = art.metrics
+        assert m["loadtest.incorrect"]["value"] == 0
+        assert m["loadtest.errors"]["value"] == 0
+        assert m["loadtest.cache_hits"]["value"] == (
+            m["loadtest.requests"]["value"] - m["loadtest.unique"]["value"])
+        # The same pinned stream gates cleanly against its own artifact.
+        out2 = str(tmp_path / "BENCH_serve2.json")
+        assert main(base_args + ["--out", out2, "--check", out]) == 0
+        assert "regression gate" in capsys.readouterr().out

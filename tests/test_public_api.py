@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.bench",
     "repro.verify",
+    "repro.serve",
 ]
 
 MODULES = [
@@ -79,6 +80,12 @@ MODULES = [
     "repro.verify.fuzz",
     "repro.verify.shrink",
     "repro.verify.faults",
+    "repro.serve.protocol",
+    "repro.serve.cache",
+    "repro.serve.server",
+    "repro.serve.stdio",
+    "repro.serve.http",
+    "repro.serve.loadtest",
     "repro.cli",
 ]
 
