@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Sequence
@@ -728,6 +729,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_slo_config(path: str | None):
+    if not path:
+        return None
+    from repro.obs.slo import SLOConfig
+
+    try:
+        return SLOConfig.from_file(path)
+    except (OSError, ValueError, KeyError, TypeError) as e:
+        raise SystemExit(f"cannot read SLO config {path}: {e}") from e
+
+
 def _make_root_server(args: argparse.Namespace):
     from repro.serve.server import RootServer
 
@@ -740,6 +752,11 @@ def _make_root_server(args: argparse.Namespace):
             max_deadline_seconds=args.max_deadline_seconds,
             cache_bytes=args.cache_bytes,
             cache_dir=args.cache_dir,
+            access_log=args.access_log,
+            capture_dir=args.capture_dir,
+            slow_threshold_ms=args.slow_threshold_ms,
+            ring_size=args.ring_size,
+            slo=_load_slo_config(args.slo_config),
         )
     except ValueError as e:
         raise SystemExit(str(e)) from e
@@ -807,11 +824,30 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
 
     async def _run():
         if args.mode == "stdio":
+            extra: list[str] = []
+            if args.access_log:
+                extra += ["--access-log", args.access_log]
+            if args.capture_dir:
+                extra += ["--capture-dir", args.capture_dir]
+            if args.slow_threshold_ms is not None:
+                extra += ["--slow-threshold-ms",
+                          str(args.slow_threshold_ms)]
+            if args.slo_config:
+                extra += ["--slo-config", args.slo_config]
             client = StdioClient(mu, args.processes,
-                                 max_pending=max(args.requests, 64))
+                                 max_pending=max(args.requests, 64),
+                                 extra_args=extra)
         elif args.mode == "inprocess":
-            client = InprocessClient(mu=mu, processes=args.processes,
-                                     max_pending=max(args.requests, 64))
+            client = InprocessClient(
+                mu=mu, processes=args.processes,
+                max_pending=max(args.requests, 64),
+                access_log=args.access_log,
+                capture_dir=args.capture_dir,
+                slow_threshold_ms=(args.slow_threshold_ms
+                                   if args.slow_threshold_ms is not None
+                                   else 250.0),
+                slo=_load_slo_config(args.slo_config),
+            )
         elif args.mode == "http":
             if not args.url:
                 raise SystemExit("--mode http needs --url host:port")
@@ -827,7 +863,18 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     report = asyncio.run(_run())
     print(report.summary())
 
-    artifact = build_artifact(args.name, params, report)
+    from repro.obs.slo import DEFAULT_SLO, evaluate_slo
+
+    slo_config = _load_slo_config(args.slo_config) or DEFAULT_SLO
+    artifact = build_artifact(args.name, params, report,
+                              slo_config=slo_config)
+    if report.samples:
+        verdict = evaluate_slo(report.samples, slo_config)
+        burns = "  ".join(
+            f"{o['name']} burn {o['burn']:.2f}"
+            for o in verdict["objectives"] if o["observed"] is not None
+        )
+        print(f"  SLO: {'ok' if verdict['ok'] else 'VIOLATED'}  {burns}")
     out = args.out if args.out else artifact_path(args.name)
     try:
         write_artifact(out, artifact)
@@ -850,6 +897,32 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         print(render_gate_report(baseline, artifact, diffs))
         failed = failed or any(d.failed for d in diffs)
     return 1 if failed else 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    from repro.serve.reqtrace import (
+        RequestTimeline,
+        format_tail_table,
+        rank_timelines,
+        read_access_log,
+    )
+
+    if not os.path.exists(args.path) and not os.path.exists(
+            args.path + ".1"):
+        raise SystemExit(f"no access log at {args.path}")
+    records = read_access_log(args.path)
+    timelines = [RequestTimeline.from_dict(r) for r in records
+                 if isinstance(r.get("request_id"), (str, int))]
+    if args.json:
+        for tl in rank_timelines(timelines)[:args.limit]:
+            print(json.dumps(tl.to_dict(), separators=(",", ":")))
+        return 0
+    print(format_tail_table(timelines, limit=args.limit))
+    failures = sum(1 for tl in timelines
+                   if tl.status in ("error", "overloaded", "partial"))
+    print(f"\n{len(timelines)} requests, {failures} failures "
+          f"({args.path})")
+    return 0
 
 
 def _rec_summary_value(rec, names: tuple[str, ...]):
@@ -1181,6 +1254,22 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--cache-dir", metavar="DIR", default=None,
                     help="persistent result-cache directory (default: "
                          "$REPRO_CACHE_DIR if set, else memory-only)")
+    sp.add_argument("--access-log", metavar="PATH", default=None,
+                    help="JSONL per-request timeline log (size-rotated, "
+                         "fsynced on shutdown; read with `repro tail`)")
+    sp.add_argument("--capture-dir", metavar="DIR", default=None,
+                    help="tail-capture directory: slow/shed/error/partial "
+                         "requests get a Chrome trace written here")
+    sp.add_argument("--slow-threshold-ms", type=float, default=250.0,
+                    metavar="MS",
+                    help="latency beyond which a request counts as slow "
+                         "for tail capture (default 250)")
+    sp.add_argument("--ring-size", type=int, default=512,
+                    help="in-memory timeline ring size — the SLO window's "
+                         "sample bound (default 512)")
+    sp.add_argument("--slo-config", metavar="PATH", default=None,
+                    help="JSON SLO objectives file (default: built-in "
+                         "p99<5s / error-rate<5%% over 5 min)")
     sp.set_defaults(func=cmd_serve)
 
     sp = sub.add_parser(
@@ -1220,7 +1309,35 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--check", metavar="BASELINE",
                     help="compare against a baseline artifact; exit 1 when "
                          "a gated metric leaves its tolerance band")
+    sp.add_argument("--access-log", metavar="PATH", default=None,
+                    help="forward to the daemon: write per-request "
+                         "timelines here (stdio/inprocess modes)")
+    sp.add_argument("--capture-dir", metavar="DIR", default=None,
+                    help="forward to the daemon: tail-capture Chrome "
+                         "traces here (stdio/inprocess modes)")
+    sp.add_argument("--slow-threshold-ms", type=float, default=None,
+                    metavar="MS",
+                    help="forward to the daemon: tail-capture slow "
+                         "threshold")
+    sp.add_argument("--slo-config", metavar="PATH", default=None,
+                    help="JSON SLO objectives for the verdict folded "
+                         "into the artifact (default: built-in)")
     sp.set_defaults(func=cmd_loadtest)
+
+    sp = sub.add_parser(
+        "tail",
+        help="failures-first table of the slowest/shed/partial requests "
+             "from a daemon access log (see docs/SERVING.md)",
+    )
+    sp.add_argument("path", metavar="ACCESS_LOG",
+                    help="JSONL access log (or ring dump) written by "
+                         "`repro serve --access-log`")
+    sp.add_argument("--limit", type=int, default=20,
+                    help="rows to show (default 20)")
+    sp.add_argument("--json", action="store_true",
+                    help="emit ranked timelines as JSONL instead of a "
+                         "table")
+    sp.set_defaults(func=cmd_tail)
 
     return ap
 

@@ -11,8 +11,10 @@ regression gate (:mod:`repro.obs.perf`), the append-only cross-run
 performance ledger (:mod:`repro.obs.ledger`), phase/lane trace diffing
 with regression attribution (:mod:`repro.obs.tracediff`), an opt-in
 sampling profiler with collapsed-stack/flamegraph output
-(:mod:`repro.obs.profile`), and Prometheus/OpenMetrics text exposition
-of any metrics registry (:mod:`repro.obs.export`).
+(:mod:`repro.obs.profile`), Prometheus/OpenMetrics text exposition
+of any metrics registry (:mod:`repro.obs.export`), and declarative
+SLO objectives with rolling-window error-budget burn evaluated over
+request timelines (:mod:`repro.obs.slo`).
 
 Quickstart::
 
@@ -45,7 +47,10 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    histogram_from_dict,
+    labeled,
     run_metrics,
+    split_labels,
 )
 from repro.obs.perf import (
     BenchArtifact,
@@ -62,6 +67,7 @@ from repro.obs.ledger import Ledger, RunRecord, record_from_artifact
 from repro.obs.tracediff import TraceDiff, diff_runs
 from repro.obs.profile import SamplingProfiler, collapse, write_collapsed
 from repro.obs.export import render_openmetrics, write_openmetrics
+from repro.obs.slo import DEFAULT_SLO, Objective, SLOConfig, evaluate_slo
 from repro.obs.rollup import (
     level_wall_ns,
     parallel_rollup,
@@ -88,6 +94,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "run_metrics",
+    "labeled",
+    "split_labels",
+    "histogram_from_dict",
     "BenchArtifact",
     "MetricDiff",
     "compare_artifacts",
@@ -107,6 +116,10 @@ __all__ = [
     "write_collapsed",
     "render_openmetrics",
     "write_openmetrics",
+    "Objective",
+    "SLOConfig",
+    "DEFAULT_SLO",
+    "evaluate_slo",
     "self_wall_ns",
     "phase_wall_ns",
     "level_wall_ns",

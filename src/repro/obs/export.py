@@ -33,7 +33,13 @@ import re
 import time
 from typing import IO, Any, Mapping
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    split_labels,
+)
 
 __all__ = [
     "sanitize_metric_name",
@@ -77,16 +83,24 @@ def _bucket_upper(k: int) -> int:
     return 0 if k == 0 else (1 << k) - 1
 
 
-def _render_histogram(name: str, h: Histogram, lines: list[str]) -> None:
+def _labels(body: str, extra: str | None = None) -> str:
+    """Render a sample's label block from the registry-key body plus an
+    optional exporter-owned label (the histogram ``le``)."""
+    parts = [p for p in (body, extra) if p]
+    return f"{{{','.join(parts)}}}" if parts else ""
+
+
+def _render_histogram(name: str, body: str, h: Histogram,
+                      lines: list[str]) -> None:
     cumulative = 0
     for k in sorted(h.buckets):
         cumulative += h.buckets[k]
-        lines.append(
-            f'{name}_bucket{{le="{_bucket_upper(k)}"}} {cumulative}'
-        )
-    lines.append(f'{name}_bucket{{le="+Inf"}} {h.count}')
-    lines.append(f"{name}_sum {h.total}")
-    lines.append(f"{name}_count {h.count}")
+        le = f'le="{_bucket_upper(k)}"'
+        lines.append(f"{name}_bucket{_labels(body, le)} {cumulative}")
+    inf = 'le="+Inf"'
+    lines.append(f"{name}_bucket{_labels(body, inf)} {h.count}")
+    lines.append(f"{name}_sum{_labels(body)} {h.total}")
+    lines.append(f"{name}_count{_labels(body)} {h.count}")
 
 
 def render_openmetrics(
@@ -96,28 +110,50 @@ def render_openmetrics(
 ) -> str:
     """The registry in OpenMetrics text exposition format.
 
-    Metrics render in sorted-name order, each with its ``# HELP`` /
-    ``# TYPE`` preamble (``help_texts`` may override the default help
-    string per *original* metric name); the exposition is terminated by
-    the mandatory ``# EOF`` line.
+    Labeled registry names (:func:`repro.obs.metrics.labeled` — base
+    name plus an embedded ``{k="v",...}`` body) are grouped into one
+    family per base name: ``# HELP`` / ``# TYPE`` render once for the
+    family and each member renders as a sample carrying its labels
+    (histogram members merge their labels with the exporter's ``le``).
+    Families render in sorted base-name order, members in sorted
+    label-body order — the whole exposition is deterministic for one
+    registry state.  ``help_texts`` may override the default help
+    string per *base* metric name; the exposition is terminated by the
+    mandatory ``# EOF`` line.
     """
-    lines: list[str] = []
+    families: dict[str, list[tuple[str, Any]]] = {}
     for raw in registry.names():
-        m = registry._metrics[raw]
-        name = sanitize_metric_name(raw, namespace)
-        help_text = (help_texts or {}).get(raw) or f"repro metric {raw}"
+        base, body = split_labels(raw)
+        families.setdefault(base, []).append((body, registry._metrics[raw]))
+    lines: list[str] = []
+    for base in sorted(families):
+        members = sorted(families[base], key=lambda pair: pair[0])
+        kinds = {type(m) for _, m in members}
+        if len(kinds) > 1:
+            raise TypeError(
+                f"metric family {base!r} mixes types "
+                f"{sorted(k.__name__ for k in kinds)}"
+            )
+        name = sanitize_metric_name(base, namespace)
+        help_text = (help_texts or {}).get(base) or f"repro metric {base}"
         lines.append(f"# HELP {name} {help_text}")
-        if isinstance(m, Counter):
+        m0 = members[0][1]
+        if isinstance(m0, Counter):
             lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name}_total {_fmt(float(m.value))}")
-        elif isinstance(m, Gauge):
+            for body, m in members:
+                lines.append(
+                    f"{name}_total{_labels(body)} {_fmt(float(m.value))}"
+                )
+        elif isinstance(m0, Gauge):
             lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {_fmt(m.value)}")
-        elif isinstance(m, Histogram):
+            for body, m in members:
+                lines.append(f"{name}{_labels(body)} {_fmt(m.value)}")
+        elif isinstance(m0, Histogram):
             lines.append(f"# TYPE {name} histogram")
-            _render_histogram(name, m, lines)
+            for body, m in members:
+                _render_histogram(name, body, m, lines)
         else:  # pragma: no cover - registry only holds the three kinds
-            raise TypeError(f"cannot export metric type {type(m).__name__}")
+            raise TypeError(f"cannot export metric type {type(m0).__name__}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 

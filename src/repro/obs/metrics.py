@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 __all__ = [
     "Counter",
@@ -22,6 +22,10 @@ __all__ = [
     "run_metrics",
     "EXECUTOR_COUNTERS",
     "reliability_rollup",
+    "labeled",
+    "split_labels",
+    "escape_label_value",
+    "histogram_from_dict",
 ]
 
 #: The executor's reliability counter vocabulary (see docs/RESILIENCE.md
@@ -41,6 +45,56 @@ EXECUTOR_COUNTERS = (
     "executor.checkpoint_hits",
     "executor.teardown_timeouts",
 )
+
+
+def escape_label_value(v: Any) -> str:
+    """Label value escaped for the exposition format: backslash, double
+    quote, and newline become ``\\\\``, ``\\"``, ``\\n``."""
+    return (str(v).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def labeled(name: str, **labels: Any) -> str:
+    """A registry name carrying a label set: ``name{k="v",...}``.
+
+    Labels are sorted by key, so the same label set always produces the
+    same registry key regardless of call-site keyword order — which is
+    what makes labeled metrics aggregate instead of fragmenting.  The
+    exporter (:mod:`repro.obs.export`) recognizes the embedded braces
+    and renders one OpenMetrics family per base name with the labels on
+    each sample.
+    """
+    if not labels:
+        return name
+    body = ",".join(f'{k}="{escape_label_value(v)}"'
+                    for k, v in sorted(labels.items()))
+    return f"{name}{{{body}}}"
+
+
+def split_labels(name: str) -> tuple[str, str]:
+    """Split a :func:`labeled` registry name into
+    ``(base_name, label_body)``; ``label_body`` is ``""`` for a plain
+    name.  The body keeps its rendered ``k="v"`` form."""
+    if name.endswith("}") and "{" in name:
+        base, _, body = name.partition("{")
+        return base, body[:-1]
+    return name, ""
+
+
+def histogram_from_dict(d: Mapping[str, Any],
+                        name: str = "") -> "Histogram":
+    """Rebuild a :class:`Histogram` from its :meth:`~Histogram.as_dict`
+    form — the inverse the loadtest driver uses to compute percentiles
+    from a daemon's metrics snapshot without access to the live
+    registry."""
+    h = Histogram(name=name)
+    h.count = int(d.get("count", 0))
+    h.total = int(d.get("total", 0))
+    h.min = None if d.get("min") is None else int(d["min"])
+    h.max = None if d.get("max") is None else int(d["max"])
+    h.buckets = {int(k): int(v)
+                 for k, v in dict(d.get("buckets", {})).items()}
+    return h
 
 
 @dataclass

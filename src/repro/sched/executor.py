@@ -376,6 +376,11 @@ class ParallelRootFinder:
         ``repro serve`` reads the executor's live backlog for admission
         control without polling the registry.  Exceptions are swallowed
         — a telemetry consumer must never break dispatch.
+    request_tag:
+        Opaque request tag stamped onto the ``executor.dispatch``
+        span's attrs as ``request_id`` (``None`` adds nothing) — how
+        the serve daemon ties a solve's span tree back to the request
+        that asked for it.
     """
 
     mu: int
@@ -393,6 +398,11 @@ class ParallelRootFinder:
     profile: bool = False
     profile_interval: float = 0.005
     sample_hook: Any = None
+    #: Opaque request tag stamped onto the ``executor.dispatch`` span's
+    #: attrs as ``request_id`` — how ``repro serve`` attributes a
+    #: solve's span tree to the request that asked for it.  ``None``
+    #: (the default) adds nothing.
+    request_tag: Any = None
     #: parent-side timestamped profiler samples (``(t_ns, stack)``,
     #: same clock as tracer spans) — feed to ``spans_to_chrome``'s
     #: ``profile`` argument for a profiler lane in the Chrome trace.
@@ -565,10 +575,12 @@ class ParallelRootFinder:
 
         r_bits = root_bound_bits(p)
         plan = build_interval_plan(tree)
+        tag = ({"request_id": self.request_tag}
+               if self.request_tag is not None else {})
         try:
             with self._parent_profiler(), \
                     tracer.span("executor.dispatch", phase="interval",
-                                degree=p.degree, nodes=len(plan)):
+                                degree=p.degree, nodes=len(plan), **tag):
                 return self._run_plan(plan, r_bits)
         except _Degraded as exc:
             tracer.event("executor_fallback", reason=str(exc),

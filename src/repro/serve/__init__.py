@@ -20,8 +20,16 @@ API (:mod:`repro.serve.http`) — with:
 * a load-test driver (:mod:`repro.serve.loadtest`) that replays
   thousands of mixed-degree requests against a live daemon, verifies
   every answer bit-for-bit against the sequential finder, and folds
-  p50/p99 latency and throughput into the ``BenchArtifact`` regression
-  gate.
+  p50/p99 latency, throughput, queue-wait/solve decomposition, and an
+  SLO verdict into the ``BenchArtifact`` regression gate;
+* request-scoped tracing (:mod:`repro.serve.reqtrace`): every request
+  gets a server-assigned ``request_id`` and a stage timeline
+  (admission → validate → queue_wait → cache_lookup → budget_setup →
+  solve → serialize → write, wall-ns and bit-cost per stage) recorded
+  into a bounded ring, an optional rotated JSONL access log, and —
+  for slow/shed/error/partial requests — tail-captured Chrome traces;
+  :mod:`repro.obs.slo` evaluates declarative objectives over the ring
+  (``GET /slo``, the ``slo`` stdio op, ``repro tail``).
 
 See docs/SERVING.md for the protocol and operational contract.
 """
@@ -36,6 +44,14 @@ from repro.serve.protocol import (
     overloaded_response,
     parse_request,
     partial_response,
+    salvage_id,
+)
+from repro.serve.reqtrace import (
+    AccessLog,
+    RequestTimeline,
+    RequestTracker,
+    TimelineRing,
+    read_access_log,
 )
 from repro.serve.server import RootServer
 
@@ -45,9 +61,15 @@ __all__ = [
     "Request",
     "ProtocolError",
     "parse_request",
+    "salvage_id",
     "ok_response",
     "partial_response",
     "error_response",
     "overloaded_response",
     "metrics_response",
+    "RequestTimeline",
+    "RequestTracker",
+    "TimelineRing",
+    "AccessLog",
+    "read_access_log",
 ]

@@ -5,11 +5,20 @@ Routes:
 * ``POST /solve`` — one request object in the body, one response
   object back; the HTTP status is the response's ``code`` (200 ok,
   206 partial, 429 overloaded with a ``Retry-After`` header, 400/503
-  errors);
+  errors) and the server-assigned request id rides in the
+  ``X-Request-Id`` header as well as the body;
 * ``GET /metrics`` — OpenMetrics text exposition of the shared
   registry (:func:`repro.obs.export.render_openmetrics`);
 * ``GET /metrics.json`` — the same registry as a JSON snapshot;
-* ``GET /healthz`` — liveness + the current queue depth.
+* ``GET /healthz`` — **liveness**: the process is up and serving
+  (always 200) + the current queue depth;
+* ``GET /readyz`` — **readiness**: 503 while draining or with the
+  executor's circuit breaker open; reports breaker state, pool
+  liveness, and queue headroom
+  (:meth:`~repro.serve.server.RootServer.health`);
+* ``GET /slo`` — the configured objectives evaluated over the
+  request-timeline ring
+  (:meth:`~repro.serve.server.RootServer.slo_report`).
 
 Connections are keep-alive (``Connection: close`` honored); request
 bodies are capped at 1 MiB (413 beyond).  This is a lab daemon, not an
@@ -22,10 +31,11 @@ from __future__ import annotations
 import asyncio
 import json
 import sys
+import time
 from typing import Any
 
 from repro.obs.export import CONTENT_TYPE, render_openmetrics
-from repro.serve.protocol import HTTP_REASONS
+from repro.serve.protocol import HTTP_REASONS, salvage_id
 from repro.serve.server import RootServer
 
 __all__ = ["start_http_server", "serve_http", "MAX_BODY_BYTES"]
@@ -106,9 +116,18 @@ async def _handle_connection(server: RootServer,
                 writer.write(out)
                 await writer.drain()
                 break
-            writer.write(await _route(server, method, path, body,
-                                      close=close))
+            payload, io_note = await _route(server, method, path, body,
+                                            close=close)
+            t0 = time.perf_counter_ns()
+            writer.write(payload)
             await writer.drain()
+            if io_note is not None:
+                # Report the transport write back onto the request's
+                # timeline (serialize was measured inside the route).
+                rid, ser_start, ser_ns = io_note
+                server.tracker.finish_io(
+                    rid, ser_ns, time.perf_counter_ns() - t0,
+                    start_ns=ser_start)
             if close:
                 break
     except (ConnectionError, asyncio.IncompleteReadError):
@@ -122,41 +141,64 @@ async def _handle_connection(server: RootServer,
 
 
 async def _route(server: RootServer, method: str, path: str,
-                 body: bytes, *, close: bool) -> bytes:
+                 body: bytes, *, close: bool
+                 ) -> tuple[bytes, tuple[str, int, int] | None]:
+    """Dispatch one request: ``(response_bytes, io_note)``.
+
+    ``io_note`` is ``(request_id, serialize_start_ns, serialize_ns)``
+    for solve responses whose timeline is waiting on the transport
+    write (the connection handler times the write and reports both
+    stages via ``tracker.finish_io``), ``None`` for everything else."""
     path = path.split("?", 1)[0]
     if method == "POST" and path in ("/solve", "/"):
+        text = body.decode("utf-8", errors="replace")
         try:
-            obj = json.loads(body.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as e:
+            obj = json.loads(text)
+        except ValueError as e:
+            resp = server.reject(salvage_id(text), f"not valid JSON: {e}")
             return _response_bytes(
-                400, _json_bytes({"status": "error", "code": 400,
-                                  "error": f"not valid JSON: {e}"}),
-                _JSON, close=close)
-        resp = await server.submit(obj)
-        extra = None
+                400, _json_bytes(resp), _JSON,
+                extra={"X-Request-Id": str(resp["request_id"])},
+                close=close), None
+        resp = await server.submit(obj, defer_io=True)
+        extra = {}
+        rid = resp.get("request_id")
+        if rid is not None:
+            extra["X-Request-Id"] = str(rid)
         if resp.get("status") == "overloaded":
-            extra = {"Retry-After":
-                     str(int(resp.get("retry_after_seconds", 1)) or 1)}
-        return _response_bytes(int(resp.get("code", 200)),
-                               _json_bytes(resp), _JSON, extra=extra,
-                               close=close)
+            extra["Retry-After"] = str(
+                int(resp.get("retry_after_seconds", 1)) or 1)
+        t0 = time.perf_counter_ns()
+        payload = _response_bytes(int(resp.get("code", 200)),
+                                  _json_bytes(resp), _JSON, extra=extra,
+                                  close=close)
+        ser_ns = time.perf_counter_ns() - t0
+        note = ((str(rid), t0, ser_ns) if isinstance(rid, str) else None)
+        return payload, note
     if method == "GET" and path == "/metrics":
         text = render_openmetrics(server.metrics)
         return _response_bytes(200, text.encode("utf-8"), CONTENT_TYPE,
-                               close=close)
+                               close=close), None
     if method == "GET" and path == "/metrics.json":
         return _response_bytes(200, _json_bytes(server.metrics_snapshot()),
-                               _JSON, close=close)
+                               _JSON, close=close), None
     if method == "GET" and path == "/healthz":
         return _response_bytes(
-            200, _json_bytes({"status": "ok",
+            200, _json_bytes({"status": "ok", "alive": True,
                               "queue_depth": server.queue_depth(),
                               "limit": server.max_pending}),
-            _JSON, close=close)
+            _JSON, close=close), None
+    if method == "GET" and path == "/readyz":
+        code, health = server.health()
+        return _response_bytes(code, _json_bytes(health), _JSON,
+                               close=close), None
+    if method == "GET" and path == "/slo":
+        return _response_bytes(200, _json_bytes(server.slo_report()),
+                               _JSON, close=close), None
     return _response_bytes(
         404, _json_bytes({"status": "error", "code": 404,
                           "error": f"no route {method} {path}"}),
-        _JSON, close=close)
+        _JSON, close=close), None
 
 
 async def start_http_server(server: RootServer, host: str = "127.0.0.1",

@@ -42,7 +42,9 @@ from typing import Any, Sequence
 
 from repro.bench.workloads import random_real_rooted
 from repro.core.rootfinder import RealRootFinder
+from repro.obs.metrics import histogram_from_dict
 from repro.obs.perf import BenchArtifact
+from repro.obs.slo import DEFAULT_SLO, SLOConfig, evaluate_slo
 from repro.poly.dense import IntPoly
 from repro.resilience.checkpoint import poly_key
 
@@ -153,6 +155,10 @@ class InprocessClient:
     async def request(self, obj: dict[str, Any]) -> dict[str, Any]:
         return await self.server.submit(obj)
 
+    async def metrics(self) -> dict[str, Any]:
+        """The server registry's snapshot (no transport round-trip)."""
+        return self.server.metrics_snapshot("__metrics__")
+
 
 class StdioClient:
     """Spawn a live ``repro serve --stdio`` daemon and pipeline JSONL
@@ -230,17 +236,10 @@ class HttpClient:
     async def __aexit__(self, *exc: Any) -> None:
         return None
 
-    async def request(self, obj: dict[str, Any]) -> dict[str, Any]:
-        body = json.dumps(obj).encode()
+    async def _roundtrip(self, head: bytes, body: bytes = b"") -> bytes:
         reader, writer = await asyncio.open_connection(self.host, self.port)
         try:
-            writer.write(
-                b"POST /solve HTTP/1.1\r\n"
-                b"Host: " + self.host.encode() + b"\r\n"
-                b"Content-Type: application/json\r\n"
-                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
-                b"Connection: close\r\n\r\n" + body
-            )
+            writer.write(head + body)
             await writer.drain()
             raw = await reader.read()
         finally:
@@ -249,6 +248,29 @@ class HttpClient:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+        return raw
+
+    async def request(self, obj: dict[str, Any]) -> dict[str, Any]:
+        body = json.dumps(obj).encode()
+        raw = await self._roundtrip(
+            b"POST /solve HTTP/1.1\r\n"
+            b"Host: " + self.host.encode() + b"\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n", body
+        )
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        if not head:
+            raise ConnectionError("empty HTTP response")
+        return json.loads(payload)
+
+    async def metrics(self) -> dict[str, Any]:
+        """``GET /metrics.json`` from the daemon."""
+        raw = await self._roundtrip(
+            b"GET /metrics.json HTTP/1.1\r\n"
+            b"Host: " + self.host.encode() + b"\r\n"
+            b"Connection: close\r\n\r\n"
+        )
         head, _, payload = raw.partition(b"\r\n\r\n")
         if not head:
             raise ConnectionError("empty HTTP response")
@@ -272,6 +294,14 @@ class LoadtestReport:
     incorrect: int = 0
     wall_seconds: float = 0.0
     latencies: list[float] = field(default_factory=list)
+    #: per-completed-request SLO samples
+    #: (``{"time_unix", "total_ms", "status"}``) — what
+    #: :func:`repro.obs.slo.evaluate_slo` consumes.
+    samples: list[dict[str, Any]] = field(default_factory=list)
+    #: the daemon's end-of-run metrics snapshot (``metrics_response``
+    #: shape), when the transport could fetch one — the source of the
+    #: queue-wait/solve decomposition metrics.
+    metrics_snapshot: dict[str, Any] | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -347,6 +377,16 @@ async def run_loadtest(
     await asyncio.gather(*(one(i, r) for i, r in enumerate(requests)))
     report.wall_seconds = time.monotonic() - t0
 
+    # End-of-run daemon snapshot (transports that can fetch one) — the
+    # source of the queue-wait/solve decomposition in the artifact.
+    fetch = getattr(client, "metrics", None)
+    if callable(fetch):
+        try:
+            report.metrics_snapshot = await fetch()
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            report.metrics_snapshot = None
+
+    now = time.time()
     for r, resp, lat in zip(requests, responses, latencies):
         if resp is None:
             report.errors += 1
@@ -354,6 +394,8 @@ async def run_loadtest(
         report.completed += 1
         report.latencies.append(lat)
         status = resp.get("status")
+        report.samples.append({"time_unix": now, "total_ms": lat * 1e3,
+                               "status": str(status)})
         if status == "ok":
             report.ok += 1
             if resp.get("cached"):
@@ -371,13 +413,54 @@ async def run_loadtest(
     return report
 
 
+def _add_decomposition(artifact: BenchArtifact,
+                       snapshot: dict[str, Any]) -> None:
+    """Queue-wait / solve latency decomposition from the daemon's own
+    stage histograms (informational ``wall`` metrics — histogram-bucket
+    percentiles on this machine's clock, not gateable counts)."""
+    metrics = snapshot.get("metrics", {})
+    for base, tag in (("server.queue_wait_us", "queue_wait"),
+                      ("server.solve_us", "solve")):
+        d = metrics.get(base)
+        if not isinstance(d, dict) or d.get("type") != "histogram":
+            continue
+        h = histogram_from_dict(d, name=base)
+        for q, label in ((0.5, "p50"), (0.99, "p99")):
+            v = h.percentile(q)
+            if v is not None:
+                artifact.add_metric(f"loadtest.{tag}_{label}_seconds",
+                                    v / 1e6, kind="wall")
+        artifact.add_metric(f"loadtest.{tag}_mean_seconds",
+                            h.mean / 1e6, kind="wall")
+
+
+def _add_slo(artifact: BenchArtifact, report: LoadtestReport,
+             config: SLOConfig) -> dict[str, Any]:
+    """Fold the SLO verdict in: ``loadtest.slo_ok`` (1/0) plus one
+    burn metric per objective — ``wall`` kind, so a noisy CI machine
+    shows the verdict without flaking the gate."""
+    verdict = evaluate_slo(report.samples, config)
+    artifact.add_metric("loadtest.slo_ok",
+                        1.0 if verdict["ok"] else 0.0, kind="wall")
+    for obj in verdict["objectives"]:
+        burn = obj["burn"]
+        if burn != burn or burn in (float("inf"), float("-inf")):
+            burn = 1e9  # JSON-safe stand-in for a blown zero-threshold
+        artifact.add_metric(f"loadtest.slo_burn.{obj['name']}",
+                            float(burn), kind="wall")
+    return verdict
+
+
 def build_artifact(name: str, params: dict[str, Any],
-                   report: LoadtestReport) -> BenchArtifact:
+                   report: LoadtestReport,
+                   slo_config: SLOConfig | None = None) -> BenchArtifact:
     """Fold a report into the bench-artifact schema.
 
     Outcome tallies are ``count`` metrics (exactly gated by default —
     they are deterministic for a pinned request stream); latency and
-    throughput are ``wall`` metrics (informational).
+    throughput are ``wall`` metrics (informational), as are the
+    queue-wait/solve decomposition percentiles (when the report carries
+    a daemon metrics snapshot) and the SLO verdict/burn metrics.
     """
     artifact = BenchArtifact(name=name, params=dict(params))
     artifact.add_metric("loadtest.requests", report.requests)
@@ -403,4 +486,9 @@ def build_artifact(name: str, params: dict[str, Any],
                         kind="wall")
     artifact.add_metric("loadtest.cache_hit_rate", report.cache_hit_rate,
                         kind="wall")
+    if report.metrics_snapshot is not None:
+        _add_decomposition(artifact, report.metrics_snapshot)
+    if report.samples:
+        _add_slo(artifact, report,
+                 slo_config if slo_config is not None else DEFAULT_SLO)
     return artifact

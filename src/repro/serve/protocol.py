@@ -35,6 +35,8 @@ status         code  meaning
 
 from __future__ import annotations
 
+import json
+import re
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -46,6 +48,7 @@ __all__ = [
     "ProtocolError",
     "parse_request",
     "control_op",
+    "salvage_id",
     "ok_response",
     "partial_response",
     "error_response",
@@ -104,6 +107,30 @@ def control_op(obj: Any) -> str | None:
     if isinstance(obj, Mapping) and isinstance(obj.get("op"), str):
         return obj["op"]
     return None
+
+
+#: The ``"id": <scalar>`` shape inside a (possibly broken) JSON line.
+_ID_FIELD = re.compile(
+    r'"id"\s*:\s*("(?:[^"\\]|\\.)*"|-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?'
+    r'|true|false|null)'
+)
+
+
+def salvage_id(line: str) -> Any:
+    """Best-effort ``id`` recovery from a line that failed JSON parsing.
+
+    A client that sent ``{"id": 7, "coeffs": [1,`` still deserves an
+    error reply it can correlate — pipelined clients match responses by
+    id, and ``"id": null`` orphans the failure.  Only scalar ids are
+    recovered (strings, numbers, booleans, null); anything unsalvable
+    returns ``None``, which is also what an absent id yields."""
+    m = _ID_FIELD.search(line)
+    if m is None:
+        return None
+    try:
+        return json.loads(m.group(1))
+    except json.JSONDecodeError:  # pragma: no cover - regex-vetted
+        return None
 
 
 def _int_field(obj: Mapping, name: str, default: int | None,

@@ -1,0 +1,525 @@
+"""Request-scoped tracing for the daemon: ids, stage timelines, tail
+capture.
+
+Every request admitted by :class:`~repro.serve.server.RootServer` gets
+a server-assigned ``request_id`` (echoed in the JSONL reply and the
+``X-Request-Id`` HTTP header) and a :class:`RequestTimeline` — the
+paper's phase-by-phase cost decomposition applied to the unit users
+actually experience.  The stages, in request order:
+
+=================  =========================================================
+stage              what it measures
+=================  =========================================================
+``admission``      backpressure check + enqueue bookkeeping
+``validate``       :func:`~repro.serve.protocol.parse_request`
+``queue_wait``     enqueue → dispatcher pop (the priority-queue delay)
+``cache_lookup``   :func:`~repro.resilience.checkpoint.poly_key` + cache get
+``budget_setup``   per-request ``mu``/``strategy``/``Budget`` assignment
+``solve``          the finder call — wall ns *and* the bit-cost delta
+``serialize``      ``json.dumps`` of the response (front-end measured)
+``write``          flush to the transport (front-end measured)
+=================  =========================================================
+
+Stages are **sub-intervals** of the request's admission→write window:
+their sum reconciles with the end-to-end latency up to the untimed
+seams (thread handoff into the solve lane, event-loop scheduling) —
+the "serialization slack" the acceptance tests bound.
+
+Timelines land in three sinks, all owned by :class:`RequestTracker`:
+
+* a bounded in-memory ring (:class:`TimelineRing`) — the window the
+  SLO evaluator and the ``repro tail`` ring-dump read;
+* an optional JSONL access log (:class:`AccessLog`) — size-rotated,
+  fsynced on close, torn-line tolerant on read like the run ledger;
+* **tail capture**: a request that is slow beyond the threshold, shed,
+  errored, or partial gets its full timeline written as a Chrome trace
+  (via :func:`repro.obs.chrometrace.spans_to_chrome`) under the
+  capture directory, adopted executor spans included.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterable, Sequence
+
+from repro.obs.metrics import MetricsRegistry, labeled
+from repro.obs.trace import Span
+
+__all__ = [
+    "STAGES",
+    "SCHEMA",
+    "StageRecord",
+    "RequestTimeline",
+    "TimelineRing",
+    "AccessLog",
+    "read_access_log",
+    "RequestTracker",
+    "degree_bucket",
+    "rank_timelines",
+    "format_tail_table",
+]
+
+#: Canonical stage order (rendering and reconciliation follow it).
+STAGES = ("admission", "validate", "queue_wait", "cache_lookup",
+          "budget_setup", "solve", "serialize", "write")
+
+#: Schema tag stamped on every serialized timeline.
+SCHEMA = "repro.reqtrace/1"
+
+#: Statuses that are captured by the tail sampler regardless of speed.
+FAILURE_STATUSES = ("error", "overloaded", "partial")
+
+
+def degree_bucket(degree: int) -> str:
+    """Power-of-two degree bucket label (``"1-2"``, ``"3-4"``,
+    ``"5-8"``, ``"9-16"``, ...) — coarse enough that the label set
+    stays bounded, fine enough to separate the paper's cost regimes."""
+    if degree <= 2:
+        return "1-2"
+    upper = 1 << (degree - 1).bit_length()
+    return f"{upper // 2 + 1}-{upper}"
+
+
+@dataclass
+class StageRecord:
+    """One closed stage: a name, a start, a duration, a bit cost."""
+
+    name: str
+    start_ns: int
+    wall_ns: int
+    bit_cost: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form (bit cost omitted when zero, to keep access
+        log lines tight)."""
+        d: dict[str, Any] = {"name": self.name, "start_ns": self.start_ns,
+                             "wall_ns": self.wall_ns}
+        if self.bit_cost:
+            d["bit_cost"] = self.bit_cost
+        return d
+
+
+@dataclass
+class RequestTimeline:
+    """One request's span timeline, from admission to the final write.
+
+    ``start_ns`` is ``time.perf_counter_ns()`` — the same clock the
+    tracer's spans use, so adopted executor spans line up on the same
+    axis.  ``time_unix`` anchors the timeline in wall-clock time for
+    the SLO window.
+    """
+
+    request_id: str
+    client_id: Any = None
+    priority: int = 0
+    degree: int = 0
+    start_ns: int = 0
+    time_unix: float = 0.0
+    status: str = "pending"
+    code: int = 0
+    cached: bool = False
+    end_ns: int | None = None
+    stages: list[StageRecord] = field(default_factory=list)
+    #: executor/phase spans adopted from the worker pool during the
+    #: solve stage (exported dicts, :meth:`Span.to_dict` shape).
+    solve_spans: list[dict[str, Any]] = field(default_factory=list)
+
+    def add_stage(self, name: str, start_ns: int, wall_ns: int,
+                  bit_cost: int = 0) -> None:
+        """Append one closed stage (durations clamped nonnegative)."""
+        self.stages.append(StageRecord(name, start_ns, max(0, wall_ns),
+                                       max(0, bit_cost)))
+
+    @property
+    def total_ns(self) -> int:
+        """Admission→write wall time; falls back to the stage span when
+        the timeline was never closed."""
+        if self.end_ns is not None:
+            return max(0, self.end_ns - self.start_ns)
+        return self.stage_sum_ns
+
+    @property
+    def stage_sum_ns(self) -> int:
+        """Sum of the measured stage durations — reconciles with
+        :attr:`total_ns` up to the untimed seams."""
+        return sum(s.wall_ns for s in self.stages)
+
+    @property
+    def bit_cost(self) -> int:
+        """Total bit-operation cost charged across the stages."""
+        return sum(s.bit_cost for s in self.stages)
+
+    def stage_ns(self, name: str) -> int:
+        """Total wall ns spent in stage ``name`` (0 when unmeasured)."""
+        return sum(s.wall_ns for s in self.stages if s.name == name)
+
+    def dominant_stage(self) -> str:
+        """The stage that ate the most wall time (``"-"`` when none
+        measured) — the one-word answer to "why was this slow?"."""
+        if not self.stages:
+            return "-"
+        best = max(self.stages, key=lambda s: s.wall_ns)
+        return best.name
+
+    def close(self, status: str, code: int, *, cached: bool = False,
+              end_ns: int | None = None) -> None:
+        """Record the outcome and stamp the end of the window."""
+        self.status = status
+        self.code = code
+        self.cached = cached
+        if end_ns is not None:
+            self.end_ns = end_ns
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form, one access-log line (schema-stamped)."""
+        return {
+            "schema": SCHEMA,
+            "request_id": self.request_id,
+            "id": self.client_id,
+            "priority": self.priority,
+            "degree": self.degree,
+            "status": self.status,
+            "code": self.code,
+            "cached": self.cached,
+            "time_unix": self.time_unix,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "total_ns": self.total_ns,
+            "bit_cost": self.bit_cost,
+            "dominant_stage": self.dominant_stage(),
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "RequestTimeline":
+        """Rebuild a timeline from :meth:`to_dict` output (solve spans
+        are not round-tripped through the access log — they live in the
+        captured Chrome traces)."""
+        tl = cls(
+            request_id=str(d.get("request_id", "?")),
+            client_id=d.get("id"),
+            priority=int(d.get("priority", 0)),
+            degree=int(d.get("degree", 0)),
+            start_ns=int(d.get("start_ns", 0)),
+            time_unix=float(d.get("time_unix", 0.0)),
+            status=str(d.get("status", "?")),
+            code=int(d.get("code", 0)),
+            cached=bool(d.get("cached", False)),
+            end_ns=d.get("end_ns"),
+        )
+        for s in d.get("stages", []):
+            tl.add_stage(str(s.get("name", "?")), int(s.get("start_ns", 0)),
+                         int(s.get("wall_ns", 0)),
+                         int(s.get("bit_cost", 0)))
+        return tl
+
+    def spans(self) -> list[Span]:
+        """The timeline as tracer spans — a root request span, one
+        child per stage, plus the adopted executor spans — ready for
+        :func:`repro.obs.chrometrace.spans_to_chrome`."""
+        end = self.end_ns if self.end_ns is not None else (
+            self.start_ns + self.stage_sum_ns)
+        out = [Span(
+            sid=0, name=f"request {self.request_id}", phase="request",
+            depth=0, parent=None, start_ns=self.start_ns, end_ns=end,
+            attrs={"request_id": self.request_id, "status": self.status,
+                   "degree": self.degree, "priority": self.priority},
+            cost={},
+        )]
+        for i, s in enumerate(self.stages, start=1):
+            out.append(Span(
+                sid=i, name=s.name, phase="request", depth=1, parent=0,
+                start_ns=s.start_ns, end_ns=s.start_ns + s.wall_ns,
+                attrs={"bit_cost": s.bit_cost} if s.bit_cost else {},
+                cost={},
+            ))
+        base = len(out)
+        for j, d in enumerate(self.solve_spans):
+            sp = Span.from_dict(d)
+            sp.sid = base + j
+            out.append(sp)
+        return out
+
+
+class TimelineRing:
+    """Bounded ring of the most recent closed timelines.
+
+    The live window behind ``GET /slo`` and the ``repro tail``
+    ring-dump: pushes evict the oldest entry once ``maxlen`` is
+    reached, so memory stays constant no matter how long the daemon
+    runs."""
+
+    def __init__(self, maxlen: int = 512):
+        if maxlen < 1:
+            raise ValueError("ring maxlen must be >= 1")
+        self._ring: deque[RequestTimeline] = deque(maxlen=maxlen)
+
+    def push(self, tl: RequestTimeline) -> None:
+        """Record one closed timeline."""
+        self._ring.append(tl)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def snapshot(self) -> list[RequestTimeline]:
+        """The ring's contents, oldest first."""
+        return list(self._ring)
+
+
+class AccessLog:
+    """Append-only JSONL access log with size rotation.
+
+    One timeline dict per line, flushed per write so an abrupt exit
+    loses at most the line in flight; :meth:`close` fsyncs, so a
+    *graceful* shutdown (the stdio SIGTERM path) loses nothing.  When
+    the file crosses ``max_bytes`` it is rotated to ``<path>.1``
+    (one generation — this is a lab daemon, not logrotate)."""
+
+    def __init__(self, path: str, max_bytes: int = 16 << 20):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.path = path
+        self.max_bytes = max_bytes
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh: IO[str] | None = open(path, "a", encoding="utf-8")
+        self._size = self._fh.tell()
+
+    def write(self, record: dict[str, Any]) -> None:
+        """Append one record (no-op after :meth:`close`)."""
+        if self._fh is None:
+            return
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        if self._size + len(line) > self.max_bytes and self._size > 0:
+            self._rotate()
+        self._fh.write(line)
+        self._fh.flush()
+        self._size += len(line)
+
+    def _rotate(self) -> None:
+        assert self._fh is not None
+        self._fh.close()
+        os.replace(self.path, self.path + ".1")
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+
+    def close(self) -> None:
+        """Flush, fsync, and close (idempotent) — the durability step
+        the daemon's shutdown path owes its last records."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
+
+
+def read_access_log(path: str) -> list[dict[str, Any]]:
+    """Every parseable record of an access log, oldest first.
+
+    Reads the rotated generation (``<path>.1``) before the live file
+    and skips blank or torn lines — the same tolerance contract as the
+    run ledger, so a crash mid-append never poisons the reader."""
+    out: list[dict[str, Any]] = []
+    for p in (path + ".1", path):
+        if not os.path.exists(p):
+            continue
+        with open(p, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(rec, dict):
+                    out.append(rec)
+    return out
+
+
+class RequestTracker:
+    """Owns every per-request observability sink for one daemon.
+
+    The server opens a timeline per admitted request and finalizes it
+    at the response boundary; front-ends that can measure their own
+    serialize/write cost set ``defer_finalize`` and call
+    :meth:`finish_io` afterwards — the tracker holds the timeline in a
+    bounded pending map in between (overflow finalizes the oldest
+    entry immediately rather than leaking).
+
+    Finalizing a timeline: pushes it onto the ring, updates the
+    unlabeled ``server.queue_wait_us`` / ``server.solve_us`` histograms
+    and the per-priority / per-degree-bucket ``server.latency_us`` and
+    ``server.queue_wait_us`` labeled families, appends the access-log
+    line, and tail-captures a Chrome trace when the request was slow,
+    shed, errored, or partial.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        *,
+        ring_size: int = 512,
+        access_log: str | None = None,
+        access_log_max_bytes: int = 16 << 20,
+        capture_dir: str | None = None,
+        slow_threshold_ns: int = 250_000_000,
+        max_pending_io: int = 1024,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ring = TimelineRing(ring_size)
+        self.capture_dir = capture_dir
+        self.slow_threshold_ns = slow_threshold_ns
+        self.access_log = (AccessLog(access_log, access_log_max_bytes)
+                           if access_log else None)
+        self._pending_io: dict[str, RequestTimeline] = {}
+        self._max_pending_io = max_pending_io
+        self._seq = 0
+        self._prefix = os.urandom(4).hex()
+
+    def new_request_id(self) -> str:
+        """A server-unique id: a per-process random prefix plus a
+        sequence number — sortable within one daemon's lifetime,
+        collision-free across restarts sharing an access log."""
+        self._seq += 1
+        return f"{self._prefix}-{self._seq:06d}"
+
+    # -- finalization ----------------------------------------------------
+    def finalize(self, tl: RequestTimeline,
+                 defer_io: bool = False) -> None:
+        """Close out one timeline.
+
+        With ``defer_io`` the timeline is parked until the front-end
+        reports its serialize/write stages via :meth:`finish_io`; the
+        ring and histograms update immediately either way (the solve-
+        side truth must not depend on transport cooperation)."""
+        self.ring.push(tl)
+        self._observe(tl)
+        if defer_io:
+            if len(self._pending_io) >= self._max_pending_io:
+                # Oldest first: complete it without IO stages rather
+                # than grow without bound under a misbehaving client.
+                oldest = next(iter(self._pending_io))
+                self._complete(self._pending_io.pop(oldest))
+            self._pending_io[tl.request_id] = tl
+            return
+        self._complete(tl)
+
+    def finish_io(self, request_id: str, serialize_ns: int = 0,
+                  write_ns: int = 0, *,
+                  start_ns: int | None = None) -> None:
+        """Attach the front-end's serialize/write stages to a deferred
+        timeline and complete it (unknown ids are ignored — the
+        overflow path may already have completed the request)."""
+        tl = self._pending_io.pop(request_id, None)
+        if tl is None:
+            return
+        t0 = start_ns if start_ns is not None else (
+            tl.start_ns + tl.stage_sum_ns)
+        if serialize_ns > 0:
+            tl.add_stage("serialize", t0, serialize_ns)
+        if write_ns > 0:
+            tl.add_stage("write", t0 + max(0, serialize_ns), write_ns)
+        tl.end_ns = t0 + max(0, serialize_ns) + max(0, write_ns)
+        self._complete(tl)
+
+    def _observe(self, tl: RequestTimeline) -> None:
+        m = self.metrics
+        m.counter("reqtrace.requests").inc()
+        queue_us = tl.stage_ns("queue_wait") // 1000
+        solve_us = tl.stage_ns("solve") // 1000
+        m.histogram("server.queue_wait_us").observe(queue_us)
+        if tl.stage_ns("solve"):
+            m.histogram("server.solve_us").observe(solve_us)
+        labels = {"priority": tl.priority,
+                  "degree_bucket": degree_bucket(tl.degree)}
+        total_us = tl.total_ns // 1000
+        m.histogram(labeled("server.latency_us", **labels)).observe(total_us)
+        m.histogram(labeled("server.queue_wait_us", **labels)).observe(
+            queue_us)
+
+    def _complete(self, tl: RequestTimeline) -> None:
+        if self.access_log is not None:
+            self.access_log.write(tl.to_dict())
+        if self._should_capture(tl):
+            self._capture(tl)
+
+    def _should_capture(self, tl: RequestTimeline) -> bool:
+        return (tl.status in FAILURE_STATUSES
+                or tl.total_ns > self.slow_threshold_ns)
+
+    def _capture(self, tl: RequestTimeline) -> None:
+        if self.capture_dir is None:
+            return
+        from repro.obs.chrometrace import spans_to_chrome
+
+        try:
+            os.makedirs(self.capture_dir, exist_ok=True)
+            trace = spans_to_chrome(tl.spans(), worker_busy=False)
+            path = os.path.join(self.capture_dir,
+                                f"req-{tl.request_id}.trace.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(trace, fh)
+            self.metrics.counter("reqtrace.tail_captured").inc()
+        except OSError:
+            self.metrics.counter("reqtrace.capture_errors").inc()
+
+    def close(self) -> None:
+        """Finalize every parked timeline and fsync the access log —
+        the drain step of a graceful shutdown."""
+        while self._pending_io:
+            _, tl = self._pending_io.popitem()
+            self._complete(tl)
+        if self.access_log is not None:
+            self.access_log.close()
+
+
+# -- the failures-first tail table -------------------------------------------
+
+def rank_timelines(
+    timelines: Iterable[RequestTimeline],
+) -> list[RequestTimeline]:
+    """Failures first (error/overloaded/partial, slowest first within),
+    then everything else slowest first — the triage order ``repro
+    tail`` prints."""
+    return sorted(
+        timelines,
+        key=lambda tl: (0 if tl.status in FAILURE_STATUSES else 1,
+                        -tl.total_ns),
+    )
+
+
+def format_tail_table(timelines: Sequence[RequestTimeline],
+                      limit: int = 20) -> str:
+    """Render ranked timelines as the ``repro tail`` table."""
+    ranked = rank_timelines(timelines)[:limit]
+    if not ranked:
+        return "no timelines"
+    headers = ("request_id", "id", "status", "code", "total_ms",
+               "queue_ms", "solve_ms", "dominant", "degree", "prio")
+    rows = [headers]
+    for tl in ranked:
+        rows.append((
+            tl.request_id,
+            str(tl.client_id),
+            tl.status + ("*" if tl.cached else ""),
+            str(tl.code),
+            f"{tl.total_ns / 1e6:.2f}",
+            f"{tl.stage_ns('queue_wait') / 1e6:.2f}",
+            f"{tl.stage_ns('solve') / 1e6:.2f}",
+            tl.dominant_stage(),
+            str(tl.degree),
+            str(tl.priority),
+        ))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths))
+                     .rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -40,14 +40,18 @@ of growing the queue without bound.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any
+from typing import Any, Mapping
 
 from repro.costmodel.counter import NULL_COUNTER, CostCounter
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import DEFAULT_SLO, SLOConfig, evaluate_slo, timeline_samples
+from repro.obs.trace import Tracer
 from repro.poly.dense import IntPoly
 from repro.resilience import Budget, BudgetExceeded
+from repro.resilience.breaker import BREAKER_OPEN
 from repro.resilience.checkpoint import poly_key
 from repro.sched.executor import ParallelRootFinder
 from repro.serve.cache import ResultCache
@@ -61,6 +65,7 @@ from repro.serve.protocol import (
     parse_request,
     partial_response,
 )
+from repro.serve.reqtrace import RequestTimeline, RequestTracker
 
 __all__ = ["RootServer"]
 
@@ -98,6 +103,25 @@ class RootServer:
     finder:
         Injectable finder (tests); constructed from the parameters
         above when omitted.
+    tracker:
+        Injectable :class:`~repro.serve.reqtrace.RequestTracker`;
+        built from ``access_log`` / ``capture_dir`` /
+        ``slow_threshold_ms`` / ``ring_size`` when omitted.
+    access_log / capture_dir / slow_threshold_ms / ring_size:
+        Request-tracing configuration (see :mod:`repro.serve.reqtrace`):
+        the JSONL access-log path, the tail-capture directory for
+        Chrome traces of slow/shed/error/partial requests, the slow
+        threshold in milliseconds, and the in-memory timeline ring
+        size.
+    slo:
+        An :class:`~repro.obs.slo.SLOConfig` evaluated over the
+        timeline ring by :meth:`slo_report` (``GET /slo``, the ``slo``
+        stdio op); defaults to :data:`~repro.obs.slo.DEFAULT_SLO`.
+    trace_solves:
+        Record the executor's span tree per solve and attach it to the
+        request timeline (so tail-captured Chrome traces show the
+        worker lanes).  Defaults to on exactly when ``capture_dir`` is
+        set; forcing it on without a capture dir only costs memory.
     """
 
     def __init__(
@@ -113,6 +137,13 @@ class RootServer:
         cache_dir: str | None = None,
         metrics: MetricsRegistry | None = None,
         finder: ParallelRootFinder | None = None,
+        tracker: RequestTracker | None = None,
+        access_log: str | None = None,
+        capture_dir: str | None = None,
+        slow_threshold_ms: float = 250.0,
+        ring_size: int = 512,
+        slo: SLOConfig | None = None,
+        trace_solves: bool | None = None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -133,6 +164,22 @@ class RootServer:
                 counter=CostCounter(), metrics=self.metrics,
             )
         self.finder = finder
+        self.slo_config = slo if slo is not None else DEFAULT_SLO
+        if tracker is None:
+            tracker = RequestTracker(
+                self.metrics, ring_size=ring_size, access_log=access_log,
+                capture_dir=capture_dir,
+                slow_threshold_ns=int(slow_threshold_ms * 1e6),
+            )
+        self.tracker = tracker
+        self._trace_solves = (trace_solves if trace_solves is not None
+                              else tracker.capture_dir is not None)
+        if self._trace_solves and not getattr(
+                getattr(finder, "tracer", None), "enabled", False):
+            counter = getattr(finder, "counter", NULL_COUNTER)
+            finder.tracer = Tracer(
+                counter=counter if counter is not NULL_COUNTER else None
+            )
         # Executor queue-depth telemetry, delivered synchronously from
         # the dispatch loop's sample() sites (solve-thread side; a
         # plain int store is atomic under the GIL).
@@ -160,6 +207,54 @@ class RootServer:
     def metrics_snapshot(self, rid: Any = None) -> dict[str, Any]:
         """A :func:`repro.serve.protocol.metrics_response` for ``rid``."""
         return metrics_response(self.metrics, rid)
+
+    def health(self) -> tuple[int, dict[str, Any]]:
+        """Readiness: ``(http_code, body)`` — 503 while draining or
+        with the executor's circuit breaker open.
+
+        The body reports the breaker state, pool liveness (which
+        worker pids answer ``kill -0``; an unspawned pool is simply
+        empty, not unhealthy — it spawns on first solve), and queue
+        headroom under the admission threshold."""
+        breaker = getattr(self.finder, "breaker", None)
+        breaker_state = getattr(breaker, "state", "absent")
+        pids: list[int] = []
+        worker_pids = getattr(self.finder, "worker_pids", None)
+        if callable(worker_pids):
+            try:
+                pids = list(worker_pids())
+            except Exception:
+                pids = []
+        alive = []
+        for pid in pids:
+            try:
+                os.kill(pid, 0)
+                alive.append(pid)
+            except OSError:
+                continue
+        depth = self.queue_depth()
+        ready = self._accepting and breaker_state != BREAKER_OPEN
+        body = {
+            "status": "ready" if ready else "unready",
+            "accepting": self._accepting,
+            "breaker": breaker_state,
+            "workers": {"pids": pids, "alive": len(alive)},
+            "queue_depth": depth,
+            "limit": self.max_pending,
+            "headroom": max(0, self.max_pending - depth),
+        }
+        return (200 if ready else 503), body
+
+    def slo_report(self) -> dict[str, Any]:
+        """The configured objectives evaluated over the timeline ring's
+        rolling window, anchored at the present (``GET /slo`` and the
+        ``slo`` stdio op serve this verbatim)."""
+        report = evaluate_slo(
+            timeline_samples(self.tracker.ring.snapshot()),
+            self.slo_config, now=time.time(),
+        )
+        report["ring_size"] = len(self.tracker.ring)
+        return report
 
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> "RootServer":
@@ -193,6 +288,7 @@ class RootServer:
         self._accepting = False
         await self.drain()
         self._closed = True
+        self.tracker.close()
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -206,31 +302,85 @@ class RootServer:
         self.finder.close()
 
     # -- the request path ------------------------------------------------
-    async def submit(self, obj: Any) -> dict[str, Any]:
+    def _finish(self, tl: RequestTimeline, resp: dict[str, Any],
+                defer_io: bool) -> dict[str, Any]:
+        """Stamp the request id onto the response, close the timeline,
+        and hand it to the tracker — the single exit every submit path
+        funnels through (so *every* response, error shapes included,
+        echoes its ``request_id``)."""
+        resp.setdefault("request_id", tl.request_id)
+        tl.close(str(resp.get("status", "error")),
+                 int(resp.get("code", 200)),
+                 cached=bool(resp.get("cached", False)),
+                 end_ns=time.perf_counter_ns())
+        self.tracker.finalize(tl, defer_io=defer_io)
+        return resp
+
+    def reject(self, rid: Any, message: str,
+               code: int = 400) -> dict[str, Any]:
+        """A structured error for a payload that never became a request
+        object (unparseable JSON) — still counted, still given a
+        ``request_id`` and a (degenerate) timeline, so broken lines are
+        visible in the access log and the SLO window like every other
+        failure."""
+        t = time.perf_counter_ns()
+        tl = RequestTimeline(
+            request_id=self.tracker.new_request_id(), client_id=rid,
+            start_ns=t, time_unix=time.time(),
+        )
+        self.metrics.counter("server.requests").inc()
+        self.metrics.counter("server.bad_requests").inc()
+        return self._finish(tl, error_response(rid, message, code=code),
+                            False)
+
+    async def submit(self, obj: Any, *,
+                     defer_io: bool = False) -> dict[str, Any]:
         """One request object in, one response object out.
 
         Never raises for bad input — every failure mode has a response
-        shape (see :mod:`repro.serve.protocol`).
+        shape (see :mod:`repro.serve.protocol`), and every response
+        carries the server-assigned ``request_id``.
+
+        ``defer_io``: the calling front-end will measure its own
+        serialize/write stages and report them via
+        ``self.tracker.finish_io(resp["request_id"], ...)`` — the
+        timeline's access-log line and tail capture wait for that (the
+        ring and histograms do not).
         """
+        t_start = time.perf_counter_ns()
+        tl = RequestTimeline(
+            request_id=self.tracker.new_request_id(),
+            client_id=obj.get("id") if isinstance(obj, Mapping) else None,
+            start_ns=t_start, time_unix=time.time(),
+        )
         self.metrics.counter("server.requests").inc()
-        rid = obj.get("id") if isinstance(obj, dict) else None
+        rid = tl.client_id
         if not self._accepting:
             self.metrics.counter("server.errors").inc()
-            return error_response(rid, "server is draining", code=503)
+            return self._finish(
+                tl, error_response(rid, "server is draining", code=503),
+                defer_io)
+        t_val = time.perf_counter_ns()
         try:
             req = parse_request(
                 obj, default_mu=self.mu, default_strategy=self.strategy,
                 max_deadline_seconds=self.max_deadline_seconds,
             )
         except ProtocolError as e:
+            tl.add_stage("validate", t_val,
+                         time.perf_counter_ns() - t_val)
             self.metrics.counter("server.bad_requests").inc()
-            return error_response(rid, str(e))
+            return self._finish(tl, error_response(rid, str(e)), defer_io)
+        tl.add_stage("validate", t_val, time.perf_counter_ns() - t_val)
+        tl.priority = req.priority
+        tl.degree = len(req.coeffs) - 1
         depth = self.queue_depth()
         if depth >= self.max_pending:
             self.metrics.counter("server.rejected").inc()
-            return overloaded_response(
-                req.id, queue_depth=depth, limit=self.max_pending
-            )
+            return self._finish(
+                tl, overloaded_response(req.id, queue_depth=depth,
+                                        limit=self.max_pending),
+                defer_io)
 
         assert self._queue is not None
         loop = asyncio.get_running_loop()
@@ -239,33 +389,44 @@ class RootServer:
         self._pending += 1
         self.metrics.gauge("server.pending").set(self._pending)
         self._seq += 1
+        enq_ns = time.perf_counter_ns()
+        # Admission is the submit-entry→enqueue window minus the
+        # validate sub-interval already recorded.
+        tl.add_stage("admission", t_start,
+                     (enq_ns - t_start) - tl.stage_ns("validate"))
         # PriorityQueue pops the smallest tuple: higher priority first,
         # FIFO (by admission sequence) within a priority level.
-        self._queue.put_nowait((-req.priority, self._seq, req, fut))
+        self._queue.put_nowait((-req.priority, self._seq, req, fut, tl,
+                                enq_ns))
         try:
-            return await fut
+            resp = await fut
         finally:
             self._pending -= 1
             self.metrics.gauge("server.pending").set(self._pending)
             self._outstanding.discard(fut)
+        return self._finish(tl, resp, defer_io)
 
     async def _dispatch_loop(self) -> None:
         assert self._queue is not None
         loop = asyncio.get_running_loop()
         while True:
-            _, _, req, fut = await self._queue.get()
+            _, _, req, fut, tl, enq_ns = await self._queue.get()
             if fut.done():  # client gone (transport dropped the future)
                 continue
+            t_pop = time.perf_counter_ns()
+            tl.add_stage("queue_wait", enq_ns, t_pop - enq_ns)
             key = poly_key(req.coeffs, req.mu, req.strategy)
             t0 = time.monotonic()
             cached = self.cache.get(key)
+            tl.add_stage("cache_lookup", t_pop,
+                         time.perf_counter_ns() - t_pop)
             if cached is not None:
                 resp = ok_response(req, cached, cached=True,
                                    elapsed_seconds=time.monotonic() - t0)
                 self.metrics.counter("server.ok").inc()
             else:
                 resp = await loop.run_in_executor(
-                    self._solve_lane, self._solve_blocking, req
+                    self._solve_lane, self._solve_blocking, req, tl
                 )
                 if resp["status"] == "ok":
                     self.cache.put(key, [int(s) for s in resp["scaled"]])
@@ -275,9 +436,11 @@ class RootServer:
             if not fut.done():
                 fut.set_result(resp)
 
-    def _solve_blocking(self, req: Request) -> dict[str, Any]:
+    def _solve_blocking(self, req: Request,
+                        tl: RequestTimeline) -> dict[str, Any]:
         """Runs on the solve lane: the only code driving the finder."""
         finder = self.finder
+        t_setup = time.perf_counter_ns()
         finder.mu = req.mu
         finder.strategy = req.strategy
         budget = None
@@ -287,19 +450,43 @@ class RootServer:
             if req.max_bit_ops is not None and finder.counter is NULL_COUNTER:
                 finder.counter = CostCounter()  # the bit ceiling reads it
         finder.budget = budget
+        tracer = (getattr(finder, "tracer", None)
+                  if self._trace_solves else None)
+        if tracer is not None and getattr(tracer, "enabled", False):
+            # Single solve lane: nothing else touches the tracer, so
+            # clearing between solves keeps the long-lived daemon's
+            # span memory bounded at one solve's tree.
+            tracer.spans.clear()
+            tracer.counters.clear()
+        else:
+            tracer = None
+        finder.request_tag = tl.request_id
+        counter = getattr(finder, "counter", NULL_COUNTER)
+        cost0 = getattr(counter, "total_bit_cost", 0)
+        t_solve = time.perf_counter_ns()
+        tl.add_stage("budget_setup", t_setup, t_solve - t_setup)
         t0 = time.monotonic()
         try:
             scaled = finder.find_roots_scaled(IntPoly(req.coeffs))
         except BudgetExceeded as e:
             self.metrics.counter("server.partial").inc()
-            return partial_response(req, e)
+            resp = partial_response(req, e)
         except Exception as e:
             self.metrics.counter("server.errors").inc()
-            return error_response(
+            resp = error_response(
                 req.id, f"{type(e).__name__}: {e}", code=500
             )
+        else:
+            self.metrics.counter("server.ok").inc()
+            resp = ok_response(req, scaled, cached=False,
+                               elapsed_seconds=time.monotonic() - t0)
         finally:
             finder.budget = None
-        self.metrics.counter("server.ok").inc()
-        return ok_response(req, scaled, cached=False,
-                           elapsed_seconds=time.monotonic() - t0)
+            finder.request_tag = None
+        t_end = time.perf_counter_ns()
+        tl.add_stage("solve", t_solve, t_end - t_solve,
+                     bit_cost=getattr(counter, "total_bit_cost", 0) - cost0)
+        if tracer is not None:
+            tl.solve_spans = [sp.to_dict() for sp in tracer.spans
+                              if sp.end_ns is not None]
+        return resp

@@ -20,7 +20,7 @@ from repro.obs.export import (
     snapshot,
     write_openmetrics,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, labeled
 
 
 def _registry() -> MetricsRegistry:
@@ -129,6 +129,97 @@ class TestExpositionFormat:
         by_le = {b[0]["le"]: b[1] for b in buckets}
         assert by_le["7"] == 1
         assert by_le["15"] == 2  # cumulative
+
+
+class TestLabeledFamilies:
+    """Labeled registry names render as one family with per-member
+    label blocks — the per-priority / per-degree-bucket histograms the
+    daemon exports."""
+
+    def _labeled_registry(self):
+        reg = MetricsRegistry()
+        for prio, bucket, value in [(0, "1-2", 100), (0, "3-4", 200),
+                                    (1, "1-2", 50)]:
+            reg.histogram(labeled("server.latency_us", priority=prio,
+                                  degree_bucket=bucket)).observe(value)
+        return reg
+
+    def test_one_family_one_help_one_type(self):
+        text = render_openmetrics(self._labeled_registry())
+        assert text.count("# HELP repro_server_latency_us ") == 1
+        assert text.count("# TYPE repro_server_latency_us histogram") == 1
+
+    def test_members_carry_labels_and_merge_le(self):
+        families = _parse(render_openmetrics(self._labeled_registry()))
+        fam = families["repro_server_latency_us"]
+        buckets = fam["samples"]["repro_server_latency_us_bucket"]
+        # Every bucket sample carries the member labels plus le.
+        assert all({"degree_bucket", "priority", "le"} == set(b[0])
+                   for b in buckets)
+        # Three members, each with its own +Inf bucket of count 1.
+        infs = [b for b in buckets if b[0]["le"] == "+Inf"]
+        assert len(infs) == 3 and all(b[1] == 1.0 for b in infs)
+        counts = fam["samples"]["repro_server_latency_us_count"]
+        assert sum(c[1] for c in counts) == 3
+
+    def test_label_order_is_stable(self):
+        """Key order in labeled() input never changes the rendered line,
+        and members render in sorted label-body order."""
+        a = MetricsRegistry()
+        a.histogram(labeled("m", b="2", a="1")).observe(5)
+        b = MetricsRegistry()
+        b.histogram(labeled("m", a="1", b="2")).observe(5)
+        ta, tb = render_openmetrics(a), render_openmetrics(b)
+        assert ta == tb
+        assert 'repro_m_count{a="1",b="2"} 1' in ta
+
+    def test_members_sorted_deterministically(self):
+        reg = MetricsRegistry()
+        # Insert out of sorted order.
+        reg.counter(labeled("hits", route="b")).inc(2)
+        reg.counter(labeled("hits", route="a")).inc(1)
+        text = render_openmetrics(reg)
+        pos_a = text.index('route="a"')
+        pos_b = text.index('route="b"')
+        assert pos_a < pos_b
+
+    def test_unlabeled_and_labeled_share_a_family(self):
+        """The daemon keeps the historical unlabeled histogram and the
+        labeled variants under one base name; the unlabeled member
+        renders first (empty label body sorts first), with exactly one
+        HELP/TYPE preamble."""
+        reg = MetricsRegistry()
+        reg.histogram("server.latency_us").observe(10)
+        reg.histogram(labeled("server.latency_us", priority=0,
+                              degree_bucket="1-2")).observe(10)
+        text = render_openmetrics(reg)
+        assert text.count("# TYPE repro_server_latency_us histogram") == 1
+        plain = text.index("repro_server_latency_us_count ")
+        labeled_pos = text.index("repro_server_latency_us_count{")
+        assert plain < labeled_pos
+
+    def test_mixed_types_in_family_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        reg.histogram(labeled("m", k="v"))
+        with pytest.raises(TypeError, match="mixes types"):
+            render_openmetrics(reg)
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter(labeled("odd", path='a"b\\c\nd')).inc()
+        text = render_openmetrics(reg)
+        assert '{path="a\\"b\\\\c\\nd"}' in text
+        # The raw newline was escaped: the sample stays on one line.
+        sample_lines = [l for l in text.splitlines()
+                        if l.startswith("repro_odd_total")]
+        assert len(sample_lines) == 1 and sample_lines[0].endswith(" 1")
+
+    def test_labeled_counter_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter(labeled("cache.hits", tier="mem")).inc(4)
+        text = render_openmetrics(reg)
+        assert 'repro_cache_hits_total{tier="mem"} 4' in text
 
 
 class TestSanitize:

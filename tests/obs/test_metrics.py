@@ -3,7 +3,17 @@
 import pytest
 
 from repro.core.rootfinder import RealRootFinder
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, run_metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    histogram_from_dict,
+    labeled,
+    run_metrics,
+    split_labels,
+)
 from repro.poly.dense import IntPoly
 
 
@@ -142,6 +152,49 @@ class TestRegistry:
         snap = reg.as_dict()
         reg.counter("c").inc(10)
         assert snap["c"]["value"] == 1
+
+
+class TestLabeledNames:
+    def test_labeled_sorts_keys_and_quotes_values(self):
+        name = labeled("server.latency_us", priority=1, degree_bucket="3-4")
+        assert name == ('server.latency_us'
+                        '{degree_bucket="3-4",priority="1"}')
+        # Key order in the call never changes the name.
+        assert labeled("m", b=2, a=1) == labeled("m", a=1, b=2)
+
+    def test_labeled_without_labels_is_the_bare_name(self):
+        assert labeled("m") == "m"
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value(7) == "7"
+
+    def test_split_labels_roundtrip(self):
+        name = labeled("server.latency_us", priority=0)
+        base, body = split_labels(name)
+        assert base == "server.latency_us"
+        assert body == 'priority="0"'
+        assert split_labels("plain") == ("plain", "")
+
+    def test_labeled_metrics_are_distinct_registry_entries(self):
+        reg = MetricsRegistry()
+        reg.histogram(labeled("h", p=0)).observe(1)
+        reg.histogram(labeled("h", p=1)).observe(2)
+        reg.histogram("h").observe(3)
+        assert len(reg.names()) == 3
+
+    def test_histogram_from_dict_roundtrip(self):
+        h = Histogram("lat")
+        for v in (0, 1, 5, 900):
+            h.observe(v)
+        back = histogram_from_dict(h.as_dict(), name="lat")
+        assert back.count == h.count
+        assert back.total == h.total
+        assert back.buckets == h.buckets
+        assert back.percentile(0.5) == h.percentile(0.5)
+        assert back.percentile(0.99) == h.percentile(0.99)
 
 
 class TestRunMetrics:

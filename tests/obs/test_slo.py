@@ -1,0 +1,137 @@
+"""SLO objectives: config parsing, the rolling window, and burn math."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_SLO,
+    Objective,
+    SLOConfig,
+    evaluate_slo,
+    timeline_samples,
+)
+
+
+def sample(t=100.0, ms=10.0, status="ok"):
+    return {"time_unix": t, "total_ms": ms, "status": status}
+
+
+class TestObjective:
+    def test_percentile_kinds(self):
+        assert Objective("lat", "p99_ms", 500.0).quantile == 0.99
+        assert Objective("med", "p50_ms", 100.0).quantile == 0.5
+        assert Objective("avail", "error_rate", 0.01).quantile is None
+
+    @pytest.mark.parametrize("kind", ["p999_ms", "mean_ms", "p99", "ms"])
+    def test_unknown_kind_rejected(self, kind):
+        with pytest.raises(ValueError, match="unknown kind"):
+            Objective("x", kind, 1.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Objective("x", "p99_ms", -1.0)
+
+
+class TestSLOConfig:
+    def test_from_dict(self):
+        cfg = SLOConfig.from_dict({
+            "window_seconds": 60,
+            "objectives": [
+                {"name": "lat", "kind": "p95_ms", "threshold": 250},
+                {"name": "avail", "kind": "error_rate", "threshold": 0.1},
+            ],
+        })
+        assert cfg.window_seconds == 60.0
+        assert [o.name for o in cfg.objectives] == ["lat", "avail"]
+        assert cfg.objectives[0].threshold == 250.0
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"objectives": [
+            {"name": "lat", "kind": "p99_ms", "threshold": 500}]}))
+        cfg = SLOConfig.from_file(str(path))
+        assert cfg.window_seconds == 300.0
+        assert cfg.objectives[0].kind == "p99_ms"
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            SLOConfig(window_seconds=0)
+
+    def test_defaults_are_sane(self):
+        kinds = {o.kind for o in DEFAULT_SLO.objectives}
+        assert kinds == {"p99_ms", "error_rate"}
+
+
+class TestEvaluate:
+    def test_zero_samples_pass(self):
+        report = evaluate_slo([], DEFAULT_SLO)
+        assert report["ok"] is True and report["samples"] == 0
+        assert all(o["observed"] is None and o["ok"]
+                   for o in report["objectives"])
+
+    def test_burn_math(self):
+        cfg = SLOConfig(objectives=(
+            Objective("lat", "p99_ms", 100.0),
+            Objective("avail", "error_rate", 0.5),
+        ))
+        samples = [sample(ms=50.0), sample(ms=200.0, status="error")]
+        report = evaluate_slo(samples, cfg)
+        by_name = {o["name"]: o for o in report["objectives"]}
+        # p99 over 2 samples is the max (nearest-rank).
+        assert by_name["lat"]["observed"] == 200.0
+        assert by_name["lat"]["burn"] == pytest.approx(2.0)
+        assert by_name["lat"]["ok"] is False
+        assert by_name["avail"]["observed"] == pytest.approx(0.5)
+        assert by_name["avail"]["burn"] == pytest.approx(1.0)
+        assert by_name["avail"]["ok"] is True       # at the budget line
+        assert report["ok"] is False
+
+    def test_overloaded_counts_as_error_partial_does_not(self):
+        cfg = SLOConfig(objectives=(
+            Objective("avail", "error_rate", 1.0),))
+        report = evaluate_slo(
+            [sample(status="overloaded"), sample(status="partial"),
+             sample(status="ok"), sample(status="error")], cfg)
+        avail = report["objectives"][0]
+        assert avail["observed"] == pytest.approx(0.5)
+
+    def test_window_excludes_old_samples(self):
+        cfg = SLOConfig(objectives=(
+            Objective("lat", "p50_ms", 100.0),), window_seconds=60.0)
+        samples = [sample(t=0.0, ms=1000.0),       # stale — outside window
+                   sample(t=100.0, ms=50.0)]
+        report = evaluate_slo(samples, cfg, now=100.0)
+        assert report["samples"] == 1
+        assert report["objectives"][0]["observed"] == 50.0
+        assert report["ok"] is True
+
+    def test_now_defaults_to_newest_sample(self):
+        """Replayed access logs evaluate in their own time frame."""
+        cfg = SLOConfig(objectives=(
+            Objective("lat", "p50_ms", 100.0),), window_seconds=60.0)
+        samples = [sample(t=1000.0, ms=50.0), sample(t=1010.0, ms=60.0)]
+        report = evaluate_slo(samples, cfg)
+        assert report["samples"] == 2
+
+    def test_zero_threshold(self):
+        cfg = SLOConfig(objectives=(
+            Objective("strict", "error_rate", 0.0),))
+        ok = evaluate_slo([sample()], cfg)
+        assert ok["ok"] is True and ok["objectives"][0]["burn"] == 0.0
+        bad = evaluate_slo([sample(status="error")], cfg)
+        assert bad["ok"] is False
+        assert bad["objectives"][0]["burn"] == float("inf")
+
+    def test_timeline_samples_from_objects_and_dicts(self):
+        class TL:
+            time_unix = 5.0
+            total_ns = 2_000_000
+            status = "ok"
+
+        out = timeline_samples([
+            TL(), {"time_unix": 7.0, "total_ns": 3_000_000,
+                   "status": "error"}])
+        assert out[0] == {"time_unix": 5.0, "total_ms": 2.0,
+                          "status": "ok"}
+        assert out[1]["total_ms"] == 3.0 and out[1]["status"] == "error"

@@ -168,6 +168,93 @@ class TestHttp:
         assert status == 429 and resp["status"] == "overloaded"
         assert int(headers["retry-after"]) >= 1
 
+    def test_solve_echoes_request_id_in_header_and_body(self):
+        async def scenario(server, host, port):
+            (status, headers, body), = await raw_exchange(
+                host, port, post_bytes({"id": 1, "coeffs": [-6, 1, 1]},
+                                       close=True))
+            return status, headers, json.loads(body)
+
+        status, headers, resp = asyncio.run(with_http_server(scenario))
+        assert status == 200
+        assert headers["x-request-id"] == resp["request_id"]
+
+    def test_bad_json_salvages_id_and_sets_header(self):
+        async def scenario(server, host, port):
+            body = b'{"id": 41, "coeffs": [1, 2,}'
+            payload = (b"POST /solve HTTP/1.1\r\nHost: t\r\n"
+                       b"Content-Length: " + str(len(body)).encode()
+                       + b"\r\nConnection: close\r\n\r\n" + body)
+            (status, headers, body), = await raw_exchange(host, port,
+                                                          payload)
+            return status, headers, json.loads(body)
+
+        status, headers, resp = asyncio.run(with_http_server(scenario))
+        assert status == 400 and resp["status"] == "error"
+        # The recoverable client id was salvaged from the broken line.
+        assert resp["id"] == 41
+        assert headers["x-request-id"] == resp["request_id"]
+
+    def test_http_write_completes_the_timeline(self):
+        """The connection handler reports serialize/write back onto the
+        request timeline — the access-log record gains both stages."""
+        async def scenario(server, host, port):
+            await raw_exchange(
+                host, port, post_bytes({"id": 1, "coeffs": [-6, 1, 1]},
+                                       close=True))
+            for _ in range(200):
+                if not server.tracker._pending_io:
+                    break
+                await asyncio.sleep(0.005)
+            return server.tracker.ring.snapshot()
+
+        (tl,) = asyncio.run(with_http_server(scenario))
+        assert tl.stage_ns("serialize") > 0
+        assert tl.stage_ns("write") > 0
+        assert tl.stage_sum_ns <= tl.total_ns
+
+    def test_readyz_flips_to_503_on_drain(self):
+        async def scenario(server, host, port):
+            (r1, _, b1), = await raw_exchange(host, port,
+                                              get_bytes("/readyz"))
+            server._accepting = False
+            (r2, _, b2), = await raw_exchange(host, port,
+                                              get_bytes("/readyz"))
+            server._accepting = True
+            return r1, json.loads(b1), r2, json.loads(b2)
+
+        r1, b1, r2, b2 = asyncio.run(with_http_server(scenario))
+        assert r1 == 200 and b1["status"] == "ready"
+        assert "breaker" in b1 and "workers" in b1 and "headroom" in b1
+        assert r2 == 503 and b2["status"] == "unready"
+
+    def test_healthz_stays_200_while_unready(self):
+        """Liveness vs readiness: /healthz answers 200 even when
+        /readyz refuses — restart loops key off liveness only."""
+        async def scenario(server, host, port):
+            server._accepting = False
+            (status, _, body), = await raw_exchange(host, port,
+                                                    get_bytes("/healthz"))
+            server._accepting = True
+            return status, json.loads(body)
+
+        status, body = asyncio.run(with_http_server(scenario))
+        assert status == 200 and body["alive"] is True
+
+    def test_slo_endpoint(self):
+        async def scenario(server, host, port):
+            await raw_exchange(host, port,
+                               post_bytes({"id": 1, "coeffs": [-6, 1, 1]}))
+            (status, _, body), = await raw_exchange(host, port,
+                                                    get_bytes("/slo"))
+            return status, json.loads(body)
+
+        status, report = asyncio.run(with_http_server(scenario))
+        assert status == 200
+        assert report["ok"] is True and report["samples"] >= 1
+        assert {o["name"] for o in report["objectives"]} == \
+            {"latency_p99", "availability"}
+
     def test_metrics_json_endpoint(self):
         async def scenario(server, host, port):
             (status, headers, body), = await raw_exchange(

@@ -160,6 +160,82 @@ class TestBuildArtifact:
         cur = build_artifact("serve", {}, self._report())
         assert not any(d.failed for d in compare_artifacts(base, cur))
 
+    def _snapshot(self):
+        """A daemon metrics snapshot carrying stage histograms."""
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        for us in (100, 200, 50_000):
+            reg.histogram("server.queue_wait_us").observe(us)
+            reg.histogram("server.solve_us").observe(us * 2)
+        return {"metrics": reg.as_dict()}
+
+    def test_decomposition_metrics_from_snapshot(self):
+        report = self._report()
+        report.metrics_snapshot = self._snapshot()
+        art = build_artifact("serve", {}, report)
+        for name in ("loadtest.queue_wait_p50_seconds",
+                     "loadtest.queue_wait_p99_seconds",
+                     "loadtest.queue_wait_mean_seconds",
+                     "loadtest.solve_p50_seconds",
+                     "loadtest.solve_p99_seconds",
+                     "loadtest.solve_mean_seconds"):
+            assert name in art.metrics, name
+            assert art.metrics[name]["kind"] == "wall"
+        # p99 >= p50 and the solve stage is 2x the queue wait here.
+        q99 = art.metrics["loadtest.queue_wait_p99_seconds"]["value"]
+        q50 = art.metrics["loadtest.queue_wait_p50_seconds"]["value"]
+        assert q99 >= q50 > 0
+        assert art.metrics["loadtest.solve_mean_seconds"]["value"] == \
+            pytest.approx(
+                2 * art.metrics["loadtest.queue_wait_mean_seconds"]["value"])
+
+    def test_slo_verdict_metrics(self):
+        from repro.obs.slo import Objective, SLOConfig
+
+        report = self._report()
+        report.samples = [{"time_unix": 100.0, "total_ms": 10.0,
+                           "status": "ok"},
+                          {"time_unix": 100.0, "total_ms": 400.0,
+                           "status": "ok"}]
+        tight = SLOConfig(objectives=(
+            Objective("lat", "p99_ms", 100.0),))
+        art = build_artifact("serve", {}, report, slo_config=tight)
+        assert art.metrics["loadtest.slo_ok"]["value"] == 0.0
+        assert art.metrics["loadtest.slo_burn.lat"]["value"] == \
+            pytest.approx(4.0)
+        assert art.metrics["loadtest.slo_ok"]["kind"] == "wall"
+        loose = SLOConfig(objectives=(
+            Objective("lat", "p99_ms", 1000.0),))
+        ok = build_artifact("serve", {}, report, slo_config=loose)
+        assert ok.metrics["loadtest.slo_ok"]["value"] == 1.0
+
+    def test_infinite_burn_is_json_safe(self):
+        import json as _json
+
+        from repro.obs.slo import Objective, SLOConfig
+
+        report = self._report()
+        report.samples = [{"time_unix": 1.0, "total_ms": 5.0,
+                           "status": "error"}]
+        strict = SLOConfig(objectives=(
+            Objective("avail", "error_rate", 0.0),))
+        art = build_artifact("serve", {}, report, slo_config=strict)
+        burn = art.metrics["loadtest.slo_burn.avail"]["value"]
+        assert burn == 1e9                  # clamped, not inf
+        _json.dumps(art.to_dict())          # round-trips as strict JSON
+
+    def test_new_metrics_never_fail_against_old_baseline(self):
+        """A pre-decomposition baseline gates cleanly against a new
+        artifact that carries the extra wall metrics."""
+        base = build_artifact("serve", {}, self._report())
+        enriched = self._report()
+        enriched.metrics_snapshot = self._snapshot()
+        enriched.samples = [{"time_unix": 1.0, "total_ms": 5.0,
+                             "status": "ok"}]
+        cur = build_artifact("serve", {}, enriched)
+        assert not any(d.failed for d in compare_artifacts(base, cur))
+
 
 @pytest.mark.slow
 class TestInprocessRun:

@@ -14,6 +14,7 @@ from repro.serve.protocol import (
     ok_response,
     overloaded_response,
     parse_request,
+    salvage_id,
     shutdown_response,
 )
 
@@ -117,6 +118,29 @@ class TestControlOp:
         assert control_op({"coeffs": [1, 2]}) is None
         assert control_op({"op": 7}) is None
         assert control_op("ping") is None
+
+
+class TestSalvageId:
+    """Recovering a client ``id`` from lines that don't parse as JSON,
+    so error replies can still be correlated."""
+
+    @pytest.mark.parametrize("line,expected", [
+        ('{"id": 7, "coeffs": [1, 2,}', 7),
+        ('{"id": "req-9", nope', "req-9"),
+        ('{"coeffs": [1], "id": -3} trailing garbage', -3),
+        ('{"id": 1.5, broken', 1.5),
+        ('{"id": true, broken', True),
+        ('{"id": null, broken', None),
+        ('{"id": "with \\"escape\\"", bad', 'with "escape"'),
+        ("total garbage", None),
+        ("", None),
+        ('{"ident": 3, bad', None),          # not the id field
+    ])
+    def test_salvage(self, line, expected):
+        assert salvage_id(line) == expected
+
+    def test_whitespace_around_colon(self):
+        assert salvage_id('{ "id"  :   42 , oops') == 42
 
 
 class TestResponses:

@@ -41,6 +41,15 @@ class FakeFinder:
             raise RuntimeError("test gate never opened")
         if self.fail is not None:
             raise self.fail
+        # Mimic the real finder's dispatch span (request_tag stamping
+        # included) when the server has equipped us with a tracer.
+        tracer = getattr(self, "tracer", None)
+        if tracer is not None and getattr(tracer, "enabled", False):
+            tag = ({"request_id": self.request_tag}
+                   if getattr(self, "request_tag", None) is not None else {})
+            with tracer.span("executor.dispatch", degree=len(p.coeffs) - 1,
+                             **tag):
+                pass
         return [sum(abs(c) for c in p.coeffs) << 4]
 
     def close(self, join_timeout=5.0):
@@ -318,6 +327,173 @@ class TestLifecycle:
 
         resp = run(go())
         assert resp["status"] == "ok"
+
+
+class TestRequestTracing:
+    def test_every_response_carries_a_request_id(self):
+        async def go():
+            server = await make_server()
+            ok = await server.submit({"id": 1, "coeffs": [-6, 1, 1]})
+            bad = await server.submit({"id": 2, "coeffs": [0]})
+            await server.aclose()
+            drained = await server.submit({"id": 3, "coeffs": [-2, 0, 1]})
+            return ok, bad, drained
+
+        ok, bad, drained = run(go())
+        rids = [r["request_id"] for r in (ok, bad, drained)]
+        assert all(isinstance(r, str) and r for r in rids)
+        assert len(set(rids)) == 3
+
+    def test_timeline_stages_reconcile_with_total(self):
+        """Stage sums stay within the end-to-end window — the untimed
+        seams (thread handoff, loop scheduling) only *lose* time."""
+        async def go():
+            server = await make_server()
+            resp = await server.submit({"id": 1, "coeffs": [-6, 1, 1]})
+            await server.aclose()
+            return server, resp
+
+        server, resp = run(go())
+        (tl,) = server.tracker.ring.snapshot()
+        assert tl.request_id == resp["request_id"]
+        assert tl.status == "ok" and tl.code == 200
+        names = [s.name for s in tl.stages]
+        assert names == ["validate", "admission", "queue_wait",
+                         "cache_lookup", "budget_setup", "solve"]
+        assert 0 < tl.stage_sum_ns <= tl.total_ns
+        assert tl.degree == 2
+
+    def test_cached_request_skips_solve_stage(self):
+        async def go():
+            server = await make_server()
+            await server.submit({"id": 1, "coeffs": [-6, 1, 1]})
+            await server.submit({"id": 2, "coeffs": [-6, 1, 1]})
+            await server.aclose()
+            return server
+
+        server = run(go())
+        tl = server.tracker.ring.snapshot()[-1]
+        assert tl.cached is True
+        assert tl.stage_ns("solve") == 0
+        assert tl.stage_ns("cache_lookup") > 0
+
+    def test_labeled_latency_histograms_populated(self):
+        async def go():
+            server = await make_server()
+            await server.submit({"id": 1, "coeffs": [-6, 1, 1],
+                                 "priority": 2})
+            await server.aclose()
+            return server
+
+        server = run(go())
+        name = ('server.latency_us'
+                '{degree_bucket="1-2",priority="2"}')
+        assert server.metrics.histogram(name).count == 1
+        assert server.metrics.histogram("server.queue_wait_us").count == 1
+
+    def test_reject_records_a_timeline(self):
+        async def go():
+            server = await make_server()
+            resp = server.reject("cli-7", "not valid JSON: boom")
+            await server.aclose()
+            return server, resp
+
+        server, resp = run(go())
+        assert (resp["status"], resp["code"]) == ("error", 400)
+        assert resp["id"] == "cli-7" and resp["request_id"]
+        (tl,) = server.tracker.ring.snapshot()
+        assert tl.client_id == "cli-7" and tl.status == "error"
+        assert server.metrics.counter("server.bad_requests").value == 1
+
+    def test_trace_solves_attaches_executor_spans(self, tmp_path):
+        async def go():
+            server = await make_server(
+                capture_dir=str(tmp_path / "caps"),
+                slow_threshold_ms=0.0)     # everything is "slow"
+            await server.submit({"id": 1, "coeffs": [-6, 1, 1]})
+            await server.aclose()
+            return server
+
+        server = run(go())
+        (tl,) = server.tracker.ring.snapshot()
+        # The injected FakeFinder has no tracer of its own, so the
+        # server equips it and the dispatch span carries the request id.
+        names = {d["name"] for d in tl.solve_spans}
+        assert "executor.dispatch" in names
+        disp = next(d for d in tl.solve_spans
+                    if d["name"] == "executor.dispatch")
+        assert disp["attrs"]["request_id"] == tl.request_id
+        import os
+        assert os.listdir(tmp_path / "caps")
+
+
+class TestHealthAndSlo:
+    def test_ready_when_accepting(self):
+        async def go():
+            server = await make_server()
+            code, body = server.health()
+            await server.aclose()
+            return code, body
+
+        code, body = run(go())
+        assert code == 200 and body["status"] == "ready"
+        assert body["accepting"] is True
+        assert body["headroom"] == body["limit"] - body["queue_depth"]
+
+    def test_unready_after_close(self):
+        async def go():
+            server = await make_server()
+            await server.aclose()
+            return server.health()
+
+        code, body = run(go())
+        assert code == 503 and body["status"] == "unready"
+        assert body["accepting"] is False
+
+    def test_unready_when_breaker_open(self):
+        class Breaker:
+            state = "open"
+
+        async def go():
+            server = await make_server()
+            server.finder.breaker = Breaker()
+            result = server.health()
+            await server.aclose()
+            return result
+
+        code, body = run(go())
+        assert code == 503 and body["breaker"] == "open"
+
+    def test_worker_liveness_reported(self):
+        import os as _os
+
+        async def go():
+            server = await make_server()
+            # One live pid (ours) and one that cannot exist.
+            server.finder.worker_pids = lambda: [_os.getpid(), 2**22 + 17]
+            result = server.health()
+            await server.aclose()
+            return result
+
+        code, body = run(go())
+        assert code == 200
+        assert body["workers"]["pids"][0] == _os.getpid()
+        assert body["workers"]["alive"] == 1
+
+    def test_slo_report_over_live_traffic(self):
+        async def go():
+            server = await make_server()
+            for i in range(4):
+                await server.submit({"id": i, "coeffs": [-6 - i, 1, 1]})
+            report = server.slo_report()
+            await server.aclose()
+            return report
+
+        report = run(go())
+        assert report["ok"] is True and report["samples"] == 4
+        assert report["ring_size"] == 4
+        names = {o["name"] for o in report["objectives"]}
+        assert names == {"latency_p99", "availability"}
 
 
 @pytest.mark.slow

@@ -4,6 +4,7 @@ import asyncio
 import io
 import json
 import os
+import signal
 import subprocess
 import sys
 
@@ -101,6 +102,40 @@ class TestStdioProtocol:
         assert code == 0
         assert len(resps) == 1
 
+    def test_slo_op(self):
+        code, resps, _ = run_stdio([
+            json.dumps({"id": 1, "coeffs": [-6, 1, 1]}),
+            json.dumps({"op": "metrics", "id": "barrier"}),
+            json.dumps({"op": "slo", "id": "s"}),
+        ])
+        assert code == 0
+        slo = next(r for r in resps if r.get("status") == "slo")
+        assert slo["id"] == "s" and slo["code"] == 200
+        report = slo["slo"]
+        assert report["ok"] is True and report["samples"] >= 1
+        assert {o["name"] for o in report["objectives"]} == \
+            {"latency_p99", "availability"}
+
+    def test_solve_responses_carry_request_ids(self):
+        code, resps, _ = run_stdio([
+            json.dumps({"id": 1, "coeffs": [-6, 1, 1]}),
+            json.dumps({"id": 2, "coeffs": [-2, 0, 1]}),
+        ])
+        assert code == 0
+        rids = [r["request_id"] for r in resps]
+        assert all(isinstance(r, str) for r in rids)
+        assert len(set(rids)) == 2
+
+    def test_bad_json_salvages_client_id(self):
+        code, resps, _ = run_stdio([
+            '{"id": 77, "coeffs": [1, 2,}',
+        ])
+        assert code == 0
+        (err,) = resps
+        assert err["status"] == "error" and "not valid JSON" in err["error"]
+        assert err["id"] == 77
+        assert isinstance(err["request_id"], str)
+
 
 @pytest.mark.slow
 class TestLiveDaemon:
@@ -144,6 +179,43 @@ class TestLiveDaemon:
         m = next(r for r in resps if r.get("status") == "metrics")
         assert m["metrics"]["cache.hits"]["value"] == hits
         assert m["metrics"]["server.ok"]["value"] == len(oks)
+
+    def test_sigterm_drains_and_leaves_no_torn_record(self, tmp_path):
+        """SIGTERM is the graceful stop: the daemon drains, exits 0,
+        and the fsynced access log parses to the last byte — no torn
+        final record."""
+        access = str(tmp_path / "access.jsonl")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--stdio",
+             "--bits", "16", "--processes", "2", "--access-log", access],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+            cwd=REPO_ROOT, env=daemon_env(),
+        )
+        try:
+            for i in range(3):
+                proc.stdin.write(json.dumps(
+                    {"id": i, "coeffs": [-6 - i, 1, 1]}) + "\n")
+            proc.stdin.flush()
+            resps = [json.loads(proc.stdout.readline()) for _ in range(3)]
+            proc.send_signal(signal.SIGTERM)
+            _, err = proc.communicate(timeout=120)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0, err
+        assert all(r["status"] == "ok" for r in resps)
+
+        with open(access, encoding="utf-8") as fh:
+            raw = fh.read()
+        assert raw.endswith("\n")              # complete final record
+        records = [json.loads(line) for line in raw.splitlines() if line]
+        assert len(records) == 3
+        answered = {r["request_id"] for r in resps}
+        assert {r["request_id"] for r in records} == answered
+        # Every record closed with the full stage set through write.
+        for rec in records:
+            names = [s["name"] for s in rec["stages"]]
+            assert "solve" in names and "write" in names
 
     def test_answers_match_repro_roots(self):
         """Byte-exact parity between the daemon and the one-shot CLI."""

@@ -86,6 +86,8 @@ MODULES = [
     "repro.serve.stdio",
     "repro.serve.http",
     "repro.serve.loadtest",
+    "repro.serve.reqtrace",
+    "repro.obs.slo",
     "repro.cli",
 ]
 
