@@ -17,6 +17,7 @@ from repro.core.rootfinder import RealRootFinder, RootResult
 from repro.core.scaling import digits_to_bits
 from repro.core.sieve import IntervalStats
 from repro.core.tasks import build_task_graph
+from repro.costmodel.backend import counter_for
 from repro.costmodel.counter import CostCounter, PhaseStats
 from repro.obs.rollup import phase_wall_ns
 from repro.obs.trace import Tracer
@@ -88,19 +89,23 @@ class ParallelRecord:
 
 
 def run_sequential(
-    inp: CharPolyInput, mu_digits: int, trace_walls: bool = False
+    inp: CharPolyInput, mu_digits: int, trace_walls: bool = False,
+    backend: str = "python",
 ) -> SequentialRecord:
     """Instrumented sequential run of the full algorithm.
 
     With ``trace_walls=True`` the run is executed under a real
     :class:`~repro.obs.trace.Tracer` and the record's ``phase_wall``
     carries the exclusive per-phase wall-time rollup — how the bit-cost
-    phase split maps onto real seconds on this host.
+    phase split maps onto real seconds on this host.  ``backend``
+    selects the arithmetic backend (docs/BACKENDS.md); charged counts
+    are backend-invariant, only wall time moves.
     """
     mu_bits = digits_to_bits(mu_digits)
-    counter = CostCounter()
+    counter = counter_for(backend)
     tracer = Tracer(counter=counter) if trace_walls else None
-    finder = RealRootFinder(mu_bits=mu_bits, counter=counter, tracer=tracer)
+    finder = RealRootFinder(mu_bits=mu_bits, counter=counter, tracer=tracer,
+                            backend=backend)
     result = finder.find_roots(inp.poly)
     # Single source of truth for wall time: the result's own bracket.
     # (A second perf_counter bracket here used to disagree with it by

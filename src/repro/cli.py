@@ -58,6 +58,14 @@ from typing import Sequence
 
 from repro.core.rootfinder import RealRootFinder
 from repro.core.scaling import digits_to_bits
+from repro.costmodel.backend import (
+    BACKEND_NAMES,
+    BackendUnavailable,
+    available_backends,
+    counter_for,
+    get_backend,
+    resolve_backend,
+)
 from repro.costmodel.counter import CostCounter
 from repro.poly.dense import IntPoly
 
@@ -98,6 +106,22 @@ def _add_poly_args(sp: argparse.ArgumentParser) -> None:
                     help="output precision in decimal digits (default 15)")
     sp.add_argument("--bits", type=int, default=None,
                     help="output precision in bits (overrides --digits)")
+
+
+def _add_backend_arg(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                    help="arithmetic backend (default: $REPRO_BACKEND or "
+                         "python; 'auto' picks gmpy2 when installed — "
+                         "see docs/BACKENDS.md)")
+
+
+def _backend_from_args(args: argparse.Namespace):
+    """The resolved :class:`ArithmeticBackend` for ``--backend`` /
+    ``REPRO_BACKEND``, as a friendly exit on bad or unavailable names."""
+    try:
+        return resolve_backend(getattr(args, "backend", None))
+    except BackendUnavailable as e:
+        raise SystemExit(str(e)) from e
 
 
 def _add_trace_args(sp: argparse.ArgumentParser) -> None:
@@ -191,7 +215,7 @@ class _TraceSession:
         self.tracer = None
         self.log = None
         if self.trace_path or self.chrome_path:
-            self.counter = CostCounter()
+            self.counter = counter_for(_backend_from_args(args))
             if self.trace_path:
                 try:
                     self.log = EventLog(self.trace_path)
@@ -236,16 +260,40 @@ def _budget_from_args(args: argparse.Namespace):
         raise SystemExit(str(e)) from e
 
 
+def _sweep_backend_names(spec: str, main: str) -> list[str]:
+    """Resolve the ``repro bench --sweep-backends`` spec to backend names.
+
+    ``auto`` is every available backend except the main one and the slow
+    ``mpint`` validation tier; ``all`` keeps mpint; ``none`` disables the
+    sweep; anything else is a comma-separated explicit list.
+    """
+    if spec == "none":
+        return []
+    if spec in ("auto", "all"):
+        names = [b for b in available_backends() if b != main]
+        if spec == "auto":
+            names = [b for b in names if b != "mpint"]
+        return names
+    names = [x.strip() for x in spec.split(",") if x.strip()]
+    for n in names:
+        try:
+            get_backend(n)
+        except BackendUnavailable as e:
+            raise SystemExit(f"--sweep-backends: {e}") from e
+    return [n for n in names if n != main]
+
+
 def cmd_roots(args: argparse.Namespace) -> int:
     from repro.resilience import BudgetExceeded
 
     p = _poly_from_args(args)
     mu = _mu_bits(args)
+    backend = _backend_from_args(args)
     session = _TraceSession(args, "roots", degree=p.degree, mu_bits=mu,
                             strategy=args.strategy)
     counter = session.counter
     if args.ledger and counter is None:
-        counter = CostCounter()  # the ledger entry needs real costs
+        counter = counter_for(backend)  # the ledger entry needs real costs
     profiler = None
     if args.profile:
         from repro.obs.profile import SamplingProfiler
@@ -253,7 +301,8 @@ def cmd_roots(args: argparse.Namespace) -> int:
         profiler = SamplingProfiler().start()
     finder = RealRootFinder(mu_bits=mu, strategy=args.strategy,
                             counter=counter, tracer=session.tracer,
-                            budget=_budget_from_args(args))
+                            budget=_budget_from_args(args),
+                            backend=backend)
     try:
         result = finder.find_roots(p)
     except BudgetExceeded as e:
@@ -295,7 +344,7 @@ def cmd_roots(args: argparse.Namespace) -> int:
     if args.ledger:
         rec = _run_record(
             "roots", {"degree": p.degree, "mu_bits": mu,
-                      "strategy": args.strategy},
+                      "strategy": args.strategy, "backend": backend.name},
             counter=counter, tracer=session.tracer,
         )
         rec.add_metric("wall_seconds", result.elapsed_seconds, kind="wall")
@@ -492,8 +541,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     degrees = _parse_int_list(args.degrees, "--degrees")
     if any(n < 2 for n in degrees):
         raise SystemExit("--degrees must be >= 2")
+    backend = _backend_from_args(args)
     params = {"degrees": degrees, "mu_digits": args.digits,
-              "seed": args.seed, "processes": args.processes}
+              "seed": args.seed, "processes": args.processes,
+              "backend": backend.name}
     session = _TraceSession(args, "bench", **params)
     artifact = bench_artifact(args.name, params)
 
@@ -506,7 +557,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     records = []
     for n in degrees:
         inp = square_free_characteristic_input(n, args.seed)
-        rec = run_sequential(inp, args.digits, trace_walls=True)
+        rec = run_sequential(inp, args.digits, trace_walls=True,
+                             backend=backend.name)
         records.append(rec)
         print(f"  n={n:<3d} mu={args.digits}d: {rec.n_roots} roots, "
               f"bit cost {rec.total_bit_cost}, wall {rec.wall_seconds:.3f}s")
@@ -517,19 +569,69 @@ def cmd_bench(args: argparse.Namespace) -> int:
         seq_profiler.stop()
         _write_profile(args.profile, collapse(seq_profiler.drain()))
 
+    # Backend sweep: the same pinned grid on every sweep backend.  The
+    # charged counts and the roots must agree bit for bit with the main
+    # backend — an exact gate, failed sweeps exit 1 — while the walls
+    # land in the artifact as informational speedup evidence.
+    main_wall = sum(r.wall_seconds for r in records)
+    artifact.add_metric(f"backend.{backend.name}.bit_cost",
+                        sum(r.total_bit_cost for r in records))
+    artifact.add_metric(f"backend.{backend.name}.mul_count",
+                        sum(r.total_mul_count for r in records))
+    artifact.add_metric(f"backend.{backend.name}.wall_seconds", main_wall,
+                        kind="wall")
+    sweep = _sweep_backend_names(args.sweep_backends, backend.name)
+    if not sweep and args.sweep_backends == "auto":
+        print("backend sweep: no other fast backend available "
+              "(install gmpy2, or pass --sweep-backends mpint)",
+              file=sys.stderr)
+    for alt in sweep:
+        t0 = time.perf_counter()
+        alt_records = [
+            run_sequential(square_free_characteristic_input(n, args.seed),
+                           args.digits, backend=alt)
+            for n in degrees
+        ]
+        alt_wall = time.perf_counter() - t0
+        for base, cand in zip(records, alt_records):
+            if (cand.result.scaled != base.result.scaled
+                    or cand.result.multiplicities
+                    != base.result.multiplicities
+                    or cand.total_bit_cost != base.total_bit_cost
+                    or cand.total_mul_count != base.total_mul_count):
+                print(f"backend sweep FAILED: backend {alt!r} disagrees "
+                      f"with {backend.name!r} at n={base.degree}: "
+                      f"bit cost {cand.total_bit_cost} vs "
+                      f"{base.total_bit_cost}, mul count "
+                      f"{cand.total_mul_count} vs {base.total_mul_count}",
+                      file=sys.stderr)
+                return 1
+        artifact.add_metric(f"backend.{alt}.bit_cost",
+                            sum(r.total_bit_cost for r in alt_records))
+        artifact.add_metric(f"backend.{alt}.mul_count",
+                            sum(r.total_mul_count for r in alt_records))
+        artifact.add_metric(f"backend.{alt}.wall_seconds", alt_wall,
+                            kind="wall")
+        speedup = main_wall / alt_wall if alt_wall > 0 else 0.0
+        artifact.add_metric(f"backend.{alt}.speedup", speedup, kind="wall")
+        print(f"  backend {alt}: bit-exact vs {backend.name}, "
+              f"wall {alt_wall:.3f}s (speedup {speedup:.2f}x)")
+
     registry = None
     if args.processes > 0:
         # Parallel telemetry stage: the largest pinned input through the
         # real executor, always traced so the utilization rollup and
         # the queue-depth/worker-busy counter lanes exist.
-        counter = session.counter if session.counter is not None else CostCounter()
+        counter = (session.counter if session.counter is not None
+                   else counter_for(backend))
         tracer = session.tracer if session.tracer is not None else Tracer(
             counter=counter)
         inp = square_free_characteristic_input(max(degrees), args.seed)
         t0 = time.perf_counter()
         with ParallelRootFinder(mu=digits_to_bits(args.digits),
                                 processes=args.processes, counter=counter,
-                                tracer=tracer) as finder:
+                                tracer=tracer,
+                                backend=backend.name) as finder:
             finder.find_roots_scaled(inp.poly)
             parallel_wall = time.perf_counter() - t0
             reg = registry = finder.metrics
@@ -553,14 +655,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
             # Profiled re-run of the same pinned stage on a fresh pool:
             # the wall delta against the unprofiled run above is the
             # profiler's measured overhead (informational, not gated).
-            prof_counter = CostCounter()
+            prof_counter = counter_for(backend)
             prof_tracer = Tracer(counter=prof_counter)
             t0 = time.perf_counter()
             with ParallelRootFinder(mu=digits_to_bits(args.digits),
                                     processes=args.processes,
                                     counter=prof_counter,
                                     tracer=prof_tracer,
-                                    profile=True) as pfinder:
+                                    profile=True,
+                                    backend=backend.name) as pfinder:
                 pfinder.find_roots_scaled(inp.poly)
                 profiled_wall = time.perf_counter() - t0
                 folded = pfinder.profile_collapsed()
@@ -663,18 +766,20 @@ def cmd_batch(args: argparse.Namespace) -> int:
             # Hidden fault-injection hook (see BatchCheckpoint.kill_after):
             # the resume tests use it to die deterministically mid-batch.
             checkpoint.kill_after = args.fault_exit_after
+    backend = _backend_from_args(args)
     session = _TraceSession(args, "batch", count=len(polys), mu_bits=mu,
                             processes=args.processes)
     kwargs = {}
     if session.tracer is not None:
         kwargs = {"counter": session.counter, "tracer": session.tracer}
     elif args.ledger:
-        kwargs = {"counter": CostCounter()}
+        kwargs = {"counter": counter_for(backend)}
     t0 = time.perf_counter()
     with ParallelRootFinder(mu=mu, processes=args.processes,
                             strategy=args.strategy,
                             task_timeout=args.timeout,
-                            profile=bool(args.profile), **kwargs) as finder:
+                            profile=bool(args.profile),
+                            backend=backend.name, **kwargs) as finder:
         try:
             results = finder.find_roots_many(polys, checkpoint=checkpoint)
         finally:
@@ -688,7 +793,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             rec = _run_record(
                 "batch", {"count": len(polys), "mu_bits": mu,
                           "processes": args.processes,
-                          "strategy": args.strategy},
+                          "strategy": args.strategy,
+                          "backend": backend.name},
                 counter=kwargs.get("counter"), tracer=session.tracer,
                 registry=finder.metrics,
             )
@@ -748,6 +854,7 @@ def _make_root_server(args: argparse.Namespace):
             mu=_mu_bits(args),
             processes=args.processes,
             strategy=args.strategy,
+            backend=_backend_from_args(args).name,
             max_pending=args.max_pending,
             max_deadline_seconds=args.max_deadline_seconds,
             cache_bytes=args.cache_bytes,
@@ -1010,12 +1117,14 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         families = [x.strip() for x in args.families.split(",") if x.strip()]
     if args.budget < 1:
         raise SystemExit("--budget must be >= 1")
+    backend = _backend_from_args(args)
     try:
         report = run_fuzz(
             args.seed, args.budget,
             engine_names=engines,
             families=families,
             processes=args.processes,
+            backend=backend.name,
             refine=not args.no_refine,
             shrink=not args.no_shrink,
             corpus_dir=args.corpus_dir,
@@ -1053,6 +1162,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--ledger", action="store_true",
                     help="append this run to the local run ledger "
                          "(see `repro runs`)")
+    _add_backend_arg(sp)
     _add_trace_args(sp)
     _add_profile_arg(sp)
     sp.set_defaults(func=cmd_roots)
@@ -1113,6 +1223,13 @@ def build_parser() -> argparse.ArgumentParser:
                     default="local",
                     help="ledger tier to append to (default local; "
                          "'committed' curates a trajectory point into git)")
+    sp.add_argument("--sweep-backends", default="auto", metavar="LIST",
+                    help="re-run the sequential grid on these backends and "
+                         "gate the charged counts bit-exactly against the "
+                         "main backend: a comma list, 'all', 'none', or "
+                         "'auto' (every available backend except the slow "
+                         "mpint validation tier; default)")
+    _add_backend_arg(sp)
     _add_trace_args(sp)
     _add_profile_arg(sp)
     sp.set_defaults(func=cmd_bench)
@@ -1150,6 +1267,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--ledger", action="store_true",
                     help="append this run to the local run ledger "
                          "(see `repro runs`)")
+    _add_backend_arg(sp)
     _add_trace_args(sp)
     _add_profile_arg(sp)
     sp.set_defaults(func=cmd_batch)
@@ -1216,6 +1334,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "(e.g. tests/corpus)")
     sp.add_argument("--log", metavar="PATH",
                     help="write a structured JSONL findings log")
+    _add_backend_arg(sp)
     sp.set_defaults(func=cmd_fuzz)
 
     sp = sub.add_parser(
@@ -1270,6 +1389,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--slo-config", metavar="PATH", default=None,
                     help="JSON SLO objectives file (default: built-in "
                          "p99<5s / error-rate<5%% over 5 min)")
+    _add_backend_arg(sp)
     sp.set_defaults(func=cmd_serve)
 
     sp = sub.add_parser(

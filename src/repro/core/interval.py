@@ -158,8 +158,32 @@ class IntervalProblemSolver:
         their common endpoint's sign instead of each recomputing it
         (half the endpoint evaluations of per-gap
         :meth:`solve_gap_standalone` dispatch).
+
+        The whole vector is evaluated with one batched Horner call
+        (:meth:`ScaledEvaluator.eval_many`), reusing the shifted
+        coefficient payload; derivative tie-breaks happen only for the
+        (rare) exact zeros.  Per-point op order matches
+        :meth:`preinterval_sign`, so phase totals are bit-identical to
+        the per-point loop.
         """
-        return [self.preinterval_sign(y) for y in ys_scaled]
+        with self.counter.phase(PHASE_PREINTERVAL):
+            vals = self._ev_p.eval_many(ys_scaled, self.counter)
+            self.stats.evaluations += len(ys_scaled)
+            self.stats.preinterval_evals += len(ys_scaled)
+            signs: list[int] = []
+            for y, v in zip(ys_scaled, vals):
+                if v != 0:
+                    signs.append(1 if v > 0 else -1)
+                    continue
+                dv = self._ev_dp.eval(y, self.counter)
+                self.stats.evaluations += 1
+                if dv == 0:
+                    raise ArithmeticError(
+                        "polynomial and derivative both vanish — input not "
+                        "square-free"
+                    )
+                signs.append(1 if dv > 0 else -1)
+            return signs
 
     # -- full solve ------------------------------------------------------
     def solve_all(self, interleave_scaled: list[int]) -> list[int]:

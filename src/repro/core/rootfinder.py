@@ -23,7 +23,13 @@ import time
 from dataclasses import dataclass, field
 from fractions import Fraction
 
-from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.costmodel.backend import (
+    ArithmeticBackend,
+    counter_for,
+    null_counter_for,
+    resolve_backend,
+)
+from repro.costmodel.counter import CostCounter, NullCounter
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.core.interval import IntervalProblemSolver, solve_linear_scaled
 from repro.core.remainder import (
@@ -132,6 +138,14 @@ class RealRootFinder:
         approximations already completed.  The bit axis reads this
         finder's ``counter``; one is created automatically if a bit
         ceiling is set without a counter.
+    backend:
+        Arithmetic backend name (``"python"``/``"gmpy2"``/``"mpint"``/
+        ``"auto"``) or an :class:`~repro.costmodel.backend
+        .ArithmeticBackend`.  When no explicit ``counter`` is given, the
+        finder's counter computes on this backend (uncharged unless a
+        budget needs charging); an explicit ``counter`` wins — build it
+        with :func:`repro.costmodel.counter_for` to combine both.  See
+        docs/BACKENDS.md.
     """
 
     def __init__(
@@ -144,6 +158,7 @@ class RealRootFinder:
         strategy: str = "hybrid",
         tracer: Tracer | None = None,
         budget: Budget | None = None,
+        backend: "str | ArithmeticBackend | None" = None,
     ):
         if mu_bits < 1:
             raise ValueError("mu_bits must be >= 1")
@@ -154,14 +169,19 @@ class RealRootFinder:
         self.mu = mu_bits
         self.check_tree = check_tree
         self.keep_structures = keep_structures
-        self.counter = counter if counter is not None else NULL_COUNTER
+        resolved = resolve_backend(backend)
+        self.backend = resolved.name
+        if counter is not None:
+            self.counter = counter
+        else:
+            self.counter = null_counter_for(resolved)
         self.strategy = strategy
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.budget = budget
         if (budget is not None and budget.max_bit_ops is not None
-                and self.counter is NULL_COUNTER):
+                and isinstance(self.counter, NullCounter)):
             # The bit ceiling needs a real counter to read.
-            self.counter = CostCounter()
+            self.counter = counter_for(resolved)
 
     @classmethod
     def from_digits(cls, mu_digits: int, **kwargs) -> "RealRootFinder":

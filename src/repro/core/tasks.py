@@ -54,6 +54,14 @@ class NodePlan:
     not cross process boundaries): same PREINTERVAL/INTERVAL task
     granularity, same node-level dependencies, but every field is plain
     data that pickles into a pool worker.
+
+    ``coeffs`` is the canonical coefficient tuple, but the executor does
+    *not* re-pickle it into each of the node's ``2*degree + 1`` task
+    payloads: it is interned once per node as a pre-pickled
+    ``(poly_key, blob)`` reference
+    (:func:`repro.sched.executor.intern_coeffs`) that workers unpickle
+    at most once each (content-addressed by the same sha256 ``poly_key``
+    the checkpoint/result-cache layers use).
     """
 
     #: the tree node's ``(i, j)`` label.

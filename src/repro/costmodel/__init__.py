@@ -7,5 +7,33 @@ from repro.costmodel.counter import (
     PhaseStats,
     bit_length,
 )
+from repro.costmodel.backend import (
+    ArithmeticBackend,
+    BackendCounter,
+    BackendNullCounter,
+    BackendUnavailable,
+    BACKEND_NAMES,
+    available_backends,
+    counter_for,
+    get_backend,
+    null_counter_for,
+    resolve_backend,
+)
 
-__all__ = ["CostCounter", "NullCounter", "NULL_COUNTER", "PhaseStats", "bit_length"]
+__all__ = [
+    "CostCounter",
+    "NullCounter",
+    "NULL_COUNTER",
+    "PhaseStats",
+    "bit_length",
+    "ArithmeticBackend",
+    "BackendCounter",
+    "BackendNullCounter",
+    "BackendUnavailable",
+    "BACKEND_NAMES",
+    "available_backends",
+    "counter_for",
+    "get_backend",
+    "null_counter_for",
+    "resolve_backend",
+]

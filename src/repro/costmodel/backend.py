@@ -1,0 +1,369 @@
+"""Pluggable big-integer arithmetic backends behind the cost-counter API.
+
+Every arithmetic operation the algorithms perform already flows through a
+:class:`~repro.costmodel.counter.CostCounter` (``counter.mul`` /
+``counter.divmod`` / ...).  That makes the counter the natural seam for
+swapping the arithmetic *implementation* without touching algorithm code:
+a backend supplies the raw integer kernels, the counter keeps charging the
+paper's quadratic bit model on exactly the same operands.
+
+Three backends ship:
+
+``python``
+    Plain built-in ``int`` arithmetic — the default and the bit-cost
+    oracle.  Selecting it returns the ordinary :class:`CostCounter` /
+    :data:`NULL_COUNTER` objects, so the hot path pays zero extra
+    indirection.
+
+``gmpy2``
+    GMP via the optional :mod:`gmpy2` package — the speed tier.  Every
+    operation converts operands to ``mpz``, computes in GMP, and converts
+    the result back to ``int``, so all values the algorithms ever see are
+    ordinary Python integers and results are bit-exact by construction.
+    Auto-detected; requesting it without the package raises
+    :class:`BackendUnavailable`.
+
+``mpint``
+    The from-scratch schoolbook :class:`~repro.mpint.mpint.MPInt` —
+    a slow validation tier whose *real* arithmetic matches the quadratic
+    model being charged.  Always available; useful for exercising the
+    backend plumbing differentially on machines without gmpy2.
+
+Selection: pass ``--backend {python,gmpy2,mpint,auto}`` on the CLI, or set
+``REPRO_BACKEND``.  ``auto`` picks gmpy2 when importable, else python.
+See ``docs/BACKENDS.md``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.costmodel.counter import (
+    CostCounter,
+    NULL_COUNTER,
+    NullCounter,
+    bit_length,
+)
+
+__all__ = [
+    "ArithmeticBackend",
+    "PythonBackend",
+    "Gmpy2Backend",
+    "MPIntBackend",
+    "BackendCounter",
+    "BackendNullCounter",
+    "BackendUnavailable",
+    "BACKEND_NAMES",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "counter_for",
+    "null_counter_for",
+]
+
+#: Environment variable consulted by :func:`resolve_backend` when no
+#: explicit name is given.
+ENV_VAR = "REPRO_BACKEND"
+
+#: Names accepted by ``--backend`` / ``REPRO_BACKEND`` (``auto`` resolves
+#: to gmpy2 when importable, else python).
+BACKEND_NAMES = ("python", "gmpy2", "mpint", "auto")
+
+try:  # pragma: no cover - availability depends on the environment
+    import gmpy2 as _gmpy2
+except ImportError:  # pragma: no cover
+    _gmpy2 = None
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised when a requested arithmetic backend cannot be used here."""
+
+
+class ArithmeticBackend:
+    """Raw big-integer kernels: the protocol every backend implements.
+
+    Operands and results are ordinary Python ``int``; a backend may
+    compute internally in any representation but must convert back, so
+    downstream values (roots, counters, ``poly_key`` hashes) are
+    byte-identical across backends.  Backends are stateless singletons.
+    """
+
+    #: Stable identifier used by ``--backend`` and artifact metadata.
+    name = "abstract"
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run in the current environment."""
+        return True
+
+    def mul(self, a: int, b: int) -> int:
+        """Return ``a * b``."""
+        raise NotImplementedError
+
+    def divmod(self, a: int, b: int) -> tuple[int, int]:
+        """Return ``divmod(a, b)`` with Python floor semantics."""
+        raise NotImplementedError
+
+    def exact_div(self, a: int, b: int) -> int:
+        """Return ``a // b``, raising ``ArithmeticError`` unless exact."""
+        q, r = self.divmod(a, b)
+        if r != 0:
+            raise ArithmeticError(f"inexact division {a} / {b}")
+        return q
+
+    def add(self, a: int, b: int) -> int:
+        """Return ``a + b``."""
+        raise NotImplementedError
+
+    def sub(self, a: int, b: int) -> int:
+        """Return ``a - b``."""
+        raise NotImplementedError
+
+    def shift_left(self, a: int, k: int) -> int:
+        """Return ``a << k`` (``k >= 0``)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PythonBackend(ArithmeticBackend):
+    """Built-in ``int`` arithmetic — the default and bit-cost oracle."""
+
+    name = "python"
+
+    def mul(self, a: int, b: int) -> int:
+        return a * b
+
+    def divmod(self, a: int, b: int) -> tuple[int, int]:
+        return divmod(a, b)
+
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    def sub(self, a: int, b: int) -> int:
+        return a - b
+
+    def shift_left(self, a: int, k: int) -> int:
+        return a << k
+
+
+class Gmpy2Backend(ArithmeticBackend):
+    """GMP arithmetic via :mod:`gmpy2` — the speed tier.
+
+    Results are converted back to ``int`` after every operation, so the
+    bit-cost charges (computed from the same operands) and everything
+    downstream stay identical to the pure-python backend.  Note the
+    *charged* cost still follows the schoolbook model even though GMP's
+    real asymptotics are better; see docs/BACKENDS.md.
+    """
+
+    name = "gmpy2"
+
+    @classmethod
+    def available(cls) -> bool:
+        return _gmpy2 is not None
+
+    def mul(self, a: int, b: int) -> int:
+        return int(_gmpy2.mpz(a) * _gmpy2.mpz(b))
+
+    def divmod(self, a: int, b: int) -> tuple[int, int]:
+        q, r = divmod(_gmpy2.mpz(a), _gmpy2.mpz(b))
+        return int(q), int(r)
+
+    def add(self, a: int, b: int) -> int:
+        return int(_gmpy2.mpz(a) + _gmpy2.mpz(b))
+
+    def sub(self, a: int, b: int) -> int:
+        return int(_gmpy2.mpz(a) - _gmpy2.mpz(b))
+
+    def shift_left(self, a: int, k: int) -> int:
+        return int(_gmpy2.mpz(a) << k)
+
+
+class MPIntBackend(ArithmeticBackend):
+    """Schoolbook :class:`~repro.mpint.mpint.MPInt` arithmetic.
+
+    The validation tier: real quadratic-time kernels matching the charged
+    model.  Orders of magnitude slower than ``python``; intended for
+    parity tests and cost-model validation, not production runs.
+    """
+
+    name = "mpint"
+
+    def mul(self, a: int, b: int) -> int:
+        from repro.mpint import MPInt
+
+        return int(MPInt(a) * MPInt(b))
+
+    def divmod(self, a: int, b: int) -> tuple[int, int]:
+        from repro.mpint import MPInt
+
+        q, r = divmod(MPInt(a), MPInt(b))
+        return int(q), int(r)
+
+    def add(self, a: int, b: int) -> int:
+        from repro.mpint import MPInt
+
+        return int(MPInt(a) + MPInt(b))
+
+    def sub(self, a: int, b: int) -> int:
+        from repro.mpint import MPInt
+
+        return int(MPInt(a) - MPInt(b))
+
+    def shift_left(self, a: int, k: int) -> int:
+        from repro.mpint import MPInt
+
+        return int(MPInt(a) << k)
+
+
+_BACKENDS: dict[str, ArithmeticBackend] = {
+    "python": PythonBackend(),
+    "gmpy2": Gmpy2Backend(),
+    "mpint": MPIntBackend(),
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends usable in this environment, python first."""
+    return tuple(
+        name for name, b in _BACKENDS.items() if type(b).available()
+    )
+
+
+def get_backend(name: str) -> ArithmeticBackend:
+    """Look up a backend by name, raising if unknown or unusable here."""
+    try:
+        backend = _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise BackendUnavailable(
+            f"unknown arithmetic backend {name!r}; known: {known}"
+        ) from None
+    if not type(backend).available():
+        raise BackendUnavailable(
+            f"arithmetic backend {name!r} is not available here "
+            f"(is the {name} package installed?)"
+        )
+    return backend
+
+
+def resolve_backend(
+    name: "str | ArithmeticBackend | None" = None,
+) -> ArithmeticBackend:
+    """Resolve a backend choice to a concrete backend instance.
+
+    ``None`` consults the ``REPRO_BACKEND`` environment variable (falling
+    back to ``python``); ``"auto"`` picks gmpy2 when importable, else
+    python.  An :class:`ArithmeticBackend` instance passes through.
+    """
+    if isinstance(name, ArithmeticBackend):
+        return name
+    if name is None:
+        name = os.environ.get(ENV_VAR, "").strip() or "python"
+    if name == "auto":
+        name = "gmpy2" if Gmpy2Backend.available() else "python"
+    return get_backend(name)
+
+
+class BackendCounter(CostCounter):
+    """A :class:`CostCounter` whose arithmetic runs on a pluggable backend.
+
+    Charges the identical quadratic bit model (same formulas, same
+    operands) as the base class; only the integer kernels differ.  The
+    ``python`` backend never takes this path — :func:`counter_for` hands
+    back a plain :class:`CostCounter` so the default hot path keeps zero
+    indirection.
+    """
+
+    __slots__ = ("backend",)
+
+    def __init__(self, backend: ArithmeticBackend) -> None:
+        super().__init__()
+        self.backend = backend
+
+    def mul(self, a: int, b: int) -> int:
+        s = self.stats[self._phase_stack[-1]]
+        s.mul_count += 1
+        s.mul_bit_cost += bit_length(a) * bit_length(b)
+        return self.backend.mul(a, b)
+
+    def divmod(self, a: int, b: int) -> tuple[int, int]:
+        s = self.stats[self._phase_stack[-1]]
+        s.div_count += 1
+        s.div_bit_cost += bit_length(a) * bit_length(b)
+        return self.backend.divmod(a, b)
+
+    def add(self, a: int, b: int) -> int:
+        s = self.stats[self._phase_stack[-1]]
+        s.add_count += 1
+        s.add_bit_cost += max(bit_length(a), bit_length(b))
+        return self.backend.add(a, b)
+
+    def sub(self, a: int, b: int) -> int:
+        s = self.stats[self._phase_stack[-1]]
+        s.add_count += 1
+        s.add_bit_cost += max(bit_length(a), bit_length(b))
+        return self.backend.sub(a, b)
+
+    def shift_left(self, a: int, k: int) -> int:
+        s = self.stats[self._phase_stack[-1]]
+        s.add_count += 1
+        s.add_bit_cost += bit_length(a) + max(k, 0)
+        return self.backend.shift_left(a, k)
+
+
+class BackendNullCounter(NullCounter):
+    """Uncharged counter delegating arithmetic to a pluggable backend."""
+
+    __slots__ = ("backend",)
+
+    def __init__(self, backend: ArithmeticBackend) -> None:
+        super().__init__()
+        self.backend = backend
+
+    def mul(self, a: int, b: int) -> int:
+        return self.backend.mul(a, b)
+
+    def divmod(self, a: int, b: int) -> tuple[int, int]:
+        return self.backend.divmod(a, b)
+
+    def exact_div(self, a: int, b: int) -> int:
+        return self.backend.exact_div(a, b)
+
+    def add(self, a: int, b: int) -> int:
+        return self.backend.add(a, b)
+
+    def sub(self, a: int, b: int) -> int:
+        return self.backend.sub(a, b)
+
+    def shift_left(self, a: int, k: int) -> int:
+        return self.backend.shift_left(a, k)
+
+
+def counter_for(
+    backend: "str | ArithmeticBackend | None" = None,
+) -> CostCounter:
+    """A fresh charging counter computing on ``backend``.
+
+    The ``python`` backend gets the plain :class:`CostCounter` — identical
+    object type to pre-backend code, zero indirection.
+    """
+    b = resolve_backend(backend)
+    if b.name == "python":
+        return CostCounter()
+    return BackendCounter(b)
+
+
+def null_counter_for(
+    backend: "str | ArithmeticBackend | None" = None,
+) -> NullCounter:
+    """An uncharged counter computing on ``backend``.
+
+    The ``python`` backend gets the shared :data:`NULL_COUNTER` singleton.
+    """
+    b = resolve_backend(backend)
+    if b.name == "python":
+        return NULL_COUNTER
+    return BackendNullCounter(b)

@@ -16,6 +16,7 @@ Coefficient order is low-to-high: ``coeffs[j]`` multiplies ``x**j``.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Sequence
 
 from repro.costmodel.counter import NULL_COUNTER, CostCounter
@@ -210,7 +211,12 @@ class IntPoly:
         The schoolbook (quadratic) convolution matches the paper's model:
         the UNIX ``mp`` package used straightforward algorithms, and the
         analysis of Section 4.2 charges ``(da+1)*(db+1)`` scalar
-        multiplications per polynomial product.
+        multiplications for a *dense* product.  The implementation is
+        sparse-aware: terms where either operand coefficient is zero are
+        skipped entirely (never charged), so the charged count is exactly
+        ``nnz(a) * nnz(b)`` — the number of nonzero-coefficient pairs —
+        which equals the dense bound when both operands are dense.  This
+        contract is pinned by ``tests/costmodel/test_backend.py``.
         """
         a, b = self.coeffs, other.coeffs
         if not a or not b:
@@ -358,17 +364,33 @@ class IntPoly:
         return self.eval_int(x)
 
     def eval_int(self, x: int, counter: CostCounter = NULL_COUNTER) -> int:
-        """Horner evaluation at an integer point."""
-        acc = 0
+        """Horner evaluation at an integer point.
+
+        Charges exactly ``degree`` multiplications: the recurrence seeds
+        the accumulator with the leading coefficient instead of charging a
+        spurious ``mul(0, x)``, matching the paper's model and
+        :func:`repro.analysis.bounds.eval_bit_cost_bound`.
+        """
+        cs = self.coeffs
+        if not cs:
+            return 0
+        acc = cs[-1]
         mul = counter.mul
-        for c in reversed(self.coeffs):
-            acc = mul(acc, x) + c
+        for j in range(len(cs) - 2, -1, -1):
+            acc = mul(acc, x) + cs[j]
         return acc
 
     def eval_float(self, x: float) -> float:
+        """Approximate evaluation in floats, saturating out-of-range
+        coefficients to ``±inf`` instead of raising ``OverflowError``
+        (Wilkinson-scale inputs exceed float range around degree 171)."""
         acc = 0.0
         for c in reversed(self.coeffs):
-            acc = acc * x + c
+            try:
+                fc = float(c)
+            except OverflowError:
+                fc = math.inf if c > 0 else -math.inf
+            acc = acc * x + fc
         return acc
 
     def sign_at_rational(

@@ -93,6 +93,32 @@ class ScaledEvaluator:
             acc = mul(acc, y) + cs[j]
         return acc
 
+    def eval_many(
+        self, ys: "list[int] | tuple[int, ...]",
+        counter: CostCounter = NULL_COUNTER,
+    ) -> list[int]:
+        """Batched Horner: evaluate at every point in ``ys`` in one call.
+
+        Reuses the shifted-coefficient payload across the whole vector and
+        hoists the per-point loop machinery, which is where the sieve and
+        PREINTERVAL phases spend their time.  Op order per point is
+        identical to :meth:`eval`, so charged counts are bit-exact with a
+        loop of single evaluations.
+        """
+        cs = self.shifted
+        if not cs:
+            return [0] * len(ys)
+        top = cs[-1]
+        mul = counter.mul
+        rng = range(len(cs) - 2, -1, -1)
+        out = []
+        for y in ys:
+            acc = top
+            for j in rng:
+                acc = mul(acc, y) + cs[j]
+            out.append(acc)
+        return out
+
     def sign(self, y: int, counter: CostCounter = NULL_COUNTER) -> int:
         v = self.eval(y, counter)
         return (v > 0) - (v < 0)

@@ -79,6 +79,7 @@ import contextlib
 import heapq
 import multiprocessing as mp
 import os
+import pickle
 import queue
 import signal
 import threading
@@ -96,7 +97,12 @@ from repro.core.tree import InterleavingTree
 if TYPE_CHECKING:  # runtime import is deferred: repro.core.tasks
     from repro.core.tasks import NodePlan  # imports repro.sched.graph
     from repro.resilience.checkpoint import BatchCheckpoint
-from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.costmodel.backend import (
+    counter_for,
+    null_counter_for,
+    resolve_backend,
+)
+from repro.costmodel.counter import NULL_COUNTER, CostCounter, NullCounter
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.poly.dense import IntPoly
@@ -115,6 +121,7 @@ __all__ = [
     "sign_worker",
     "gap_worker",
     "solve_gap_worker",
+    "intern_coeffs",
 ]
 
 
@@ -132,27 +139,77 @@ class _Degraded(Exception):
 _SOLVER_CACHE: dict[tuple, IntervalProblemSolver] = {}
 _SOLVER_CACHE_MAX = 8
 
+#: Worker-local interned coefficient tuples, keyed by the parent's
+#: content hash (:func:`repro.resilience.checkpoint.poly_key`).  A node
+#: polynomial's coefficients are unpickled at most once per worker no
+#: matter how many of its 2*degree+1 tasks land here.  Bounded like the
+#: solver cache so long-lived service pools do not accumulate inputs.
+_COEFFS_CACHE: dict[str, tuple[int, ...]] = {}
+_COEFFS_CACHE_MAX = 32
+
+
+def intern_coeffs(
+    coeffs: tuple[int, ...], mu: int, strategy: str
+) -> tuple[str, bytes]:
+    """Parent-side: pre-pickle a node's coefficient tuple once.
+
+    Returns a ``(poly_key, blob)`` reference that every task payload for
+    the node carries instead of the raw tuple.  Pickling the payload
+    then copies ``blob`` (a flat bytes memcpy) rather than re-walking a
+    tuple of big integers per task — for a degree-``d`` node that cuts
+    the coefficient serialization from ``2d+1`` traversals to one.
+    """
+    from repro.resilience.checkpoint import poly_key
+
+    cs = tuple(coeffs)
+    return (poly_key(cs, mu, strategy),
+            pickle.dumps(cs, pickle.HIGHEST_PROTOCOL))
+
+
+def _resolve_coeffs(ref: Any) -> tuple[int, ...]:
+    """Worker-side: turn a payload's coefficient slot into the tuple.
+
+    Accepts either an interned ``(key, blob)`` reference from
+    :func:`intern_coeffs` (unpickled once per worker per key via
+    ``_COEFFS_CACHE``) or a raw coefficient sequence (legacy payloads,
+    in-parent execution, tests).
+    """
+    if (isinstance(ref, tuple) and len(ref) == 2
+            and isinstance(ref[1], (bytes, bytearray))):
+        key, blob = ref
+        cs = _COEFFS_CACHE.get(key)
+        if cs is None:
+            if len(_COEFFS_CACHE) >= _COEFFS_CACHE_MAX:
+                _COEFFS_CACHE.clear()
+            cs = tuple(pickle.loads(blob))
+            _COEFFS_CACHE[key] = cs
+        return cs
+    return tuple(ref)
+
 
 def _cached_solver(
-    coeffs: tuple[int, ...], mu: int, r_bits: int, strategy: str
+    coeffs: tuple[int, ...], mu: int, r_bits: int, strategy: str,
+    backend: str = "python",
 ) -> IntervalProblemSolver:
-    key = (coeffs, mu, r_bits, strategy)
+    key = (coeffs, mu, r_bits, strategy, backend)
     solver = _SOLVER_CACHE.get(key)
     if solver is None:
         if len(_SOLVER_CACHE) >= _SOLVER_CACHE_MAX:
             _SOLVER_CACHE.clear()
         solver = IntervalProblemSolver(
-            IntPoly(coeffs), mu, r_bits, strategy=strategy
+            IntPoly(coeffs), mu, r_bits, strategy=strategy,
+            counter=null_counter_for(backend),
         )
         _SOLVER_CACHE[key] = solver
     return solver
 
 
 def _traced_solver(
-    coeffs: tuple[int, ...], mu: int, r_bits: int, strategy: str
+    coeffs: tuple[int, ...], mu: int, r_bits: int, strategy: str,
+    backend: str = "python",
 ) -> tuple[IntervalProblemSolver, Tracer, int]:
     pid = os.getpid()
-    counter = CostCounter()
+    counter = counter_for(backend)
     tracer = Tracer(counter=counter)
     solver = IntervalProblemSolver(
         IntPoly(coeffs), mu, r_bits, counter=counter,
@@ -208,18 +265,23 @@ def sign_worker(args: tuple) -> tuple:
     just right of one interleaving point.
 
     ``args = (label, t, y, coeffs, mu, r_bits, strategy, trace[,
-    profile])``; returns ``("sign", label, t, sign, spans)`` where
-    ``spans`` is the worker tracer's export when ``trace`` is truthy
-    (else ``None``), with the task's collapsed stack profile appended
-    when ``profile`` is truthy.  Module-level so it pickles.
+    profile[, backend]])``; the ``coeffs`` slot is either a raw tuple
+    or an interned ``(poly_key, blob)`` reference from
+    :func:`intern_coeffs`.  Returns ``("sign", label, t, sign, spans)``
+    where ``spans`` is the worker tracer's export when ``trace`` is
+    truthy (else ``None``), with the task's collapsed stack profile
+    appended when ``profile`` is truthy.  Module-level so it pickles.
     """
     label, t, y, coeffs, mu, r_bits, strategy, trace = args[:8]
     prof = _worker_profile_begin() if len(args) > 8 and args[8] else None
+    backend = args[9] if len(args) > 9 else "python"
+    coeffs = _resolve_coeffs(coeffs)
     if not trace:
-        solver = _cached_solver(coeffs, mu, r_bits, strategy)
+        solver = _cached_solver(coeffs, mu, r_bits, strategy, backend)
         s = solver.preinterval_sign(y)
         return ("sign", label, t, s, _with_profile(None, prof))
-    solver, tracer, pid = _traced_solver(coeffs, mu, r_bits, strategy)
+    solver, tracer, pid = _traced_solver(coeffs, mu, r_bits, strategy,
+                                         backend)
     with tracer.span("sign", phase="interval.preinterval",
                      node=list(label), t=t, pid=pid):
         s = solver.preinterval_sign(y)
@@ -231,18 +293,23 @@ def gap_worker(args: tuple) -> tuple:
     both endpoint signs (shared with the adjacent gaps' tasks).
 
     ``args = (label, gap, left, right, s_left, s_right, sign_at_neg_inf,
-    coeffs, mu, r_bits, strategy, trace[, profile])``; returns
-    ``("gap", label, gap, scaled_root, spans)`` (profile handling as in
-    :func:`sign_worker`).  Module-level so it pickles.
+    coeffs, mu, r_bits, strategy, trace[, profile[, backend]])``; the
+    ``coeffs`` slot accepts the same raw-tuple or interned forms as
+    :func:`sign_worker`.  Returns ``("gap", label, gap, scaled_root,
+    spans)`` (profile handling as in :func:`sign_worker`).
+    Module-level so it pickles.
     """
     (label, gap, left, right, s_left, s_right, s_inf,
      coeffs, mu, r_bits, strategy, trace) = args[:12]
     prof = _worker_profile_begin() if len(args) > 12 and args[12] else None
+    backend = args[13] if len(args) > 13 else "python"
+    coeffs = _resolve_coeffs(coeffs)
     if not trace:
-        solver = _cached_solver(coeffs, mu, r_bits, strategy)
+        solver = _cached_solver(coeffs, mu, r_bits, strategy, backend)
         val = solver.solve_gap(gap, left, right, s_left, s_right, s_inf)
         return ("gap", label, gap, val, _with_profile(None, prof))
-    solver, tracer, pid = _traced_solver(coeffs, mu, r_bits, strategy)
+    solver, tracer, pid = _traced_solver(coeffs, mu, r_bits, strategy,
+                                         backend)
     with tracer.span("gap", phase="interval",
                      node=list(label), gap=gap, pid=pid):
         val = solver.solve_gap(gap, left, right, s_left, s_right, s_inf)
@@ -381,6 +448,12 @@ class ParallelRootFinder:
         span's attrs as ``request_id`` (``None`` adds nothing) — how
         the serve daemon ties a solve's span tree back to the request
         that asked for it.
+    backend:
+        Arithmetic backend name (``"python"``/``"gmpy2"``/``"mpint"``/
+        ``"auto"``; see docs/BACKENDS.md).  Threaded into every worker
+        task payload so the pool's arithmetic runs on it, and into the
+        parent-side remainder/tree phases.  Resolved and validated at
+        construction; results are bit-identical across backends.
     """
 
     mu: int
@@ -403,6 +476,9 @@ class ParallelRootFinder:
     #: solve's span tree to the request that asked for it.  ``None``
     #: (the default) adds nothing.
     request_tag: Any = None
+    #: Arithmetic backend for worker and parent-side arithmetic
+    #: (resolved/validated in ``__post_init__``; see docs/BACKENDS.md).
+    backend: str = "python"
     #: parent-side timestamped profiler samples (``(t_ns, stack)``,
     #: same clock as tracer spans) — feed to ``spans_to_chrome``'s
     #: ``profile`` argument for a profiler lane in the Chrome trace.
@@ -433,10 +509,15 @@ class ParallelRootFinder:
         if self.breaker is None:
             self.breaker = CircuitBreaker()
         self.breaker.on_transition = self._on_breaker_transition
+        # Resolve the backend eagerly so a bad name/missing package fails
+        # at construction, not inside a worker.
+        self.backend = resolve_backend(self.backend).name
+        if self.counter is NULL_COUNTER:
+            self.counter = null_counter_for(self.backend)
         if (self.budget is not None and self.budget.max_bit_ops is not None
-                and self.counter is NULL_COUNTER):
+                and isinstance(self.counter, NullCounter)):
             # The bit ceiling needs a real counter to read.
-            self.counter = CostCounter()
+            self.counter = counter_for(self.backend)
 
     def _on_breaker_transition(self, old: str, new: str) -> None:
         name = {
@@ -639,7 +720,7 @@ class ParallelRootFinder:
         finder = RealRootFinder(
             mu_bits=self.mu, check_tree=self.check_tree,
             counter=self.counter, strategy=self.strategy, tracer=self.tracer,
-            budget=self.budget,
+            budget=self.budget, backend=self.backend,
         )
         return finder.find_roots(p).scaled
 
@@ -694,6 +775,7 @@ class ParallelRootFinder:
         profiled = self.profile
         mu = self.mu
         strategy = self.strategy
+        backend = self.backend
         retry = self.retry
         breaker = self.breaker
         budget = self.budget
@@ -711,6 +793,7 @@ class ParallelRootFinder:
         root_degree = by_label[root_label].degree
 
         roots: dict[tuple[int, int], list] = {}
+        coeffs_ref: dict[tuple[int, int], tuple[str, bytes]] = {}
         ys: dict[tuple[int, int], list[int]] = {}
         signs: dict[tuple[int, int], list] = {}
         gap_started: dict[tuple[int, int], list[bool]] = {}
@@ -844,9 +927,14 @@ class ParallelRootFinder:
             gap_started[node.label] = [False] * L
             gaps_left[node.label] = L
             roots[node.label] = [None] * L
+            # Intern the coefficient tuple once per node: all 2L+1 task
+            # payloads share one pre-pickled (poly_key, blob) reference.
+            coeffs_ref[node.label] = intern_coeffs(node.coeffs, mu, strategy)
             for t, y in enumerate(ys_node):
-                submit(sign_worker, (node.label, t, y, node.coeffs, mu,
-                                     r_bits, strategy, capture, profiled),
+                submit(sign_worker, (node.label, t, y,
+                                     coeffs_ref[node.label], mu,
+                                     r_bits, strategy, capture, profiled,
+                                     backend),
                        node.sign_task(t))
 
         def on_sign(label: tuple[int, int], t: int, s: int) -> None:
@@ -861,9 +949,10 @@ class ParallelRootFinder:
                     started[gap] = True
                     submit(gap_worker, (label, gap, ys_node[gap],
                                         ys_node[gap + 1], sg[gap], sg[gap + 1],
-                                        node.sign_at_neg_inf, node.coeffs,
+                                        node.sign_at_neg_inf,
+                                        coeffs_ref[label],
                                         mu, r_bits, strategy, capture,
-                                        profiled),
+                                        profiled, backend),
                            node.gap_task(gap))
 
         def on_gap(label: tuple[int, int], gap: int, val: int) -> None:

@@ -45,7 +45,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Mapping
 
-from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.costmodel.backend import counter_for
+from repro.costmodel.counter import NULL_COUNTER, CostCounter, NullCounter
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slo import DEFAULT_SLO, SLOConfig, evaluate_slo, timeline_samples
 from repro.obs.trace import Tracer
@@ -122,6 +123,11 @@ class RootServer:
         request timeline (so tail-captured Chrome traces show the
         worker lanes).  Defaults to on exactly when ``capture_dir`` is
         set; forcing it on without a capture dir only costs memory.
+    backend:
+        Arithmetic backend the shared finder computes on
+        (``"python"``/``"gmpy2"``/``"mpint"``/``"auto"``; see
+        docs/BACKENDS.md).  Resolved at construction; reported by
+        :meth:`health`.  Ignored when ``finder`` is injected.
     """
 
     def __init__(
@@ -144,6 +150,7 @@ class RootServer:
         ring_size: int = 512,
         slo: SLOConfig | None = None,
         trace_solves: bool | None = None,
+        backend: str = "python",
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -161,9 +168,11 @@ class RootServer:
         if finder is None:
             finder = ParallelRootFinder(
                 mu=mu, processes=processes, strategy=strategy,
-                counter=CostCounter(), metrics=self.metrics,
+                counter=counter_for(backend), metrics=self.metrics,
+                backend=backend,
             )
         self.finder = finder
+        self.backend = getattr(finder, "backend", "python")
         self.slo_config = slo if slo is not None else DEFAULT_SLO
         if tracker is None:
             tracker = RequestTracker(
@@ -238,6 +247,7 @@ class RootServer:
             "status": "ready" if ready else "unready",
             "accepting": self._accepting,
             "breaker": breaker_state,
+            "backend": self.backend,
             "workers": {"pids": pids, "alive": len(alive)},
             "queue_depth": depth,
             "limit": self.max_pending,
@@ -447,8 +457,10 @@ class RootServer:
         if req.deadline_seconds is not None or req.max_bit_ops is not None:
             budget = Budget(deadline_seconds=req.deadline_seconds,
                             max_bit_ops=req.max_bit_ops)
-            if req.max_bit_ops is not None and finder.counter is NULL_COUNTER:
-                finder.counter = CostCounter()  # the bit ceiling reads it
+            if (req.max_bit_ops is not None
+                    and isinstance(finder.counter, NullCounter)):
+                # The bit ceiling reads a real counter (backend-aware).
+                finder.counter = counter_for(self.backend)
         finder.budget = budget
         tracer = (getattr(finder, "tracer", None)
                   if self._trace_solves else None)

@@ -37,6 +37,7 @@ from typing import Any, Iterable
 
 from repro.baselines.sturm_bisect import SturmBisectFinder
 from repro.core.certify import CertificationError, certify_roots
+from repro.costmodel.backend import null_counter_for, resolve_backend
 from repro.core.refine import refine_result
 from repro.core.rootfinder import RealRootFinder
 from repro.core.scaling import ceil_div
@@ -65,10 +66,15 @@ class EngineSet:
     pool) warm for the whole fuzz run — the service-style shape — and
     retargets its precision per call.  Use as a context manager (or
     call :meth:`close`) to shut the pool down.
+
+    ``backend`` selects the arithmetic backend every engine computes on
+    (see docs/BACKENDS.md) — the lever of the backend-parity suite,
+    which demands byte-identical claims from every backend.
     """
 
     def __init__(self, names: Iterable[str] = ENGINE_NAMES,
-                 processes: int = 2, task_timeout: float | None = 60.0):
+                 processes: int = 2, task_timeout: float | None = 60.0,
+                 backend: str = "python"):
         self.names = tuple(names)
         unknown = [n for n in self.names if n not in ENGINE_NAMES]
         if unknown:
@@ -77,21 +83,26 @@ class EngineSet:
             )
         self.processes = processes
         self.task_timeout = task_timeout
+        self.backend = resolve_backend(backend).name
         self._parallel = None
 
     def run(self, name: str, p: IntPoly, mu: int) -> list[int]:
         """One engine's claimed scaled roots for ``(p, mu)``."""
         if name in ("hybrid", "bisection", "newton"):
-            return RealRootFinder(mu_bits=mu, strategy=name).find_roots(p).scaled
+            return RealRootFinder(
+                mu_bits=mu, strategy=name, backend=self.backend
+            ).find_roots(p).scaled
         if name == "sturm":
-            return SturmBisectFinder(mu=mu).find_roots_scaled(p)
+            return SturmBisectFinder(
+                mu=mu, counter=null_counter_for(self.backend)
+            ).find_roots_scaled(p)
         if name == "parallel":
             from repro.sched.executor import ParallelRootFinder
 
             if self._parallel is None:
                 self._parallel = ParallelRootFinder(
                     mu=mu, processes=self.processes,
-                    task_timeout=self.task_timeout,
+                    task_timeout=self.task_timeout, backend=self.backend,
                 )
             else:
                 self._parallel.mu = mu  # retarget; the pool is mu-agnostic
@@ -171,7 +182,9 @@ def check_case(
     findings: list[FuzzFinding] = []
 
     try:
-        ref = RealRootFinder(mu_bits=mu).find_roots(p)
+        ref = RealRootFinder(
+            mu_bits=mu, backend=engines.backend
+        ).find_roots(p)
     except Exception as exc:  # noqa: BLE001 — any crash is a finding
         return [FuzzFinding(case, "error", "hybrid",
                             f"reference run raised {exc!r}")]
@@ -218,7 +231,9 @@ def check_case(
                 case, "refine", "refine_result",
                 f"refining mu {mu} -> {mu2} raised {exc!r}"))
             return findings
-        direct = RealRootFinder(mu_bits=mu2).find_roots(p)
+        direct = RealRootFinder(
+            mu_bits=mu2, backend=engines.backend
+        ).find_roots(p)
         if fine.scaled != direct.scaled:
             findings.append(FuzzFinding(
                 case, "refine", "refine_result",
@@ -282,6 +297,7 @@ def run_fuzz(
     corpus_dir: str | None = None,
     log_path: str | None = None,
     stop_after: int | None = 1,
+    backend: str = "python",
 ) -> FuzzReport:
     """Run a seeded differential-fuzz campaign.
 
@@ -292,6 +308,9 @@ def run_fuzz(
     :class:`repro.obs.events.EventLog`.  ``stop_after`` bounds how many
     *failing cases* are fully processed before the campaign stops
     (``None`` = never stop early); agreement never stops a run.
+    ``backend`` runs every engine on that arithmetic backend
+    (docs/BACKENDS.md); claims must stay byte-identical across
+    backends, which the backend-parity suite asserts.
     """
     names = tuple(engine_names) if engine_names else ENGINE_NAMES
     report = FuzzReport(seed=seed, budget=budget, engines=names)
@@ -306,7 +325,8 @@ def run_fuzz(
     t0 = time.perf_counter()
     failing_cases = 0
     try:
-        with EngineSet(names, processes=processes) as engines:
+        with EngineSet(names, processes=processes,
+                       backend=backend) as engines:
             for case in generate_cases(seed, budget, families):
                 findings = check_case(case, engines, refine=refine)
                 report.cases_run += 1

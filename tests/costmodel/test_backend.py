@@ -1,0 +1,227 @@
+"""Arithmetic-backend layer: resolution, charge parity, and the
+cost-model contracts the backends must preserve.
+
+The backend seam swaps integer kernels underneath the counters without
+moving a single charged bit — these tests pin that invariant, plus the
+two evaluation-cost bugs fixed alongside it (the eval_int off-by-one
+against Eq. (37) and the eval_float overflow on huge coefficients).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.bounds import eval_bit_cost_bound
+from repro.costmodel.backend import (
+    BACKEND_NAMES,
+    BackendCounter,
+    BackendNullCounter,
+    BackendUnavailable,
+    Gmpy2Backend,
+    MPIntBackend,
+    PythonBackend,
+    available_backends,
+    counter_for,
+    get_backend,
+    null_counter_for,
+    resolve_backend,
+)
+from repro.costmodel.counter import NULL_COUNTER, CostCounter
+from repro.poly.dense import IntPoly
+
+HAVE_GMPY2 = Gmpy2Backend.available()
+
+
+# -- resolution ------------------------------------------------------------
+
+def test_default_is_python(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert resolve_backend(None).name == "python"
+    assert resolve_backend("python").name == "python"
+
+
+def test_env_variable_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "mpint")
+    assert resolve_backend(None).name == "mpint"
+    monkeypatch.setenv("REPRO_BACKEND", "  ")  # blank falls back
+    assert resolve_backend(None).name == "python"
+
+
+def test_explicit_name_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "mpint")
+    assert resolve_backend("python").name == "python"
+
+
+def test_auto_resolves_to_gmpy2_or_python():
+    resolved = resolve_backend("auto")
+    assert resolved.name == ("gmpy2" if HAVE_GMPY2 else "python")
+
+
+def test_backend_instance_passes_through():
+    b = MPIntBackend()
+    assert resolve_backend(b) is b
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(BackendUnavailable):
+        get_backend("fortran")
+    with pytest.raises(BackendUnavailable):
+        resolve_backend("fortran")
+
+
+@pytest.mark.skipif(HAVE_GMPY2, reason="gmpy2 installed here")
+def test_unavailable_backend_raises():
+    with pytest.raises(BackendUnavailable):
+        get_backend("gmpy2")
+
+
+def test_available_backends_always_has_python_and_mpint():
+    names = available_backends()
+    assert "python" in names and "mpint" in names
+    assert set(names) <= set(BACKEND_NAMES)
+
+
+def test_python_backend_gets_plain_counters():
+    # The default hot path must keep zero indirection.
+    assert type(counter_for("python")) is CostCounter
+    assert null_counter_for("python") is NULL_COUNTER
+    assert type(counter_for("mpint")) is BackendCounter
+    assert type(null_counter_for("mpint")) is BackendNullCounter
+
+
+# -- kernel correctness ----------------------------------------------------
+
+def _op_cases():
+    rng = random.Random(42)
+    vals = [0, 1, -1, 2, -7, 10**6, -(10**12), rng.getrandbits(200),
+            -rng.getrandbits(300), rng.getrandbits(1000)]
+    return [(a, b) for a in vals for b in vals]
+
+
+@pytest.mark.parametrize("backend", ["mpint"] + (["gmpy2"] if HAVE_GMPY2
+                                                 else []))
+def test_kernels_match_python(backend):
+    ref, alt = PythonBackend(), get_backend(backend)
+    for a, b in _op_cases():
+        assert alt.mul(a, b) == ref.mul(a, b)
+        assert alt.add(a, b) == ref.add(a, b)
+        assert alt.sub(a, b) == ref.sub(a, b)
+        if b != 0:
+            # Python floor semantics, including negative operands.
+            assert alt.divmod(a, b) == ref.divmod(a, b)
+        assert alt.shift_left(a, 13) == ref.shift_left(a, 13)
+        assert type(alt.mul(a, b)) is int  # results come back as int
+
+
+def test_exact_div_raises_on_remainder():
+    for backend in ("python", "mpint"):
+        b = get_backend(backend)
+        assert b.exact_div(12, 3) == 4
+        assert b.exact_div(-12, 3) == -4
+        with pytest.raises(ArithmeticError):
+            b.exact_div(13, 3)
+
+
+# -- charge parity ---------------------------------------------------------
+
+def _drive(counter):
+    """One fixed op script; returns the results it produced."""
+    out = []
+    with counter.phase("p1"):
+        out.append(counter.mul(12345, -678))
+        out.append(counter.add(2**80, 3))
+        out.append(counter.sub(5, 2**90))
+        out.append(counter.shift_left(77, 21))
+    out.append(counter.divmod(2**100 + 7, 97))
+    out.append(counter.exact_div(2**64, 2**32))
+    return out
+
+
+@pytest.mark.parametrize("backend", ["mpint"] + (["gmpy2"] if HAVE_GMPY2
+                                                 else []))
+def test_backend_counter_charges_identically(backend):
+    ref = CostCounter()
+    alt = counter_for(backend)
+    assert _drive(alt) == _drive(ref)
+    assert alt.snapshot() == ref.snapshot()
+    assert alt.total_bit_cost == ref.total_bit_cost
+    assert alt.mul_count == ref.mul_count
+
+
+def test_backend_null_counter_charges_nothing():
+    nc = null_counter_for("mpint")
+    results = _drive(nc)
+    assert results == _drive(CostCounter())
+    assert nc.total_bit_cost == 0 and nc.mul_count == 0
+
+
+# -- cost-model contracts pinned by this PR --------------------------------
+
+def test_eval_int_charges_exactly_degree_muls():
+    # Regression: eval_int used to charge degree+1 muls (one per
+    # coefficient) although Horner on degree d does exactly d.
+    for coeffs in [(3, -2, 1), (5,), (0, 0, 7, -1, 4), (-2, 0, 1)]:
+        p = IntPoly(coeffs)
+        counter = CostCounter()
+        p.eval_int(17, counter)
+        assert counter.mul_count == p.degree
+
+
+def test_eval_int_cost_within_paper_bound():
+    # The Eq. (37) bound is stated for degree-many Horner steps; the
+    # off-by-one pushed small-degree evals past it.
+    rng = random.Random(7)
+    for _ in range(20):
+        d = rng.randint(1, 12)
+        p = IntPoly([rng.randint(-(2**30), 2**30) for _ in range(d)] + [1])
+        x = rng.randint(-(2**20), 2**20)
+        counter = CostCounter()
+        p.eval_int(x, counter)
+        bound = eval_bit_cost_bound(
+            p.max_coefficient_bits(), p.degree, max(abs(x).bit_length(), 1)
+        )
+        assert counter.total_bit_cost <= bound
+
+
+def test_eval_float_saturates_instead_of_raising():
+    # Regression: coefficients beyond float range raised OverflowError.
+    huge = 10**400
+    p = IntPoly((-huge, 0, 1))
+    assert p.eval_float(0.0) == -math.inf
+    assert p.eval_float(1e10) == -math.inf
+    q = IntPoly((huge, 1))
+    assert q.eval_float(0.0) == math.inf
+    small = IntPoly((3, -2, 1))
+    assert small.eval_float(2.0) == pytest.approx(3 - 4 + 4)
+
+
+def test_mul_charges_nnz_products():
+    # The documented contract: IntPoly.mul charges one counted mul per
+    # pair of *nonzero* coefficients, which for dense operands equals
+    # (da+1)*(db+1).
+    dense_a, dense_b = IntPoly((1, 2, 3)), IntPoly((4, 5))
+    counter = CostCounter()
+    dense_a.mul(dense_b, counter)
+    assert counter.mul_count == 3 * 2
+
+    sparse_a, sparse_b = IntPoly((1, 0, 0, 3)), IntPoly((0, 5, 0, 0, 2))
+    nnz = (sum(1 for c in sparse_a.coeffs if c)
+           * sum(1 for c in sparse_b.coeffs if c))
+    counter = CostCounter()
+    sparse_a.mul(sparse_b, counter)
+    assert counter.mul_count == nnz == 4
+
+
+def test_eval_many_matches_eval_loop():
+    from repro.poly.eval import ScaledEvaluator
+
+    p = IntPoly((7, -3, 0, 2, 1))
+    ev = ScaledEvaluator(p, w=12)
+    ys = [-9, -1, 0, 3, 2**12, -(2**13)]
+    c_loop, c_batch = CostCounter(), CostCounter()
+    loop = [ev.eval(y, c_loop) for y in ys]
+    batch = ev.eval_many(ys, c_batch)
+    assert batch == loop
+    assert c_batch.snapshot() == c_loop.snapshot()
+    assert ev.eval_many([]) == []

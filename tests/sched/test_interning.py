@@ -1,0 +1,47 @@
+"""Coefficient interning in the dispatch path.
+
+NodePlan fan-out used to re-pickle the node's full coefficient tuple
+into every sign/gap task; now the parent interns it once per node as a
+``(poly_key, pickle blob)`` pair and workers resolve it through a small
+per-process cache.  These tests pin the round-trip, the cache bound,
+and backward compatibility with raw coefficient payloads.
+"""
+
+import pickle
+
+from repro.resilience.checkpoint import poly_key
+from repro.sched import executor
+from repro.sched.executor import intern_coeffs, _resolve_coeffs
+
+
+def test_intern_round_trip():
+    coeffs = (-6, 1, 1)
+    key, blob = intern_coeffs(coeffs, 30, "hybrid")
+    assert key == poly_key(coeffs, 30, "hybrid")
+    assert isinstance(blob, bytes)
+    assert pickle.loads(blob) == coeffs
+    assert _resolve_coeffs((key, blob)) == coeffs
+
+
+def test_resolve_caches_by_key():
+    executor._COEFFS_CACHE.clear()
+    ref = intern_coeffs((1, 0, -2, 5), 20, "hybrid")
+    first = _resolve_coeffs(ref)
+    second = _resolve_coeffs(ref)
+    assert second is first  # cache hit, no second unpickle
+    assert executor._COEFFS_CACHE[ref[0]] is first
+
+
+def test_cache_is_bounded():
+    executor._COEFFS_CACHE.clear()
+    for k in range(executor._COEFFS_CACHE_MAX * 2 + 3):
+        _resolve_coeffs(intern_coeffs((k, 1), 16, "hybrid"))
+    assert len(executor._COEFFS_CACHE) <= executor._COEFFS_CACHE_MAX
+
+
+def test_raw_payloads_still_resolve():
+    # Legacy task payloads carry the plain coefficient sequence.
+    assert _resolve_coeffs([3, -1, 4]) == (3, -1, 4)
+    assert _resolve_coeffs((3, -1)) == (3, -1)
+    # A 2-tuple of ints is coefficients, not an interned ref.
+    assert _resolve_coeffs((7, 2)) == (7, 2)

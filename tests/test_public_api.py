@@ -47,6 +47,7 @@ MODULES = [
     "repro.poly.convert",
     "repro.mpint.mpint",
     "repro.costmodel.counter",
+    "repro.costmodel.backend",
     "repro.sched.task",
     "repro.sched.graph",
     "repro.sched.simulator",

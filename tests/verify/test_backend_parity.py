@@ -1,0 +1,76 @@
+"""Backend-parity suite: every fuzz family, every engine, byte-identical
+results across arithmetic backends.
+
+The backend seam (docs/BACKENDS.md) promises that swapping integer
+kernels moves *nothing* observable: scaled roots, multiplicities,
+charged counters, and content-addressed ``poly_key`` hashes must all be
+bit-exact.  ``mpint`` is always available so this suite runs everywhere;
+the ``gmpy2`` leg activates automatically where the package is
+installed and skips cleanly where it is not.
+"""
+
+import pytest
+
+from repro.core.rootfinder import RealRootFinder
+from repro.costmodel.backend import Gmpy2Backend, counter_for
+from repro.resilience.checkpoint import poly_key
+from repro.verify.fuzz import ENGINE_NAMES, EngineSet
+from repro.verify.generators import CASE_FAMILIES, generate_cases
+
+ALT_BACKENDS = ["mpint"] + (["gmpy2"] if Gmpy2Backend.available() else [])
+
+FAMILIES = sorted(CASE_FAMILIES)
+
+
+def _case_for(family):
+    return next(iter(generate_cases(11, 1, [family])))
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_counters_and_roots_bit_exact(family, backend):
+    case = _case_for(family)
+    ref_counter = counter_for("python")
+    ref = RealRootFinder(mu_bits=case.mu, counter=ref_counter,
+                         backend="python").find_roots(case.poly)
+    alt_counter = counter_for(backend)
+    alt = RealRootFinder(mu_bits=case.mu, counter=alt_counter,
+                         backend=backend).find_roots(case.poly)
+    assert alt.scaled == ref.scaled
+    assert alt.multiplicities == ref.multiplicities
+    assert alt_counter.snapshot() == ref_counter.snapshot()
+    assert alt_counter.total_bit_cost == ref_counter.total_bit_cost
+    assert alt_counter.mul_count == ref_counter.mul_count
+
+
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_every_engine_agrees_across_backends(backend):
+    # One case per family through the full engine matrix on both
+    # backends, sharing one warm pool per backend (the fuzzer's shape).
+    cases = [_case_for(f) for f in FAMILIES]
+    with EngineSet(ENGINE_NAMES, processes=2) as ref_engines, \
+            EngineSet(ENGINE_NAMES, processes=2,
+                      backend=backend) as alt_engines:
+        for case in cases:
+            for name in ENGINE_NAMES:
+                ref = ref_engines.run(name, case.poly, case.mu)
+                alt = alt_engines.run(name, case.poly, case.mu)
+                assert alt == ref, (
+                    f"engine {name} family {case.family}: backend "
+                    f"{backend} disagrees with python"
+                )
+            # Content addressing is computed from plain ints only, so
+            # cache keys and checkpoints are backend-portable.
+            assert (poly_key(case.coeffs, case.mu, "hybrid")
+                    == poly_key(tuple(case.coeffs), case.mu, "hybrid"))
+
+
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_run_fuzz_clean_on_alt_backend(backend):
+    # A small end-to-end campaign on the alternate backend must find
+    # nothing: the engines still agree with the certified reference.
+    from repro.verify.fuzz import run_fuzz
+
+    report = run_fuzz(11, 6, engine_names=("hybrid", "sturm"),
+                      processes=0, shrink=False, backend=backend)
+    assert report.ok, report.summary()
