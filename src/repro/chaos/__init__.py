@@ -1,0 +1,31 @@
+"""End-to-end chaos harness for the serve daemon (``repro chaos``).
+
+Declarative, seeded fault schedules (:mod:`repro.chaos.plan`) executed
+against a real ``repro serve --http`` subprocess by
+:mod:`repro.chaos.driver`, asserting the recovery invariants the
+crash-safety stack promises: exactly-once results across daemon kills
+(journal replay through the content-addressed cache), quarantine of
+corrupt cache entries, survival of full-disk journaling, and truthful
+``/readyz`` transitions.  See docs/CHAOS.md.
+"""
+
+from repro.chaos.driver import ChaosReport, Daemon, PhaseResult, run_campaign
+from repro.chaos.plan import (
+    PHASE_KINDS,
+    ChaosPhase,
+    ChaosPlan,
+    full_plan,
+    smoke_plan,
+)
+
+__all__ = [
+    "ChaosPhase",
+    "ChaosPlan",
+    "ChaosReport",
+    "Daemon",
+    "PhaseResult",
+    "PHASE_KINDS",
+    "full_plan",
+    "run_campaign",
+    "smoke_plan",
+]

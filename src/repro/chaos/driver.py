@@ -1,0 +1,706 @@
+"""Execute a :class:`~repro.chaos.plan.ChaosPlan` against a real daemon.
+
+The driver is an end-to-end availability harness: it spawns an actual
+``repro serve --http`` subprocess (own process group, own journal and
+cache directory inside a campaign workdir), plays seeded traffic at it
+through :class:`~repro.serve.loadtest.HttpClient`, injects the plan's
+faults — worker SIGKILL via the executor's own
+:class:`~repro.verify.faults.FaultPlan`, daemon SIGKILL via the
+journal's ``kill_after_accepts`` hook, on-disk cache corruption,
+injected ENOSPC, hostile clients — and asserts the recovery
+invariants:
+
+* **exactly once** — every request the daemon *accepted* (journaled)
+  yields exactly one well-formed response: live before the fault, or a
+  journal-replayed cache hit after the restart, never two different
+  answers (the :func:`~repro.resilience.checkpoint.poly_key` content
+  address dedups);
+* **never wrong** — every ``ok`` answer is bit-exact against the
+  sequential :class:`~repro.core.rootfinder.RealRootFinder`, and a
+  seeded sample is independently certified with Sturm counts
+  (:func:`~repro.core.certify.certify_roots`); a corrupted cache entry
+  is quarantined, never served;
+* **counters reconcile** — injected faults show up in the executor's
+  retry/fallback/timeout counters and the journal/cache tallies agree
+  with what the driver did;
+* **readiness tells the truth** — ``/readyz`` is ready exactly when
+  the daemon can serve (and unready exactly when the breaker is open
+  or the pool is dead).
+
+Every check lands in a :class:`ChaosReport` (JSON-serializable; the
+``repro chaos`` CLI writes it as the CI artifact) with enough detail
+to replay the failure: the plan, the seed, and per-phase check
+verdicts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import socket
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.chaos.plan import ChaosPhase, ChaosPlan
+from repro.core.certify import CertificationError, certify_roots
+from repro.poly.dense import IntPoly
+from repro.resilience.checkpoint import poly_key
+from repro.serve.journal import incomplete_entries, read_journal
+from repro.serve.loadtest import HttpClient, expected_answers, generate_requests
+
+__all__ = ["ChaosReport", "PhaseResult", "Daemon", "run_campaign"]
+
+READY_TIMEOUT = 60.0
+REQUEST_TIMEOUT = 120.0
+
+
+# -- report ------------------------------------------------------------------
+
+@dataclass
+class PhaseResult:
+    """Verdicts of one executed phase: ``checks`` is a list of
+    ``{"name", "ok", "detail"}`` rows, and the phase passes only when
+    every row does."""
+
+    index: int
+    kind: str
+    checks: list[dict[str, Any]] = field(default_factory=list)
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(c["ok"] for c in self.checks)
+
+    def check(self, name: str, ok: bool, detail: str = "") -> bool:
+        """Record one invariant verdict (returns ``ok`` for chaining)."""
+        self.checks.append({"name": name, "ok": bool(ok),
+                            "detail": detail})
+        return ok
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"index": self.index, "kind": self.kind, "ok": self.ok,
+                "checks": list(self.checks), "details": dict(self.details)}
+
+
+@dataclass
+class ChaosReport:
+    """The whole campaign's outcome (the ``repro chaos`` artifact)."""
+
+    plan: ChaosPlan
+    workdir: str
+    phases: list[PhaseResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(ph.ok for ph in self.phases)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro.chaos-report/1",
+            "ok": self.ok,
+            "seed": self.plan.seed,
+            "workdir": self.workdir,
+            "wall_seconds": self.wall_seconds,
+            "plan": self.plan.to_dict(),
+            "phases": [ph.to_dict() for ph in self.phases],
+        }
+
+    def summary(self) -> str:
+        """One line per phase plus the verdict — the CLI's output."""
+        lines = []
+        for ph in self.phases:
+            bad = [c for c in ph.checks if not c["ok"]]
+            status = "ok" if ph.ok else "FAILED"
+            line = (f"  phase {ph.index} {ph.kind:<16} {status:<6} "
+                    f"({len(ph.checks) - len(bad)}/{len(ph.checks)} checks)")
+            lines.append(line)
+            for c in bad:
+                lines.append(f"    FAILED {c['name']}: {c['detail']}")
+        verdict = "PASSED" if self.ok else "FAILED"
+        lines.append(f"chaos campaign {verdict} "
+                     f"(seed {self.plan.seed}, {self.wall_seconds:.1f}s)")
+        return "\n".join(lines)
+
+
+# -- daemon management -------------------------------------------------------
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class Daemon:
+    """One ``repro serve --http`` subprocess in its own process group.
+
+    The process group matters twice: a SIGKILL'd daemon orphans its
+    pool workers (they are reparented, not reaped), and
+    :meth:`cleanup` kills the whole group so a chaos campaign never
+    leaks worker processes into CI.
+    """
+
+    def __init__(self, proc: Any, port: int, stderr_path: str):
+        self.proc = proc
+        self.port = port
+        self.stderr_path = stderr_path
+
+    @classmethod
+    async def start(cls, plan: ChaosPlan, workdir: str, *,
+                    extra: Sequence[str] = (),
+                    name: str = "daemon") -> "Daemon":
+        """Spawn the daemon on a fresh port with the campaign's journal
+        + cache dir, and wait until ``/readyz`` says ready (which, on a
+        restart, means fsck and journal replay have finished)."""
+        port = _free_port()
+        stderr_path = os.path.join(workdir, f"{name}.stderr")
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--http", str(port), "--host", "127.0.0.1",
+            "--bits", str(plan.mu),
+            "--processes", str(plan.processes),
+            "--max-pending", "1024",
+            "--cache-dir", os.path.join(workdir, "cache"),
+            "--journal", os.path.join(workdir, "journal.jsonl"),
+            "--access-log", os.path.join(workdir, "access.jsonl"),
+            "--fsync-interval", "1",
+            *extra,
+        ]
+        stderr_fh = open(stderr_path, "ab")
+        try:
+            proc = await asyncio.create_subprocess_exec(
+                *argv, stdout=asyncio.subprocess.DEVNULL,
+                stderr=stderr_fh, start_new_session=True,
+            )
+        finally:
+            stderr_fh.close()
+        daemon = cls(proc, port, stderr_path)
+        await daemon.wait_ready()
+        return daemon
+
+    def client(self) -> HttpClient:
+        return HttpClient("127.0.0.1", self.port)
+
+    async def wait_ready(self, timeout: float = READY_TIMEOUT) -> None:
+        client = self.client()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc.returncode is not None:
+                raise RuntimeError(
+                    f"daemon exited rc={self.proc.returncode} before ready "
+                    f"(stderr: {self.stderr_path})")
+            try:
+                body = await client.get_json("/readyz")
+                if body.get("status") == "ready":
+                    return
+            except (ConnectionError, OSError, ValueError):
+                pass
+            await asyncio.sleep(0.05)
+        raise RuntimeError(
+            f"daemon not ready after {timeout}s (stderr: {self.stderr_path})")
+
+    async def wait_exit(self, timeout: float = 30.0) -> int:
+        """Wait for the process to die (e.g. a scheduled self-kill);
+        returns the exit code."""
+        await asyncio.wait_for(self.proc.wait(), timeout)
+        return self.proc.returncode
+
+    def cleanup(self) -> None:
+        """SIGKILL the whole process group (reaps orphaned workers)."""
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            pass
+
+    async def stop(self) -> None:
+        """Graceful shutdown (SIGINT; escalates to group SIGKILL)."""
+        if self.proc.returncode is None:
+            try:
+                self.proc.send_signal(signal.SIGINT)
+            except ProcessLookupError:
+                pass
+            try:
+                await asyncio.wait_for(self.proc.wait(), 15.0)
+            except asyncio.TimeoutError:
+                pass
+        self.cleanup()
+        # Reap (wait() is idempotent once the process is dead).
+        try:
+            await asyncio.wait_for(self.proc.wait(), 5.0)
+        except asyncio.TimeoutError:  # pragma: no cover - kill -9'd group
+            pass
+
+
+# -- traffic helpers ---------------------------------------------------------
+
+async def _send_all(client: HttpClient, reqs: Sequence[dict[str, Any]],
+                    concurrency: int = 8) -> list[dict[str, Any]]:
+    """Play ``reqs`` concurrently; transport failures become
+    ``status="error", code=0`` rows instead of raising."""
+    sem = asyncio.Semaphore(concurrency)
+    out: list[dict[str, Any]] = [{} for _ in reqs]
+
+    async def one(i: int, obj: dict[str, Any]) -> None:
+        async with sem:
+            try:
+                out[i] = await asyncio.wait_for(client.request(obj),
+                                                REQUEST_TIMEOUT)
+            except (ConnectionError, OSError, ValueError,
+                    asyncio.TimeoutError) as e:
+                out[i] = {"status": "error", "code": 0,
+                          "error": f"{type(e).__name__}: {e}"}
+
+    await asyncio.gather(*(one(i, r) for i, r in enumerate(reqs)))
+    return out
+
+
+async def _send_seq(client: HttpClient,
+                    reqs: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Play ``reqs`` one at a time (deterministic accept order — what
+    the daemon-kill phase needs to pin *which* request dies)."""
+    out = []
+    for r in reqs:
+        try:
+            out.append(await asyncio.wait_for(client.request(r),
+                                              REQUEST_TIMEOUT))
+        except (ConnectionError, OSError, ValueError,
+                asyncio.TimeoutError) as e:
+            out.append({"status": "error", "code": 0,
+                        "error": f"{type(e).__name__}: {e}"})
+    return out
+
+
+def _req_key(r: dict[str, Any]) -> str:
+    return poly_key(r["coeffs"], r["bits"], r.get("strategy", "hybrid"))
+
+
+def _bit_exact(reqs: Sequence[dict[str, Any]],
+               resps: Sequence[dict[str, Any]],
+               expected: dict[str, list[str]]) -> list[str]:
+    """Mismatch descriptions for every non-ok or wrong-roots response
+    (empty = every request answered correctly)."""
+    bad = []
+    for r, resp in zip(reqs, resps):
+        if resp.get("status") != "ok":
+            bad.append(f"id {r['id']}: status={resp.get('status')} "
+                       f"error={resp.get('error', '')!r}")
+        elif resp.get("scaled") != expected[_req_key(r)]:
+            bad.append(f"id {r['id']}: WRONG ROOTS {resp.get('scaled')} "
+                       f"!= {expected[_req_key(r)]}")
+    return bad
+
+
+def _certify_sample(reqs: Sequence[dict[str, Any]],
+                    resps: Sequence[dict[str, Any]],
+                    rng: random.Random, k: int = 3) -> list[str]:
+    """Independently certify up to ``k`` ok answers with exact Sturm
+    counts — the no-wrong-roots spot-check that does not trust the
+    driver's own ground truth."""
+    oks = [(r, resp) for r, resp in zip(reqs, resps)
+           if resp.get("status") == "ok"]
+    errors = []
+    for r, resp in rng.sample(oks, min(k, len(oks))):
+        try:
+            certify_roots(IntPoly(r["coeffs"]),
+                          [int(s) for s in resp["scaled"]],
+                          None, r["bits"], partial=True)
+        except (CertificationError, ValueError) as e:
+            errors.append(f"id {r['id']}: {e}")
+    return errors
+
+
+def _metric(snapshot: dict[str, Any], name: str) -> float:
+    m = snapshot.get("metrics", {}).get(name)
+    if isinstance(m, dict):
+        try:
+            return float(m.get("value", 0))
+        except (TypeError, ValueError):
+            return 0.0
+    return 0.0
+
+
+# -- phases ------------------------------------------------------------------
+
+class _Campaign:
+    """Mutable campaign state threaded through the phases."""
+
+    def __init__(self, plan: ChaosPlan, workdir: str):
+        self.plan = plan
+        self.workdir = workdir
+        self.cache_dir = os.path.join(workdir, "cache")
+        self.journal_path = os.path.join(workdir, "journal.jsonl")
+        #: every request played so far, by poly_key — how the
+        #: cache-corruption phase maps a victim file back to traffic.
+        self.played: dict[str, dict[str, Any]] = {}
+        #: merged ground truth across phases.
+        self.expected: dict[str, list[str]] = {}
+
+    def stream(self, phase_index: int, phase: ChaosPhase, *,
+               duplicate_fraction: float | None = None
+               ) -> list[dict[str, Any]]:
+        """The phase's pinned request slice, folded into the campaign
+        ground truth."""
+        frac = (self.plan.duplicate_fraction
+                if duplicate_fraction is None else duplicate_fraction)
+        reqs = generate_requests(
+            phase.requests, self.plan.phase_seed(phase_index),
+            self.plan.degrees, frac, self.plan.mu,
+        )
+        self.expected.update(expected_answers(reqs))
+        for r in reqs:
+            self.played[_req_key(r)] = r
+        return reqs
+
+
+async def _phase_baseline(c: _Campaign, i: int, phase: ChaosPhase,
+                          result: PhaseResult) -> None:
+    reqs = c.stream(i, phase)
+    daemon = await Daemon.start(c.plan, c.workdir, name=f"p{i}-baseline")
+    try:
+        client = daemon.client()
+        resps = await _send_all(client, reqs)
+        bad = _bit_exact(reqs, resps, c.expected)
+        result.check("all answered bit-exact", not bad, "; ".join(bad[:4]))
+        rng = random.Random(c.plan.phase_seed(i) ^ 0x5EED)
+        cert = _certify_sample(reqs, resps, rng)
+        result.check("sturm certification", not cert, "; ".join(cert))
+        body = await client.get_json("/readyz")
+        result.check("readyz ready", body.get("status") == "ready",
+                     json.dumps(body.get("workers", {})))
+    finally:
+        await daemon.stop()
+
+
+async def _phase_worker_kill(c: _Campaign, i: int, phase: ChaosPhase,
+                             result: PhaseResult) -> None:
+    # Unique polynomials only: a cache hit never dispatches to the
+    # pool, and this phase is about pool dispatch.
+    reqs = c.stream(i, phase, duplicate_fraction=0.0)
+    kill_at = ",".join(str(x) for x in phase.params.get("kill_at", [0]))
+    timeout = float(phase.params.get("task_timeout", 1.0))
+    daemon = await Daemon.start(
+        c.plan, c.workdir, name=f"p{i}-worker-kill",
+        extra=["--fault-worker-kill-at", kill_at,
+               "--fault-task-timeout", str(timeout)])
+    try:
+        client = daemon.client()
+        resps = await _send_all(client, reqs, concurrency=2)
+        bad = _bit_exact(reqs, resps, c.expected)
+        result.check("correct despite worker kills", not bad,
+                     "; ".join(bad[:4]))
+        snap = await client.metrics()
+        failures = (_metric(snap, "executor.worker_failures")
+                    + _metric(snap, "executor.task_timeouts"))
+        result.check("fault was observed", failures >= 1,
+                     f"failures+timeouts={failures}")
+        recovered = (_metric(snap, "executor.retries")
+                     + _metric(snap, "executor.fallbacks")
+                     + _metric(snap, "executor.breaker_open"))
+        result.check("retry/fallback reconciles", recovered >= 1,
+                     f"retries+fallbacks+breaker_open={recovered}")
+        # Readiness must tell the truth: unready exactly when the
+        # breaker is (still) open.
+        body = await client.get_json("/readyz")
+        breaker_open = body.get("breaker") == "open"
+        consistent = (body.get("status") == "unready") == breaker_open
+        result.check("readyz consistent with breaker", consistent,
+                     f"status={body.get('status')} "
+                     f"breaker={body.get('breaker')}")
+    finally:
+        await daemon.stop()
+
+
+async def _phase_daemon_kill(c: _Campaign, i: int, phase: ChaosPhase,
+                             result: PhaseResult) -> None:
+    reqs = c.stream(i, phase)
+    kill_after = int(phase.params.get("kill_after",
+                                      max(1, phase.requests // 2)))
+    daemon = await Daemon.start(
+        c.plan, c.workdir, name=f"p{i}-daemon-kill",
+        extra=["--fault-kill-after", str(kill_after)])
+    try:
+        client = daemon.client()
+        # Sequential: accept order is the request order, so exactly
+        # the requests from the kill_after-th accept onward are lost.
+        resps = await _send_seq(client, reqs)
+        rc = await daemon.wait_exit()
+        result.check("daemon died on schedule", rc != 0, f"rc={rc}")
+    finally:
+        daemon.cleanup()
+
+    # What does the WAL say was accepted-but-unanswered?  (Read before
+    # the restarted daemon compacts the file.)
+    records = read_journal(c.journal_path)
+    accepted = {str(r.get("key")) for r in records if r.get("ev") == "accept"}
+    lost = incomplete_entries(records)
+    result.check("journal recorded the loss",
+                 len(lost) >= 1 and bool(accepted),
+                 f"accepts={len(accepted)} incomplete={len(lost)}")
+    result.details["lost_keys"] = [e.key for e in lost]
+
+    daemon = await Daemon.start(c.plan, c.workdir, name=f"p{i}-restarted")
+    try:
+        client = daemon.client()
+        body = await client.get_json("/readyz")
+        journal_h = body.get("journal", {})
+        result.check("restart replayed the journal",
+                     journal_h.get("recovered") == len(lost)
+                     and (journal_h.get("replayed", 0)
+                          + journal_h.get("replay_cached", 0)) == len(lost),
+                     json.dumps(journal_h))
+        # Exactly once: replay every request; anything the daemon ever
+        # accepted must come back as a cache hit (the original result),
+        # and everything must be bit-exact.
+        resps2 = await _send_seq(client, reqs)
+        bad = _bit_exact(reqs, resps2, c.expected)
+        result.check("all answered bit-exact after restart", not bad,
+                     "; ".join(bad[:4]))
+        not_cached = [r["id"] for r, resp in zip(reqs, resps2)
+                      if _req_key(r) in accepted
+                      and not resp.get("cached")]
+        result.check("accepted requests served exactly once (cache hit)",
+                     not not_cached, f"re-solved ids: {not_cached}")
+        # And a replayed answer equals the live answer where this very
+        # request was answered before the kill.
+        diverged = [r["id"] for r, a, b in zip(reqs, resps, resps2)
+                    if a.get("status") == "ok"
+                    and a.get("scaled") != b.get("scaled")]
+        result.check("replayed == live answers", not diverged,
+                     f"diverged ids: {diverged}")
+    finally:
+        await daemon.stop()
+
+
+def _corrupt_cache_files(cache_dir: str, spec: dict[str, int],
+                         rng: random.Random,
+                         played: dict[str, dict[str, Any]]
+                         ) -> dict[str, list[str]]:
+    """Damage disk-cache entries three seeded ways; returns
+    ``{mode: [key, ...]}`` for the victims actually damaged."""
+    candidates = []
+    for dirpath, _dirs, files in os.walk(cache_dir):
+        for name in sorted(files):
+            if name.endswith(".json") and name[:-5] in played:
+                candidates.append((name[:-5], os.path.join(dirpath, name)))
+    candidates.sort()
+    rng.shuffle(candidates)
+    victims: dict[str, list[str]] = {"truncate": [], "garbage": [],
+                                     "tamper": []}
+    it = iter(candidates)
+    for mode in ("truncate", "garbage", "tamper"):
+        for _ in range(int(spec.get(mode, 0))):
+            try:
+                key, path = next(it)
+            except StopIteration:
+                return victims
+            if mode == "truncate":
+                size = os.path.getsize(path)
+                with open(path, "r+b") as fh:
+                    fh.truncate(max(1, size // 2))
+            elif mode == "garbage":
+                with open(path, "wb") as fh:
+                    fh.write(b'{"schema": "repro.serve-cache/2", \x00\xff')
+            else:  # tamper: valid JSON, wrong digit — checksum's job
+                with open(path, encoding="utf-8") as fh:
+                    data = json.load(fh)
+                s = data["scaled"][0]
+                flipped = ("-" + s) if not s.startswith("-") else s[1:]
+                data["scaled"][0] = flipped if s not in ("0",) else "1"
+                with open(path, "w", encoding="utf-8") as fh:
+                    json.dump(data, fh)
+            victims[mode].append(key)
+    return victims
+
+
+async def _phase_cache_corrupt(c: _Campaign, i: int, phase: ChaosPhase,
+                               result: PhaseResult) -> None:
+    spec = dict(phase.params.get("corrupt",
+                                 {"truncate": 1, "garbage": 1, "tamper": 1}))
+    rng = random.Random(c.plan.phase_seed(i) ^ 0xD15C)
+    victims = _corrupt_cache_files(c.cache_dir, spec, rng, c.played)
+    n_damaged = sum(len(v) for v in victims.values())
+    result.details["victims"] = victims
+    result.check("had entries to corrupt", n_damaged >= 1,
+                 f"damaged {n_damaged} (wanted {sum(spec.values())}; "
+                 f"earlier phases must populate the disk cache)")
+
+    reqs = c.stream(i, phase)
+    daemon = await Daemon.start(c.plan, c.workdir, name=f"p{i}-fsck")
+    try:
+        client = daemon.client()
+        body = await client.get_json("/readyz")
+        fsck = body.get("cache", {}).get("fsck", {})
+        result.check("fsck quarantined every damaged entry",
+                     fsck.get("quarantined") == n_damaged,
+                     json.dumps(fsck))
+        # The damaged keys re-requested: must be *solved* (cached=false
+        # proves the corrupt bytes were not served) and bit-exact.
+        victim_reqs = [c.played[k] for ks in victims.values() for k in ks]
+        vresps = await _send_all(client, victim_reqs)
+        bad = _bit_exact(victim_reqs, vresps, c.expected)
+        result.check("corrupted keys re-solved bit-exact", not bad,
+                     "; ".join(bad[:4]))
+        served_from_cache = [r["id"] for r, resp in
+                             zip(victim_reqs, vresps) if resp.get("cached")]
+        result.check("no corrupt entry ever served", not served_from_cache,
+                     f"cache-hit ids: {served_from_cache}")
+        # Fresh traffic still healthy.
+        resps = await _send_all(client, reqs)
+        bad = _bit_exact(reqs, resps, c.expected)
+        result.check("fresh traffic bit-exact", not bad, "; ".join(bad[:4]))
+    finally:
+        await daemon.stop()
+
+
+async def _phase_journal_enospc(c: _Campaign, i: int, phase: ChaosPhase,
+                                result: PhaseResult) -> None:
+    reqs = c.stream(i, phase)
+    fail_after = int(phase.params.get("fail_after", 3))
+    daemon = await Daemon.start(
+        c.plan, c.workdir, name=f"p{i}-enospc",
+        extra=["--fault-journal-errors-after", str(fail_after)])
+    try:
+        client = daemon.client()
+        resps = await _send_all(client, reqs)
+        bad = _bit_exact(reqs, resps, c.expected)
+        result.check("serving survives full disk", not bad,
+                     "; ".join(bad[:4]))
+        body = await client.get_json("/readyz")
+        journal_h = body.get("journal", {})
+        result.check("journal suspended, not fatal",
+                     journal_h.get("broken") is True
+                     and journal_h.get("write_errors", 0) == 1
+                     and body.get("status") == "ready",
+                     json.dumps(journal_h))
+    finally:
+        await daemon.stop()
+
+
+async def _raw(host: str, port: int, payload: bytes, *,
+               chunk: int = 0, delay: float = 0.0,
+               read_reply: bool = True) -> bytes:
+    """One raw TCP exchange — optionally dribbled ``chunk`` bytes at a
+    time (slow loris) or cut short (torn upload)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        if chunk > 0:
+            for off in range(0, len(payload), chunk):
+                writer.write(payload[off:off + chunk])
+                await writer.drain()
+                await asyncio.sleep(delay)
+        else:
+            writer.write(payload)
+            await writer.drain()
+        if not read_reply:
+            return b""
+        return await asyncio.wait_for(reader.read(), 30.0)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _phase_hostile_clients(c: _Campaign, i: int, phase: ChaosPhase,
+                                 result: PhaseResult) -> None:
+    reqs = c.stream(i, phase)
+    daemon = await Daemon.start(c.plan, c.workdir, name=f"p{i}-hostile")
+    host, port = "127.0.0.1", daemon.port
+    try:
+        # Malformed JSON must get a structured 400-class reply.
+        body = b'{"coeffs": [1, 2,'
+        raw = await _raw(host, port,
+                         b"POST /solve HTTP/1.1\r\nHost: x\r\n"
+                         b"Content-Type: application/json\r\n"
+                         b"Content-Length: " + str(len(body)).encode()
+                         + b"\r\nConnection: close\r\n\r\n" + body)
+        try:
+            resp = json.loads(raw.partition(b"\r\n\r\n")[2])
+            shaped = resp.get("status") == "error" and "request_id" in resp
+        except ValueError:
+            shaped = False
+        result.check("malformed JSON gets structured error", shaped,
+                     raw[:120].decode("latin-1"))
+        # Torn upload: promised 400 bytes, sent a few, hung up.
+        await _raw(host, port,
+                   b"POST /solve HTTP/1.1\r\nHost: x\r\n"
+                   b"Content-Length: 400\r\n\r\n{\"coe",
+                   read_reply=False)
+        # Slow loris: a whole valid request, two bytes at a time.
+        good = json.dumps(reqs[0]).encode()
+        raw = await _raw(host, port,
+                         b"POST /solve HTTP/1.1\r\nHost: x\r\n"
+                         b"Content-Type: application/json\r\n"
+                         b"Content-Length: " + str(len(good)).encode()
+                         + b"\r\nConnection: close\r\n\r\n" + good,
+                         chunk=64, delay=0.01)
+        try:
+            resp = json.loads(raw.partition(b"\r\n\r\n")[2])
+            slow_ok = (resp.get("status") == "ok" and resp.get("scaled")
+                       == c.expected[_req_key(reqs[0])])
+        except ValueError:
+            slow_ok = False
+        result.check("slow client still answered exactly", slow_ok,
+                     raw[:120].decode("latin-1"))
+        # Ordinary traffic is unharmed by any of the above.
+        client = daemon.client()
+        resps = await _send_all(client, reqs)
+        bad = _bit_exact(reqs, resps, c.expected)
+        result.check("healthy traffic unaffected", not bad,
+                     "; ".join(bad[:4]))
+        rz = await client.get_json("/readyz")
+        result.check("readyz ready", rz.get("status") == "ready",
+                     str(rz.get("status")))
+    finally:
+        await daemon.stop()
+
+
+_PHASES = {
+    "baseline": _phase_baseline,
+    "worker_kill": _phase_worker_kill,
+    "daemon_kill": _phase_daemon_kill,
+    "cache_corrupt": _phase_cache_corrupt,
+    "journal_enospc": _phase_journal_enospc,
+    "hostile_clients": _phase_hostile_clients,
+}
+
+
+# -- the campaign ------------------------------------------------------------
+
+async def _run_campaign(plan: ChaosPlan, workdir: str,
+                        echo: Any = None) -> ChaosReport:
+    c = _Campaign(plan, workdir)
+    report = ChaosReport(plan=plan, workdir=workdir)
+    t0 = time.monotonic()
+    for i, phase in enumerate(plan.phases):
+        if echo:
+            echo(f"chaos: phase {i} {phase.kind} "
+                 f"({phase.requests} requests)...")
+        result = PhaseResult(index=i, kind=phase.kind)
+        try:
+            await _PHASES[phase.kind](c, i, phase, result)
+        except Exception as e:  # a crashed phase is a failed phase
+            result.check("phase completed", False,
+                         f"{type(e).__name__}: {e}")
+        report.phases.append(result)
+        if echo:
+            echo(f"chaos: phase {i} {phase.kind} "
+                 f"{'ok' if result.ok else 'FAILED'}")
+    report.wall_seconds = time.monotonic() - t0
+    return report
+
+
+def run_campaign(plan: ChaosPlan, workdir: str,
+                 echo: Any = None) -> ChaosReport:
+    """Execute ``plan`` with campaign state (journal, cache, logs,
+    daemon stderr) under ``workdir``; returns the full report.
+
+    ``echo`` is an optional ``print``-like progress callback."""
+    os.makedirs(workdir, exist_ok=True)
+    return asyncio.run(_run_campaign(plan, workdir, echo))

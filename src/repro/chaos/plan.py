@@ -1,0 +1,220 @@
+"""Declarative, seeded fault schedules for the chaos campaign.
+
+A :class:`ChaosPlan` is the whole campaign as data: the request-stream
+parameters (seed, degree mix, precision — the same knobs as
+``repro loadtest``) plus an ordered list of :class:`ChaosPhase` steps,
+each naming one fault kind and its parameters.  The driver
+(:mod:`repro.chaos.driver`) executes the phases in order against a
+real ``repro serve --http`` subprocess; everything the schedule does —
+which polynomial stream is played, which accept index SIGKILLs the
+daemon, which cache files are corrupted how — derives from the plan's
+seed, so a failing campaign replays exactly from its report.
+
+The fault vocabulary extends the executor-level
+:class:`repro.verify.faults.FaultPlan` (worker-kill-at-dispatch-index
+is reused verbatim, wired through a hidden serve flag) with the
+process- and disk-level faults only an end-to-end harness can inject:
+
+========================  ===================================================
+kind                      what the driver does
+========================  ===================================================
+``baseline``              plain traffic; every answer must be bit-exact
+``worker_kill``           SIGKILL a pool worker mid-solve on chosen dispatch
+                          indices (``FaultPlan.kill_at`` inside the daemon)
+``daemon_kill``           SIGKILL the *daemon* right after its Nth journal
+                          accept, then restart it on the same journal +
+                          cache dir and require replayed, bit-exact results
+``cache_corrupt``         truncate / garbage / tamper disk-cache entries
+                          while the daemon is down; restart must quarantine
+                          every one of them and never serve corrupt roots
+``journal_enospc``        journal writes start failing (injected ENOSPC)
+                          after N records; serving must continue
+``hostile_clients``       malformed JSON, torn uploads, and byte-at-a-time
+                          slow-loris requests; the daemon must answer the
+                          well-formed traffic around them
+========================  ===================================================
+
+Phases are validated at construction (:data:`PHASE_KINDS`), and the
+plan round-trips through JSON (``to_dict`` / ``from_dict``) so a
+campaign can be pinned in a file and replayed byte-identically in CI
+(``repro chaos --plan``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "ChaosPhase",
+    "ChaosPlan",
+    "PHASE_KINDS",
+    "smoke_plan",
+    "full_plan",
+]
+
+#: Every fault kind the driver knows how to execute.
+PHASE_KINDS = (
+    "baseline",
+    "worker_kill",
+    "daemon_kill",
+    "cache_corrupt",
+    "journal_enospc",
+    "hostile_clients",
+)
+
+
+@dataclass(frozen=True)
+class ChaosPhase:
+    """One step of the campaign: a fault kind plus its parameters.
+
+    ``requests`` is the number of solve requests played during the
+    phase; ``params`` carries the kind-specific knobs (see each
+    ``_phase_*`` function in :mod:`repro.chaos.driver` for the
+    vocabulary, e.g. ``kill_after`` for ``daemon_kill`` or
+    ``corrupt`` — ``{"truncate": n, "garbage": n, "tamper": n}`` — for
+    ``cache_corrupt``).
+    """
+
+    kind: str
+    requests: int = 8
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in PHASE_KINDS:
+            raise ValueError(
+                f"unknown phase kind {self.kind!r} "
+                f"(known: {', '.join(PHASE_KINDS)})"
+            )
+        if self.requests < 0:
+            raise ValueError("requests must be >= 0")
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "requests": self.requests,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "ChaosPhase":
+        if not isinstance(d, Mapping) or "kind" not in d:
+            raise ValueError(f"not a phase object: {d!r}")
+        return cls(kind=str(d["kind"]),
+                   requests=int(d.get("requests", 8)),
+                   params=dict(d.get("params", {})))
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """The whole campaign as data (see the module docstring).
+
+    Workload knobs mirror ``repro loadtest``: one ``(seed, degrees,
+    duplicate_fraction, mu)`` tuple pins the polynomial stream, and
+    each phase draws its slice from a per-phase sub-seed
+    (``seed * 1000 + phase_index``), so reordering phases does not
+    silently change which polynomials a later phase plays.
+    """
+
+    seed: int = 11
+    mu: int = 16
+    degrees: tuple[int, ...] = (2, 3, 4, 5)
+    duplicate_fraction: float = 0.25
+    processes: int = 2
+    phases: tuple[ChaosPhase, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "degrees", tuple(self.degrees))
+        object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.degrees or any(d < 1 for d in self.degrees):
+            raise ValueError("degrees must be nonempty and >= 1")
+        if not 0.0 <= self.duplicate_fraction < 1.0:
+            raise ValueError("duplicate_fraction must be in [0, 1)")
+        if self.mu < 1 or self.processes < 1:
+            raise ValueError("mu and processes must be >= 1")
+
+    def phase_seed(self, index: int) -> int:
+        """The request-stream seed for phase ``index``."""
+        return self.seed * 1000 + index
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro.chaos-plan/1",
+            "seed": self.seed,
+            "mu": self.mu,
+            "degrees": list(self.degrees),
+            "duplicate_fraction": self.duplicate_fraction,
+            "processes": self.processes,
+            "phases": [ph.to_dict() for ph in self.phases],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "ChaosPlan":
+        if not isinstance(d, Mapping):
+            raise ValueError("plan must be a JSON object")
+        return cls(
+            seed=int(d.get("seed", 11)),
+            mu=int(d.get("mu", 16)),
+            degrees=tuple(int(x) for x in d.get("degrees", (2, 3, 4, 5))),
+            duplicate_fraction=float(d.get("duplicate_fraction", 0.25)),
+            processes=int(d.get("processes", 2)),
+            phases=tuple(ChaosPhase.from_dict(p)
+                         for p in d.get("phases", ())),
+        )
+
+
+def smoke_plan(seed: int = 11) -> ChaosPlan:
+    """The pinned CI gate: one small pass over every fault kind.
+
+    Sized for minutes, not hours — a handful of low-degree requests per
+    phase, one fault occurrence each — while still exercising every
+    recovery path end-to-end: worker kill + retry, daemon kill +
+    journal replay, cache quarantine, ENOSPC journaling suspension, and
+    hostile clients.
+    """
+    return ChaosPlan(
+        seed=seed,
+        mu=16,
+        degrees=(2, 3, 4),
+        duplicate_fraction=0.25,
+        processes=2,
+        phases=(
+            ChaosPhase("baseline", requests=8),
+            ChaosPhase("worker_kill", requests=3,
+                       params={"kill_at": [0], "task_timeout": 1.0}),
+            ChaosPhase("daemon_kill", requests=6,
+                       params={"kill_after": 4}),
+            ChaosPhase("cache_corrupt", requests=6,
+                       params={"corrupt": {"truncate": 1, "garbage": 1,
+                                           "tamper": 1}}),
+            ChaosPhase("journal_enospc", requests=5,
+                       params={"fail_after": 3}),
+            ChaosPhase("hostile_clients", requests=4),
+        ),
+    )
+
+
+def full_plan(seed: int = 11) -> ChaosPlan:
+    """A heavier campaign for local soak runs: more traffic per phase,
+    repeated daemon kills, and a larger corruption batch."""
+    return ChaosPlan(
+        seed=seed,
+        mu=16,
+        degrees=(2, 3, 4, 5, 6),
+        duplicate_fraction=0.3,
+        processes=2,
+        phases=(
+            ChaosPhase("baseline", requests=32),
+            ChaosPhase("worker_kill", requests=6,
+                       params={"kill_at": [0], "task_timeout": 1.0}),
+            ChaosPhase("daemon_kill", requests=12,
+                       params={"kill_after": 5}),
+            ChaosPhase("daemon_kill", requests=12,
+                       params={"kill_after": 2}),
+            ChaosPhase("cache_corrupt", requests=12,
+                       params={"corrupt": {"truncate": 2, "garbage": 2,
+                                           "tamper": 2}}),
+            ChaosPhase("journal_enospc", requests=10,
+                       params={"fail_after": 4}),
+            ChaosPhase("hostile_clients", requests=8),
+            ChaosPhase("baseline", requests=16),
+        ),
+    )

@@ -850,7 +850,7 @@ def _make_root_server(args: argparse.Namespace):
     from repro.serve.server import RootServer
 
     try:
-        return RootServer(
+        server = RootServer(
             mu=_mu_bits(args),
             processes=args.processes,
             strategy=args.strategy,
@@ -864,9 +864,27 @@ def _make_root_server(args: argparse.Namespace):
             slow_threshold_ms=args.slow_threshold_ms,
             ring_size=args.ring_size,
             slo=_load_slo_config(args.slo_config),
+            journal_path=args.journal,
+            fsync_interval=args.fsync_interval,
         )
-    except ValueError as e:
+    except (ValueError, OSError) as e:
         raise SystemExit(str(e)) from e
+    # Hidden fault-injection hooks (the chaos harness and the restart
+    # tests; see docs/CHAOS.md).  All deterministic, all off by default.
+    if getattr(args, "fault_kill_after", 0) and server.journal is not None:
+        server.journal.kill_after_accepts = args.fault_kill_after
+    if (getattr(args, "fault_journal_errors_after", 0)
+            and server.journal is not None):
+        server.journal.fail_writes_after = args.fault_journal_errors_after
+    if getattr(args, "fault_worker_kill_at", None):
+        from repro.verify.faults import FaultPlan
+
+        server.finder.faults = FaultPlan(kill_at=frozenset(
+            _parse_int_list(args.fault_worker_kill_at,
+                            "--fault-worker-kill-at")))
+    if getattr(args, "fault_task_timeout", None):
+        server.finder.task_timeout = args.fault_task_timeout
+    return server
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -1004,6 +1022,51 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         print(render_gate_report(baseline, artifact, diffs))
         failed = failed or any(d.failed for d in diffs)
     return 1 if failed else 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+    import shutil
+    import tempfile
+
+    from repro.chaos import ChaosPlan, full_plan, run_campaign, smoke_plan
+
+    if args.plan:
+        try:
+            with open(args.plan, encoding="utf-8") as fh:
+                plan = ChaosPlan.from_dict(_json.load(fh))
+        except (OSError, ValueError, KeyError, TypeError) as e:
+            raise SystemExit(f"cannot read chaos plan {args.plan}: {e}") \
+                from e
+    elif args.smoke:
+        plan = smoke_plan(args.seed)
+    else:
+        plan = full_plan(args.seed)
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    print(f"chaos: seed {plan.seed}, {len(plan.phases)} phases, "
+          f"workdir {workdir}", file=sys.stderr)
+    report = run_campaign(plan, workdir,
+                          echo=lambda m: print(m, file=sys.stderr))
+    print(report.summary())
+
+    out = args.out or os.path.join(workdir, "chaos_report.json")
+    try:
+        with open(out, "w", encoding="utf-8") as fh:
+            _json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+    except OSError as e:
+        raise SystemExit(f"cannot write chaos report: {e}") from e
+    print(f"wrote {out}")
+
+    # Keep the evidence (journal, cache, daemon stderr) on failure or
+    # on request; tidy up an anonymous workdir after a clean pass.
+    if report.ok and not args.keep and not args.workdir:
+        shutil.rmtree(workdir, ignore_errors=True)
+    elif not report.ok:
+        print(f"chaos FAILED: evidence kept in {workdir}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def cmd_tail(args: argparse.Namespace) -> int:
@@ -1389,6 +1452,27 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--slo-config", metavar="PATH", default=None,
                     help="JSON SLO objectives file (default: built-in "
                          "p99<5s / error-rate<5%% over 5 min)")
+    sp.add_argument("--journal", metavar="PATH", default=None,
+                    help="durable request journal (WAL): accepted "
+                         "requests are recorded before they are "
+                         "enqueued, and a restart replays the "
+                         "incomplete ones through the result cache "
+                         "(see docs/CHAOS.md)")
+    sp.add_argument("--fsync-interval", type=int, default=32, metavar="N",
+                    help="fsync the journal and access log every N "
+                         "lines — a SIGKILL loses at most N records "
+                         "per file (default 32; 1 = every line)")
+    # test/chaos hooks: die after the Nth journal accept, fail journal
+    # writes after N records, SIGKILL pool workers at dispatch indices,
+    # and bound each pool task (so injected kills resolve promptly).
+    sp.add_argument("--fault-kill-after", type=int, default=0,
+                    help=argparse.SUPPRESS)
+    sp.add_argument("--fault-journal-errors-after", type=int, default=0,
+                    help=argparse.SUPPRESS)
+    sp.add_argument("--fault-worker-kill-at", default=None,
+                    help=argparse.SUPPRESS)
+    sp.add_argument("--fault-task-timeout", type=float, default=None,
+                    help=argparse.SUPPRESS)
     _add_backend_arg(sp)
     sp.set_defaults(func=cmd_serve)
 
@@ -1443,6 +1527,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="JSON SLO objectives for the verdict folded "
                          "into the artifact (default: built-in)")
     sp.set_defaults(func=cmd_loadtest)
+
+    sp = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign against a live daemon: "
+             "kills, corruption, full disks, hostile clients — exit 1 "
+             "on any recovery-invariant violation (docs/CHAOS.md)",
+    )
+    sp.add_argument("--smoke", action="store_true",
+                    help="run the small pinned CI schedule instead of "
+                         "the full campaign")
+    sp.add_argument("--seed", type=int, default=11,
+                    help="campaign seed (default 11)")
+    sp.add_argument("--plan", metavar="PATH",
+                    help="JSON chaos plan file (overrides --smoke/--seed "
+                         "schedule selection)")
+    sp.add_argument("--workdir", metavar="DIR", default=None,
+                    help="campaign state directory — journal, cache, "
+                         "access log, daemon stderr (default: a fresh "
+                         "temp dir, removed after a clean pass)")
+    sp.add_argument("--out", metavar="PATH", default=None,
+                    help="campaign report path (default "
+                         "<workdir>/chaos_report.json)")
+    sp.add_argument("--keep", action="store_true",
+                    help="keep the workdir even when the campaign passes")
+    sp.set_defaults(func=cmd_chaos)
 
     sp = sub.add_parser(
         "tail",

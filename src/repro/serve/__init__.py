@@ -22,6 +22,14 @@ API (:mod:`repro.serve.http`) — with:
   every answer bit-for-bit against the sequential finder, and folds
   p50/p99 latency, throughput, queue-wait/solve decomposition, and an
   SLO verdict into the ``BenchArtifact`` regression gate;
+* crash safety (:mod:`repro.serve.journal`): an optional WAL-style
+  request journal records every accepted request before it is
+  enqueued; a restarted daemon replays the incomplete entries through
+  the result cache, so an accepted request survives a SIGKILL with an
+  exactly-once, bit-exact result (the ``poly_key`` content address
+  dedups).  The disk cache carries per-entry sha256 checksums, and a
+  startup fsck quarantines corrupt entries (see docs/CHAOS.md and the
+  ``repro chaos`` campaign that gates all of this in CI);
 * request-scoped tracing (:mod:`repro.serve.reqtrace`): every request
   gets a server-assigned ``request_id`` and a stage timeline
   (admission → validate → queue_wait → cache_lookup → budget_setup →
@@ -35,6 +43,7 @@ See docs/SERVING.md for the protocol and operational contract.
 """
 
 from repro.serve.cache import ResultCache
+from repro.serve.journal import RequestJournal, incomplete_entries, read_journal
 from repro.serve.protocol import (
     ProtocolError,
     Request,
@@ -57,6 +66,9 @@ from repro.serve.server import RootServer
 
 __all__ = [
     "ResultCache",
+    "RequestJournal",
+    "read_journal",
+    "incomplete_entries",
     "RootServer",
     "Request",
     "ProtocolError",

@@ -15,21 +15,33 @@ Two tiers:
 * **disk** (optional) — one small JSON file per key under a cache
   directory (``REPRO_CACHE_DIR`` or an explicit path), written through
   on every insert and consulted on a memory miss, so a restarted daemon
-  keeps its history.  Files are written atomically (temp + rename) and
-  a corrupt or truncated file reads as a miss, never an error.
+  keeps its history.  Files are written atomically (temp + rename).
+
+Integrity: every disk entry carries a **sha256 checksum** of its
+payload, verified on read.  A corrupt, truncated, mismatched, or
+foreign-schema file is **quarantined** — renamed aside to
+``<name>.corrupt`` and counted (``cache.disk_corrupt``) — instead of
+being silently re-parsed as a miss on every subsequent lookup; the
+polynomial is simply re-solved and the entry rewritten clean.  A
+quarantined result can never be served: the checksum gate sits between
+the file and the client.  :meth:`ResultCache.fsck` sweeps the whole
+disk tier the same way (the daemon runs it at startup and reports the
+tally on ``/readyz``).
 
 Telemetry lands in the owning server's
 :class:`~repro.obs.metrics.MetricsRegistry`: ``cache.hits`` /
-``cache.misses`` / ``cache.evictions`` / ``cache.disk_hits`` counters
-and the ``cache.bytes`` / ``cache.entries`` gauges.
+``cache.misses`` / ``cache.evictions`` / ``cache.disk_hits`` /
+``cache.disk_corrupt`` counters and the ``cache.bytes`` /
+``cache.entries`` gauges.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from collections import OrderedDict
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -39,7 +51,10 @@ __all__ = ["ResultCache", "DEFAULT_MAX_BYTES"]
 #: small enough to be invisible next to the worker pool's footprint.
 DEFAULT_MAX_BYTES = 64 * 1024 * 1024
 
-_SCHEMA = "repro.serve-cache/1"
+#: /2 added the per-entry payload checksum.  /1 files (no checksum)
+#: are treated like any other unverifiable entry: quarantined once and
+#: re-solved, rather than trusted or re-parsed forever.
+_SCHEMA = "repro.serve-cache/2"
 
 
 class ResultCache:
@@ -148,27 +163,68 @@ class ResultCache:
         assert self.disk_dir is not None
         return os.path.join(self.disk_dir, key[:2], key + ".json")
 
+    @staticmethod
+    def _checksum(scaled_strs: list[str]) -> str:
+        payload = json.dumps(scaled_strs, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+    @staticmethod
+    def _parse_entry(data: Any, key: str) -> list[int] | None:
+        """The verified scaled roots of one entry dict, or ``None`` for
+        anything that fails schema, key, or checksum validation."""
+        if (not isinstance(data, dict) or data.get("schema") != _SCHEMA
+                or data.get("key") != key
+                or not isinstance(data.get("scaled"), list)
+                or not all(isinstance(s, str) for s in data["scaled"])):
+            return None
+        if data.get("sha256") != ResultCache._checksum(data["scaled"]):
+            return None
+        try:
+            return [int(s) for s in data["scaled"]]
+        except ValueError:
+            return None
+
+    def _quarantine(self, path: str) -> None:
+        """Move one bad entry aside so it is never read again (and
+        never re-parsed on every lookup), and count it."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            # Last resort on a read-only dir: leave it; the checksum
+            # gate still prevents it from ever being served.
+            pass
+        self.metrics.counter("cache.disk_corrupt").inc()
+
     def _disk_get(self, key: str) -> list[int] | None:
         if not self.disk_dir:
             return None
+        path = self._disk_path(key)
         try:
-            with open(self._disk_path(key), encoding="utf-8") as fh:
+            with open(path, encoding="utf-8") as fh:
                 data = json.load(fh)
-            if (not isinstance(data, dict) or data.get("schema") != _SCHEMA
-                    or not isinstance(data.get("scaled"), list)):
-                return None
-            return [int(s) for s in data["scaled"]]
+        except FileNotFoundError:
+            return None  # absent: a plain miss
         except (OSError, ValueError):
-            return None  # absent, torn, or corrupt: a plain miss
+            # Torn or unreadable: quarantine so every future lookup is
+            # a clean miss instead of a re-parse of the same bad bytes.
+            self._quarantine(path)
+            return None
+        scaled = self._parse_entry(data, key)
+        if scaled is None:
+            self._quarantine(path)
+            return None
+        return scaled
 
     def _disk_put(self, key: str, scaled: list[int]) -> None:
         path = self._disk_path(key)
         tmp = path + ".tmp"
+        scaled_strs = [str(s) for s in scaled]
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump({"schema": _SCHEMA, "key": key,
-                           "scaled": [str(s) for s in scaled]}, fh)
+                           "scaled": scaled_strs,
+                           "sha256": self._checksum(scaled_strs)}, fh)
             os.replace(tmp, path)
         except OSError:
             # A read-only or full cache dir must not fail the request
@@ -177,3 +233,40 @@ class ResultCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+    def fsck(self) -> dict[str, int]:
+        """Sweep the disk tier: verify every entry, quarantine the bad.
+
+        Returns ``{"scanned", "ok", "quarantined"}``.  The daemon runs
+        this at startup and folds the tally into ``/readyz``, so an
+        operator sees disk-tier damage without waiting for the damaged
+        keys to be requested.  Leftover ``.tmp`` files (a kill mid-put)
+        are removed; ``.corrupt`` quarantine files are left alone."""
+        summary = {"scanned": 0, "ok": 0, "quarantined": 0}
+        if not self.disk_dir or not os.path.isdir(self.disk_dir):
+            return summary
+        for dirpath, _dirnames, filenames in os.walk(self.disk_dir):
+            for name in sorted(filenames):
+                path = os.path.join(dirpath, name)
+                if name.endswith(".tmp"):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                    continue
+                if not name.endswith(".json"):
+                    continue
+                summary["scanned"] += 1
+                key = name[:-len(".json")]
+                try:
+                    with open(path, encoding="utf-8") as fh:
+                        data = json.load(fh)
+                    scaled = self._parse_entry(data, key)
+                except (OSError, ValueError):
+                    scaled = None
+                if scaled is None:
+                    self._quarantine(path)
+                    summary["quarantined"] += 1
+                else:
+                    summary["ok"] += 1
+        return summary

@@ -1,0 +1,318 @@
+"""Durable request journal: the daemon's write-ahead log.
+
+The serve daemon's result cache makes a *completed* request durable;
+this journal makes an *accepted* one durable.  Every request that
+passes admission gets an ``accept`` line **before** it is enqueued, and
+a ``complete`` line when its response is produced — so after a SIGKILL
+the set "accepted but never answered" is exactly the accepts without a
+matching complete, and a restarted daemon can replay them idempotently
+through the result cache (:meth:`repro.serve.server.RootServer.start`).
+Exactly-once delivery falls out of the :func:`~repro.resilience
+.checkpoint.poly_key` content address: a replayed solve lands in the
+cache under the same key the client's retry will look up, so the retry
+observes the original result bit-for-bit instead of a second solve.
+
+File format (``repro.serve-journal/1``), one JSON object per line::
+
+    {"ev": "accept", "request_id": "ab12-000001", "key": "<sha256>",
+     "coeffs": ["-6", "1", "1"], "bits": 16, "strategy": "hybrid",
+     "priority": 0, "time_unix": 1754...}
+    {"ev": "complete", "request_id": "ab12-000001", "key": "<sha256>",
+     "status": "ok"}
+
+Durability contract (shared with the access log): every line is
+*flushed* on write, and the file is fsynced every ``fsync_interval``
+lines (and on close) — a SIGKILL loses at most ``fsync_interval``
+records plus the line in flight.  Readers are torn-line tolerant: a
+line truncated by the kill is skipped, never an error (the same
+contract as the run ledger and the access log).
+
+A full disk must never fail the request that was being journaled:
+write errors are counted (``journal.write_errors``), journaling is
+suspended, and serving continues — availability over bookkeeping.  The
+``fail_writes_after`` attribute is the deterministic rendering of
+ENOSPC for the chaos campaign (mirrors
+:attr:`repro.resilience.checkpoint.BatchCheckpoint.kill_after`), and
+``kill_after_accepts`` SIGKILLs the daemon after N accept records —
+the deterministic "daemon died mid-flight" the restart tests replay.
+
+On open, an existing journal is **compacted**: completed pairs are
+dropped and only the incomplete accepts are rewritten (atomically,
+temp + rename), so the file stays bounded across restarts instead of
+growing one generation per crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import IO, Any, Iterable, Mapping, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "RequestJournal",
+    "JournalEntry",
+    "read_journal",
+    "incomplete_entries",
+    "SCHEMA",
+]
+
+SCHEMA = "repro.serve-journal/1"
+
+#: Default fsync batching: a SIGKILL loses at most this many records.
+DEFAULT_FSYNC_INTERVAL = 32
+
+
+class JournalEntry(dict):
+    """One parsed ``accept`` record (a dict with typed accessors)."""
+
+    @property
+    def key(self) -> str:
+        return str(self.get("key", ""))
+
+    @property
+    def request_id(self) -> str:
+        return str(self.get("request_id", "?"))
+
+    @property
+    def coeffs(self) -> list[int]:
+        return [int(c) for c in self.get("coeffs", [])]
+
+    @property
+    def mu(self) -> int:
+        return int(self.get("bits", 0))
+
+    @property
+    def strategy(self) -> str:
+        return str(self.get("strategy", "hybrid"))
+
+    @property
+    def priority(self) -> int:
+        return int(self.get("priority", 0))
+
+
+def read_journal(path: str) -> list[dict[str, Any]]:
+    """Every parseable record, oldest first (torn lines skipped).
+
+    The same tolerance contract as :func:`repro.serve.reqtrace
+    .read_access_log`: a crash mid-append never poisons the reader."""
+    out: list[dict[str, Any]] = []
+    if not os.path.exists(path):
+        return out
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn by a kill mid-write
+            if isinstance(rec, dict) and rec.get("ev") in ("accept",
+                                                           "complete"):
+                out.append(rec)
+    return out
+
+
+def incomplete_entries(
+    records: Iterable[Mapping[str, Any]]
+) -> list[JournalEntry]:
+    """The accepts without a matching complete, deduplicated by key.
+
+    Matching is by ``request_id`` (each accepted request owes exactly
+    one completion); the survivors are deduplicated by ``poly_key`` —
+    two lost requests for the same polynomial need one replayed solve.
+    Accepts that cannot be replayed (no coefficients — a torn or
+    hand-damaged record) are dropped."""
+    completed: set[str] = set()
+    accepts: list[Mapping[str, Any]] = []
+    for rec in records:
+        if rec.get("ev") == "complete":
+            completed.add(str(rec.get("request_id")))
+        elif rec.get("ev") == "accept":
+            accepts.append(rec)
+    out: list[JournalEntry] = []
+    seen_keys: set[str] = set()
+    for rec in accepts:
+        if str(rec.get("request_id")) in completed:
+            continue
+        entry = JournalEntry(rec)
+        if not entry.key or not rec.get("coeffs") or entry.mu < 1:
+            continue
+        if entry.key in seen_keys:
+            continue
+        seen_keys.add(entry.key)
+        out.append(entry)
+    return out
+
+
+class RequestJournal:
+    """Append-only accept/complete WAL for one daemon.
+
+    Parameters
+    ----------
+    path:
+        The journal file; created (with parents) on first use.  An
+        existing file is read for recovery and compacted on open.
+    fsync_interval:
+        fsync every N written lines (1 = every line, the checkpoint's
+        contract; the default trades at most N lost records for not
+        paying an fsync per request).
+    metrics:
+        Registry receiving ``journal.accepts`` / ``journal.completes``
+        / ``journal.write_errors`` / ``journal.dropped_lines`` (a
+        private one is created when omitted).
+
+    Attributes
+    ----------
+    recovered:
+        The incomplete accepts found on open — what
+        :meth:`RootServer.start` replays.  Cleared by :meth:`replayed`
+        bookkeeping only in the sense that completions are appended;
+        the list itself is the recovery worklist.
+    fail_writes_after:
+        Fault hook (chaos/tests): after this many successful writes,
+        every subsequent write raises ``OSError(ENOSPC)`` internally —
+        exercised as the real full-disk path (counted + suspended).
+    kill_after_accepts:
+        Fault hook (chaos/tests): SIGKILL this process right after the
+        Nth ``accept`` record of this session is durably written — the
+        deterministic daemon-crash-mid-flight the restart suite needs.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync_interval: int = DEFAULT_FSYNC_INTERVAL,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if fsync_interval < 1:
+            raise ValueError("fsync_interval must be >= 1")
+        self.path = path
+        self.fsync_interval = fsync_interval
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.fail_writes_after: int | None = None
+        self.kill_after_accepts: int | None = None
+        self._writes = 0
+        self._accepts_this_session = 0
+        self._unsynced = 0
+        self._broken = False
+        self.recovered: list[JournalEntry] = []
+        self.dropped_lines = 0
+
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            self._recover()
+        self._fh: IO[str] | None = open(path, "a", encoding="utf-8")
+
+    # -- recovery --------------------------------------------------------
+    def _recover(self) -> None:
+        """Load the incomplete accepts and compact the file to them.
+
+        The rewrite is atomic (temp + rename + fsync): a kill during
+        compaction leaves either the old journal or the compacted one,
+        never a half-written file."""
+        raw_lines = 0
+        with open(self.path, encoding="utf-8") as fh:
+            raw_lines = sum(1 for line in fh if line.strip())
+        records = read_journal(self.path)
+        self.dropped_lines = raw_lines - len(records)
+        if self.dropped_lines:
+            self.metrics.counter("journal.dropped_lines").inc(
+                self.dropped_lines)
+        self.recovered = incomplete_entries(records)
+        tmp = self.path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for entry in self.recovered:
+                    fh.write(json.dumps(dict(entry),
+                                        separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except OSError:
+            # Compaction is an optimization, recovery is not: keep the
+            # uncompacted journal and carry on.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- the write path --------------------------------------------------
+    def _write(self, rec: dict[str, Any]) -> bool:
+        """Append one record under the durability contract; ``True`` if
+        it reached the file."""
+        if self._fh is None or self._broken:
+            return False
+        self._writes += 1
+        try:
+            if (self.fail_writes_after is not None
+                    and self._writes > self.fail_writes_after):
+                import errno
+
+                raise OSError(errno.ENOSPC, "injected ENOSPC (fault hook)")
+            self._fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+            self._fh.flush()
+            self._unsynced += 1
+            if self._unsynced >= self.fsync_interval:
+                os.fsync(self._fh.fileno())
+                self._unsynced = 0
+        except (OSError, ValueError):
+            # Full disk / closed fd: count it, suspend journaling, and
+            # keep serving — the journal must never fail a request.
+            self.metrics.counter("journal.write_errors").inc()
+            self._broken = True
+            return False
+        return True
+
+    def accept(self, request_id: str, key: str, coeffs: Sequence[int],
+               mu: int, strategy: str, priority: int = 0) -> None:
+        """Durably record one admitted request (called *before* it is
+        enqueued, so a kill between accept and answer is recoverable)."""
+        wrote = self._write({
+            "ev": "accept", "schema": SCHEMA, "request_id": request_id,
+            "key": key, "coeffs": [str(int(c)) for c in coeffs],
+            "bits": int(mu), "strategy": strategy, "priority": int(priority),
+            "time_unix": time.time(),
+        })
+        if wrote:
+            self.metrics.counter("journal.accepts").inc()
+            self._accepts_this_session += 1
+            if (self.kill_after_accepts is not None
+                    and self._accepts_this_session
+                    >= self.kill_after_accepts):
+                # Hard fsync first: the crash being simulated must not
+                # also lose the accept whose processing it interrupts.
+                try:
+                    os.fsync(self._fh.fileno())  # type: ignore[union-attr]
+                except OSError:
+                    pass
+                os.kill(os.getpid(), 9)
+
+    def complete(self, request_id: str, key: str, status: str) -> None:
+        """Record the single completion an accepted request owes."""
+        if self._write({"ev": "complete", "request_id": request_id,
+                        "key": key, "status": status}):
+            self.metrics.counter("journal.completes").inc()
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def broken(self) -> bool:
+        """True once a write error suspended journaling."""
+        return self._broken
+
+    def close(self) -> None:
+        """Flush, fsync, and close (idempotent)."""
+        if self._fh is None:
+            return
+        try:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except (OSError, ValueError):
+            pass
+        self._fh.close()
+        self._fh = None

@@ -264,10 +264,11 @@ class HttpClient:
             raise ConnectionError("empty HTTP response")
         return json.loads(payload)
 
-    async def metrics(self) -> dict[str, Any]:
-        """``GET /metrics.json`` from the daemon."""
+    async def get_json(self, path: str) -> dict[str, Any]:
+        """``GET path`` and parse the JSON body, whatever the status
+        code (a 503 ``/readyz`` body is as interesting as a 200 one)."""
         raw = await self._roundtrip(
-            b"GET /metrics.json HTTP/1.1\r\n"
+            b"GET " + path.encode("ascii") + b" HTTP/1.1\r\n"
             b"Host: " + self.host.encode() + b"\r\n"
             b"Connection: close\r\n\r\n"
         )
@@ -275,6 +276,10 @@ class HttpClient:
         if not head:
             raise ConnectionError("empty HTTP response")
         return json.loads(payload)
+
+    async def metrics(self) -> dict[str, Any]:
+        """``GET /metrics.json`` from the daemon."""
+        return await self.get_json("/metrics.json")
 
 
 # -- the run -----------------------------------------------------------------

@@ -272,17 +272,24 @@ class TimelineRing:
 class AccessLog:
     """Append-only JSONL access log with size rotation.
 
-    One timeline dict per line, flushed per write so an abrupt exit
-    loses at most the line in flight; :meth:`close` fsyncs, so a
-    *graceful* shutdown (the stdio SIGTERM path) loses nothing.  When
-    the file crosses ``max_bytes`` it is rotated to ``<path>.1``
-    (one generation — this is a lab daemon, not logrotate)."""
+    One timeline dict per line, flushed per write and **fsynced every
+    ``fsync_interval`` lines** (the durability contract shared with the
+    request journal: a SIGKILL loses at most ``fsync_interval`` records
+    plus the line in flight); :meth:`close` fsyncs, so a *graceful*
+    shutdown (the stdio SIGTERM path) loses nothing.  When the file
+    crosses ``max_bytes`` it is rotated to ``<path>.1`` (one generation
+    — this is a lab daemon, not logrotate)."""
 
-    def __init__(self, path: str, max_bytes: int = 16 << 20):
+    def __init__(self, path: str, max_bytes: int = 16 << 20,
+                 fsync_interval: int = 32):
         if max_bytes < 1:
             raise ValueError("max_bytes must be >= 1")
+        if fsync_interval < 1:
+            raise ValueError("fsync_interval must be >= 1")
         self.path = path
         self.max_bytes = max_bytes
+        self.fsync_interval = fsync_interval
+        self._unsynced = 0
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         self._fh: IO[str] | None = open(path, "a", encoding="utf-8")
@@ -298,6 +305,13 @@ class AccessLog:
         self._fh.write(line)
         self._fh.flush()
         self._size += len(line)
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_interval:
+            try:
+                os.fsync(self._fh.fileno())
+            except OSError:
+                pass
+            self._unsynced = 0
 
     def _rotate(self) -> None:
         assert self._fh is not None
@@ -366,6 +380,7 @@ class RequestTracker:
         ring_size: int = 512,
         access_log: str | None = None,
         access_log_max_bytes: int = 16 << 20,
+        fsync_interval: int = 32,
         capture_dir: str | None = None,
         slow_threshold_ns: int = 250_000_000,
         max_pending_io: int = 1024,
@@ -374,7 +389,8 @@ class RequestTracker:
         self.ring = TimelineRing(ring_size)
         self.capture_dir = capture_dir
         self.slow_threshold_ns = slow_threshold_ns
-        self.access_log = (AccessLog(access_log, access_log_max_bytes)
+        self.access_log = (AccessLog(access_log, access_log_max_bytes,
+                                     fsync_interval=fsync_interval)
                            if access_log else None)
         self._pending_io: dict[str, RequestTimeline] = {}
         self._max_pending_io = max_pending_io

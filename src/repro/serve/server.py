@@ -35,6 +35,21 @@ executor's own queued-task backlog (delivered by the finder's
 it reaches ``max_pending``, new requests are shed at admission with a
 structured 429-style reply (``server.rejected`` counts them) instead
 of growing the queue without bound.
+
+Crash safety
+------------
+
+With a :class:`~repro.serve.journal.RequestJournal` attached, every
+request that passes admission is durably journaled *before* it is
+enqueued, and its completion is journaled when the response is
+produced.  :meth:`start` replays the journal's incomplete entries
+through the result cache — re-solving each lost polynomial once and
+caching it under its :func:`~repro.resilience.checkpoint.poly_key` —
+so a SIGKILL'd daemon delivers every accepted request's result to the
+client's retry, bit-exactly and exactly once (the content address
+dedups).  :meth:`start` also runs :meth:`ResultCache.fsck` over the
+disk tier, quarantining corrupt entries; the tallies of both recovery
+passes appear in :meth:`health` (``/readyz``).
 """
 
 from __future__ import annotations
@@ -56,6 +71,7 @@ from repro.resilience.breaker import BREAKER_OPEN
 from repro.resilience.checkpoint import poly_key
 from repro.sched.executor import ParallelRootFinder
 from repro.serve.cache import ResultCache
+from repro.serve.journal import RequestJournal
 from repro.serve.protocol import (
     ProtocolError,
     Request,
@@ -128,6 +144,16 @@ class RootServer:
         (``"python"``/``"gmpy2"``/``"mpint"``/``"auto"``; see
         docs/BACKENDS.md).  Resolved at construction; reported by
         :meth:`health`.  Ignored when ``finder`` is injected.
+    journal / journal_path:
+        Durable request journal (see :mod:`repro.serve.journal` and the
+        *Crash safety* section above): an injected
+        :class:`~repro.serve.journal.RequestJournal`, or a path to
+        build one at.  ``None`` for both disables journaling.
+    fsync_interval:
+        Durability batching shared by the journal and the access log:
+        fsync every N written lines, so a SIGKILL loses at most N
+        records per file (default 32; ignored for an injected
+        ``journal``/``tracker``).
     """
 
     def __init__(
@@ -151,6 +177,9 @@ class RootServer:
         slo: SLOConfig | None = None,
         trace_solves: bool | None = None,
         backend: str = "python",
+        journal: RequestJournal | None = None,
+        journal_path: str | None = None,
+        fsync_interval: int = 32,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -177,10 +206,19 @@ class RootServer:
         if tracker is None:
             tracker = RequestTracker(
                 self.metrics, ring_size=ring_size, access_log=access_log,
+                fsync_interval=fsync_interval,
                 capture_dir=capture_dir,
                 slow_threshold_ns=int(slow_threshold_ms * 1e6),
             )
         self.tracker = tracker
+        if journal is None and journal_path:
+            journal = RequestJournal(journal_path,
+                                     fsync_interval=fsync_interval,
+                                     metrics=self.metrics)
+        self.journal = journal
+        #: last disk-tier fsck tally (populated by :meth:`start`).
+        self.fsck_summary: dict[str, int] = {"scanned": 0, "ok": 0,
+                                             "quarantined": 0}
         self._trace_solves = (trace_solves if trace_solves is not None
                               else tracker.capture_dir is not None)
         if self._trace_solves and not getattr(
@@ -218,22 +256,41 @@ class RootServer:
         return metrics_response(self.metrics, rid)
 
     def health(self) -> tuple[int, dict[str, Any]]:
-        """Readiness: ``(http_code, body)`` — 503 while draining or
-        with the executor's circuit breaker open.
+        """Readiness: ``(http_code, body)`` — 503 while draining, with
+        the executor's circuit breaker open, or with the pool dead.
 
-        The body reports the breaker state, pool liveness (which
-        worker pids answer ``kill -0``; an unspawned pool is simply
-        empty, not unhealthy — it spawns on first solve), and queue
-        headroom under the admission threshold."""
+        The body reports the breaker state, pool liveness, queue
+        headroom under the admission threshold, and the journal/cache
+        recovery tallies.  Pool liveness distinguishes four states so
+        chaos assertions on ``/readyz`` are deterministic:
+
+        * ``unspawned`` — no pool yet (it spawns on first solve);
+          ready.
+        * ``live`` — at least one worker pid answers ``kill -0``;
+          ready.
+        * ``dead`` — the pool exists but *no* worker is alive (the
+          whole pool was killed and has not respawned); **unready**,
+          and ``server.pool_dead`` counts the observation.
+        * ``respawning`` — the probe raced a worker respawn (the pid
+          list mutated mid-enumeration); still ready —  a transient
+          probe race must not flap readiness — counted by
+          ``server.probe_races``.
+        """
         breaker = getattr(self.finder, "breaker", None)
         breaker_state = getattr(breaker, "state", "absent")
         pids: list[int] = []
+        pool_state = "unspawned"
         worker_pids = getattr(self.finder, "worker_pids", None)
         if callable(worker_pids):
             try:
                 pids = list(worker_pids())
+                if pids:
+                    pool_state = "live"
             except Exception:
-                pids = []
+                # The pool's worker list mutated under the probe (a
+                # respawn in progress) — transient, not "pool dead".
+                pool_state = "respawning"
+                self.metrics.counter("server.probe_races").inc()
         alive = []
         for pid in pids:
             try:
@@ -241,19 +298,47 @@ class RootServer:
                 alive.append(pid)
             except OSError:
                 continue
+        if pool_state == "live" and not alive:
+            pool_state = "dead"
+            self.metrics.counter("server.pool_dead").inc()
         depth = self.queue_depth()
-        ready = self._accepting and breaker_state != BREAKER_OPEN
+        ready = (self._accepting and breaker_state != BREAKER_OPEN
+                 and pool_state != "dead")
         body = {
             "status": "ready" if ready else "unready",
             "accepting": self._accepting,
             "breaker": breaker_state,
             "backend": self.backend,
-            "workers": {"pids": pids, "alive": len(alive)},
+            "workers": {"pids": pids, "alive": len(alive),
+                        "pool": pool_state},
             "queue_depth": depth,
             "limit": self.max_pending,
             "headroom": max(0, self.max_pending - depth),
+            "cache": {
+                "disk": bool(self.cache.disk_dir),
+                "fsck": dict(self.fsck_summary),
+                "disk_corrupt":
+                    self.metrics.counter("cache.disk_corrupt").value,
+            },
+            "journal": self._journal_health(),
         }
         return (200 if ready else 503), body
+
+    def _journal_health(self) -> dict[str, Any]:
+        if self.journal is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "broken": self.journal.broken,
+            "recovered": len(self.journal.recovered),
+            "accepts": self.metrics.counter("journal.accepts").value,
+            "completes": self.metrics.counter("journal.completes").value,
+            "replayed": self.metrics.counter("journal.replayed").value,
+            "replay_cached":
+                self.metrics.counter("journal.replay_cached").value,
+            "write_errors":
+                self.metrics.counter("journal.write_errors").value,
+        }
 
     def slo_report(self) -> dict[str, Any]:
         """The configured objectives evaluated over the timeline ring's
@@ -276,11 +361,73 @@ class RootServer:
             self._solve_lane = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-solve"
             )
+            # Recovery before admission: quarantine disk-tier damage and
+            # replay the journal's incomplete accepts, so the first
+            # request a restarted daemon admits already sees a clean
+            # cache holding every pre-crash result.
+            self.fsck_summary = self.cache.fsck()
+            await self._replay_journal()
             self._dispatcher = asyncio.get_running_loop().create_task(
                 self._dispatch_loop()
             )
             self._accepting = True
         return self
+
+    async def _replay_journal(self) -> None:
+        """Re-solve (or cache-find) every accepted-but-unanswered
+        request recovered from the journal, and journal its completion.
+
+        Replay is idempotent: results land in the content-addressed
+        cache under the same :func:`poly_key` the client's retry will
+        look up, so replaying twice — or racing the retry — cannot
+        produce a second, different answer.  Replays deliberately skip
+        the ``server.ok`` / ``server.errors`` counters (they are not
+        client traffic), keeping the chaos campaign's accepted-vs-
+        answered reconciliation exact."""
+        if self.journal is None or not self.journal.recovered:
+            return
+        loop = asyncio.get_running_loop()
+        for entry in self.journal.recovered:
+            try:
+                req = parse_request(
+                    {"coeffs": entry.coeffs, "bits": entry.mu,
+                     "strategy": entry.strategy,
+                     "priority": entry.priority},
+                    default_mu=self.mu, default_strategy=self.strategy,
+                    max_deadline_seconds=self.max_deadline_seconds,
+                )
+            except ProtocolError:
+                self.metrics.counter("journal.replay_errors").inc()
+                self.journal.complete(entry.request_id, entry.key,
+                                      "replay_error")
+                continue
+            if self.cache.get(entry.key) is not None:
+                self.metrics.counter("journal.replay_cached").inc()
+                self.journal.complete(entry.request_id, entry.key,
+                                      "replayed")
+                continue
+            try:
+                scaled = await loop.run_in_executor(
+                    self._solve_lane, self._replay_solve_blocking, req
+                )
+            except Exception:
+                self.metrics.counter("journal.replay_errors").inc()
+                self.journal.complete(entry.request_id, entry.key,
+                                      "replay_error")
+                continue
+            self.cache.put(entry.key, scaled)
+            self.metrics.counter("journal.replayed").inc()
+            self.journal.complete(entry.request_id, entry.key, "replayed")
+
+    def _replay_solve_blocking(self, req: Request) -> list[int]:
+        """A bare re-solve for journal replay: no budget, no timeline,
+        no ``server.*`` counters — just the exact scaled roots."""
+        finder = self.finder
+        finder.mu = req.mu
+        finder.strategy = req.strategy
+        finder.budget = None
+        return [int(s) for s in
+                finder.find_roots_scaled(IntPoly(req.coeffs))]
 
     async def drain(self) -> None:
         """Wait until every admitted request has been answered."""
@@ -299,6 +446,8 @@ class RootServer:
         await self.drain()
         self._closed = True
         self.tracker.close()
+        if self.journal is not None:
+            self.journal.close()
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -399,6 +548,13 @@ class RootServer:
         self._pending += 1
         self.metrics.gauge("server.pending").set(self._pending)
         self._seq += 1
+        # The content address, computed at admission so the WAL records
+        # it before the request can be lost (the dispatcher reuses it
+        # for the cache).
+        key = poly_key(req.coeffs, req.mu, req.strategy)
+        if self.journal is not None:
+            self.journal.accept(tl.request_id, key, req.coeffs, req.mu,
+                                req.strategy, priority=req.priority)
         enq_ns = time.perf_counter_ns()
         # Admission is the submit-entry→enqueue window minus the
         # validate sub-interval already recorded.
@@ -406,26 +562,28 @@ class RootServer:
                      (enq_ns - t_start) - tl.stage_ns("validate"))
         # PriorityQueue pops the smallest tuple: higher priority first,
         # FIFO (by admission sequence) within a priority level.
-        self._queue.put_nowait((-req.priority, self._seq, req, fut, tl,
-                                enq_ns))
+        self._queue.put_nowait((-req.priority, self._seq, req, key, fut,
+                                tl, enq_ns))
         try:
             resp = await fut
         finally:
             self._pending -= 1
             self.metrics.gauge("server.pending").set(self._pending)
             self._outstanding.discard(fut)
+        if self.journal is not None:
+            self.journal.complete(tl.request_id, key,
+                                  str(resp.get("status", "error")))
         return self._finish(tl, resp, defer_io)
 
     async def _dispatch_loop(self) -> None:
         assert self._queue is not None
         loop = asyncio.get_running_loop()
         while True:
-            _, _, req, fut, tl, enq_ns = await self._queue.get()
+            _, _, req, key, fut, tl, enq_ns = await self._queue.get()
             if fut.done():  # client gone (transport dropped the future)
                 continue
             t_pop = time.perf_counter_ns()
             tl.add_stage("queue_wait", enq_ns, t_pop - enq_ns)
-            key = poly_key(req.coeffs, req.mu, req.strategy)
             t0 = time.monotonic()
             cached = self.cache.get(key)
             tl.add_stage("cache_lookup", t_pop,

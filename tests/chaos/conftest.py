@@ -1,0 +1,26 @@
+"""Hang guard for the chaos suite (subprocess daemons under faults).
+
+The serve tests drive asyncio event loops, a live worker pool, and in
+the slow tier a real daemon subprocess — so the worst failure mode is a
+*hang*, not a wrong answer.  Same watchdog as the resilience suite:
+``faulthandler`` dumps every thread and hard-exits when a single test
+exceeds ``REPRO_TEST_TIMEOUT`` seconds (default 180; 0 disables).
+"""
+
+import faulthandler
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    timeout = float(os.environ.get("REPRO_TEST_TIMEOUT", "180"))
+    if timeout <= 0:
+        yield
+        return
+    faulthandler.dump_traceback_later(timeout, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()

@@ -1,0 +1,59 @@
+"""ChaosPlan/ChaosPhase: validation, JSON round-trip, pinned schedules."""
+
+import pytest
+
+from repro.chaos import PHASE_KINDS, ChaosPhase, ChaosPlan, full_plan, smoke_plan
+
+
+class TestPhase:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown phase kind"):
+            ChaosPhase("meteor_strike")
+
+    def test_negative_requests_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosPhase("baseline", requests=-1)
+
+    def test_round_trip(self):
+        ph = ChaosPhase("daemon_kill", requests=6,
+                        params={"kill_after": 4})
+        assert ChaosPhase.from_dict(ph.to_dict()) == ph
+
+    def test_from_dict_requires_kind(self):
+        with pytest.raises(ValueError):
+            ChaosPhase.from_dict({"requests": 3})
+
+
+class TestPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosPlan(degrees=())
+        with pytest.raises(ValueError):
+            ChaosPlan(duplicate_fraction=1.0)
+        with pytest.raises(ValueError):
+            ChaosPlan(mu=0)
+
+    def test_round_trip(self):
+        plan = smoke_plan(17)
+        again = ChaosPlan.from_dict(plan.to_dict())
+        assert again == plan
+
+    def test_phase_seeds_distinct_and_pinned(self):
+        plan = smoke_plan(11)
+        seeds = [plan.phase_seed(i) for i in range(len(plan.phases))]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [smoke_plan(11).phase_seed(i)
+                         for i in range(len(plan.phases))]
+
+    def test_pinned_schedules_cover_every_kind(self):
+        for factory in (smoke_plan, full_plan):
+            kinds = {ph.kind for ph in factory(11).phases}
+            assert kinds == set(PHASE_KINDS)
+
+    def test_smoke_has_one_daemon_kill(self):
+        plan = smoke_plan(11)
+        kills = [ph for ph in plan.phases if ph.kind == "daemon_kill"]
+        assert len(kills) == 1
+        # The kill index must land inside the phase's stream, or the
+        # daemon never dies and the phase fails vacuously.
+        assert 0 < kills[0].params["kill_after"] <= kills[0].requests

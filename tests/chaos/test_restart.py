@@ -1,0 +1,110 @@
+"""Daemon restart end-to-end (the issue's crash-safety acceptance):
+a real ``repro serve --http`` subprocess is SIGKILL'd mid-flight, then
+restarted on the same ``--journal``/``--cache-dir``; the replayed
+results must be bit-exact and each accepted request answered exactly
+once (the retry sees one cached result, never a second solve)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.chaos.driver import Daemon, run_campaign
+from repro.chaos.plan import ChaosPhase, ChaosPlan
+from repro.resilience.checkpoint import poly_key
+from repro.serve.journal import incomplete_entries, read_journal
+from repro.serve.loadtest import expected_answers
+
+REQS = [
+    {"id": 0, "coeffs": [-6, 1, 1], "bits": 16, "strategy": "hybrid"},
+    {"id": 1, "coeffs": [-2, 0, 1], "bits": 16, "strategy": "hybrid"},
+    # (x-1)(x+2)(x-3): all-real cubic.
+    {"id": 2, "coeffs": [6, -5, -2, 1], "bits": 16, "strategy": "hybrid"},
+    {"id": 3, "coeffs": [-3, 0, 1], "bits": 16, "strategy": "hybrid"},
+]
+PLAN = ChaosPlan(seed=11, mu=16, degrees=(2, 3), processes=2, phases=())
+
+
+def keys(reqs):
+    return [poly_key(r["coeffs"], r["bits"], r["strategy"]) for r in reqs]
+
+
+@pytest.mark.slow
+def test_sigkill_restart_replays_bit_exact(tmp_path):
+    workdir = str(tmp_path)
+    expected = expected_answers(REQS)
+
+    async def go():
+        # Phase 1: daemon self-SIGKILLs right after the 3rd accept.
+        daemon = await Daemon.start(PLAN, workdir, name="victim",
+                                    extra=["--fault-kill-after", "3"])
+        client = daemon.client()
+        live = []
+        for r in REQS:
+            try:
+                live.append(await client.request(r))
+            except (ConnectionError, OSError) as e:
+                live.append({"status": "error", "error": str(e)})
+        rc = await daemon.wait_exit()
+        daemon.cleanup()
+        assert rc != 0  # died by signal, not a clean exit
+
+        journal_path = f"{workdir}/journal.jsonl"
+        records = read_journal(journal_path)
+        lost = incomplete_entries(records)
+        accepted = {str(r["key"]) for r in records
+                    if r.get("ev") == "accept"}
+        # Sequential sends + kill-after-3: requests 0,1 completed,
+        # request 2's accept is the kill trigger, request 3 never
+        # connected.
+        assert len(accepted) == 3
+        assert [e.key for e in lost] == [keys(REQS)[2]]
+        assert live[2]["status"] == "error"
+        assert live[3]["status"] == "error"
+
+        # Phase 2: restart on the same journal + cache dir.
+        daemon = await Daemon.start(PLAN, workdir, name="restarted")
+        client = daemon.client()
+        body = await client.get_json("/readyz")
+        jh = body["journal"]
+        assert jh["recovered"] == 1
+        assert jh["replayed"] + jh["replay_cached"] == 1
+
+        # Every retry is answered bit-exact, and every request the dead
+        # daemon accepted comes back as a cache hit — exactly one
+        # result per accepted request across the crash.
+        for r in REQS:
+            resp = await client.request(r)
+            k = poly_key(r["coeffs"], r["bits"], r["strategy"])
+            assert resp["status"] == "ok"
+            assert resp["scaled"] == expected[k]
+            if k in accepted:
+                assert resp["cached"] is True
+        # The live answers and the post-restart answers agree.
+        for r, a in zip(REQS, live):
+            if a.get("status") == "ok":
+                assert a["scaled"] == expected[
+                    poly_key(r["coeffs"], r["bits"], r["strategy"])]
+        await daemon.stop()
+
+    asyncio.run(go())
+
+
+@pytest.mark.slow
+def test_micro_campaign_passes(tmp_path):
+    """run_campaign end-to-end on a two-phase plan (the CI gate's
+    machinery, sized for the unit suite)."""
+    plan = ChaosPlan(
+        seed=23, mu=16, degrees=(2, 3), duplicate_fraction=0.25,
+        processes=2,
+        phases=(
+            ChaosPhase("baseline", requests=4),
+            ChaosPhase("daemon_kill", requests=4,
+                       params={"kill_after": 2}),
+        ),
+    )
+    report = run_campaign(plan, str(tmp_path / "campaign"))
+    assert report.ok, json.dumps(report.to_dict(), indent=2)
+    assert [ph.kind for ph in report.phases] == ["baseline", "daemon_kill"]
+    d = report.to_dict()
+    assert d["schema"] == "repro.chaos-report/1" and d["ok"] is True

@@ -138,3 +138,98 @@ class TestDiskTier:
         c = ResultCache(disk_dir="", metrics=reg)
         c.get("nope")
         assert reg.counter("cache.misses").value == 1
+
+
+class TestIntegrity:
+    """Per-entry checksums, quarantine-on-corruption, and the fsck
+    sweep (the /readyz recovery tally)."""
+
+    def entry_path(self, d, key="deadbeef"):
+        return os.path.join(d, key[:2], key + ".json")
+
+    def test_corrupt_file_quarantined_once(self, tmp_path):
+        d = str(tmp_path)
+        ResultCache(disk_dir=d).put("deadbeef", [1])
+        path = self.entry_path(d)
+        with open(path, "w") as fh:
+            fh.write('{"schema": "repro.serve-cache/2", "scaled": [tru')
+        fresh = ResultCache(disk_dir=d)
+        assert fresh.get("deadbeef") is None
+        # Renamed aside and counted — never re-parsed on later lookups.
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        assert fresh.metrics.counter("cache.disk_corrupt").value == 1
+        fresh.get("deadbeef")
+        assert fresh.metrics.counter("cache.disk_corrupt").value == 1
+
+    def test_tampered_payload_caught_by_checksum(self, tmp_path):
+        d = str(tmp_path)
+        ResultCache(disk_dir=d).put("deadbeef", [41])
+        path = self.entry_path(d)
+        with open(path) as fh:
+            data = json.load(fh)
+        data["scaled"][0] = "42"  # valid JSON, wrong root
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        fresh = ResultCache(disk_dir=d)
+        assert fresh.get("deadbeef") is None  # never served
+        assert os.path.exists(path + ".corrupt")
+        assert fresh.metrics.counter("cache.disk_corrupt").value == 1
+
+    def test_old_schema_quarantined(self, tmp_path):
+        # /1 entries carry no checksum: unverifiable, so re-solved.
+        d = str(tmp_path)
+        path = self.entry_path(d)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as fh:
+            json.dump({"schema": "repro.serve-cache/1",
+                       "key": "deadbeef", "scaled": ["1"]}, fh)
+        c = ResultCache(disk_dir=d)
+        assert c.get("deadbeef") is None
+        assert os.path.exists(path + ".corrupt")
+
+    def test_key_mismatch_quarantined(self, tmp_path):
+        # An entry copied under the wrong filename must not be served.
+        d = str(tmp_path)
+        c = ResultCache(disk_dir=d)
+        c.put("deadbeef", [7])
+        other = self.entry_path(d, "cafebabe")
+        os.makedirs(os.path.dirname(other), exist_ok=True)
+        os.replace(self.entry_path(d), other)
+        fresh = ResultCache(disk_dir=d)
+        assert fresh.get("cafebabe") is None
+        assert os.path.exists(other + ".corrupt")
+
+    def test_fsck_sweep(self, tmp_path):
+        d = str(tmp_path)
+        c = ResultCache(disk_dir=d)
+        c.put("deadbeef", [1])
+        c.put("cafebabe", [2, 3])
+        # Damage one entry, plant a leftover .tmp from a killed put.
+        with open(self.entry_path(d), "w") as fh:
+            fh.write("garbage")
+        tmp_file = self.entry_path(d, "cafebabe") + ".tmp"
+        with open(tmp_file, "w") as fh:
+            fh.write("half-written")
+        fresh = ResultCache(disk_dir=d)
+        summary = fresh.fsck()
+        assert summary == {"scanned": 2, "ok": 1, "quarantined": 1}
+        assert not os.path.exists(tmp_file)
+        assert os.path.exists(self.entry_path(d) + ".corrupt")
+        assert fresh.metrics.counter("cache.disk_corrupt").value == 1
+        # Quarantine files are left alone by a second sweep.
+        assert fresh.fsck() == {"scanned": 1, "ok": 1, "quarantined": 0}
+
+    def test_fsck_without_disk_tier(self):
+        assert ResultCache(disk_dir="").fsck() == {
+            "scanned": 0, "ok": 0, "quarantined": 0}
+
+    def test_good_entry_round_trips_with_checksum(self, tmp_path):
+        d = str(tmp_path)
+        ResultCache(disk_dir=d).put("deadbeef", [5, -9])
+        with open(self.entry_path(d)) as fh:
+            data = json.load(fh)
+        assert data["schema"] == "repro.serve-cache/2"
+        assert data["key"] == "deadbeef"
+        assert len(data["sha256"]) == 64
+        assert ResultCache(disk_dir=d).get("deadbeef") == [5, -9]

@@ -1,0 +1,162 @@
+"""RequestJournal: WAL semantics, recovery, compaction, fault hooks."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.journal import (
+    SCHEMA,
+    JournalEntry,
+    RequestJournal,
+    incomplete_entries,
+    read_journal,
+)
+
+
+def lines(path):
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(ln) for ln in fh if ln.strip()]
+
+
+class TestWriteAndRead:
+    def test_accept_complete_roundtrip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        j = RequestJournal(path, fsync_interval=1)
+        j.accept("r1", "k1", [-6, 1, 1], 16, "hybrid", priority=2)
+        j.complete("r1", "k1", "ok")
+        j.close()
+        recs = read_journal(path)
+        assert [r["ev"] for r in recs] == ["accept", "complete"]
+        acc = recs[0]
+        assert acc["schema"] == SCHEMA
+        assert acc["key"] == "k1" and acc["request_id"] == "r1"
+        assert acc["coeffs"] == ["-6", "1", "1"]
+        assert acc["bits"] == 16 and acc["priority"] == 2
+        assert j.metrics.counter("journal.accepts").value == 1
+        assert j.metrics.counter("journal.completes").value == 1
+
+    def test_close_is_idempotent(self, tmp_path):
+        j = RequestJournal(str(tmp_path / "j.jsonl"))
+        j.close()
+        j.close()
+        # Writes after close are silently dropped, not errors.
+        j.accept("r", "k", [1, 1], 16, "hybrid")
+        assert read_journal(str(tmp_path / "j.jsonl")) == []
+
+    def test_fsync_interval_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            RequestJournal(str(tmp_path / "j.jsonl"), fsync_interval=0)
+
+    def test_torn_line_skipped(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"ev": "accept", "request_id": "a",
+                                 "key": "k", "coeffs": ["2", "1"],
+                                 "bits": 16}) + "\n")
+            fh.write('{"ev": "complete", "request_id": "a", "k')  # torn
+        recs = read_journal(path)
+        assert len(recs) == 1 and recs[0]["ev"] == "accept"
+
+    def test_foreign_records_ignored(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"ev": "other"}\n[1, 2]\nnull\n')
+        assert read_journal(path) == []
+
+
+class TestIncompleteEntries:
+    def recs(self):
+        return [
+            {"ev": "accept", "request_id": "a", "key": "k1",
+             "coeffs": ["-6", "1", "1"], "bits": 16},
+            {"ev": "accept", "request_id": "b", "key": "k2",
+             "coeffs": ["2", "1"], "bits": 16},
+            {"ev": "complete", "request_id": "a", "key": "k1",
+             "status": "ok"},
+        ]
+
+    def test_accept_without_complete_survives(self):
+        out = incomplete_entries(self.recs())
+        assert [e.request_id for e in out] == ["b"]
+        assert out[0].key == "k2" and out[0].coeffs == [2, 1]
+        assert out[0].mu == 16
+
+    def test_duplicate_keys_deduped(self):
+        recs = self.recs()
+        recs.append({"ev": "accept", "request_id": "c", "key": "k2",
+                     "coeffs": ["2", "1"], "bits": 16})
+        out = incomplete_entries(recs)
+        assert len(out) == 1  # one replayed solve serves both retries
+
+    def test_unreplayable_accepts_dropped(self):
+        out = incomplete_entries([
+            {"ev": "accept", "request_id": "x", "key": "",
+             "coeffs": ["1", "1"], "bits": 16},
+            {"ev": "accept", "request_id": "y", "key": "k",
+             "coeffs": [], "bits": 16},
+            {"ev": "accept", "request_id": "z", "key": "k",
+             "coeffs": ["1", "1"], "bits": 0},
+        ])
+        assert out == []
+
+
+class TestRecovery:
+    def test_recover_and_compact(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        j1 = RequestJournal(path, fsync_interval=1)
+        j1.accept("a", "k1", [-6, 1, 1], 16, "hybrid")
+        j1.complete("a", "k1", "ok")
+        j1.accept("b", "k2", [2, 1], 16, "hybrid")
+        j1.close()
+
+        j2 = RequestJournal(path)
+        assert [e.request_id for e in j2.recovered] == ["b"]
+        # Compacted: only the incomplete accept remains on disk.
+        recs = lines(path)
+        assert len(recs) == 1 and recs[0]["request_id"] == "b"
+        j2.complete("b", "k2", "replayed")
+        j2.close()
+        # Next generation recovers nothing and compacts to empty.
+        j3 = RequestJournal(path)
+        assert j3.recovered == []
+        assert lines(path) == []
+        j3.close()
+
+    def test_dropped_lines_counted(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"ev": "accept", "request_id": "a", "key": "k",'
+                     ' "coeffs": ["2", "1"], "bits": 16}\n')
+            fh.write('{"ev": "accept", "req')  # torn by the kill
+        m = MetricsRegistry()
+        j = RequestJournal(path, metrics=m)
+        assert j.dropped_lines == 1
+        assert m.counter("journal.dropped_lines").value == 1
+        assert len(j.recovered) == 1
+        j.close()
+
+
+class TestFaultHooks:
+    def test_enospc_suspends_but_does_not_raise(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        m = MetricsRegistry()
+        j = RequestJournal(path, fsync_interval=1, metrics=m)
+        j.fail_writes_after = 1
+        j.accept("a", "k1", [2, 1], 16, "hybrid")      # write 1: ok
+        j.accept("b", "k2", [3, 1], 16, "hybrid")      # write 2: ENOSPC
+        j.accept("c", "k3", [4, 1], 16, "hybrid")      # suspended
+        assert j.broken
+        assert m.counter("journal.write_errors").value == 1
+        assert m.counter("journal.accepts").value == 1
+        assert len(lines(path)) == 1
+        j.close()
+
+    def test_entry_typed_accessors(self):
+        e = JournalEntry({"key": "k", "request_id": "r",
+                          "coeffs": ["-1", "0", "1"], "bits": 24,
+                          "strategy": "newton", "priority": 3})
+        assert (e.key, e.request_id, e.mu, e.strategy, e.priority) == (
+            "k", "r", 24, "newton", 3)
+        assert e.coeffs == [-1, 0, 1]

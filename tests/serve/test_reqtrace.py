@@ -161,6 +161,26 @@ class TestAccessLog:
         recs = read_access_log(path)
         assert [r["request_id"] for r in recs] == ["good-1"]
 
+    def test_fsync_interval_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            AccessLog(str(tmp_path / "a.jsonl"), fsync_interval=0)
+
+    def test_fsync_interval_batches(self, tmp_path, monkeypatch):
+        import os as _os
+
+        synced = []
+        real_fsync = _os.fsync
+        monkeypatch.setattr("repro.serve.reqtrace.os.fsync",
+                            lambda fd: synced.append(fd) or real_fsync(fd))
+        log = AccessLog(str(tmp_path / "a.jsonl"), fsync_interval=2)
+        log.write(make_timeline(rid="a").to_dict())
+        assert synced == []              # below the interval: flushed only
+        log.write(make_timeline(rid="b").to_dict())
+        assert len(synced) == 1          # every 2nd line hits the platter
+        log.write(make_timeline(rid="c").to_dict())
+        log.close()                      # close always fsyncs the rest
+        assert len(synced) == 2
+
     def test_write_after_close_is_noop(self, tmp_path):
         path = str(tmp_path / "access.jsonl")
         log = AccessLog(path)
